@@ -1,0 +1,57 @@
+// Command uccbench runs the paper-reproduction experiments and prints the
+// tables/series of DESIGN.md's experiment index.
+//
+// Usage:
+//
+//	uccbench                 # run every experiment
+//	uccbench -exp EXP-1      # run one experiment
+//	uccbench -quick          # smaller sweeps (CI-scale)
+//	uccbench -seed 7         # change the random seed
+//	uccbench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ucc/internal/experiments"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "run a single experiment by id (e.g. EXP-1)")
+		quick = flag.Bool("quick", false, "smaller sweeps and horizons")
+		seed  = flag.Int64("seed", 1988, "random seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n        claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed}
+	var todo []experiments.Experiment
+	if *expID != "" {
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "uccbench: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	} else {
+		todo = experiments.All()
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		res := e.Run(cfg)
+		fmt.Print(res.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

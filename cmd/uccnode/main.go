@@ -1,0 +1,115 @@
+// Command uccnode runs one data/user site of the distributed system as a
+// real process: the site's queue manager (with its storage partition), its
+// request issuer, and — on site 0 — the deadlock-detection coordinator. The
+// metrics collector and workload drivers live in cmd/uccclient.
+//
+// Example 3-site cluster on one machine:
+//
+//	uccnode -site 0 -sites 3 -listen :7700 -peers :7700,:7701,:7702 &
+//	uccnode -site 1 -sites 3 -listen :7701 -peers :7700,:7701,:7702 &
+//	uccnode -site 2 -sites 3 -listen :7702 -peers :7700,:7701,:7702 &
+//	uccclient -peers :7700,:7701,:7702 -listen :7709 -rate 50 -duration 5s
+//
+// Every process must agree on -sites/-items/-replicas (they derive the same
+// static catalog).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"ucc/internal/deadlock"
+	"ucc/internal/engine"
+	"ucc/internal/model"
+	"ucc/internal/qm"
+	"ucc/internal/ri"
+	"ucc/internal/storage"
+	"ucc/internal/transport"
+)
+
+func main() {
+	var (
+		site     = flag.Int("site", 0, "this node's site id (0-based)")
+		sites    = flag.Int("sites", 3, "total number of sites")
+		items    = flag.Int("items", 64, "number of logical data items")
+		replicas = flag.Int("replicas", 1, "physical copies per item")
+		initial  = flag.Int64("initial", 100, "initial value of every item")
+		listen   = flag.String("listen", ":7700", "TCP listen address")
+		peers    = flag.String("peers", "", "comma-separated site TCP addresses, index = site id")
+		client   = flag.String("client", "", "client peer TCP address (collector/driver host); may be empty until a client connects inbound")
+		detector = flag.Int64("detector-period-ms", 50, "deadlock detection period (site 0 only)")
+		paInt    = flag.Int64("pa-interval-us", 2000, "PA back-off interval INT (µs)")
+		restart  = flag.Int64("restart-delay-us", 10000, "mean restart delay after rejection/victim (µs)")
+	)
+	flag.Parse()
+
+	peerList := strings.Split(*peers, ",")
+	if len(peerList) != *sites {
+		log.Fatalf("uccnode: -peers must list exactly %d addresses, got %d", *sites, len(peerList))
+	}
+	topo := transport.Topology{
+		Peers:  map[string]string{},
+		Assign: transport.StandardAssign("client"),
+	}
+	for i, addr := range peerList {
+		topo.Peers[fmt.Sprintf("site%d", i)] = strings.TrimSpace(addr)
+	}
+	if *client != "" {
+		topo.Peers["client"] = *client
+	}
+
+	// Build this site's slice of the system. Latency is the real network;
+	// the runtime adds nothing on top.
+	rt := engine.NewRuntime(engine.FixedLatency{}, int64(*site)+1)
+
+	siteIDs := make([]model.SiteID, *sites)
+	for i := range siteIDs {
+		siteIDs[i] = model.SiteID(i)
+	}
+	catalog := storage.NewCatalog(*items, siteIDs, *replicas)
+	self := model.SiteID(*site)
+
+	store := storage.NewStore(self)
+	for _, item := range catalog.CopiesAt(self) {
+		store.Create(item, *initial)
+	}
+	mgr := qm.New(self, store, nil, qm.Options{StatsPeriodMicros: 200_000})
+	rt.Register(engine.QMAddr(self), mgr)
+
+	issuer := ri.New(self, catalog, nil, ri.Options{
+		PAIntervalMicros:     model.Timestamp(*paInt),
+		RestartDelayMicros:   *restart,
+		DefaultComputeMicros: 1000,
+	}, nil)
+	rt.Register(engine.RIAddr(self), issuer)
+
+	if self == 0 {
+		det := deadlock.New(siteIDs, deadlock.Options{
+			PeriodMicros:  *detector * 1000,
+			PersistRounds: 2,
+		})
+		rt.Register(engine.DetectorAddr(), det)
+		rt.Inject(engine.Envelope{From: engine.DetectorAddr(), To: engine.DetectorAddr(), Msg: model.TickMsg{}})
+	}
+	// Start the QM stats push (reports flow to the client's collector).
+	rt.Inject(engine.Envelope{From: engine.QMAddr(self), To: engine.QMAddr(self), Msg: model.TickMsg{}})
+
+	node, err := transport.NewNode(rt, fmt.Sprintf("site%d", *site), *listen, topo)
+	if err != nil {
+		log.Fatalf("uccnode: %v", err)
+	}
+	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas)",
+		*site, node.Addr(), store.Len(), *sites, *replicas)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("uccnode: site %d shutting down", *site)
+	node.Close()
+	rt.Shutdown()
+}

@@ -1,0 +1,91 @@
+// Adaptive: shows why static concurrency control is inflexible (§1) — the
+// best protocol changes with the operating point, and the min-STL selector
+// follows it.
+//
+// The same cluster shape is driven at three operating points: light load
+// with small transactions, moderate load, and heavy contention. At each
+// point every static protocol is measured, then the dynamic selector runs
+// and its protocol mix is shown alongside.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ucc"
+)
+
+type point struct {
+	name     string
+	rate     float64
+	size     int
+	readFrac float64
+}
+
+func measure(pt point, dynamic bool, mix ucc.Mix) (time.Duration, string) {
+	c, err := ucc.New(ucc.Config{
+		Sites:             4,
+		Items:             24,
+		Seed:              11,
+		DynamicSelection:  dynamic,
+		SelectionFallback: ucc.PA,
+		RestartDelay:      20 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := c.Workload(ucc.Workload{
+		Rate:     pt.rate,
+		Duration: 4 * time.Second,
+		Size:     pt.size,
+		ReadFrac: pt.readFrac,
+		Mix:      mix,
+		Compute:  3 * time.Millisecond,
+	}); err != nil {
+		panic(err)
+	}
+	res := c.Run()
+	extra := ""
+	if dynamic {
+		n2, nt, np := res.Decisions()
+		tot := n2 + nt + np
+		if tot > 0 {
+			extra = fmt.Sprintf("mix 2PL:%d%% T/O:%d%% PA:%d%%", 100*n2/tot, 100*nt/tot, 100*np/tot)
+		}
+	}
+	if !res.Serializable() {
+		extra += " NOT-SERIALIZABLE(BUG)"
+	}
+	return res.MeanSystemTime(), extra
+}
+
+func main() {
+	points := []point{
+		{"light (λ=6/site, st=3)", 6, 3, 0.6},
+		{"moderate (λ=22/site, st=4)", 22, 4, 0.5},
+		{"heavy (λ=45/site, st=4)", 45, 4, 0.5},
+	}
+	for _, pt := range points {
+		fmt.Printf("\n%s\n", pt.name)
+		best := time.Duration(0)
+		bestName := ""
+		for _, st := range []struct {
+			name string
+			mix  ucc.Mix
+		}{
+			{"2PL", ucc.Mix{TwoPL: 1}},
+			{"T/O", ucc.Mix{TO: 1}},
+			{"PA", ucc.Mix{PA: 1}},
+		} {
+			s, _ := measure(pt, false, st.mix)
+			fmt.Printf("  static %-4s S=%v\n", st.name, s.Round(100*time.Microsecond))
+			if best == 0 || s < best {
+				best, bestName = s, st.name
+			}
+		}
+		s, mix := measure(pt, true, ucc.Mix{})
+		fmt.Printf("  dynamic     S=%v  %s\n", s.Round(100*time.Microsecond), mix)
+		fmt.Printf("  → best static was %s; dynamic is %+.0f%% off it\n",
+			bestName, 100*(float64(s)-float64(best))/float64(best))
+	}
+}

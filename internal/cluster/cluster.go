@@ -1,0 +1,291 @@
+// Package cluster wires the full distributed system — request issuers, queue
+// managers with their stores, the deadlock coordinator, the metrics
+// collector, and per-site workload drivers — over either the deterministic
+// virtual-time simulator (experiments, tests) or the real-time runtime
+// (examples, TCP deployment).
+package cluster
+
+import (
+	"fmt"
+
+	"ucc/internal/deadlock"
+	"ucc/internal/engine"
+	"ucc/internal/history"
+	"ucc/internal/metrics"
+	"ucc/internal/model"
+	"ucc/internal/qm"
+	"ucc/internal/ri"
+	"ucc/internal/sim"
+	"ucc/internal/storage"
+	"ucc/internal/workload"
+)
+
+// Config describes a cluster. User site i and data site i share a site id
+// (each site hosts both an RI and a QM), as in the paper's model where every
+// computer site may hold data and issue transactions.
+type Config struct {
+	// Sites is the number of computer sites (each hosts an RI and a QM).
+	Sites int
+	// Items is the number of logical data items.
+	Items int
+	// Replicas is the number of physical copies per item (read-one/write-all).
+	Replicas int
+	// InitialValue seeds every item's copies.
+	InitialValue int64
+
+	// Latency is the network model (default: fixed 2ms remote).
+	Latency engine.LatencyModel
+	// Seed drives every random stream.
+	Seed int64
+
+	QM        qm.Options
+	RI        ri.Options
+	Detector  deadlock.Options
+	Collector metrics.CollectorOptions
+
+	// Choose installs a dynamic protocol selector at every RI (nil = honour
+	// each transaction's preset protocol).
+	Choose ri.ChooseFunc
+
+	// Record enables history recording and serializability checking.
+	Record bool
+}
+
+// Validate fills defaults.
+func (c *Config) Validate() error {
+	if c.Sites <= 0 {
+		return fmt.Errorf("cluster: Sites must be positive")
+	}
+	if c.Items <= 0 {
+		return fmt.Errorf("cluster: Items must be positive")
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > c.Sites {
+		c.Replicas = c.Sites
+	}
+	if c.Latency == nil {
+		// Jittered latency: without jitter every queue sees requests in
+		// timestamp order and T/O never rejects, which no real network
+		// provides.
+		c.Latency = engine.UniformLatency{MinMicros: 1_000, MaxMicros: 3_000, LocalMicros: 50}
+	}
+	if c.RI.PAIntervalMicros == 0 && c.RI.RestartDelayMicros == 0 &&
+		c.RI.DefaultComputeMicros == 0 && c.RI.MaxAttempts == 0 &&
+		c.RI.SwitchOnRestart == nil {
+		c.RI = ri.DefaultOptions()
+	}
+	if c.Detector == (deadlock.Options{}) {
+		c.Detector = deadlock.DefaultOptions()
+	}
+	return nil
+}
+
+// Cluster is a fully wired system over the virtual-time engine.
+type Cluster struct {
+	Cfg       Config
+	Eng       *sim.Engine
+	Catalog   *storage.Catalog
+	Recorder  *history.Recorder
+	Collector *metrics.Collector
+	Detector  *deadlock.Detector
+
+	Managers map[model.SiteID]*qm.Manager
+	Issuers  map[model.SiteID]*ri.Issuer
+	Drivers  map[model.SiteID]*workload.Driver
+	Stores   map[model.SiteID]*storage.Store
+
+	started bool
+}
+
+// NewSim builds a cluster on the virtual-time engine.
+func NewSim(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.New(cfg.Latency)
+	cl := &Cluster{
+		Cfg:      cfg,
+		Eng:      eng,
+		Managers: map[model.SiteID]*qm.Manager{},
+		Issuers:  map[model.SiteID]*ri.Issuer{},
+		Drivers:  map[model.SiteID]*workload.Driver{},
+		Stores:   map[model.SiteID]*storage.Store{},
+	}
+	if cfg.Record {
+		cl.Recorder = history.NewRecorder()
+	}
+
+	sites := make([]model.SiteID, cfg.Sites)
+	for i := range sites {
+		sites[i] = model.SiteID(i)
+	}
+	cl.Catalog = storage.NewCatalog(cfg.Items, sites, cfg.Replicas)
+
+	// Stores + queue managers.
+	for _, s := range sites {
+		st := storage.NewStore(s)
+		for _, item := range cl.Catalog.CopiesAt(s) {
+			st.Create(item, cfg.InitialValue)
+		}
+		cl.Stores[s] = st
+		mgr := qm.New(s, st, cl.Recorder, cfg.QM)
+		cl.Managers[s] = mgr
+		eng.Register(engine.QMAddr(s), mgr, cfg.Seed)
+	}
+	// Request issuers.
+	for _, s := range sites {
+		iss := ri.New(s, cl.Catalog, cl.Recorder, cfg.RI, cfg.Choose)
+		cl.Issuers[s] = iss
+		eng.Register(engine.RIAddr(s), iss, cfg.Seed)
+	}
+	// Deadlock coordinator.
+	cl.Detector = deadlock.New(sites, cfg.Detector)
+	eng.Register(engine.DetectorAddr(), cl.Detector, cfg.Seed)
+	// Metrics collector.
+	if cfg.Collector.RISites == nil {
+		cfg.Collector.RISites = sites
+	}
+	cl.Collector = metrics.NewCollector(cfg.Collector)
+	eng.Register(engine.CollectorAddr(), cl.Collector, cfg.Seed)
+	return cl, nil
+}
+
+// AddDriver attaches a workload driver to a site's issuer.
+func (c *Cluster) AddDriver(site model.SiteID, spec workload.Spec) error {
+	if _, dup := c.Drivers[site]; dup {
+		return fmt.Errorf("cluster: site %d already has a driver", site)
+	}
+	d, err := workload.NewDriver(site, spec)
+	if err != nil {
+		return err
+	}
+	c.Drivers[site] = d
+	c.Eng.Register(engine.DriverAddr(site), d, c.Cfg.Seed)
+	return nil
+}
+
+// Start posts the initial timer ticks (detector probes, collector estimate
+// broadcasts, QM stats pushes, driver arrivals).
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	if c.Cfg.Detector.PeriodMicros > 0 {
+		c.Eng.Post(engine.DetectorAddr(), model.TickMsg{})
+	}
+	if c.Cfg.Collector.EstimatePeriodMicros > 0 {
+		c.Eng.Post(engine.CollectorAddr(), model.TickMsg{})
+	}
+	if c.Cfg.QM.StatsPeriodMicros > 0 {
+		for _, s := range c.sortedSites(len(c.Managers)) {
+			if _, ok := c.Managers[s]; ok {
+				c.Eng.Post(engine.QMAddr(s), model.TickMsg{})
+			}
+		}
+	}
+	for _, s := range c.sortedSites(c.Cfg.Sites) {
+		if _, ok := c.Drivers[s]; ok {
+			c.Eng.Post(engine.DriverAddr(s), model.TickMsg{})
+		}
+	}
+}
+
+// Submit injects a single transaction at its issuer (examples/tests).
+func (c *Cluster) Submit(t *model.Txn) {
+	c.Eng.Post(engine.RIAddr(t.ID.Site), model.SubmitTxnMsg{Txn: t})
+}
+
+// Result summarizes one complete run.
+type Result struct {
+	Summary metrics.Summary
+	// Unfinished counts transactions still live after the drain (stuck
+	// deadlocks after the detector stopped, or dropped attempts).
+	Unfinished int
+	// Events is the number of delivered engine events.
+	Events uint64
+	// Serializability holds the history check when recording was enabled.
+	Serializability *history.Result
+}
+
+// Run executes the standard experiment schedule: start everything, run the
+// workload until its horizon plus a settle window, stop periodic actors,
+// drain in-flight work, and summarize.
+func (c *Cluster) Run(horizonMicros, settleMicros int64) Result {
+	c.Start()
+	c.Eng.RunUntil(horizonMicros + settleMicros)
+	// Stop periodic work so the event heap can drain.
+	c.Eng.Post(engine.DetectorAddr(), model.StopMsg{})
+	c.Eng.Post(engine.CollectorAddr(), model.StopMsg{})
+	for _, s := range c.sortedSites(c.Cfg.Sites) {
+		if _, ok := c.Managers[s]; ok {
+			c.Eng.Post(engine.QMAddr(s), model.StopMsg{})
+		}
+	}
+	for _, s := range c.sortedSites(c.Cfg.Sites) {
+		if _, ok := c.Drivers[s]; ok {
+			c.Eng.Post(engine.DriverAddr(s), model.StopMsg{})
+		}
+	}
+	c.Eng.Drain(0)
+
+	var res Result
+	res.Summary = c.Collector.Summarize()
+	res.Events = c.Eng.Delivered
+	for _, iss := range c.Issuers {
+		res.Unfinished += iss.Snapshot().Active
+	}
+	if c.Recorder != nil {
+		r := c.Recorder.Check()
+		res.Serializability = &r
+	}
+	return res
+}
+
+// sortedSites returns site ids 0..n-1 (deterministic iteration order for
+// Post calls: map iteration would reorder same-timestamp events between
+// runs).
+func (c *Cluster) sortedSites(n int) []model.SiteID {
+	out := make([]model.SiteID, 0, n)
+	for i := 0; i < c.Cfg.Sites; i++ {
+		out = append(out, model.SiteID(i))
+	}
+	return out
+}
+
+// QMTotals sums queue-manager counters across sites.
+func (c *Cluster) QMTotals() qm.Counters {
+	var t qm.Counters
+	for _, m := range c.Managers {
+		s := m.Snapshot()
+		t.Requests += s.Requests
+		t.Grants += s.Grants
+		t.PreGrants += s.PreGrants
+		t.Promotions += s.Promotions
+		t.Rejects += s.Rejects
+		t.Backoffs += s.Backoffs
+		t.Revokes += s.Revokes
+		t.Releases += s.Releases
+		t.Conversion += s.Conversion
+		t.Aborts += s.Aborts
+	}
+	return t
+}
+
+// RITotals sums issuer counters across sites.
+func (c *Cluster) RITotals() ri.Stats {
+	var t ri.Stats
+	for _, iss := range c.Issuers {
+		s := iss.Snapshot()
+		t.Submitted += s.Submitted
+		t.Committed += s.Committed
+		t.Rejects += s.Rejects
+		t.Victims += s.Victims
+		t.Dropped += s.Dropped
+		t.ReBackoffs += s.ReBackoffs
+		t.Active += s.Active
+	}
+	return t
+}

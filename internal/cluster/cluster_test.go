@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+
+	"ucc/internal/model"
+	"ucc/internal/workload"
+)
+
+// base returns a small recording cluster config.
+func base(seed int64) Config {
+	return Config{
+		Sites:    4,
+		Items:    40,
+		Replicas: 1,
+		Seed:     seed,
+		Record:   true,
+	}
+}
+
+// runMix runs a mixed-share workload and returns the result.
+func runMix(t *testing.T, cfg Config, share2pl, shareTO, sharePA, arrival float64, size int, horizon int64) Result {
+	t.Helper()
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: arrival,
+			HorizonMicros: horizon,
+			Items:         cfg.Items,
+			Size:          size,
+			ReadFrac:      0.6,
+			Share2PL:      share2pl,
+			ShareTO:       shareTO,
+			SharePA:       sharePA,
+			ComputeMicros: 500,
+		})
+		if err != nil {
+			t.Fatalf("AddDriver: %v", err)
+		}
+	}
+	return cl.Run(horizon, 4_000_000)
+}
+
+func checkRun(t *testing.T, name string, res Result, wantMinCommits uint64) {
+	t.Helper()
+	if res.Serializability == nil {
+		t.Fatalf("%s: no serializability result", name)
+	}
+	if !res.Serializability.Serializable {
+		t.Fatalf("%s: execution NOT serializable; cycle=%v", name, res.Serializability.Cycle)
+	}
+	got := res.Summary.TotalCommitted()
+	if got < wantMinCommits {
+		t.Errorf("%s: committed %d < want >= %d", name, got, wantMinCommits)
+	}
+	if res.Unfinished > 0 {
+		t.Errorf("%s: %d transactions unfinished after drain", name, res.Unfinished)
+	}
+}
+
+func TestPure2PL(t *testing.T) {
+	res := runMix(t, base(1), 1, 0, 0, 20, 4, 2_000_000)
+	checkRun(t, "2PL", res, 100)
+}
+
+func TestPureTO(t *testing.T) {
+	res := runMix(t, base(2), 0, 1, 0, 20, 4, 2_000_000)
+	checkRun(t, "T/O", res, 100)
+}
+
+func TestPurePA(t *testing.T) {
+	res := runMix(t, base(3), 0, 0, 1, 20, 4, 2_000_000)
+	checkRun(t, "PA", res, 100)
+	if v := res.Summary.Protocols[model.PA].Victims; v != 0 {
+		t.Errorf("PA: %d deadlock victims, want 0 (Corollary 1)", v)
+	}
+	if r := res.Summary.Protocols[model.PA].Rejected; r != 0 {
+		t.Errorf("PA: %d rejections, want 0 (Corollary 1)", r)
+	}
+}
+
+func TestMixedProtocols(t *testing.T) {
+	res := runMix(t, base(4), 1, 1, 1, 25, 4, 2_000_000)
+	checkRun(t, "mixed", res, 120)
+}
+
+func TestMixedHighContention(t *testing.T) {
+	cfg := base(5)
+	cfg.Items = 8 // few items → heavy conflicts
+	res := runMix(t, cfg, 1, 1, 1, 25, 3, 2_000_000)
+	checkRun(t, "hot-mixed", res, 80)
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+
+	"ucc/internal/model"
+	"ucc/internal/workload"
+)
+
+// TestDiagnosticsMechanisms verifies under stress that every protocol
+// mechanism actually fires: 2PL deadlock victims, T/O rejections, PA
+// back-offs, semi-lock conversions, and pre-scheduled grants — while the
+// execution stays serializable.
+func TestDiagnosticsMechanisms(t *testing.T) {
+	cfg := base(42)
+	cfg.Items = 16
+	cfg.Replicas = 2
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: 30,
+			HorizonMicros: 3_000_000,
+			Items:         cfg.Items,
+			Size:          3,
+			ReadFrac:      0.5,
+			Share2PL:      1, ShareTO: 1, SharePA: 1,
+			ComputeMicros: 800,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := cl.Run(3_000_000, 6_000_000)
+	checkRun(t, "stress", res, 200)
+
+	qmc := cl.QMTotals()
+	ric := cl.RITotals()
+	det := cl.Detector.Snapshot()
+	t.Logf("qm: %+v", qmc)
+	t.Logf("ri: %+v", ric)
+	t.Logf("detector: %+v", det)
+	t.Logf("summary 2PL: commits=%d victims=%d S=%.0fµs",
+		res.Summary.Protocols[model.TwoPL].Committed,
+		res.Summary.Protocols[model.TwoPL].Victims,
+		res.Summary.Protocols[model.TwoPL].SystemTime.Mean())
+	t.Logf("summary T/O: commits=%d rejects=%d S=%.0fµs",
+		res.Summary.Protocols[model.TO].Committed,
+		res.Summary.Protocols[model.TO].Rejected,
+		res.Summary.Protocols[model.TO].SystemTime.Mean())
+	t.Logf("summary PA : commits=%d backoffsR=%d backoffsW=%d S=%.0fµs",
+		res.Summary.Protocols[model.PA].Committed,
+		res.Summary.Protocols[model.PA].BackoffReads,
+		res.Summary.Protocols[model.PA].BackoffWrites,
+		res.Summary.Protocols[model.PA].SystemTime.Mean())
+
+	if ric.ReBackoffs != 0 {
+		t.Errorf("PA re-backoffs = %d, want 0 (Lemma 1 at-most-once)", ric.ReBackoffs)
+	}
+	if qmc.Rejects == 0 {
+		t.Error("no T/O rejections under stress; T/O path not exercised")
+	}
+	if qmc.Backoffs == 0 {
+		t.Error("no PA back-offs under stress; PA path not exercised")
+	}
+	if qmc.PreGrants == 0 {
+		t.Error("no pre-scheduled grants; semi-lock path not exercised")
+	}
+	if qmc.Conversion == 0 {
+		t.Error("no semi-lock conversions; §4.2 rule 4 not exercised")
+	}
+	if det.Victims == 0 {
+		t.Error("no deadlock victims; 2PL deadlock path not exercised")
+	}
+}

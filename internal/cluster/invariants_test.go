@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+	"ucc/internal/workload"
+)
+
+// TestHeavyJitterReordering stresses the protocols under exponential
+// latency (heavy reordering across sender pairs): more T/O rejections and
+// PA back-offs, same correctness guarantees.
+func TestHeavyJitterReordering(t *testing.T) {
+	cfg := base(13)
+	cfg.Items = 16
+	cfg.Latency = engine.ExpLatency{MeanMicros: 3_000, LocalMicros: 50}
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: 25,
+			HorizonMicros: 3_000_000,
+			Items:         cfg.Items,
+			Size:          3,
+			ReadFrac:      0.5,
+			Share2PL:      1, ShareTO: 1, SharePA: 1,
+			ComputeMicros: 500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := cl.Run(3_000_000, 8_000_000)
+	checkRun(t, "jitter", res, 150)
+	if cl.QMTotals().Rejects == 0 {
+		t.Error("exponential jitter should cause T/O rejections")
+	}
+	if got := cl.RITotals().ReBackoffs; got != 0 {
+		t.Errorf("PA re-backoffs under jitter: %d (Lemma 1)", got)
+	}
+}
+
+// TestTOTimestampOrderInvariant checks the §3.3 enforcement result end to
+// end: conflicting operations of committed T/O transactions appear in every
+// log in timestamp order.
+func TestTOTimestampOrderInvariant(t *testing.T) {
+	cfg := base(21)
+	cfg.Items = 12
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: 30,
+			HorizonMicros: 3_000_000,
+			Items:         cfg.Items,
+			Size:          3,
+			ReadFrac:      0.5,
+			ShareTO:       1,
+			ComputeMicros: 500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := cl.Run(3_000_000, 5_000_000)
+	checkRun(t, "to-order", res, 200)
+
+	tsOf := func(id model.TxnID) (model.Timestamp, bool) {
+		iss := cl.Issuers[id.Site]
+		if iss == nil {
+			return 0, false
+		}
+		return iss.FinalTimestamp(id)
+	}
+	if err := cl.Recorder.VerifyTimestampOrder(tsOf); err != nil {
+		t.Fatalf("timestamp order violated: %v", err)
+	}
+}
+
+// TestPAFinalTimestampsAgree checks PA's agreement property: after a run,
+// every committed PA transaction has exactly one final timestamp recorded
+// (the issuer's expectTS), and committed PA transactions with conflicting
+// accesses appear in logs consistently with those timestamps.
+func TestPAFinalTimestampsAgree(t *testing.T) {
+	cfg := base(34)
+	cfg.Items = 10
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: 30,
+			HorizonMicros: 3_000_000,
+			Items:         cfg.Items,
+			Size:          3,
+			ReadFrac:      0.4,
+			SharePA:       1,
+			ComputeMicros: 500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := cl.Run(3_000_000, 5_000_000)
+	checkRun(t, "pa-agree", res, 200)
+	if cl.QMTotals().Backoffs == 0 {
+		t.Error("workload produced no PA back-offs; agreement path unexercised")
+	}
+	tsOf := func(id model.TxnID) (model.Timestamp, bool) {
+		return cl.Issuers[id.Site].FinalTimestamp(id)
+	}
+	if err := cl.Recorder.VerifyTimestampOrder(tsOf); err != nil {
+		t.Fatalf("PA agreed-timestamp order violated: %v", err)
+	}
+}
+
+// TestReplicatedWriteAll checks that under ROWA every write reaches every
+// replica in the same serializable order: after quiescing, replicas agree.
+func TestReplicatedWriteAll(t *testing.T) {
+	cfg := base(55)
+	cfg.Items = 12
+	cfg.Replicas = 3
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: 20,
+			HorizonMicros: 2_000_000,
+			Items:         cfg.Items,
+			Size:          3,
+			ReadFrac:      0.3,
+			Share2PL:      1, ShareTO: 1, SharePA: 1,
+			ComputeMicros: 500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := cl.Run(2_000_000, 6_000_000)
+	checkRun(t, "rowa", res, 100)
+	for item := 0; item < cfg.Items; item++ {
+		var vals []int64
+		for _, site := range cl.Catalog.Replicas(model.ItemID(item)) {
+			v, _ := cl.Stores[site].Read(model.ItemID(item))
+			vals = append(vals, v)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[0] {
+				t.Fatalf("item %d replicas diverged: %v", item, vals)
+			}
+		}
+	}
+}
+
+// TestDetectorDisabledTimeouts: with detection disabled, 2PL deadlocks
+// freeze the involved transactions; the run must still terminate (drain
+// gives up) and report them as unfinished rather than hanging.
+func TestDetectorDisabledLeavesDeadlocksVisible(t *testing.T) {
+	cfg := base(66)
+	cfg.Items = 6
+	cfg.Detector.PeriodMicros = -1 // disabled
+	cfg.Detector.PersistRounds = 1
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: 40,
+			HorizonMicros: 2_000_000,
+			Items:         cfg.Items,
+			Size:          3,
+			ReadFrac:      0.2, // write-heavy → deadlocks certain
+			Share2PL:      1,
+			ComputeMicros: 500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := cl.Run(2_000_000, 2_000_000)
+	if res.Unfinished == 0 {
+		t.Skip("no deadlock materialized at this seed (rare)")
+	}
+	// The execution that did commit must still be serializable.
+	if !res.Serializability.Serializable {
+		t.Fatal("committed prefix not serializable")
+	}
+}

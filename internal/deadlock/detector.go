@@ -1,0 +1,334 @@
+// Package deadlock implements wait-for-graph deadlock detection for the 2PL
+// member of the unified scheme.
+//
+// The paper cites distributed deadlock detection [1,6,11] without fixing an
+// algorithm; we implement a coordinator that periodically probes every queue
+// manager for its local wait-for edges (Obermarck-style global-graph
+// aggregation with a central coordinator), requires a cycle to persist
+// across two consecutive rounds before acting (PA negotiations and T/O
+// queue waits form transient cycles that resolve by themselves — Corollary 1),
+// and then aborts the youngest 2PL member of the cycle. Corollary 2
+// guarantees every genuine deadlock cycle contains a 2PL transaction; the
+// detector counts cycles without one (they must all be transient) so tests
+// can assert the corollary empirically.
+package deadlock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+// VictimPolicy selects which eligible 2PL member of a persistent cycle to
+// abort.
+type VictimPolicy uint8
+
+const (
+	// VictimYoungest aborts the member with the largest transaction id
+	// (least work lost on average; the default).
+	VictimYoungest VictimPolicy = iota
+	// VictimOldest aborts the smallest transaction id (starvation-free for
+	// young transactions at the price of wasting more work).
+	VictimOldest
+)
+
+// Options configure the detector.
+type Options struct {
+	// PeriodMicros is the probe period; <=0 disables detection.
+	PeriodMicros int64
+	// PersistRounds is how many consecutive rounds a cycle must appear in
+	// before a victim is chosen (default 2).
+	PersistRounds int
+	// Policy selects the victim among a cycle's eligible 2PL members.
+	Policy VictimPolicy
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{PeriodMicros: 50_000, PersistRounds: 2}
+}
+
+// Stats snapshot of detector activity.
+type Stats struct {
+	Rounds          uint64
+	CyclesSeen      uint64 // non-trivial SCCs observed (incl. transient)
+	TransientCycles uint64 // cycles that disappeared before persisting
+	No2PLCycles     uint64 // persistent-candidate cycles without a 2PL member
+	Victims         uint64
+}
+
+// Detector is the coordinator actor.
+type Detector struct {
+	mu      sync.Mutex
+	opts    Options
+	qmSites []model.SiteID
+
+	round    uint64
+	expect   map[model.SiteID]bool
+	edges    []model.WaitEdge
+	lastSeen map[string]int // cycle fingerprint → consecutive rounds seen
+	// victims remembers attempts already told to abort, keyed by
+	// (transaction, attempt): a restarted attempt that deadlocks again is a
+	// fresh victim candidate (keying by transaction alone would make a
+	// cycle of ex-victims unbreakable).
+	victims map[victimKey]bool
+
+	// drainMode keeps the detector probing after StopMsg until a probe
+	// round reports zero edges (so residual deadlocks are still resolved
+	// while the system drains), then stops re-arming so the engine can
+	// quiesce.
+	drainMode bool
+	idle      bool
+
+	stats Stats
+}
+
+type victimKey struct {
+	txn     model.TxnID
+	attempt model.Attempt
+}
+
+// New creates a detector probing the given QM sites.
+func New(qmSites []model.SiteID, opts Options) *Detector {
+	if opts.PersistRounds <= 0 {
+		opts.PersistRounds = 2
+	}
+	return &Detector{
+		opts:     opts,
+		qmSites:  qmSites,
+		lastSeen: map[string]int{},
+		victims:  map[victimKey]bool{},
+	}
+}
+
+// Snapshot returns detector statistics.
+func (d *Detector) Snapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// OnMessage implements engine.Actor. The cluster posts the first TickMsg.
+func (d *Detector) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch v := msg.(type) {
+	case model.TickMsg:
+		d.probe(ctx)
+	case model.WFGReportMsg:
+		d.onReport(ctx, v)
+	case model.StopMsg:
+		d.drainMode = true
+	default:
+		panic(fmt.Sprintf("deadlock: unexpected message %T", msg))
+	}
+}
+
+func (d *Detector) probe(ctx engine.Context) {
+	if d.opts.PeriodMicros <= 0 || (d.drainMode && d.idle) {
+		return
+	}
+	d.round++
+	d.stats.Rounds++
+	d.expect = map[model.SiteID]bool{}
+	d.edges = d.edges[:0]
+	for _, s := range d.qmSites {
+		d.expect[s] = true
+		ctx.Send(engine.QMAddr(s), model.ProbeWFGMsg{Round: d.round})
+	}
+	ctx.SetTimer(d.opts.PeriodMicros, model.TickMsg{})
+}
+
+func (d *Detector) onReport(ctx engine.Context, v model.WFGReportMsg) {
+	if v.Round != d.round || !d.expect[v.From] {
+		return // late report from a superseded round
+	}
+	delete(d.expect, v.From)
+	d.edges = append(d.edges, v.Edges...)
+	if len(d.expect) == 0 {
+		d.analyze(ctx)
+	}
+}
+
+// analyze builds the global wait-for graph, finds non-trivial SCCs, and
+// victimizes cycles that persisted for PersistRounds rounds.
+func (d *Detector) analyze(ctx engine.Context) {
+	d.idle = len(d.edges) == 0
+	adj := map[model.TxnID]map[model.TxnID]bool{}
+	info := map[model.TxnID]model.WaitEdge{} // waiter-side info per txn
+	is2PL := map[model.TxnID]bool{}
+	for _, e := range d.edges {
+		if adj[e.Waiter] == nil {
+			adj[e.Waiter] = map[model.TxnID]bool{}
+		}
+		adj[e.Waiter][e.Holder] = true
+		if _, ok := info[e.Waiter]; !ok {
+			info[e.Waiter] = e
+		}
+		is2PL[e.Waiter] = e.Waiter2PL
+		if e.Holder2PL {
+			is2PL[e.Holder] = true
+		}
+	}
+
+	sccs := tarjanSCC(adj)
+	seen := map[string]bool{}
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		d.stats.CyclesSeen++
+		fp := fingerprint(scc)
+		seen[fp] = true
+		d.lastSeen[fp]++
+		if d.lastSeen[fp] < d.opts.PersistRounds {
+			continue
+		}
+		// Persistent cycle: pick the youngest 2PL member as victim.
+		var members []model.TxnID
+		has2PL := false
+		for _, t := range scc {
+			members = append(members, t)
+			if is2PL[t] {
+				has2PL = true
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].Compare(members[j]) < 0 })
+		if !has2PL {
+			// Corollary 2 says this cannot be a genuine deadlock; it must
+			// resolve on its own. Count and keep watching.
+			d.stats.No2PLCycles++
+			continue
+		}
+		victim := model.TxnID{}
+		var victimAttempt model.Attempt
+		idx := func(i int) int { return len(members) - 1 - i } // youngest first
+		if d.opts.Policy == VictimOldest {
+			idx = func(i int) int { return i }
+		}
+		for i := range members {
+			m := members[idx(i)]
+			e, waits := info[m]
+			if !is2PL[m] || !waits {
+				continue // can only abort a 2PL member seen waiting
+			}
+			if d.victims[victimKey{txn: m, attempt: e.WaiterSeq}] {
+				continue // this attempt was already told to abort
+			}
+			victim = m
+			victimAttempt = e.WaiterSeq
+			break
+		}
+		if victim.IsZero() {
+			continue // every eligible member's abort is already in flight
+		}
+		d.victims[victimKey{txn: victim, attempt: victimAttempt}] = true
+		d.stats.Victims++
+		ctx.Send(engine.RIAddr(info[victim].WaiterIssuer), model.VictimMsg{
+			Txn: victim, Attempt: victimAttempt, Cycle: members,
+		})
+		delete(d.lastSeen, fp)
+	}
+	// Cycles that vanished were transient; forget them.
+	for fp := range d.lastSeen {
+		if !seen[fp] {
+			d.stats.TransientCycles++
+			delete(d.lastSeen, fp)
+		}
+	}
+	// Forget victim attempts that no longer appear as waiters (their aborts
+	// landed, or the attempt was superseded by a restart).
+	live := map[victimKey]bool{}
+	for _, e := range d.edges {
+		live[victimKey{txn: e.Waiter, attempt: e.WaiterSeq}] = true
+	}
+	for k := range d.victims {
+		if !live[k] {
+			delete(d.victims, k)
+		}
+	}
+}
+
+func fingerprint(scc []model.TxnID) string {
+	ids := make([]string, len(scc))
+	for i, t := range scc {
+		ids[i] = t.String()
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
+}
+
+// tarjanSCC returns the strongly connected components of the wait-for graph
+// (iterative Tarjan, deterministic order).
+func tarjanSCC(adj map[model.TxnID]map[model.TxnID]bool) [][]model.TxnID {
+	nodes := make([]model.TxnID, 0, len(adj))
+	nodeSet := map[model.TxnID]bool{}
+	for n, succs := range adj {
+		if !nodeSet[n] {
+			nodeSet[n] = true
+			nodes = append(nodes, n)
+		}
+		for s := range succs {
+			if !nodeSet[s] {
+				nodeSet[s] = true
+				nodes = append(nodes, s)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Compare(nodes[j]) < 0 })
+
+	index := map[model.TxnID]int{}
+	lowlink := map[model.TxnID]int{}
+	onStack := map[model.TxnID]bool{}
+	var stack []model.TxnID
+	var out [][]model.TxnID
+	next := 0
+
+	var strongconnect func(v model.TxnID)
+	strongconnect = func(v model.TxnID) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		succs := make([]model.TxnID, 0, len(adj[v]))
+		for s := range adj[v] {
+			succs = append(succs, s)
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i].Compare(succs[j]) < 0 })
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []model.TxnID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+// Package engine defines the actor abstraction shared by the deterministic
+// virtual-time simulator (internal/sim) and the real-time goroutine runtime
+// (this package). Protocol state machines — queue managers, request issuers,
+// the deadlock coordinator, workload drivers — are written once against
+// Actor/Context and run unchanged on either engine, and across the TCP
+// transport.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ucc/internal/model"
+)
+
+// ActorKind partitions the address space by role.
+type ActorKind uint8
+
+const (
+	// KindRI addresses the request issuer at a user site.
+	KindRI ActorKind = iota
+	// KindQM addresses the queue-manager host at a data site (one actor per
+	// site manages all of that site's per-copy data queues).
+	KindQM
+	// KindDetector addresses the deadlock-detection coordinator.
+	KindDetector
+	// KindDriver addresses a workload driver.
+	KindDriver
+	// KindCollector addresses the metrics collector.
+	KindCollector
+)
+
+func (k ActorKind) String() string {
+	switch k {
+	case KindRI:
+		return "ri"
+	case KindQM:
+		return "qm"
+	case KindDetector:
+		return "det"
+	case KindDriver:
+		return "drv"
+	case KindCollector:
+		return "col"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Addr names an actor: a role plus a site/index.
+type Addr struct {
+	Kind ActorKind
+	ID   model.SiteID
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%s@%d", a.Kind, a.ID) }
+
+// RIAddr returns the address of site s's request issuer.
+func RIAddr(s model.SiteID) Addr { return Addr{Kind: KindRI, ID: s} }
+
+// QMAddr returns the address of site s's queue-manager host.
+func QMAddr(s model.SiteID) Addr { return Addr{Kind: KindQM, ID: s} }
+
+// DetectorAddr is the deadlock coordinator's address.
+func DetectorAddr() Addr { return Addr{Kind: KindDetector} }
+
+// DriverAddr returns the address of site s's workload driver.
+func DriverAddr(s model.SiteID) Addr { return Addr{Kind: KindDriver, ID: s} }
+
+// CollectorAddr is the metrics collector's address.
+func CollectorAddr() Addr { return Addr{Kind: KindCollector} }
+
+// Context is the capability surface an actor sees while handling a message.
+// Implementations are not safe for use outside the handler invocation.
+type Context interface {
+	// NowMicros is the engine's current time in microseconds (virtual time
+	// under the simulator, wall time under the runtime).
+	NowMicros() int64
+	// Self is the handling actor's own address.
+	Self() Addr
+	// Send delivers msg to the actor at 'to' after the engine's network
+	// latency model. Delivery is FIFO per (sender, receiver) pair.
+	Send(to Addr, msg model.Message)
+	// SetTimer delivers msg back to this actor after delayMicros (no network
+	// latency involved).
+	SetTimer(delayMicros int64, msg model.Message)
+	// Rand is a deterministic per-actor random source under the simulator.
+	Rand() *rand.Rand
+}
+
+// Actor is a message-driven protocol state machine. OnMessage must not
+// block, spawn goroutines, or retain ctx beyond the call.
+type Actor interface {
+	OnMessage(ctx Context, from Addr, msg model.Message)
+}
+
+// LatencyModel computes the one-way network delay for a message. The model
+// must be deterministic given the rng stream it is handed.
+type LatencyModel interface {
+	// DelayMicros returns the delivery delay from src to dst.
+	DelayMicros(src, dst Addr, rng *rand.Rand) int64
+}
+
+// FixedLatency delivers every remote message after a constant delay; actors
+// co-located at the same site address pay the (smaller) local delay.
+type FixedLatency struct {
+	// RemoteMicros is the site-to-site one-way delay.
+	RemoteMicros int64
+	// LocalMicros is the same-site delay (default 0).
+	LocalMicros int64
+}
+
+// DelayMicros implements LatencyModel.
+func (f FixedLatency) DelayMicros(src, dst Addr, _ *rand.Rand) int64 {
+	if src.ID == dst.ID {
+		return f.LocalMicros
+	}
+	return f.RemoteMicros
+}
+
+// UniformLatency draws the remote delay uniformly from [Min,Max] microseconds.
+type UniformLatency struct {
+	MinMicros, MaxMicros int64
+	LocalMicros          int64
+}
+
+// DelayMicros implements LatencyModel.
+func (u UniformLatency) DelayMicros(src, dst Addr, rng *rand.Rand) int64 {
+	if src.ID == dst.ID {
+		return u.LocalMicros
+	}
+	if u.MaxMicros <= u.MinMicros {
+		return u.MinMicros
+	}
+	return u.MinMicros + rng.Int63n(u.MaxMicros-u.MinMicros+1)
+}
+
+// ExpLatency draws the remote delay from MeanMicros·Exp(1), truncated at
+// 10× the mean, modelling a queueing network hop.
+type ExpLatency struct {
+	MeanMicros  int64
+	LocalMicros int64
+}
+
+// DelayMicros implements LatencyModel.
+func (e ExpLatency) DelayMicros(src, dst Addr, rng *rand.Rand) int64 {
+	if src.ID == dst.ID {
+		return e.LocalMicros
+	}
+	d := int64(rng.ExpFloat64() * float64(e.MeanMicros))
+	if max := 10 * e.MeanMicros; d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ucc/internal/model"
+)
+
+// Envelope is one in-flight message.
+type Envelope struct {
+	From Addr
+	To   Addr
+	Msg  model.Message
+}
+
+// Runtime is the real-time engine: every actor gets a mailbox and a
+// goroutine; Send applies the latency model with wall-clock timers. It is
+// used by the runnable examples and by the TCP deployment (remote addresses
+// are forwarded through an uplink).
+//
+// FIFO guarantee: messages between one (sender, receiver) pair are delivered
+// in send order even under jittered latency, as they would be over a TCP
+// connection.
+type Runtime struct {
+	latency LatencyModel
+	seed    int64
+
+	mu       sync.Mutex
+	actors   map[Addr]*mailbox
+	lastSend map[pairKey]time.Time
+	pairs    map[pairKey]*pairQueue
+	uplink   func(Envelope)
+	closed   bool
+	start    time.Time
+	wg       sync.WaitGroup
+}
+
+type pairKey struct{ from, to Addr }
+
+// pairQueue serializes deliveries on one (sender, receiver) pair: a single
+// drain goroutine sleeps until each message's delivery time and fires them
+// strictly in send order. (Scheduling one time.AfterFunc per message would
+// race when deadlines coincide — Go timers with equal deadlines fire in
+// arbitrary order.)
+type pairQueue struct {
+	mu      sync.Mutex
+	q       []timedEnv
+	running bool
+}
+
+type timedEnv struct {
+	at   time.Time
+	env  Envelope
+	fire func(Envelope)
+}
+
+func (p *pairQueue) push(te timedEnv) {
+	p.mu.Lock()
+	p.q = append(p.q, te)
+	if p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = true
+	p.mu.Unlock()
+	go p.drain()
+}
+
+func (p *pairQueue) drain() {
+	for {
+		p.mu.Lock()
+		if len(p.q) == 0 {
+			p.running = false
+			p.mu.Unlock()
+			return
+		}
+		te := p.q[0]
+		p.q = p.q[1:]
+		p.mu.Unlock()
+		if d := time.Until(te.at); d > 0 {
+			time.Sleep(d)
+		}
+		te.fire(te.env)
+	}
+}
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Envelope
+	done  bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(e Envelope) {
+	m.mu.Lock()
+	if !m.done {
+		m.queue = append(m.queue, e)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) pop() (Envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.done {
+		m.cond.Wait()
+	}
+	if m.done {
+		return Envelope{}, false
+	}
+	e := m.queue[0]
+	m.queue = m.queue[1:]
+	return e, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.done = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// NewRuntime builds a real-time engine with the given latency model and
+// random seed.
+func NewRuntime(latency LatencyModel, seed int64) *Runtime {
+	if latency == nil {
+		latency = FixedLatency{}
+	}
+	return &Runtime{
+		latency:  latency,
+		seed:     seed,
+		actors:   map[Addr]*mailbox{},
+		lastSend: map[pairKey]time.Time{},
+		pairs:    map[pairKey]*pairQueue{},
+		start:    time.Now(),
+	}
+}
+
+// SetUplink installs the forwarding function for envelopes addressed to
+// actors not registered locally (the TCP transport). Must be called before
+// traffic flows.
+func (r *Runtime) SetUplink(f func(Envelope)) {
+	r.mu.Lock()
+	r.uplink = f
+	r.mu.Unlock()
+}
+
+// Register adds an actor and starts its mailbox goroutine.
+func (r *Runtime) Register(addr Addr, a Actor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.actors[addr]; dup {
+		panic(fmt.Sprintf("engine: duplicate actor %v", addr))
+	}
+	mb := newMailbox()
+	r.actors[addr] = mb
+	rng := rand.New(rand.NewSource(r.seed ^ int64(addr.Kind)<<32 ^ int64(addr.ID)<<8 ^ 0x9e3779b9))
+	ctx := &rtContext{rt: r, self: addr, rng: rng}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			env, ok := mb.pop()
+			if !ok {
+				return
+			}
+			a.OnMessage(ctx, env.From, env.Msg)
+		}
+	}()
+}
+
+// Inject delivers an envelope that arrived from a remote node straight into
+// the destination mailbox (no further latency is applied: the wire already
+// provided it).
+func (r *Runtime) Inject(env Envelope) {
+	r.mu.Lock()
+	mb := r.actors[env.To]
+	r.mu.Unlock()
+	if mb != nil {
+		mb.push(env)
+	}
+}
+
+// Shutdown stops all actor goroutines. Pending timers fire into closed
+// mailboxes and are dropped.
+func (r *Runtime) Shutdown() {
+	r.mu.Lock()
+	r.closed = true
+	boxes := make([]*mailbox, 0, len(r.actors))
+	for _, mb := range r.actors {
+		boxes = append(boxes, mb)
+	}
+	r.mu.Unlock()
+	for _, mb := range boxes {
+		mb.close()
+	}
+	r.wg.Wait()
+}
+
+// NowMicros returns microseconds since the runtime started.
+func (r *Runtime) NowMicros() int64 { return time.Since(r.start).Microseconds() }
+
+func (r *Runtime) deliverAfter(env Envelope, delay time.Duration) {
+	// Enforce per-pair FIFO: the pairQueue drains strictly in send order,
+	// and delivery times never regress below the previous send's time.
+	key := pairKey{env.From, env.To}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	at := time.Now().Add(delay)
+	if prev, ok := r.lastSend[key]; ok && at.Before(prev) {
+		at = prev
+	}
+	r.lastSend[key] = at
+	mb := r.actors[env.To]
+	uplink := r.uplink
+	pq := r.pairs[key]
+	if pq == nil {
+		pq = &pairQueue{}
+		r.pairs[key] = pq
+	}
+	r.mu.Unlock()
+
+	fire := func(e Envelope) {
+		if mb != nil {
+			mb.push(e)
+			return
+		}
+		if uplink != nil {
+			uplink(e)
+		}
+	}
+	pq.push(timedEnv{at: at, env: env, fire: fire})
+}
+
+type rtContext struct {
+	rt   *Runtime
+	self Addr
+	rng  *rand.Rand
+}
+
+func (c *rtContext) NowMicros() int64 { return c.rt.NowMicros() }
+func (c *rtContext) Self() Addr       { return c.self }
+func (c *rtContext) Rand() *rand.Rand { return c.rng }
+
+func (c *rtContext) Send(to Addr, msg model.Message) {
+	delay := c.rt.latency.DelayMicros(c.self, to, c.rng)
+	c.rt.deliverAfter(Envelope{From: c.self, To: to, Msg: msg}, time.Duration(delay)*time.Microsecond)
+}
+
+func (c *rtContext) SetTimer(delayMicros int64, msg model.Message) {
+	env := Envelope{From: c.self, To: c.self, Msg: msg}
+	c.rt.mu.Lock()
+	if c.rt.closed {
+		c.rt.mu.Unlock()
+		return
+	}
+	mb := c.rt.actors[c.self]
+	c.rt.mu.Unlock()
+	if mb == nil {
+		return
+	}
+	if delayMicros <= 0 {
+		mb.push(env)
+		return
+	}
+	time.AfterFunc(time.Duration(delayMicros)*time.Microsecond, func() { mb.push(env) })
+}

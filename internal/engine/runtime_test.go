@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ucc/internal/model"
+)
+
+type collect struct {
+	mu   sync.Mutex
+	tags []uint64
+	done chan struct{}
+	want int
+}
+
+func (c *collect) OnMessage(ctx Context, from Addr, msg model.Message) {
+	c.mu.Lock()
+	c.tags = append(c.tags, msg.(model.TickMsg).Tag)
+	if len(c.tags) == c.want {
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+type sender struct {
+	to Addr
+	n  int
+}
+
+func (s *sender) OnMessage(ctx Context, from Addr, msg model.Message) {
+	for i := 0; i < s.n; i++ {
+		ctx.Send(s.to, model.TickMsg{Tag: uint64(i)})
+	}
+}
+
+func TestRuntimeDeliveryAndFIFO(t *testing.T) {
+	rt := NewRuntime(UniformLatency{MinMicros: 0, MaxMicros: 2_000}, 1)
+	defer rt.Shutdown()
+	recv := &collect{done: make(chan struct{}), want: 100}
+	rt.Register(RIAddr(2), recv)
+	rt.Register(RIAddr(1), &sender{to: RIAddr(2), n: 100})
+	rt.Inject(Envelope{From: RIAddr(1), To: RIAddr(1), Msg: model.TickMsg{}})
+	select {
+	case <-recv.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for deliveries")
+	}
+	recv.mu.Lock()
+	defer recv.mu.Unlock()
+	for i, tag := range recv.tags {
+		if tag != uint64(i) {
+			t.Fatalf("FIFO violated at %d: got %d", i, tag)
+		}
+	}
+}
+
+type timerActor struct {
+	fired chan int64
+	start time.Time
+}
+
+func (a *timerActor) OnMessage(ctx Context, from Addr, msg model.Message) {
+	if msg.(model.TickMsg).Tag == 0 {
+		a.start = time.Now()
+		ctx.SetTimer(20_000, model.TickMsg{Tag: 1}) // 20ms
+		return
+	}
+	a.fired <- time.Since(a.start).Microseconds()
+}
+
+func TestRuntimeTimers(t *testing.T) {
+	rt := NewRuntime(FixedLatency{}, 1)
+	defer rt.Shutdown()
+	a := &timerActor{fired: make(chan int64, 1)}
+	rt.Register(RIAddr(1), a)
+	rt.Inject(Envelope{From: RIAddr(1), To: RIAddr(1), Msg: model.TickMsg{Tag: 0}})
+	select {
+	case elapsed := <-a.fired:
+		if elapsed < 15_000 {
+			t.Fatalf("timer fired after %dµs, want ≈20ms", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+type uplinkCounter struct{ n atomic.Int64 }
+
+func TestRuntimeUplinkForUnknownActors(t *testing.T) {
+	rt := NewRuntime(FixedLatency{}, 1)
+	defer rt.Shutdown()
+	var up uplinkCounter
+	got := make(chan Envelope, 1)
+	rt.SetUplink(func(e Envelope) {
+		up.n.Add(1)
+		got <- e
+	})
+	rt.Register(RIAddr(1), &sender{to: QMAddr(9), n: 1}) // QM 9 not local
+	rt.Inject(Envelope{From: RIAddr(1), To: RIAddr(1), Msg: model.TickMsg{}})
+	select {
+	case e := <-got:
+		if e.To != QMAddr(9) {
+			t.Fatalf("uplinked to %v", e.To)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("uplink never called")
+	}
+}
+
+func TestRuntimeShutdownStopsDelivery(t *testing.T) {
+	rt := NewRuntime(FixedLatency{}, 1)
+	recv := &collect{done: make(chan struct{}), want: 1}
+	rt.Register(RIAddr(1), recv)
+	rt.Shutdown()
+	rt.Inject(Envelope{From: RIAddr(1), To: RIAddr(1), Msg: model.TickMsg{}})
+	select {
+	case <-recv.done:
+		t.Fatal("delivery after shutdown")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	fixed := FixedLatency{RemoteMicros: 100, LocalMicros: 5}
+	if fixed.DelayMicros(RIAddr(1), QMAddr(1), nil) != 5 {
+		t.Fatal("same-site must be local")
+	}
+	if fixed.DelayMicros(RIAddr(1), QMAddr(2), nil) != 100 {
+		t.Fatal("remote delay wrong")
+	}
+	rt := NewRuntime(FixedLatency{}, 7)
+	defer rt.Shutdown()
+	// UniformLatency bounds.
+	u := UniformLatency{MinMicros: 10, MaxMicros: 20}
+	rng := newTestRand()
+	for i := 0; i < 100; i++ {
+		d := u.DelayMicros(RIAddr(1), QMAddr(2), rng)
+		if d < 10 || d > 20 {
+			t.Fatalf("uniform delay %d out of bounds", d)
+		}
+	}
+	// ExpLatency truncation at 10× mean.
+	e := ExpLatency{MeanMicros: 100}
+	for i := 0; i < 1000; i++ {
+		d := e.DelayMicros(RIAddr(1), QMAddr(2), rng)
+		if d < 0 || d > 1000 {
+			t.Fatalf("exp delay %d out of [0,1000]", d)
+		}
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(5)) }

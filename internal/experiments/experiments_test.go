@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick smoke-runs every registered experiment in Quick
+// mode: each must complete, produce at least one non-empty table, and
+// render.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(RunConfig{Quick: true, Seed: 1})
+			if res.ID != e.ID {
+				t.Fatalf("result id %q", res.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for i, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %d empty", i)
+				}
+			}
+			s := res.String()
+			if !strings.Contains(s, e.ID) || !strings.Contains(s, "paper claim") {
+				t.Fatalf("rendering broken:\n%s", s)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("EXP-1"); !ok {
+		t.Fatal("EXP-1 missing")
+	}
+	if _, ok := ByID("exp-1"); !ok {
+		t.Fatal("lookup must be case-insensitive")
+	}
+	if _, ok := ByID("EXP-99"); ok {
+		t.Fatal("phantom experiment")
+	}
+}
+
+func TestExp5SerializabilityGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	res := Exp5(RunConfig{Quick: true, Seed: 3})
+	for _, n := range res.Notes {
+		if strings.Contains(n, "VIOLATION") {
+			t.Fatalf("serializability violation: %v", res.Notes)
+		}
+	}
+	// Every row must say "yes" in the serializable column.
+	for _, row := range res.Tables[0].Rows {
+		if row[2] != "yes" {
+			t.Fatalf("row not serializable: %v", row)
+		}
+	}
+}

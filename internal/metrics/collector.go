@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+// CollectorOptions configure the metrics collector actor.
+type CollectorOptions struct {
+	// EstimatePeriodMicros, when positive, makes the collector broadcast
+	// model.EstimateMsg to every RI on this period (required for dynamic
+	// selection).
+	EstimatePeriodMicros int64
+	// RISites is the broadcast audience.
+	RISites []model.SiteID
+	// EWMAAlpha blends windowed queue rates into the running estimates.
+	EWMAAlpha float64
+}
+
+// ProtoStats aggregates per-protocol measurements.
+type ProtoStats struct {
+	Committed     uint64
+	Rejected      uint64
+	Victims       uint64
+	Attempts      uint64
+	SystemTime    Welford   // S per committed txn (µs, from first arrival)
+	SystemTimeH   Histogram // quantiles for S
+	LockedOK      Welford   // U: lock time of successful attempts (µs)
+	LockedAborted Welford   // U': lock time of aborted attempts (µs)
+	Messages      Welford   // messages per committed txn (all attempts)
+	AttemptsPerTx Welford   // attempts per committed txn
+	BackoffReads  uint64
+	BackoffWrites uint64
+	ReadReqs      uint64 // logical read requests issued (all attempts)
+	WriteReqs     uint64 // logical write requests issued (all attempts)
+	ReadRejects   uint64
+	WriteRejects  uint64
+}
+
+// Collector is the measurement-plane actor: it absorbs TxnDoneMsg and
+// QueueStatsMsg streams and periodically broadcasts parameter estimates.
+type Collector struct {
+	mu   sync.Mutex
+	opts CollectorOptions
+
+	protos [3]*ProtoStats
+	sizeW  Welford // K estimator: requests per committed transaction
+
+	// Per-site last cumulative queue stats, for rate differencing.
+	lastStats map[model.SiteID]model.QueueStatsMsg
+	lambdaR   map[model.ItemID]float64
+	lambdaW   map[model.ItemID]float64
+
+	startMicros int64
+	lastMicros  int64
+	stopped     bool
+}
+
+// NewCollector creates a collector.
+func NewCollector(opts CollectorOptions) *Collector {
+	if opts.EWMAAlpha <= 0 || opts.EWMAAlpha > 1 {
+		opts.EWMAAlpha = 0.4
+	}
+	c := &Collector{
+		opts:      opts,
+		lastStats: map[model.SiteID]model.QueueStatsMsg{},
+		lambdaR:   map[model.ItemID]float64{},
+		lambdaW:   map[model.ItemID]float64{},
+	}
+	for i := range c.protos {
+		c.protos[i] = &ProtoStats{}
+	}
+	return c
+}
+
+// OnMessage implements engine.Actor. The cluster posts the first TickMsg to
+// start estimate broadcasting.
+func (c *Collector) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch v := msg.(type) {
+	case model.TxnDoneMsg:
+		c.onDone(v)
+	case model.QueueStatsMsg:
+		c.onQueueStats(v)
+	case model.TickMsg:
+		c.broadcast(ctx)
+	case model.StopMsg:
+		c.stopped = true
+	default:
+		panic(fmt.Sprintf("metrics: unexpected message %T", msg))
+	}
+	c.lastMicros = ctx.NowMicros()
+}
+
+func (c *Collector) onDone(v model.TxnDoneMsg) {
+	p := c.protos[v.Protocol]
+	p.Attempts++
+	p.ReadReqs += uint64(v.Reads)
+	p.WriteReqs += uint64(v.Writes)
+	p.BackoffReads += uint64(v.BackoffReads)
+	p.BackoffWrites += uint64(v.BackoffWrites)
+	switch v.Outcome {
+	case model.OutcomeCommitted:
+		p.Committed++
+		s := float64(v.DoneMicros - v.FirstArrivalMicros)
+		p.SystemTime.Add(s)
+		p.SystemTimeH.Add(s)
+		p.LockedOK.Add(float64(v.LockedMicros))
+		p.Messages.Add(float64(v.Messages))
+		p.AttemptsPerTx.Add(float64(v.Attempts))
+		c.sizeW.Add(float64(v.Size))
+		if c.startMicros == 0 {
+			c.startMicros = v.FirstArrivalMicros
+		}
+	case model.OutcomeRejected:
+		p.Rejected++
+		p.LockedAborted.Add(float64(v.LockedMicros))
+		if v.RejectKind == model.OpRead {
+			p.ReadRejects++
+		} else {
+			p.WriteRejects++
+		}
+	case model.OutcomeDeadlockVictim:
+		p.Victims++
+		p.LockedAborted.Add(float64(v.LockedMicros))
+	}
+}
+
+func (c *Collector) onQueueStats(v model.QueueStatsMsg) {
+	prev, ok := c.lastStats[v.From]
+	c.lastStats[v.From] = v
+	if !ok || v.AtMicros <= prev.AtMicros {
+		return
+	}
+	window := float64(v.AtMicros-prev.AtMicros) / 1e6 // seconds
+	a := c.opts.EWMAAlpha
+	for item, cum := range v.ReadGrants {
+		rate := float64(cum-prev.ReadGrants[item]) / window
+		c.lambdaR[item] = a*rate + (1-a)*c.lambdaR[item]
+	}
+	for item, cum := range v.WriteGrants {
+		rate := float64(cum-prev.WriteGrants[item]) / window
+		c.lambdaW[item] = a*rate + (1-a)*c.lambdaW[item]
+	}
+}
+
+// Estimates assembles the current model.EstimateMsg (also used directly by
+// the experiment harness).
+func (c *Collector) Estimates(nowMicros int64) model.EstimateMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.estimatesLocked(nowMicros)
+}
+
+func (c *Collector) estimatesLocked(nowMicros int64) model.EstimateMsg {
+	est := model.EstimateMsg{
+		AtMicros: nowMicros,
+		LambdaR:  map[model.ItemID]float64{},
+		LambdaW:  map[model.ItemID]float64{},
+	}
+	for k, v := range c.lambdaR {
+		est.LambdaR[k] = v
+		est.LambdaA += v
+	}
+	for k, v := range c.lambdaW {
+		est.LambdaW[k] = v
+		est.LambdaA += v
+	}
+	var reads, writes uint64
+	for _, p := range c.protos {
+		reads += p.ReadReqs
+		writes += p.WriteReqs
+	}
+	if reads+writes > 0 {
+		est.Qr = float64(reads) / float64(reads+writes)
+	} else {
+		est.Qr = 0.5
+	}
+	est.K = c.sizeW.Mean()
+	if est.K == 0 {
+		est.K = 4
+	}
+	for i, p := range c.protos {
+		est.U[i] = p.LockedOK.Mean() / 1e6
+		est.UPrime[i] = p.LockedAborted.Mean() / 1e6
+	}
+	if tw := c.protos[model.TwoPL]; tw.Victims+tw.Committed > 0 {
+		est.PAbort = float64(tw.Victims) / float64(tw.Victims+tw.Committed)
+	}
+	if to := c.protos[model.TO]; to.ReadReqs > 0 {
+		est.Pr = float64(to.ReadRejects) / float64(to.ReadReqs)
+	}
+	if to := c.protos[model.TO]; to.WriteReqs > 0 {
+		est.PwR = float64(to.WriteRejects) / float64(to.WriteReqs)
+	}
+	if pa := c.protos[model.PA]; pa.ReadReqs > 0 {
+		est.PB = float64(pa.BackoffReads) / float64(pa.ReadReqs)
+	}
+	if pa := c.protos[model.PA]; pa.WriteReqs > 0 {
+		est.PBW = float64(pa.BackoffWrites) / float64(pa.WriteReqs)
+	}
+	return est
+}
+
+func (c *Collector) broadcast(ctx engine.Context) {
+	if c.stopped || c.opts.EstimatePeriodMicros <= 0 {
+		return
+	}
+	est := c.estimatesLocked(ctx.NowMicros())
+	for _, s := range c.opts.RISites {
+		ctx.Send(engine.RIAddr(s), est)
+	}
+	ctx.SetTimer(c.opts.EstimatePeriodMicros, model.TickMsg{})
+}
+
+// Summary is a read-only view of everything the collector measured.
+type Summary struct {
+	Protocols [3]ProtoStats
+	// SpanMicros is the measurement span (first arrival → last event).
+	SpanMicros int64
+	// K is the mean transaction size among committed transactions.
+	K float64
+}
+
+// Summarize snapshots the collector.
+func (c *Collector) Summarize() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Summary
+	for i, p := range c.protos {
+		s.Protocols[i] = *p
+	}
+	s.SpanMicros = c.lastMicros - c.startMicros
+	s.K = c.sizeW.Mean()
+	return s
+}
+
+// TotalCommitted sums commits across protocols.
+func (s Summary) TotalCommitted() uint64 {
+	var n uint64
+	for _, p := range s.Protocols {
+		n += p.Committed
+	}
+	return n
+}
+
+// Throughput returns committed transactions per second of engine time.
+func (s Summary) Throughput() float64 {
+	if s.SpanMicros <= 0 {
+		return 0
+	}
+	return float64(s.TotalCommitted()) / (float64(s.SpanMicros) / 1e6)
+}
+
+// MeanSystemTimeMicros returns S averaged across all committed transactions.
+func (s Summary) MeanSystemTimeMicros() float64 {
+	var n uint64
+	var sum float64
+	for _, p := range s.Protocols {
+		n += p.SystemTime.N()
+		sum += p.SystemTime.Mean() * float64(p.SystemTime.N())
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

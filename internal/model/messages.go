@@ -1,0 +1,328 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// Message is the marker interface for everything exchanged between actors.
+// All concrete messages are gob-encodable structs so the same protocol runs
+// over the in-process engines and the TCP transport.
+type Message interface {
+	isMessage()
+}
+
+// Attempt distinguishes the restart attempts of one logical transaction.
+// QMs tag their replies with the attempt they saw so that an RI can ignore
+// stale replies addressed to an aborted attempt.
+type Attempt uint32
+
+// ---------------------------------------------------------------------------
+// RI → QM
+// ---------------------------------------------------------------------------
+
+// RequestMsg asks the queue manager of one physical copy for access
+// (PAM's "request", §3.1). One RequestMsg is sent per physical copy per
+// logical operation.
+type RequestMsg struct {
+	Txn      TxnID
+	Attempt  Attempt
+	Protocol Protocol
+	Kind     OpKind
+	Copy     CopyID
+	// TS is the transaction timestamp for T/O and PA requests and
+	// NoTimestamp for 2PL (whose precedence is assigned at the queue).
+	TS Timestamp
+	// Interval is PA's back-off interval INT_i (§3.4); zero otherwise.
+	Interval Timestamp
+	// Site is the issuing user site (precedence tie-break coordinate).
+	Site SiteID
+}
+
+// FinalTSMsg is PA step 1(e): after collecting back-offs the RI broadcasts
+// the agreed timestamp TS'_i = max_j TS'_ij to every queue the transaction
+// accessed, which re-inserts the request at its new position and marks it
+// accepted (§3.4 step 2(d)).
+type FinalTSMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+	TS      Timestamp
+}
+
+// ReleaseMsg releases the transaction's lock on one physical copy after
+// execution. For write locks it carries the value produced by the local
+// computing phase; the QM implements the write by appending it to the item's
+// log and installing the value.
+//
+// ToSemi implements §4.2 rule 4 for T/O transactions that received a
+// pre-scheduled lock: instead of releasing, the QM transforms the lock into
+// a semi-lock (RL→SRL, WL→SWL), at which point the operation counts as
+// implemented; a later ReleaseMsg with ToSemi=false performs the true
+// release once the RI has collected a normal lock grant from every item.
+type ReleaseMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+	// ToSemi converts the lock to a semi-lock instead of releasing it.
+	ToSemi bool
+	// HasWrite and Value carry the write-phase value for write locks.
+	HasWrite bool
+	Value    int64
+}
+
+// AbortMsg withdraws a transaction attempt from one queue: its queue entry
+// is removed and any lock it was granted is discarded without implementing
+// writes. Sent on T/O rejection (to the other queues) and on 2PL deadlock
+// victimization.
+type AbortMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+}
+
+// ---------------------------------------------------------------------------
+// QM → RI
+// ---------------------------------------------------------------------------
+
+// GrantMsg grants a lock on one physical copy (§3.1: the request at the head
+// of the queue has the right to access the data). Read grants attach the
+// current value, per §3.4 step 1(g) ("the data read are attached to the
+// corresponding lock grant"); write grants also attach the pre-image so
+// read-modify-write transactions need no separate read.
+type GrantMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+	Lock    LockKind
+	// PreScheduled marks grants issued while a conflicting earlier lock is
+	// still unreleased (§4.2 rule 2); only T/O transactions receive these.
+	PreScheduled bool
+	// TS echoes the request's timestamp at grant time. A PA issuer that
+	// finalized a new agreed timestamp ignores stale grants issued against
+	// the original timestamp (those grants were revoked at the QM when the
+	// final timestamp re-inserted the request, §3.4 step 2(d)).
+	TS      Timestamp
+	Value   int64
+	Version uint64
+}
+
+// NormalGrantMsg tells the RI that a previously pre-scheduled lock has become
+// normal (§4.2 rule 2, case 5: "a normal lock grant will be issued").
+type NormalGrantMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+}
+
+// RejectMsg rejects a T/O request that arrived out of timestamp order; the
+// transaction restarts with a fresh timestamp (§3.3, T/O enforcement by
+// transaction restarts).
+type RejectMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+	// Threshold is the R-TS/W-TS value the request failed against; the RI
+	// advances its clock past it so the retry is not rejected for the same
+	// reason.
+	Threshold Timestamp
+}
+
+// BackoffMsg is PA's alternative to rejection (§3.4 step 2(c)): the queue
+// computed the minimal acceptable TS'_ij = TS_i + k·INT_i and blocked the
+// request pending the transaction's agreed final timestamp.
+type BackoffMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+	// NewTS is TS'_ij.
+	NewTS Timestamp
+}
+
+// VictimMsg tells an RI that its 2PL transaction was chosen as a deadlock
+// victim and must abort and restart.
+type VictimMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	// Cycle is the deadlock cycle that was broken (for diagnostics and the
+	// Corollary 2 assertion that it contains a 2PL transaction).
+	Cycle []TxnID
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection plane
+// ---------------------------------------------------------------------------
+
+// WaitEdge is one wait-for edge: Waiter waits for Holder at copy Copy.
+type WaitEdge struct {
+	Waiter       TxnID
+	Holder       TxnID
+	Waiter2PL    bool
+	Holder2PL    bool
+	WaiterSite   SiteID
+	WaiterSeq    Attempt
+	Copy         CopyID
+	WaiterIssuer SiteID
+}
+
+// WFGReportMsg carries one queue manager site's local wait-for edges to the
+// deadlock coordinator.
+type WFGReportMsg struct {
+	From  SiteID
+	Round uint64
+	Edges []WaitEdge
+}
+
+// ProbeWFGMsg asks a QM site to report its current wait-for edges.
+type ProbeWFGMsg struct {
+	Round uint64
+}
+
+// ---------------------------------------------------------------------------
+// Control plane (workload driver, metrics)
+// ---------------------------------------------------------------------------
+
+// SubmitTxnMsg hands a new transaction to a Request Issuer.
+type SubmitTxnMsg struct {
+	Txn *Txn
+}
+
+// TxnDoneMsg reports a terminal transaction event to the metrics collector.
+type TxnDoneMsg struct {
+	Txn      TxnID
+	Protocol Protocol
+	Outcome  TxnOutcome
+	// ArrivalMicros and DoneMicros bound the attempt in engine time; for
+	// committed transactions DoneMicros is the execution completion point
+	// (system time S = Done − FirstArrival).
+	ArrivalMicros int64
+	DoneMicros    int64
+	// FirstArrivalMicros is the arrival of attempt 0 (equals ArrivalMicros
+	// for non-restarted transactions).
+	FirstArrivalMicros int64
+	Attempts           int
+	Size               int
+	Reads              int
+	Writes             int
+	Messages           int64
+	// RejectKind is the kind of the request whose rejection caused a T/O
+	// restart (valid when Outcome is OutcomeRejected).
+	RejectKind OpKind
+	// BackoffReads/BackoffWrites count PA requests that were backed off in
+	// this attempt, split by kind (inputs to the P_B/P_B' estimators).
+	BackoffReads  int
+	BackoffWrites int
+	// LockedMicros is the total wall time between the first grant collected
+	// and the final release, an input to the U/U' estimators.
+	LockedMicros int64
+}
+
+// QueueStatsMsg carries one QM site's cumulative per-item grant counters to
+// the metrics collector, which differences successive reports into the
+// per-queue read/write throughputs λ_r(j), λ_w(j) of §5.1.
+type QueueStatsMsg struct {
+	From     SiteID
+	AtMicros int64
+	// ReadGrants and WriteGrants are cumulative per logical item at this
+	// site.
+	ReadGrants  map[ItemID]uint64
+	WriteGrants map[ItemID]uint64
+}
+
+// EstimateMsg broadcasts the collector's current system-parameter estimates
+// to every request issuer; the dynamic selector (§5.2) consumes them. Rates
+// are per second of engine time.
+type EstimateMsg struct {
+	AtMicros int64
+	// LambdaR/LambdaW are per-item read/write lock-grant throughputs.
+	LambdaR map[ItemID]float64
+	LambdaW map[ItemID]float64
+	// LambdaA is the system throughput (sum over items of λr+λw).
+	LambdaA float64
+	// Qr is the fraction of read requests among all requests.
+	Qr float64
+	// K is the average number of requests per transaction.
+	K float64
+	// Per-protocol lock-time and failure-probability estimates, indexed by
+	// Protocol.
+	U      [3]float64 // avg lock time (s) of a successful attempt
+	UPrime [3]float64 // avg lock time (s) of an aborted/backed-off attempt
+	PAbort float64    // 2PL: probability an attempt dies in a deadlock
+	Pr     float64    // T/O: probability a read request is rejected
+	PwR    float64    // T/O: probability a write request is rejected
+	PB     float64    // PA: probability a read request is backed off
+	PBW    float64    // PA: probability a write request is backed off
+}
+
+// TickMsg is a generic timer message; Tag disambiguates multiple timers
+// within one actor.
+type TickMsg struct {
+	Tag uint64
+}
+
+// ComputeDoneMsg is an issuer-internal timer marking the end of a
+// transaction's local computing phase.
+type ComputeDoneMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+}
+
+// RestartMsg is an issuer-internal timer that re-launches a transaction
+// attempt after a rejection or deadlock abort.
+type RestartMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+}
+
+// StopMsg asks an actor to cease scheduling further work (workload drivers).
+type StopMsg struct{}
+
+func (RequestMsg) isMessage()     {}
+func (FinalTSMsg) isMessage()     {}
+func (ReleaseMsg) isMessage()     {}
+func (AbortMsg) isMessage()       {}
+func (GrantMsg) isMessage()       {}
+func (NormalGrantMsg) isMessage() {}
+func (RejectMsg) isMessage()      {}
+func (BackoffMsg) isMessage()     {}
+func (VictimMsg) isMessage()      {}
+func (WFGReportMsg) isMessage()   {}
+func (ProbeWFGMsg) isMessage()    {}
+func (SubmitTxnMsg) isMessage()   {}
+func (TxnDoneMsg) isMessage()     {}
+func (TickMsg) isMessage()        {}
+func (ComputeDoneMsg) isMessage() {}
+func (RestartMsg) isMessage()     {}
+func (StopMsg) isMessage()        {}
+
+// RegisterGob registers all message types with encoding/gob for the TCP
+// transport. Safe to call multiple times.
+func RegisterGob() {
+	gob.Register(RequestMsg{})
+	gob.Register(FinalTSMsg{})
+	gob.Register(ReleaseMsg{})
+	gob.Register(AbortMsg{})
+	gob.Register(GrantMsg{})
+	gob.Register(NormalGrantMsg{})
+	gob.Register(RejectMsg{})
+	gob.Register(BackoffMsg{})
+	gob.Register(VictimMsg{})
+	gob.Register(WFGReportMsg{})
+	gob.Register(ProbeWFGMsg{})
+	gob.Register(SubmitTxnMsg{})
+	gob.Register(TxnDoneMsg{})
+	gob.Register(TickMsg{})
+	gob.Register(ComputeDoneMsg{})
+	gob.Register(RestartMsg{})
+	gob.Register(StopMsg{})
+	gob.Register(QueueStatsMsg{})
+	gob.Register(EstimateMsg{})
+	gob.Register(&Txn{})
+}
+
+func (QueueStatsMsg) isMessage() {}
+func (EstimateMsg) isMessage()   {}
+
+func (m RequestMsg) String() string {
+	return fmt.Sprintf("req{%s %s %s %s ts=%d}", m.Txn, m.Protocol, m.Kind, m.Copy, m.TS)
+}

@@ -1,0 +1,85 @@
+package model
+
+import "fmt"
+
+// Precedence is an element of the unified precedence space (UPS) of §4.1.
+// The space is the timestamp space extended with tie-break coordinates so
+// that the per-item order is total:
+//
+//  1. compare the timestamp values;
+//  2. if tied, compare the site ids of the transactions, with a 2PL
+//     controlled transaction regarded as having the biggest site id;
+//  3. if still tied, both requests are 2PL or both are not: two 2PL requests
+//     compare by arrival order at the data queue; otherwise by transaction
+//     id.
+//
+// For T/O and PA requests TS is the transaction's (possibly backed-off)
+// timestamp. For 2PL requests TS is assigned by the data queue on arrival:
+// the biggest timestamp that has ever appeared in that queue (so the request
+// joins at the FCFS tail).
+type Precedence struct {
+	// TS is the timestamp coordinate.
+	TS Timestamp
+	// Is2PL marks 2PL-controlled requests, which compare as having the
+	// biggest site id among equal timestamps.
+	Is2PL bool
+	// Site is the issuing transaction's user site (tie-break for non-2PL).
+	Site SiteID
+	// Arrival is the per-queue arrival sequence number (tie-break for 2PL
+	// pairs). It is assigned by the queue manager on insertion.
+	Arrival uint64
+	// Txn is the issuing transaction (final tie-break for non-2PL pairs).
+	Txn TxnID
+}
+
+// Compare totally orders two precedences per §4.1. It returns a negative
+// number, zero, or a positive number as p sorts before, equal to, or after o.
+// Zero only occurs for a precedence compared with itself (same transaction's
+// request in the same queue).
+func (p Precedence) Compare(o Precedence) int {
+	// Step 1: the timestamp values.
+	if p.TS != o.TS {
+		if p.TS < o.TS {
+			return -1
+		}
+		return 1
+	}
+	// Step 2: site ids, with 2PL as the biggest site id.
+	if p.Is2PL != o.Is2PL {
+		if p.Is2PL {
+			return 1
+		}
+		return -1
+	}
+	if p.Is2PL {
+		// Step 3, both 2PL: arrival order at this data queue.
+		switch {
+		case p.Arrival < o.Arrival:
+			return -1
+		case p.Arrival > o.Arrival:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Step 2 continued for non-2PL: site ids…
+	if p.Site != o.Site {
+		if p.Site < o.Site {
+			return -1
+		}
+		return 1
+	}
+	// Step 3, both non-2PL: transaction ids.
+	return p.Txn.Compare(o.Txn)
+}
+
+// Less reports whether p precedes o in the unified order.
+func (p Precedence) Less(o Precedence) bool { return p.Compare(o) < 0 }
+
+func (p Precedence) String() string {
+	tag := "ts"
+	if p.Is2PL {
+		tag = "2pl"
+	}
+	return fmt.Sprintf("%s(%d,s%d,a%d,%s)", tag, p.TS, p.Site, p.Arrival, p.Txn)
+}

@@ -1,0 +1,159 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// genPrec draws a random precedence with small coordinates so collisions
+// (ties) actually occur and exercise the tie-break chain.
+func genPrec(r *rand.Rand) Precedence {
+	is2pl := r.Intn(2) == 0
+	p := Precedence{
+		TS:      Timestamp(r.Intn(5)),
+		Is2PL:   is2pl,
+		Site:    SiteID(r.Intn(3)),
+		Arrival: uint64(r.Intn(4)),
+		Txn:     TxnID{Site: SiteID(r.Intn(3)), Seq: uint64(r.Intn(4))},
+	}
+	return p
+}
+
+func TestPrecedenceTimestampDominates(t *testing.T) {
+	a := Precedence{TS: 1, Is2PL: true, Arrival: 99}
+	b := Precedence{TS: 2, Site: 1, Txn: TxnID{Site: 1, Seq: 1}}
+	if !a.Less(b) {
+		t.Fatal("smaller timestamp must precede regardless of other fields")
+	}
+}
+
+func TestPrecedence2PLIsBiggestSite(t *testing.T) {
+	// §4.1 step 2: with equal timestamps a 2PL request sorts after every
+	// non-2PL request, whatever the site ids.
+	to := Precedence{TS: 7, Site: 1000, Txn: TxnID{Site: 1000, Seq: 5}}
+	twopl := Precedence{TS: 7, Is2PL: true, Arrival: 0}
+	if !to.Less(twopl) {
+		t.Fatal("2PL must compare as the biggest site id")
+	}
+	if twopl.Less(to) {
+		t.Fatal("2PL before T/O with equal TS")
+	}
+}
+
+func TestPrecedence2PLArrivalOrder(t *testing.T) {
+	a := Precedence{TS: 3, Is2PL: true, Arrival: 1}
+	b := Precedence{TS: 3, Is2PL: true, Arrival: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("2PL pairs with equal TS must order by arrival")
+	}
+}
+
+func TestPrecedenceNonTwoPLSiteThenTxn(t *testing.T) {
+	a := Precedence{TS: 3, Site: 1, Txn: TxnID{Site: 1, Seq: 9}}
+	b := Precedence{TS: 3, Site: 2, Txn: TxnID{Site: 2, Seq: 1}}
+	if !a.Less(b) {
+		t.Fatal("equal TS: smaller site id first")
+	}
+	c := Precedence{TS: 3, Site: 1, Txn: TxnID{Site: 1, Seq: 1}}
+	if !c.Less(a) {
+		t.Fatal("equal TS and site: smaller txn id first")
+	}
+}
+
+// TestPrecedenceTotalOrderProperties checks antisymmetry and transitivity on
+// random triples (testing/quick).
+func TestPrecedenceTotalOrderProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5000}
+	anti := func(seedA, seedB int64) bool {
+		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
+		a, b := genPrec(ra), genPrec(rb)
+		ab, ba := a.Compare(b), b.Compare(a)
+		return (ab == 0) == (ba == 0) && (ab < 0) == (ba > 0)
+	}
+	if err := quick.Check(anti, cfg); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	trans := func(s1, s2, s3 int64) bool {
+		a := genPrec(rand.New(rand.NewSource(s1)))
+		b := genPrec(rand.New(rand.NewSource(s2)))
+		c := genPrec(rand.New(rand.NewSource(s3)))
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, cfg); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+// TestPrecedenceSortStability: sorting any shuffle of distinct precedences
+// yields the same order (total order ⇒ unique sort).
+func TestPrecedenceSortStability(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var ps []Precedence
+	for i := 0; i < 200; i++ {
+		p := genPrec(r)
+		p.Txn.Seq = uint64(i) // force distinctness
+		p.Arrival = uint64(i)
+		ps = append(ps, p)
+	}
+	sortPs := func(in []Precedence) []Precedence {
+		out := append([]Precedence(nil), in...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		return out
+	}
+	ref := sortPs(ps)
+	for trial := 0; trial < 10; trial++ {
+		shuf := append([]Precedence(nil), ps...)
+		r.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		got := sortPs(shuf)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: sort unstable at %d: %v vs %v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestTxnIDCompare(t *testing.T) {
+	a := TxnID{Site: 1, Seq: 5}
+	b := TxnID{Site: 1, Seq: 6}
+	c := TxnID{Site: 2, Seq: 1}
+	if a.Compare(b) >= 0 || b.Compare(c) >= 0 || a.Compare(a) != 0 {
+		t.Fatal("TxnID ordering broken")
+	}
+	if c.Compare(a) <= 0 {
+		t.Fatal("reverse comparison broken")
+	}
+}
+
+func TestLockConflictMatrix(t *testing.T) {
+	cases := []struct {
+		a, b LockKind
+		want bool
+	}{
+		{RL, RL, false}, {RL, SRL, false}, {SRL, SRL, false},
+		{RL, WL, true}, {RL, SWL, true}, {SRL, WL, true}, {SRL, SWL, true},
+		{WL, WL, true}, {WL, SWL, true}, {SWL, SWL, true},
+	}
+	for _, c := range cases {
+		if got := LocksConflict(c.a, c.b); got != c.want {
+			t.Errorf("LocksConflict(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+		if got := LocksConflict(c.b, c.a); got != c.want {
+			t.Errorf("LocksConflict(%v,%v)=%v want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestOpKindConflicts(t *testing.T) {
+	if OpRead.Conflicts(OpRead) {
+		t.Fatal("read/read must not conflict")
+	}
+	if !OpRead.Conflicts(OpWrite) || !OpWrite.Conflicts(OpRead) || !OpWrite.Conflicts(OpWrite) {
+		t.Fatal("write conflicts missing")
+	}
+}

@@ -1,0 +1,198 @@
+package qm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+// checkQueueInvariants asserts the structural invariants of every data
+// queue after an arbitrary message:
+//
+//  1. entries sorted strictly ascending by unified precedence;
+//  2. the byTxn index matches the entries slice exactly;
+//  3. lockCounts matches the granted entries' lock kinds;
+//  4. the granted list contains exactly the granted entries in grant order;
+//  5. no two granted entries hold WL/WL (mutual exclusion of full write
+//     locks — semi-locks may coexist by design);
+//  6. every granted entry's precedence respects HD history: it was at some
+//     point the first ungranted entry, so no *ungranted* accepted entry
+//     with smaller precedence may exist… unless it arrived later with a
+//     smaller timestamp (T/O), which the thresholds prevent for conflicts —
+//     checked as: no accepted ungranted WRITE precedes a granted entry it
+//     conflicts with. (Reads may slot before write grants harmlessly.)
+func checkQueueInvariants(t *testing.T, q *dataQueue) {
+	t.Helper()
+	for i := 1; i < len(q.entries); i++ {
+		if q.entries[i-1].prec.Compare(q.entries[i].prec) >= 0 {
+			t.Fatalf("entries out of order at %d: %v >= %v",
+				i, q.entries[i-1].prec, q.entries[i].prec)
+		}
+	}
+	if len(q.byTxn) != len(q.entries) {
+		t.Fatalf("index size %d != entries %d", len(q.byTxn), len(q.entries))
+	}
+	var counts [4]int
+	var nGranted int
+	var fullWL int
+	for _, e := range q.entries {
+		if q.byTxn[e.txn] != e {
+			t.Fatalf("index mismatch for %v", e.txn)
+		}
+		if e.granted {
+			nGranted++
+			counts[e.lock]++
+			if e.lock == model.WL {
+				fullWL++
+			}
+		}
+	}
+	if counts != q.lockCounts {
+		t.Fatalf("lockCounts %v != recount %v", q.lockCounts, counts)
+	}
+	if len(q.granted) != nGranted {
+		t.Fatalf("granted list %d != recount %d", len(q.granted), nGranted)
+	}
+	for i := 1; i < len(q.granted); i++ {
+		if q.granted[i-1].grantSeq >= q.granted[i].grantSeq {
+			t.Fatal("granted list out of grant order")
+		}
+	}
+	if fullWL > 1 {
+		t.Fatalf("%d concurrent full write locks", fullWL)
+	}
+}
+
+// TestQueueFuzz drives a single manager with a random but protocol-plausible
+// message soup — interleaved requests, grants implied, releases,
+// conversions, final timestamps, aborts — and asserts the invariants after
+// every message. This is the "monkey test" for the unified queue logic.
+func TestQueueFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		st := storage.NewStore(0)
+		st.Create(0, 0)
+		m := New(0, st, nil, Options{})
+		ctx := newFakeCtx()
+
+		type liveTxn struct {
+			id       model.TxnID
+			protocol model.Protocol
+			kind     model.OpKind
+			granted  bool
+			preSched bool
+			semi     bool
+			backoff  model.Timestamp
+		}
+		live := map[uint64]*liveTxn{}
+		var nextSeq uint64
+		ts := model.Timestamp(1)
+
+		drain := func() {
+			for _, env := range ctx.sent {
+				switch v := env.Msg.(type) {
+				case model.GrantMsg:
+					if lt := live[v.Txn.Seq]; lt != nil {
+						lt.granted = true
+						lt.preSched = v.PreScheduled
+					}
+				case model.BackoffMsg:
+					if lt := live[v.Txn.Seq]; lt != nil {
+						lt.backoff = v.NewTS
+					}
+				case model.RejectMsg:
+					delete(live, v.Txn.Seq)
+				}
+			}
+			ctx.sent = nil
+		}
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // new request
+				nextSeq++
+				lt := &liveTxn{
+					id:       model.TxnID{Site: model.SiteID(1 + rng.Intn(3)), Seq: nextSeq},
+					protocol: model.Protocol(rng.Intn(3)),
+					kind:     model.OpKind(rng.Intn(2)),
+				}
+				ts += model.Timestamp(rng.Intn(5))
+				live[nextSeq] = lt
+				m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.RequestMsg{
+					Txn: lt.id, Protocol: lt.protocol, Kind: lt.kind,
+					Copy: model.CopyID{Item: 0, Site: 0},
+					TS:   ts, Interval: model.Timestamp(1 + rng.Intn(20)),
+					Site: lt.id.Site,
+				})
+			case 4: // final timestamp for a backed-off PA txn
+				for _, lt := range live {
+					if lt.protocol == model.PA && lt.backoff > 0 {
+						m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.FinalTSMsg{
+							Txn: lt.id, Copy: model.CopyID{Item: 0, Site: 0},
+							TS: lt.backoff,
+						})
+						lt.backoff = 0
+						lt.granted = false
+						break
+					}
+				}
+			case 5, 6: // release a granted txn (with conversion for T/O preSched)
+				for _, lt := range live {
+					if !lt.granted {
+						continue
+					}
+					if lt.protocol == model.TO && lt.preSched && !lt.semi {
+						m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.ReleaseMsg{
+							Txn: lt.id, Copy: model.CopyID{Item: 0, Site: 0},
+							ToSemi: true, HasWrite: lt.kind == model.OpWrite, Value: 1,
+						})
+						lt.semi = true
+						break
+					}
+					m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.ReleaseMsg{
+						Txn: lt.id, Copy: model.CopyID{Item: 0, Site: 0},
+						HasWrite: lt.kind == model.OpWrite && !lt.semi, Value: 2,
+					})
+					delete(live, lt.id.Seq)
+					break
+				}
+			case 7: // abort someone
+				for _, lt := range live {
+					if rng.Intn(2) == 0 {
+						m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.AbortMsg{
+							Txn: lt.id, Copy: model.CopyID{Item: 0, Site: 0},
+						})
+						delete(live, lt.id.Seq)
+						break
+					}
+				}
+			case 8: // probe (exercises waitEdges)
+				m.OnMessage(ctx, engine.RIAddr(0), model.ProbeWFGMsg{Round: uint64(step)})
+			case 9: // stale message for a long-gone attempt
+				m.OnMessage(ctx, engine.RIAddr(1), model.ReleaseMsg{
+					Txn: model.TxnID{Site: 1, Seq: 999999}, Copy: model.CopyID{Item: 0, Site: 0},
+				})
+			}
+			drain()
+			checkQueueInvariants(t, m.queues[0])
+		}
+		// Drain everything still live; the queue must empty.
+		for _, lt := range live {
+			m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.AbortMsg{
+				Txn: lt.id, Copy: model.CopyID{Item: 0, Site: 0},
+			})
+		}
+		drain()
+		checkQueueInvariants(t, m.queues[0])
+		if depth := m.QueueDepth(0); depth != 0 {
+			for _, l := range m.DumpQueue(0) {
+				fmt.Println(l)
+			}
+			t.Fatalf("seed %d: queue not empty after abort-all: %d", seed, depth)
+		}
+	}
+}

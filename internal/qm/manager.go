@@ -1,0 +1,342 @@
+package qm
+
+import (
+	"fmt"
+	"sync"
+
+	"ucc/internal/engine"
+	"ucc/internal/history"
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+// Options configure a queue-manager site.
+type Options struct {
+	// DisableSemiLocks falls back from the §4.2 semi-lock enforcement (the
+	// paper's contribution, the zero-value default) to the simpler "lock
+	// everything" unified enforcement (ablation ABL-1). Inverted so the
+	// zero value of Options selects the paper's protocol.
+	DisableSemiLocks bool
+	// StatsPeriodMicros, when positive, makes the manager push cumulative
+	// per-item grant counters to the collector on this period.
+	StatsPeriodMicros int64
+}
+
+// DefaultOptions returns the production configuration.
+func DefaultOptions() Options {
+	return Options{}
+}
+
+// Counters aggregate one site's protocol events (monotone).
+type Counters struct {
+	Requests   uint64
+	Grants     uint64
+	PreGrants  uint64 // pre-scheduled grants issued
+	Promotions uint64 // pre-scheduled → normal transitions
+	Rejects    uint64 // T/O rejections
+	Backoffs   uint64 // PA back-offs
+	Revokes    uint64 // provisional PA grants revoked at final-timestamp
+	Releases   uint64
+	Conversion uint64 // lock → semi-lock conversions
+	Aborts     uint64
+}
+
+// Manager is the queue-manager actor for one data site: it owns the site's
+// store and one dataQueue per physical copy, and speaks the unified
+// concurrency control protocol with every request issuer.
+type Manager struct {
+	mu       sync.Mutex
+	site     model.SiteID
+	store    *storage.Store
+	recorder *history.Recorder
+	opts     Options
+	queues   map[model.ItemID]*dataQueue
+	counters Counters
+}
+
+// New creates the manager for a site. Every item already present in store
+// gets a data queue; recorder may be nil to skip history recording.
+func New(site model.SiteID, store *storage.Store, recorder *history.Recorder, opts Options) *Manager {
+	m := &Manager{
+		site:     site,
+		store:    store,
+		recorder: recorder,
+		opts:     opts,
+		queues:   map[model.ItemID]*dataQueue{},
+	}
+	for _, item := range store.Items() {
+		m.queues[item] = newDataQueue(model.CopyID{Item: item, Site: site}, !opts.DisableSemiLocks)
+	}
+	return m
+}
+
+// Site returns the manager's site id.
+func (m *Manager) Site() model.SiteID { return m.site }
+
+// Snapshot returns the current counter values. Safe to call concurrently
+// with message handling.
+func (m *Manager) Snapshot() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters
+}
+
+// DumpQueue renders item's queue for debugging: one line per entry in
+// precedence order.
+func (m *Manager) DumpQueue(item model.ItemID) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.queues[item]
+	if q == nil {
+		return nil
+	}
+	out := make([]string, 0, len(q.entries))
+	for _, e := range q.entries {
+		out = append(out, e.String())
+	}
+	return out
+}
+
+// QueueDepth returns the number of resident entries for item (tests).
+func (m *Manager) QueueDepth(item model.ItemID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.queues[item]
+	if q == nil {
+		return 0
+	}
+	return len(q.entries)
+}
+
+// OnMessage implements engine.Actor.
+func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch v := msg.(type) {
+	case model.RequestMsg:
+		m.onRequest(ctx, v)
+	case model.FinalTSMsg:
+		m.onFinalTS(ctx, v)
+	case model.ReleaseMsg:
+		m.onRelease(ctx, v)
+	case model.AbortMsg:
+		m.onAbort(ctx, v)
+	case model.ProbeWFGMsg:
+		m.onProbe(ctx, from, v)
+	case model.TickMsg:
+		m.onStatsTick(ctx)
+	case model.StopMsg:
+		m.opts.StatsPeriodMicros = 0 // stop re-arming the stats timer
+	default:
+		panic(fmt.Sprintf("qm: site %d: unexpected message %T", m.site, msg))
+	}
+}
+
+// onStatsTick pushes the cumulative per-item grant counters to the metrics
+// collector and re-arms the timer. The cluster posts the first TickMsg.
+func (m *Manager) onStatsTick(ctx engine.Context) {
+	if m.opts.StatsPeriodMicros <= 0 {
+		return
+	}
+	read := map[model.ItemID]uint64{}
+	write := map[model.ItemID]uint64{}
+	for item, q := range m.queues {
+		read[item] = q.readGrants
+		write[item] = q.writeGrants
+	}
+	ctx.Send(engine.CollectorAddr(), model.QueueStatsMsg{
+		From:        m.site,
+		AtMicros:    ctx.NowMicros(),
+		ReadGrants:  read,
+		WriteGrants: write,
+	})
+	ctx.SetTimer(m.opts.StatsPeriodMicros, model.TickMsg{})
+}
+
+func (m *Manager) queue(item model.ItemID) *dataQueue {
+	q := m.queues[item]
+	if q == nil {
+		panic(fmt.Sprintf("qm: site %d has no queue for %v", m.site, item))
+	}
+	return q
+}
+
+func (m *Manager) onRequest(ctx engine.Context, v model.RequestMsg) {
+	q := m.queue(v.Copy.Item)
+	m.counters.Requests++
+	if old := q.find(v.Txn); old != nil {
+		// A stale entry from a previous attempt whose abort raced ahead of
+		// us cannot exist under FIFO delivery, but drop defensively.
+		if old.attempt >= v.Attempt {
+			return
+		}
+		if old.readRecorded && m.recorder != nil {
+			m.recorder.Discard(q.copyID, old.txn)
+		}
+		q.remove(old)
+	}
+	e := &entry{
+		txn:      v.Txn,
+		attempt:  v.Attempt,
+		protocol: v.Protocol,
+		kind:     v.Kind,
+		interval: v.Interval,
+		prec: model.Precedence{
+			Site:  v.Site,
+			Txn:   v.Txn,
+			Is2PL: v.Protocol == model.TwoPL,
+		},
+	}
+	out := q.admit(e, v.TS, v.Interval)
+	issuer := engine.RIAddr(v.Site)
+	switch {
+	case out.rejected:
+		m.counters.Rejects++
+		ctx.Send(issuer, model.RejectMsg{
+			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy, Threshold: out.threshold,
+		})
+	case out.backedOff:
+		m.counters.Backoffs++
+		ctx.Send(issuer, model.BackoffMsg{
+			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy, NewTS: out.newTS,
+		})
+	}
+	m.dispatch(ctx, q)
+}
+
+func (m *Manager) onFinalTS(ctx engine.Context, v model.FinalTSMsg) {
+	q := m.queue(v.Copy.Item)
+	e := q.find(v.Txn)
+	if e == nil || e.attempt != v.Attempt {
+		return // attempt was aborted; stale message
+	}
+	if q.applyFinalTS(e, v.TS) {
+		m.counters.Revokes++
+	}
+	m.dispatch(ctx, q)
+}
+
+func (m *Manager) onRelease(ctx engine.Context, v model.ReleaseMsg) {
+	q := m.queue(v.Copy.Item)
+	e := q.find(v.Txn)
+	if e == nil || e.attempt != v.Attempt || !e.granted {
+		return
+	}
+	if v.ToSemi {
+		// §4.2 rule 4: the T/O transaction received a pre-scheduled lock;
+		// its operations are implemented now, and the lock becomes a
+		// semi-lock until every item has issued a normal grant.
+		if !e.semi {
+			m.implement(e, v)
+			q.toSemi(e)
+			m.counters.Conversion++
+		}
+		m.dispatch(ctx, q)
+		return
+	}
+	if !e.semi {
+		// Implemented at release (§4.3: 2PL/PA always; T/O when it received
+		// no pre-scheduled lock and released directly).
+		m.implement(e, v)
+	}
+	q.remove(e)
+	m.counters.Releases++
+	m.dispatch(ctx, q)
+}
+
+// implement applies the operation to the store and the history log.
+func (m *Manager) implement(e *entry, v model.ReleaseMsg) {
+	c := model.CopyID{Item: v.Copy.Item, Site: m.site}
+	if e.kind == model.OpWrite {
+		if v.HasWrite {
+			m.store.Write(v.Copy.Item, e.txn, v.Value)
+		}
+		if m.recorder != nil {
+			m.recorder.Implemented(c, e.txn, model.OpWrite)
+		}
+	} else if m.recorder != nil && !e.readRecorded {
+		m.recorder.Implemented(c, e.txn, model.OpRead)
+	}
+}
+
+func (m *Manager) onAbort(ctx engine.Context, v model.AbortMsg) {
+	q := m.queue(v.Copy.Item)
+	e := q.find(v.Txn)
+	if e == nil || e.attempt != v.Attempt {
+		return
+	}
+	if e.readRecorded && m.recorder != nil {
+		// The grant-time read never took effect; drop it from the log so it
+		// cannot fabricate conflict edges.
+		m.recorder.Discard(q.copyID, e.txn)
+	}
+	q.remove(e)
+	m.counters.Aborts++
+	m.dispatch(ctx, q)
+}
+
+// dispatch grants every grantable head in sequence and then promotes
+// pre-scheduled locks whose earlier conflicts have all been released.
+func (m *Manager) dispatch(ctx engine.Context, q *dataQueue) {
+	for {
+		hd := q.head()
+		if hd == nil {
+			break
+		}
+		d := q.decide(hd)
+		if !d.ok {
+			break
+		}
+		q.grant(hd, d)
+		m.counters.Grants++
+		if d.preSched {
+			m.counters.PreGrants++
+		}
+		if hd.protocol == model.TO && hd.kind == model.OpRead && m.recorder != nil {
+			// A T/O read is implemented at its grant: the SRL it receives
+			// is already a semi-lock (§4.3) and the value travels with the
+			// grant. Recording it at release would order it after any
+			// pre-scheduled write that converts in between, inverting the
+			// conflict edge relative to the actual dataflow.
+			m.recorder.Implemented(q.copyID, hd.txn, model.OpRead)
+			hd.readRecorded = true
+		}
+		value, version := m.store.Read(q.copyID.Item)
+		ctx.Send(engine.RIAddr(hd.prec.Site), model.GrantMsg{
+			Txn:          hd.txn,
+			Attempt:      hd.attempt,
+			Copy:         q.copyID,
+			Lock:         d.lock,
+			PreScheduled: d.preSched,
+			TS:           hd.prec.TS,
+			Value:        value,
+			Version:      version,
+		})
+	}
+	for _, e := range q.promotable() {
+		e.normalSent = true
+		m.counters.Promotions++
+		ctx.Send(engine.RIAddr(e.prec.Site), model.NormalGrantMsg{
+			Txn: e.txn, Attempt: e.attempt, Copy: q.copyID,
+		})
+	}
+}
+
+func (m *Manager) onProbe(ctx engine.Context, from engine.Addr, v model.ProbeWFGMsg) {
+	var edges []model.WaitEdge
+	for _, q := range m.queues {
+		q.waitEdges(func(e, b *entry) {
+			edges = append(edges, model.WaitEdge{
+				Waiter:       e.txn,
+				Holder:       b.txn,
+				Waiter2PL:    e.protocol == model.TwoPL,
+				Holder2PL:    b.protocol == model.TwoPL,
+				WaiterSite:   e.prec.Site,
+				WaiterSeq:    e.attempt,
+				Copy:         q.copyID,
+				WaiterIssuer: e.prec.Site,
+			})
+		})
+	}
+	ctx.Send(from, model.WFGReportMsg{From: m.site, Round: v.Round, Edges: edges})
+}

@@ -1,0 +1,698 @@
+// Package ri implements the Request Issuer of the Precedence-Assignment
+// Model (§3.1): the per-user-site actor that turns transactions into
+// requests, runs the per-protocol lifecycles — static 2PL with deadlock
+// aborts, Basic T/O with timestamped requests and restart-on-rejection, and
+// the PA negotiation of §3.4 — and drives the semi-lock release discipline
+// of §4.2 rule 3/4 for the unified system.
+package ri
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ucc/internal/engine"
+	"ucc/internal/history"
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+// Options configure an issuer.
+type Options struct {
+	// PAIntervalMicros is the default back-off interval INT_i attached to PA
+	// transactions (§3.4).
+	PAIntervalMicros model.Timestamp
+	// RestartDelayMicros is the mean delay before a rejected or victimized
+	// transaction attempt is retried (randomized ±50%).
+	RestartDelayMicros int64
+	// MaxAttempts caps restarts; 0 means unlimited. When the cap is hit the
+	// transaction is dropped (reported as its last failure outcome).
+	MaxAttempts int
+	// DefaultComputeMicros is used when a transaction does not specify its
+	// local computing phase duration.
+	DefaultComputeMicros int64
+	// SwitchOnRestart, when non-nil, lets a restarting transaction change
+	// its concurrency control protocol (the paper's future-work item §6(4)):
+	// it receives the current protocol and the number of failed attempts
+	// and returns the protocol for the next attempt. The unified system
+	// makes this safe — each attempt is a fresh set of requests under the
+	// unified precedence space.
+	SwitchOnRestart func(current model.Protocol, failedAttempts int) model.Protocol
+}
+
+// DefaultOptions returns sensible defaults for simulation-scale runs.
+func DefaultOptions() Options {
+	return Options{
+		PAIntervalMicros:     2_000,
+		RestartDelayMicros:   4_000,
+		DefaultComputeMicros: 1_000,
+	}
+}
+
+// ChooseFunc picks the concurrency control protocol for a new transaction
+// given the latest system-parameter estimates; nil means "use txn.Protocol".
+type ChooseFunc func(t *model.Txn, est model.EstimateMsg) model.Protocol
+
+// phase is the lifecycle stage of one transaction attempt.
+type phase uint8
+
+const (
+	phaseNegotiating phase = iota // requests out; collecting grant/backoff/reject
+	phaseAwaitGrants              // PA finalized; awaiting fresh grants
+	phaseComputing                // all locks held; local computing phase
+	phaseAwaitNormal              // T/O semi-converted; awaiting normal grants
+)
+
+// copyReq tracks one physical request of the active attempt.
+type copyReq struct {
+	copyID  model.CopyID
+	kind    model.OpKind
+	granted bool
+	// normal is true once a normal (non-pre-scheduled) grant or a
+	// NormalGrantMsg has been received.
+	normal bool
+	// preSched records that the current grant was pre-scheduled.
+	preSched bool
+	// responded is true once this copy sent grant/backoff (PA negotiation).
+	responded bool
+	value     int64
+}
+
+// txnState is the issuer-side state of one in-flight transaction.
+type txnState struct {
+	txn     *model.Txn
+	attempt model.Attempt
+	ts      model.Timestamp
+	// expectTS filters stale PA grants: only grants stamped with expectTS
+	// count after the agreed timestamp was finalized.
+	expectTS model.Timestamp
+	phase    phase
+	reqs     map[model.CopyID]*copyReq
+	// order lists the requests in deterministic (item, site) order:
+	// iterating the reqs map directly would reorder network sends between
+	// runs and break seed-reproducibility.
+	order []*copyReq
+
+	firstArrival  int64
+	arrival       int64
+	firstGrant    int64
+	messages      int64
+	backoffMax    model.Timestamp
+	anyBackoff    bool
+	finalized     bool
+	backoffReads  int
+	backoffWrites int
+	attempts      int
+	preSchedAny   bool
+}
+
+func (s *txnState) allGranted() bool {
+	for _, r := range s.reqs {
+		if !r.granted {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *txnState) allResponded() bool {
+	for _, r := range s.reqs {
+		if !r.responded {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *txnState) allNormal() bool {
+	for _, r := range s.reqs {
+		if !r.normal {
+			return false
+		}
+	}
+	return true
+}
+
+// Issuer is the request-issuer actor for one user site.
+type Issuer struct {
+	mu       sync.Mutex
+	site     model.SiteID
+	catalog  *storage.Catalog
+	recorder *history.Recorder
+	opts     Options
+	choose   ChooseFunc
+
+	clock     model.Timestamp
+	active    map[model.TxnID]*txnState
+	estimates model.EstimateMsg
+	// finalTS remembers the committed timestamp of T/O and PA transactions
+	// (test oracle for the timestamp-order invariant).
+	finalTS map[model.TxnID]model.Timestamp
+
+	// Stats (monotone counters).
+	submitted  uint64
+	committed  uint64
+	rejects    uint64
+	victims    uint64
+	dropped    uint64
+	rebackoffs uint64 // PA back-offs received after finalization (must stay 0)
+}
+
+// New creates an issuer for site. recorder may be nil; choose may be nil to
+// honour each transaction's preset protocol.
+func New(site model.SiteID, catalog *storage.Catalog, recorder *history.Recorder, opts Options, choose ChooseFunc) *Issuer {
+	if opts.PAIntervalMicros <= 0 {
+		opts.PAIntervalMicros = 1
+	}
+	if opts.DefaultComputeMicros < 0 {
+		opts.DefaultComputeMicros = 0
+	}
+	return &Issuer{
+		site:     site,
+		catalog:  catalog,
+		recorder: recorder,
+		opts:     opts,
+		choose:   choose,
+		active:   map[model.TxnID]*txnState{},
+		finalTS:  map[model.TxnID]model.Timestamp{},
+	}
+}
+
+// Stats is a snapshot of issuer counters.
+type Stats struct {
+	Submitted, Committed, Rejects, Victims, Dropped, ReBackoffs uint64
+	Active                                                      int
+}
+
+// Snapshot returns current counters; safe for concurrent use.
+func (ri *Issuer) Snapshot() Stats {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	return Stats{
+		Submitted: ri.submitted, Committed: ri.committed, Rejects: ri.rejects,
+		Victims: ri.victims, Dropped: ri.dropped, ReBackoffs: ri.rebackoffs,
+		Active: len(ri.active),
+	}
+}
+
+// ActiveTxn describes one in-flight transaction (observability/debugging).
+type ActiveTxn struct {
+	ID       model.TxnID
+	Protocol model.Protocol
+	Attempt  model.Attempt
+	Phase    string
+	// Waiting lists copies that have not yet granted (or, in the
+	// await-normal phase, not yet normalized).
+	Waiting []model.CopyID
+}
+
+// ActiveTxns snapshots the in-flight transactions at this issuer.
+func (ri *Issuer) ActiveTxns() []ActiveTxn {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	var out []ActiveTxn
+	for _, s := range ri.active {
+		at := ActiveTxn{
+			ID:       s.txn.ID,
+			Protocol: s.txn.Protocol,
+			Attempt:  s.attempt,
+		}
+		switch s.phase {
+		case phaseNegotiating:
+			at.Phase = "negotiating"
+		case phaseAwaitGrants:
+			at.Phase = "await-grants"
+		case phaseComputing:
+			at.Phase = "computing"
+		case phaseAwaitNormal:
+			at.Phase = "await-normal"
+		}
+		for _, r := range s.reqs {
+			if s.phase == phaseAwaitNormal {
+				if !r.normal {
+					at.Waiting = append(at.Waiting, r.copyID)
+				}
+			} else if !r.granted {
+				at.Waiting = append(at.Waiting, r.copyID)
+			}
+		}
+		out = append(out, at)
+	}
+	return out
+}
+
+// FinalTimestamp reports the committed timestamp of a T/O or PA transaction.
+func (ri *Issuer) FinalTimestamp(id model.TxnID) (model.Timestamp, bool) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	ts, ok := ri.finalTS[id]
+	return ts, ok
+}
+
+// OnMessage implements engine.Actor.
+func (ri *Issuer) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	switch v := msg.(type) {
+	case model.SubmitTxnMsg:
+		ri.onSubmit(ctx, v.Txn)
+	case model.GrantMsg:
+		ri.onGrant(ctx, v)
+	case model.NormalGrantMsg:
+		ri.onNormalGrant(ctx, v)
+	case model.RejectMsg:
+		ri.onReject(ctx, v)
+	case model.BackoffMsg:
+		ri.onBackoff(ctx, v)
+	case model.VictimMsg:
+		ri.onVictim(ctx, v)
+	case model.ComputeDoneMsg:
+		ri.onComputeDone(ctx, v)
+	case model.RestartMsg:
+		ri.onRestart(ctx, v)
+	case model.EstimateMsg:
+		ri.estimates = v
+	case model.StopMsg:
+		// No periodic work to stop; present for symmetry.
+	default:
+		panic(fmt.Sprintf("ri: site %d: unexpected message %T", ri.site, msg))
+	}
+}
+
+// nextTS draws a fresh timestamp: monotone per issuer and loosely coupled to
+// engine time so timestamps are comparable across sites (as wall-clock-based
+// timestamps would be in a deployment).
+func (ri *Issuer) nextTS(ctx engine.Context) model.Timestamp {
+	now := model.Timestamp(ctx.NowMicros())
+	if now > ri.clock {
+		ri.clock = now
+	}
+	ri.clock++
+	return ri.clock
+}
+
+func (ri *Issuer) onSubmit(ctx engine.Context, t *model.Txn) {
+	if t.Size() == 0 {
+		return // nothing to do; vacuous transaction
+	}
+	if ri.choose != nil {
+		t.Protocol = ri.choose(t, ri.estimates)
+	}
+	ri.submitted++
+	s := &txnState{
+		txn:          t,
+		firstArrival: ctx.NowMicros(),
+	}
+	ri.active[t.ID] = s
+	ri.launch(ctx, s)
+}
+
+// launch sends the attempt's requests to every queue manager involved:
+// reads go to the primary copy, writes to every replica (read-one/write-all).
+func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
+	t := s.txn
+	s.attempts++
+	s.arrival = ctx.NowMicros()
+	s.phase = phaseNegotiating
+	s.reqs = map[model.CopyID]*copyReq{}
+	s.firstGrant = 0
+	s.backoffMax = 0
+	s.anyBackoff = false
+	s.finalized = false
+	s.preSchedAny = false
+	s.backoffReads = 0
+	s.backoffWrites = 0
+
+	switch t.Protocol {
+	case model.TwoPL:
+		s.ts = model.NoTimestamp
+	default:
+		s.ts = ri.nextTS(ctx)
+	}
+	s.expectTS = s.ts
+
+	add := func(item model.ItemID, site model.SiteID, kind model.OpKind) {
+		c := model.CopyID{Item: item, Site: site}
+		r := &copyReq{copyID: c, kind: kind}
+		s.reqs[c] = r
+		s.order = append(s.order, r)
+	}
+	s.order = s.order[:0]
+	for _, item := range t.ReadSet {
+		add(item, ri.catalog.Primary(item), model.OpRead)
+	}
+	for _, item := range t.WriteSet {
+		for _, site := range ri.catalog.Replicas(item) {
+			add(item, site, model.OpWrite)
+		}
+	}
+	sort.Slice(s.order, func(i, j int) bool {
+		a, b := s.order[i].copyID, s.order[j].copyID
+		if a.Item != b.Item {
+			return a.Item < b.Item
+		}
+		return a.Site < b.Site
+	})
+	for _, r := range s.order {
+		ri.send(ctx, s, engine.QMAddr(r.copyID.Site), model.RequestMsg{
+			Txn:      t.ID,
+			Attempt:  s.attempt,
+			Protocol: t.Protocol,
+			Kind:     r.kind,
+			Copy:     r.copyID,
+			TS:       s.ts,
+			Interval: ri.opts.PAIntervalMicros,
+			Site:     ri.site,
+		})
+	}
+}
+
+func (ri *Issuer) send(ctx engine.Context, s *txnState, to engine.Addr, msg model.Message) {
+	s.messages++
+	ctx.Send(to, msg)
+}
+
+// stateFor returns the live state matching (txn, attempt), or nil for stale
+// messages addressed to a completed or aborted attempt.
+func (ri *Issuer) stateFor(id model.TxnID, attempt model.Attempt) *txnState {
+	s := ri.active[id]
+	if s == nil || s.attempt != attempt {
+		return nil
+	}
+	return s
+}
+
+func (ri *Issuer) onGrant(ctx engine.Context, v model.GrantMsg) {
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil {
+		return
+	}
+	if s.txn.Protocol == model.PA && s.finalized && v.TS != s.expectTS {
+		return // stale provisional grant, revoked at the QM
+	}
+	r := s.reqs[v.Copy]
+	if r == nil || (r.granted && r.normal) {
+		return
+	}
+	if s.firstGrant == 0 {
+		s.firstGrant = ctx.NowMicros()
+	}
+	r.granted = true
+	r.responded = true
+	r.preSched = v.PreScheduled
+	r.normal = !v.PreScheduled
+	r.value = v.Value
+	if v.PreScheduled {
+		s.preSchedAny = true
+	}
+	ri.advance(ctx, s)
+}
+
+func (ri *Issuer) onNormalGrant(ctx engine.Context, v model.NormalGrantMsg) {
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil {
+		return
+	}
+	if r := s.reqs[v.Copy]; r != nil {
+		r.normal = true
+	}
+	if s.phase == phaseAwaitNormal && s.allNormal() {
+		ri.releaseAll(ctx, s, false)
+		ri.finish(ctx, s)
+	}
+}
+
+// advance checks whether the attempt can move to its next phase.
+func (ri *Issuer) advance(ctx engine.Context, s *txnState) {
+	switch s.phase {
+	case phaseNegotiating:
+		if s.txn.Protocol == model.PA && s.anyBackoff {
+			// §3.4 step 1(c)-(e): wait for grant-or-backoff from every
+			// queue, then agree on TS' = max TS'_ij and broadcast it.
+			if s.allResponded() && !s.finalized {
+				ri.finalizePA(ctx, s)
+			}
+			return
+		}
+		if s.allGranted() {
+			ri.startCompute(ctx, s)
+		}
+	case phaseAwaitGrants:
+		if s.allGranted() {
+			ri.startCompute(ctx, s)
+		}
+	}
+}
+
+// finalizePA broadcasts the agreed timestamp and discards provisional grants
+// (the QMs revoke them on re-insertion, per §3.4 step 2(d)).
+func (ri *Issuer) finalizePA(ctx engine.Context, s *txnState) {
+	s.finalized = true
+	final := s.backoffMax
+	if final <= s.ts {
+		final = s.ts + 1
+	}
+	s.expectTS = final
+	if final > ri.clock {
+		ri.clock = final
+	}
+	for _, r := range s.order {
+		r.granted = false
+		r.normal = false
+		r.preSched = false
+		ri.send(ctx, s, engine.QMAddr(r.copyID.Site), model.FinalTSMsg{
+			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID, TS: final,
+		})
+	}
+	s.phase = phaseAwaitGrants
+}
+
+func (ri *Issuer) onBackoff(ctx engine.Context, v model.BackoffMsg) {
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil {
+		return
+	}
+	r := s.reqs[v.Copy]
+	if r == nil {
+		return
+	}
+	if s.finalized {
+		// Lemma 1 guarantees at most one back-off per transaction; count
+		// any violation (tests assert zero) but recover by re-finalizing.
+		ri.rebackoffs++
+		s.finalized = false
+		s.phase = phaseNegotiating
+	}
+	r.responded = true
+	r.granted = false
+	s.anyBackoff = true
+	if v.NewTS > s.backoffMax {
+		s.backoffMax = v.NewTS
+	}
+	if r.kind == model.OpRead {
+		s.backoffReads++
+	} else {
+		s.backoffWrites++
+	}
+	ri.advance(ctx, s)
+}
+
+func (ri *Issuer) onReject(ctx engine.Context, v model.RejectMsg) {
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil || s.txn.Protocol != model.TO {
+		return
+	}
+	if s.phase == phaseComputing || s.phase == phaseAwaitNormal {
+		return // already executing; rejection cannot occur past full grant
+	}
+	ri.rejects++
+	if v.Threshold >= ri.clock {
+		ri.clock = v.Threshold + 1
+	}
+	var kind model.OpKind
+	if r := s.reqs[v.Copy]; r != nil {
+		kind = r.kind
+	}
+	ri.reportAttempt(ctx, s, model.OutcomeRejected, kind)
+	ri.abortAttempt(ctx, s, v.Copy)
+	ri.scheduleRestart(ctx, s)
+}
+
+func (ri *Issuer) onVictim(ctx engine.Context, v model.VictimMsg) {
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil || s.txn.Protocol != model.TwoPL {
+		return
+	}
+	if s.phase == phaseComputing || s.phase == phaseAwaitNormal {
+		return // already past lock acquisition; let it finish
+	}
+	ri.victims++
+	ri.reportAttempt(ctx, s, model.OutcomeDeadlockVictim, model.OpRead)
+	ri.abortAttempt(ctx, s, model.CopyID{Item: -1})
+	ri.scheduleRestart(ctx, s)
+}
+
+// abortAttempt withdraws every outstanding request except skip (the copy
+// that rejected us holds no entry).
+func (ri *Issuer) abortAttempt(ctx engine.Context, s *txnState, skip model.CopyID) {
+	for _, r := range s.order {
+		if r.copyID == skip {
+			continue
+		}
+		ri.send(ctx, s, engine.QMAddr(r.copyID.Site), model.AbortMsg{
+			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID,
+		})
+	}
+}
+
+func (ri *Issuer) scheduleRestart(ctx engine.Context, s *txnState) {
+	if ri.opts.MaxAttempts > 0 && s.attempts >= ri.opts.MaxAttempts {
+		ri.dropped++
+		delete(ri.active, s.txn.ID)
+		return
+	}
+	s.attempt++
+	delay := ri.opts.RestartDelayMicros
+	if delay > 0 {
+		delay = delay/2 + ctx.Rand().Int63n(delay)
+	}
+	ctx.SetTimer(delay, model.RestartMsg{Txn: s.txn.ID, Attempt: s.attempt})
+}
+
+func (ri *Issuer) onRestart(ctx engine.Context, v model.RestartMsg) {
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil {
+		return
+	}
+	if ri.opts.SwitchOnRestart != nil {
+		s.txn.Protocol = ri.opts.SwitchOnRestart(s.txn.Protocol, s.attempts)
+	}
+	ri.launch(ctx, s)
+}
+
+func (ri *Issuer) startCompute(ctx engine.Context, s *txnState) {
+	s.phase = phaseComputing
+	d := s.txn.ComputeMicros
+	if d <= 0 {
+		d = ri.opts.DefaultComputeMicros
+	}
+	ctx.SetTimer(d, model.ComputeDoneMsg{Txn: s.txn.ID, Attempt: s.attempt})
+}
+
+func (ri *Issuer) onComputeDone(ctx engine.Context, v model.ComputeDoneMsg) {
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil || s.phase != phaseComputing {
+		return
+	}
+	if s.txn.Protocol == model.TO && s.preSchedAny {
+		// §4.2 rule 4: convert all locks to semi-locks; the transaction is
+		// executed now, but releases wait for one normal grant per item.
+		ri.releaseAll(ctx, s, true)
+		if s.allNormal() {
+			ri.releaseAll(ctx, s, false)
+			ri.finish(ctx, s)
+			return
+		}
+		s.phase = phaseAwaitNormal
+		ri.markExecuted(ctx, s)
+		return
+	}
+	ri.releaseAll(ctx, s, false)
+	ri.finish(ctx, s)
+}
+
+// writeValue evaluates the write-phase value for item from the attempt's
+// collected pre-images (default: pre-image + 1).
+func (ri *Issuer) writeValue(s *txnState, item model.ItemID) int64 {
+	pre := func(it model.ItemID) int64 {
+		// Prefer the primary copy's value.
+		if r, ok := s.reqs[model.CopyID{Item: it, Site: ri.catalog.Primary(it)}]; ok {
+			return r.value
+		}
+		for _, r := range s.order {
+			if r.copyID.Item == it {
+				return r.value
+			}
+		}
+		return 0
+	}
+	if spec, ok := s.txn.SpecFor(item); ok {
+		if spec.UseSource {
+			return pre(spec.Source) + spec.AddConst
+		}
+		return spec.AddConst
+	}
+	return pre(item) + 1
+}
+
+// releaseAll sends the write-phase releases. toSemi selects the semi-lock
+// conversion round; the final round (toSemi=false) after a conversion does
+// not resend values (writes were implemented at conversion).
+func (ri *Issuer) releaseAll(ctx engine.Context, s *txnState, toSemi bool) {
+	converted := s.phase == phaseAwaitNormal || (s.txn.Protocol == model.TO && s.preSchedAny && !toSemi)
+	for _, r := range s.order {
+		msg := model.ReleaseMsg{
+			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID, ToSemi: toSemi,
+		}
+		if r.kind == model.OpWrite && !converted {
+			msg.HasWrite = true
+			msg.Value = ri.writeValue(s, r.copyID.Item)
+		}
+		ri.send(ctx, s, engine.QMAddr(r.copyID.Site), msg)
+	}
+}
+
+// markExecuted reports commit metrics at the execution point (§4.3: a
+// semi-converted T/O transaction "is considered executed" at conversion).
+func (ri *Issuer) markExecuted(ctx engine.Context, s *txnState) {
+	ri.committed++
+	if ri.recorder != nil {
+		ri.recorder.Committed(s.txn.ID, s.txn.Protocol)
+	}
+	if s.txn.Protocol != model.TwoPL {
+		ri.finalTS[s.txn.ID] = s.expectTS
+	}
+	ri.reportAttempt(ctx, s, model.OutcomeCommitted, model.OpRead)
+}
+
+// finish completes a transaction whose releases have all been sent.
+func (ri *Issuer) finish(ctx engine.Context, s *txnState) {
+	if s.phase != phaseAwaitNormal {
+		// Not already reported by markExecuted.
+		ri.committed++
+		if ri.recorder != nil {
+			ri.recorder.Committed(s.txn.ID, s.txn.Protocol)
+		}
+		if s.txn.Protocol != model.TwoPL {
+			ri.finalTS[s.txn.ID] = s.expectTS
+		}
+		ri.reportAttempt(ctx, s, model.OutcomeCommitted, model.OpRead)
+	}
+	delete(ri.active, s.txn.ID)
+}
+
+// reportAttempt emits a TxnDoneMsg for this attempt's terminal event.
+func (ri *Issuer) reportAttempt(ctx engine.Context, s *txnState, outcome model.TxnOutcome, rejectKind model.OpKind) {
+	now := ctx.NowMicros()
+	locked := int64(0)
+	if s.firstGrant > 0 {
+		locked = now - s.firstGrant
+	}
+	ctx.Send(engine.CollectorAddr(), model.TxnDoneMsg{
+		Txn:                s.txn.ID,
+		Protocol:           s.txn.Protocol,
+		Outcome:            outcome,
+		ArrivalMicros:      s.arrival,
+		DoneMicros:         now,
+		FirstArrivalMicros: s.firstArrival,
+		Attempts:           s.attempts,
+		Size:               s.txn.Size(),
+		Reads:              s.txn.NumReads(),
+		Writes:             s.txn.NumWrites(),
+		Messages:           s.messages,
+		RejectKind:         rejectKind,
+		BackoffReads:       s.backoffReads,
+		BackoffWrites:      s.backoffWrites,
+		LockedMicros:       locked,
+	})
+}

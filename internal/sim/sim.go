@@ -1,0 +1,185 @@
+// Package sim is the deterministic virtual-time engine. It runs the same
+// actors as the real-time runtime but single-threaded over an event heap
+// with a virtual microsecond clock, which makes experiments fast (no real
+// sleeping) and exactly reproducible from a seed — the property the paper's
+// own evaluation relies on ("a detailed simulation of the proposed method",
+// §6 item 1).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+type event struct {
+	at  int64 // virtual microseconds
+	seq uint64
+	env engine.Envelope
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the virtual-time event engine. Not safe for concurrent use; all
+// actors run on the caller's goroutine inside Run/Step.
+type Engine struct {
+	latency  engine.LatencyModel
+	now      int64
+	seq      uint64
+	events   eventHeap
+	actors   map[engine.Addr]engine.Actor
+	ctxs     map[engine.Addr]*simContext
+	lastSend map[pair]int64
+	// Delivered counts delivered envelopes (a cheap progress/cost metric).
+	Delivered uint64
+}
+
+type pair struct{ from, to engine.Addr }
+
+// New builds a virtual-time engine with the given latency model.
+func New(latency engine.LatencyModel) *Engine {
+	if latency == nil {
+		latency = engine.FixedLatency{}
+	}
+	return &Engine{
+		latency:  latency,
+		actors:   map[engine.Addr]engine.Actor{},
+		ctxs:     map[engine.Addr]*simContext{},
+		lastSend: map[pair]int64{},
+	}
+}
+
+// Register adds an actor. Each actor gets its own seeded random stream so a
+// run is reproducible regardless of registration order.
+func (e *Engine) Register(addr engine.Addr, a engine.Actor, seed int64) {
+	if _, dup := e.actors[addr]; dup {
+		panic(fmt.Sprintf("sim: duplicate actor %v", addr))
+	}
+	e.actors[addr] = a
+	e.ctxs[addr] = &simContext{
+		eng:  e,
+		self: addr,
+		rng:  rand.New(rand.NewSource(seed ^ int64(addr.Kind)<<40 ^ int64(addr.ID)<<4 ^ 0x5bd1e995)),
+	}
+}
+
+// NowMicros returns the current virtual time.
+func (e *Engine) NowMicros() int64 { return e.now }
+
+// Post injects a message from the outside world (e.g. the harness submitting
+// the first timer) at the current virtual time.
+func (e *Engine) Post(to engine.Addr, msg model.Message) {
+	e.schedule(e.now, engine.Envelope{From: to, To: to, Msg: msg})
+}
+
+// PostAfter injects a message delayMicros into the virtual future (staggered
+// workload submission from the harness).
+func (e *Engine) PostAfter(delayMicros int64, to engine.Addr, msg model.Message) {
+	if delayMicros < 0 {
+		delayMicros = 0
+	}
+	e.schedule(e.now+delayMicros, engine.Envelope{From: to, To: to, Msg: msg})
+}
+
+func (e *Engine) schedule(at int64, env engine.Envelope) {
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, env: env})
+}
+
+// Step delivers the next event. It reports false when the event heap is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	a := e.actors[ev.env.To]
+	if a == nil {
+		return true // dropped: unknown destination
+	}
+	e.Delivered++
+	a.OnMessage(e.ctxs[ev.env.To], ev.env.From, ev.env.Msg)
+	return true
+}
+
+// RunUntil processes events until the virtual clock would exceed tMicros or
+// the system quiesces. The clock is left at min(tMicros, last event time).
+func (e *Engine) RunUntil(tMicros int64) {
+	for len(e.events) > 0 && e.events[0].at <= tMicros {
+		e.Step()
+	}
+	if e.now < tMicros {
+		e.now = tMicros
+	}
+}
+
+// Drain processes every remaining event. Use after the workload drivers have
+// stopped to let in-flight transactions finish. maxEvents bounds runaway
+// protocols; Drain panics if exceeded (a liveness-bug canary for tests).
+func (e *Engine) Drain(maxEvents uint64) {
+	var n uint64
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n > maxEvents {
+			panic("sim: Drain exceeded maxEvents; system is not quiescing")
+		}
+	}
+}
+
+// Pending reports the number of undelivered events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+type simContext struct {
+	eng  *Engine
+	self engine.Addr
+	rng  *rand.Rand
+}
+
+func (c *simContext) NowMicros() int64 { return c.eng.now }
+func (c *simContext) Self() engine.Addr {
+	return c.self
+}
+func (c *simContext) Rand() *rand.Rand { return c.rng }
+
+func (c *simContext) Send(to engine.Addr, msg model.Message) {
+	delay := c.eng.latency.DelayMicros(c.self, to, c.rng)
+	at := c.eng.now + delay
+	// Per-pair FIFO, mirroring the TCP transport.
+	key := pair{c.self, to}
+	if prev, ok := c.eng.lastSend[key]; ok && at < prev {
+		at = prev
+	}
+	c.eng.lastSend[key] = at
+	c.eng.schedule(at, engine.Envelope{From: c.self, To: to, Msg: msg})
+}
+
+func (c *simContext) SetTimer(delayMicros int64, msg model.Message) {
+	if delayMicros < 0 {
+		delayMicros = 0
+	}
+	c.eng.schedule(c.eng.now+delayMicros, engine.Envelope{From: c.self, To: c.self, Msg: msg})
+}

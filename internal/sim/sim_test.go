@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+// echoActor records received messages with their virtual arrival times and
+// optionally replies.
+type echoActor struct {
+	got     []model.Message
+	times   []int64
+	replyTo *engine.Addr
+}
+
+func (a *echoActor) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	a.got = append(a.got, msg)
+	a.times = append(a.times, ctx.NowMicros())
+	if a.replyTo != nil {
+		ctx.Send(*a.replyTo, model.TickMsg{Tag: 99})
+	}
+}
+
+func TestVirtualTimeAdvancesWithLatency(t *testing.T) {
+	eng := New(engine.FixedLatency{RemoteMicros: 500})
+	a := &echoActor{}
+	b := &echoActor{}
+	addrA, addrB := engine.RIAddr(1), engine.RIAddr(2)
+	bAddr := addrB
+	a.replyTo = &bAddr
+	eng.Register(addrA, a, 1)
+	eng.Register(addrB, b, 1)
+
+	eng.Post(addrA, model.TickMsg{Tag: 1})
+	eng.Drain(0)
+
+	if len(a.got) != 1 || len(b.got) != 1 {
+		t.Fatalf("deliveries: a=%d b=%d", len(a.got), len(b.got))
+	}
+	if a.times[0] != 0 {
+		t.Errorf("post delivered at %d, want 0", a.times[0])
+	}
+	if b.times[0] != 500 {
+		t.Errorf("reply delivered at %d, want 500 (one hop)", b.times[0])
+	}
+}
+
+func TestTimersFireInOrder(t *testing.T) {
+	eng := New(nil)
+	a := &timerActor{}
+	eng.Register(engine.RIAddr(1), a, 1)
+	eng.Post(engine.RIAddr(1), model.TickMsg{Tag: 0})
+	eng.Drain(0)
+	want := []uint64{0, 3, 2, 1} // scheduled at 0, then delays 10, 20, 30
+	if len(a.tags) != 4 {
+		t.Fatalf("tags=%v", a.tags)
+	}
+	for i, w := range want {
+		if a.tags[i] != w {
+			t.Fatalf("tags=%v want %v", a.tags, want)
+		}
+	}
+	if eng.NowMicros() != 30 {
+		t.Errorf("clock=%d want 30", eng.NowMicros())
+	}
+}
+
+type timerActor struct{ tags []uint64 }
+
+func (a *timerActor) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	tick := msg.(model.TickMsg)
+	a.tags = append(a.tags, tick.Tag)
+	if tick.Tag == 0 {
+		ctx.SetTimer(30, model.TickMsg{Tag: 1})
+		ctx.SetTimer(20, model.TickMsg{Tag: 2})
+		ctx.SetTimer(10, model.TickMsg{Tag: 3})
+	}
+}
+
+func TestPerPairFIFOUnderJitter(t *testing.T) {
+	// Even with heavily jittered latency, messages between one pair must
+	// deliver in send order.
+	eng := New(engine.UniformLatency{MinMicros: 1, MaxMicros: 10_000})
+	recv := &orderActor{}
+	eng.Register(engine.RIAddr(2), recv, 7)
+	send := &burstActor{n: 200, to: engine.RIAddr(2)}
+	eng.Register(engine.RIAddr(1), send, 7)
+	eng.Post(engine.RIAddr(1), model.TickMsg{})
+	eng.Drain(0)
+	if len(recv.tags) != 200 {
+		t.Fatalf("received %d", len(recv.tags))
+	}
+	for i, tag := range recv.tags {
+		if tag != uint64(i) {
+			t.Fatalf("FIFO violated at %d: got %d", i, tag)
+		}
+	}
+}
+
+type burstActor struct {
+	n  int
+	to engine.Addr
+}
+
+func (a *burstActor) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	for i := 0; i < a.n; i++ {
+		ctx.Send(a.to, model.TickMsg{Tag: uint64(i)})
+	}
+}
+
+type orderActor struct{ tags []uint64 }
+
+func (a *orderActor) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	a.tags = append(a.tags, msg.(model.TickMsg).Tag)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []uint64 {
+		eng := New(engine.UniformLatency{MinMicros: 1, MaxMicros: 5000})
+		recv := &orderActor{}
+		eng.Register(engine.RIAddr(9), recv, 3)
+		for i := 1; i <= 4; i++ {
+			eng.Register(engine.RIAddr(model.SiteID(i)), &burstActor{n: 20, to: engine.RIAddr(9)}, 3)
+			eng.Post(engine.RIAddr(model.SiteID(i)), model.TickMsg{})
+		}
+		eng.Drain(0)
+		return recv.tags
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 80 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestRunUntilStopsAtHorizon(t *testing.T) {
+	eng := New(nil)
+	a := &selfTicker{}
+	eng.Register(engine.RIAddr(1), a, 1)
+	eng.Post(engine.RIAddr(1), model.TickMsg{})
+	eng.RunUntil(1000)
+	if eng.NowMicros() != 1000 {
+		t.Errorf("clock=%d want 1000", eng.NowMicros())
+	}
+	// The self-ticker ticks every 100µs: 11 deliveries in [0,1000].
+	if a.n != 11 {
+		t.Errorf("ticks=%d want 11", a.n)
+	}
+	if eng.Pending() == 0 {
+		t.Error("the next tick should still be pending")
+	}
+}
+
+type selfTicker struct{ n int }
+
+func (a *selfTicker) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	a.n++
+	ctx.SetTimer(100, model.TickMsg{})
+}
+
+func TestDrainPanicsOnRunaway(t *testing.T) {
+	eng := New(nil)
+	eng.Register(engine.RIAddr(1), &selfTicker{}, 1)
+	eng.Post(engine.RIAddr(1), model.TickMsg{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain must panic when maxEvents is exceeded")
+		}
+	}()
+	eng.Drain(100)
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	eng := New(nil)
+	a := &echoActor{}
+	other := engine.RIAddr(99)
+	a.replyTo = &other // nobody there
+	eng.Register(engine.RIAddr(1), a, 1)
+	eng.Post(engine.RIAddr(1), model.TickMsg{})
+	eng.Drain(0) // must terminate without panic
+	if len(a.got) != 1 {
+		t.Fatal("actor did not run")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	eng := New(nil)
+	eng.Register(engine.RIAddr(1), &echoActor{}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	eng.Register(engine.RIAddr(1), &echoActor{}, 1)
+}

@@ -1,0 +1,116 @@
+package stl
+
+import "math"
+
+// SystemShape describes a system a priori, before any measurements exist —
+// the inputs a designer of 1988 would have estimated on paper. §5.2 allows
+// the selection parameters to be "collected periodically or estimated
+// through analytical methods [14,15,21,25]"; Analytic derives them with a
+// mean-value model in the spirit of those references (Sevcik's comparative
+// models and Tay/Suri/Goodman's no-waiting mean-value analysis).
+type SystemShape struct {
+	// Sites is the number of user sites, each submitting transactions at
+	// ArrivalPerSec.
+	Sites         int
+	ArrivalPerSec float64
+	// Items is the number of logical data items, accessed uniformly.
+	Items int
+	// K is the mean transaction size (requests per transaction).
+	K float64
+	// Qr is the read fraction.
+	Qr float64
+	// RoundTripSeconds is the mean request→grant→release network round trip
+	// (two one-way delays).
+	RoundTripSeconds float64
+	// ComputeSeconds is the local computing phase duration.
+	ComputeSeconds float64
+	// DetectSeconds is the mean deadlock detection latency (probe period ×
+	// persistence rounds).
+	DetectSeconds float64
+	// RestartSeconds is the mean restart delay after rejection/abort.
+	RestartSeconds float64
+}
+
+// Analytic derives the STL model parameters and the per-protocol parameters
+// of §5.2 from first principles:
+//
+//   - per-item request rate: ρ = Sites·λ·K / Items
+//   - mean lock hold time:   H ≈ RTT + compute (static locking holds every
+//     lock from grant to the post-compute release)
+//   - conflict probability per request: the probability an arriving request
+//     finds a conflicting lock held, P_c ≈ ρ·H·w, where w weights
+//     write-write and read-write conflicts by the read mix
+//   - T/O rejection probability per request: a conflicting op with a larger
+//     timestamp was granted first ≈ half the conflicts, P_r ≈ P_c/2 scaled
+//     by the fraction of the hold window still pending
+//   - 2PL deadlock probability: the classic quadratic waiting-for-each-other
+//     estimate P_A ≈ (K²·P_c)²-ish simplified to P_w², with P_w = K·P_c the
+//     probability the transaction waits at all
+//
+// These are coarse (the paper's own references disagree on constants), but
+// they give the dynamic selector a cold-start parameter set whose *ordering*
+// matches measurement — which is all arg-min selection needs.
+func Analytic(sh SystemShape) (Params, ProtocolParams) {
+	if sh.Items <= 0 || sh.K <= 0 {
+		return Params{LambdaA: 0, Qr: 0.5, K: 1}, ProtocolParams{}
+	}
+	hold := sh.RoundTripSeconds + sh.ComputeSeconds
+	if hold <= 0 {
+		hold = 1e-3
+	}
+	totalReq := float64(sh.Sites) * sh.ArrivalPerSec * sh.K // requests/sec
+	perItem := totalReq / float64(sh.Items)
+
+	p := Params{
+		LambdaA: totalReq,
+		LambdaW: perItem * (1 - sh.Qr),
+		LambdaR: perItem * sh.Qr,
+		Qr:      sh.Qr,
+		K:       math.Max(sh.K, 1),
+	}
+
+	// Probability a given request conflicts with a currently-held lock:
+	// held-locks-per-item × conflict weight. A read conflicts only with
+	// writes; a write conflicts with everything.
+	heldPerItem := perItem * hold
+	pcRead := heldPerItem * (1 - sh.Qr)
+	pcWrite := heldPerItem
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 0.95 {
+			return 0.95
+		}
+		return x
+	}
+	pcRead, pcWrite = clamp(pcRead), clamp(pcWrite)
+
+	// T/O rejects roughly the conflicts that arrive "late" (conflicting
+	// grant already made with a larger effective timestamp): half.
+	pr := clamp(pcRead / 2)
+	pw := clamp(pcWrite / 2)
+
+	// A transaction waits if any request conflicts; two waiting
+	// transactions deadlock if their waits cross: P_A ≈ P_wait²/2.
+	pWait := clamp(1 - math.Pow(1-pcWrite, sh.K))
+	pa := clamp(pWait * pWait / 2)
+
+	// PA backs off in the same situations T/O rejects.
+	pb, pbw := pr, pw
+
+	pp := ProtocolParams{
+		U2PL:        hold,
+		U2PLAborted: hold/2 + sh.DetectSeconds, // victims wait for detection
+		PAbort:      pa,
+		UTO:         hold,
+		UTOAborted:  hold / 2, // rejected attempts die early
+		Pr:          pr,
+		Pw:          pw,
+		UPA:         hold + sh.RoundTripSeconds/2, // negotiation round share
+		UPABackoff:  hold / 2,
+		PBr:         pb,
+		PBw:         pbw,
+	}
+	return p, pp
+}

@@ -1,0 +1,98 @@
+package stl
+
+import (
+	"testing"
+
+	"ucc/internal/model"
+)
+
+func shape(arrival float64) SystemShape {
+	return SystemShape{
+		Sites:            4,
+		ArrivalPerSec:    arrival,
+		Items:            24,
+		K:                4,
+		Qr:               0.5,
+		RoundTripSeconds: 0.006,
+		ComputeSeconds:   0.003,
+		DetectSeconds:    0.020,
+		RestartSeconds:   0.020,
+	}
+}
+
+func TestAnalyticBasicSanity(t *testing.T) {
+	p, pp := Analytic(shape(20))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("derived params invalid: %v", err)
+	}
+	if p.LambdaA != 4*20*4 {
+		t.Fatalf("λA = %v want 320", p.LambdaA)
+	}
+	// Probabilities must be in [0, 0.95].
+	for name, v := range map[string]float64{
+		"PAbort": pp.PAbort, "Pr": pp.Pr, "Pw": pp.Pw, "PBr": pp.PBr, "PBw": pp.PBw,
+	} {
+		if v < 0 || v > 0.95 {
+			t.Errorf("%s = %v out of range", name, v)
+		}
+	}
+	// Lock times positive; aborted T/O attempts die earlier than committed.
+	if pp.UTO <= 0 || pp.UTOAborted <= 0 || pp.UTOAborted >= pp.UTO {
+		t.Errorf("UTO=%v UTOAborted=%v", pp.UTO, pp.UTOAborted)
+	}
+	// Deadlock victims pay detection latency on top.
+	if pp.U2PLAborted <= pp.UTOAborted {
+		t.Errorf("U2PLAborted=%v must exceed early-death T/O aborts", pp.U2PLAborted)
+	}
+}
+
+func TestAnalyticProbabilitiesGrowWithLoad(t *testing.T) {
+	_, lo := Analytic(shape(5))
+	_, hi := Analytic(shape(60))
+	if hi.Pr <= lo.Pr || hi.Pw <= lo.Pw {
+		t.Errorf("rejection probabilities must grow with load: %v→%v, %v→%v",
+			lo.Pr, hi.Pr, lo.Pw, hi.Pw)
+	}
+	if hi.PAbort <= lo.PAbort {
+		t.Errorf("deadlock probability must grow with load: %v→%v", lo.PAbort, hi.PAbort)
+	}
+}
+
+func TestAnalyticSelectionOrdering(t *testing.T) {
+	// The analytic cold-start ordering must make lock-based protocols less
+	// attractive as load grows — the coarse property the selector needs.
+	cost := func(arrival float64) [3]float64 {
+		p, pp := Analytic(shape(arrival))
+		ev, err := NewEvaluator(p, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := TxnProfile{
+			ReadItemsLambdaW:  []float64{p.LambdaW, p.LambdaW},
+			WriteItemsLambdaW: []float64{p.LambdaW, p.LambdaW},
+			WriteItemsLambdaR: []float64{p.LambdaR, p.LambdaR},
+		}
+		return ForTxn(ev, prof, pp)
+	}
+	lo := cost(5)
+	hi := cost(60)
+	// Relative 2PL cost (vs T/O) must worsen with load.
+	if hi[model.TwoPL]/hi[model.TO] <= lo[model.TwoPL]/lo[model.TO] {
+		t.Errorf("2PL relative cost must grow with load: lo=%v hi=%v", lo, hi)
+	}
+	for _, v := range append(lo[:], hi[:]...) {
+		if !(v >= 0) {
+			t.Fatalf("negative/NaN STL: lo=%v hi=%v", lo, hi)
+		}
+	}
+}
+
+func TestAnalyticDegenerateInputs(t *testing.T) {
+	p, _ := Analytic(SystemShape{})
+	if p.K < 1 {
+		t.Fatalf("degenerate shape produced invalid K: %v", p.K)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("degenerate shape params invalid: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package stl
+
+import (
+	"math"
+
+	"ucc/internal/model"
+)
+
+// TxnProfile describes the transaction being costed: the per-item read/write
+// lock-grant rates at the queues it will touch (λ_w(D(r_i)), λ_r(D(q_i))),
+// split by whether the transaction reads or writes the item.
+type TxnProfile struct {
+	// ReadItemsLambdaW lists λ_w(D(r_i)) for each of the m read requests.
+	ReadItemsLambdaW []float64
+	// WriteItemsLambdaW/WriteItemsLambdaR list λ_w(D(q_i)) and λ_r(D(q_i))
+	// for each of the n write requests.
+	WriteItemsLambdaW []float64
+	WriteItemsLambdaR []float64
+}
+
+// M returns m(t), the number of read requests.
+func (t TxnProfile) M() int { return len(t.ReadItemsLambdaW) }
+
+// N returns n(t), the number of write requests.
+func (t TxnProfile) N() int { return len(t.WriteItemsLambdaW) }
+
+// LambdaT returns λ_t, the throughput loss while t holds all its locks:
+// each read lock blocks that queue's writes; each write lock blocks the
+// queue's reads and writes.
+func (t TxnProfile) LambdaT() float64 {
+	var sum float64
+	for _, lw := range t.ReadItemsLambdaW {
+		sum += lw
+	}
+	for i, lw := range t.WriteItemsLambdaW {
+		sum += lw + t.WriteItemsLambdaR[i]
+	}
+	return sum
+}
+
+// ProtocolParams carries the measured per-protocol parameters of §5.2.
+// Times are in seconds.
+type ProtocolParams struct {
+	// U2PL/U2PLAborted: average lock time of a 2PL attempt that commits /
+	// dies in a deadlock. PAbort: probability an attempt is aborted.
+	U2PL, U2PLAborted, PAbort float64
+	// UTO/UTOAborted: T/O lock times; Pr/Pw: per-request read/write
+	// rejection probabilities.
+	UTO, UTOAborted, Pr, Pw float64
+	// UPA/UPABackoff: PA lock times (no back-off / backed off); PBr/PBw:
+	// per-request read/write back-off probabilities.
+	UPA, UPABackoff, PBr, PBw float64
+}
+
+// clampProb keeps an estimated probability numerically safe for the
+// geometric-series denominators (restart loops diverge as p→1).
+func clampProb(p float64) float64 {
+	if math.IsNaN(p) || p < 0 {
+		return 0
+	}
+	if p > 0.99 {
+		return 0.99
+	}
+	return p
+}
+
+// STL2PL solves the paper's 2PL fixed point:
+//
+//	STL_2PL = (1−P_A)·STL'(λt, U_2PL) + P_A·(STL_2PL + STL'(λt, U'_2PL))
+//	⇒ STL_2PL = [(1−P_A)·STL'(λt,U_2PL) + P_A·STL'(λt,U'_2PL)] / (1−P_A)
+func STL2PL(e *Evaluator, t TxnProfile, pp ProtocolParams) float64 {
+	pa := clampProb(pp.PAbort)
+	lt := t.LambdaT()
+	ok := e.Evaluate(lt, pp.U2PL)
+	ab := e.Evaluate(lt, pp.U2PLAborted)
+	return ((1-pa)*ok + pa*ab) / (1 - pa)
+}
+
+// STLTO solves the paper's T/O fixed point. With success probability
+// p_s = (1−P_r)^m·(1−P_w)^n:
+//
+//	STL_T/O = p_s·STL'(λt, U_TO) + (1−p_s)·(STL'(λt*, U'_TO) + STL_T/O)
+//	⇒ STL_T/O = [p_s·STL'(λt,U_TO) + (1−p_s)·STL'(λt*,U'_TO)] / p_s
+//
+// λt* is the conditional loss given at least one rejection, solved from
+//
+//	(1−P_r)·Σλw(D(r_i)) + (1−P_w)·Σ(λw+λr)(D(q_i))
+//	    = (1−p_s)·λt* + p_s·λt
+func STLTO(e *Evaluator, t TxnProfile, pp ProtocolParams) float64 {
+	pr := clampProb(pp.Pr)
+	pw := clampProb(pp.Pw)
+	m, n := t.M(), t.N()
+	ps := math.Pow(1-pr, float64(m)) * math.Pow(1-pw, float64(n))
+	ps = math.Max(ps, 0.01)
+	lt := t.LambdaT()
+
+	if ps >= 1 {
+		return e.Evaluate(lt, pp.UTO)
+	}
+	var expected float64
+	for _, lw := range t.ReadItemsLambdaW {
+		expected += (1 - pr) * lw
+	}
+	for i, lw := range t.WriteItemsLambdaW {
+		expected += (1 - pw) * (lw + t.WriteItemsLambdaR[i])
+	}
+	ltStar := (expected - ps*lt) / (1 - ps)
+	if ltStar < 0 {
+		ltStar = 0
+	}
+	ok := e.Evaluate(lt, pp.UTO)
+	ab := e.Evaluate(ltStar, pp.UTOAborted)
+	return (ps*ok + (1-ps)*ab) / ps
+}
+
+// STLPA evaluates the paper's PA formula. With no-back-off probability
+// p_B = (1−P_B)^m·(1−P'_B)^n:
+//
+//	STL_PA = p_B·STL'(λt, U_PA)
+//	       + (1−p_B)·(STL'(λt†, U'_PA) + STL'(λt, U_PA))
+//
+// PA never restarts, so there is no fixed point: a backed-off transaction
+// pays the back-off holding period and then the normal holding period. λt†
+// is the conditional loss given at least one back-off, solved analogously
+// to λt*.
+func STLPA(e *Evaluator, t TxnProfile, pp ProtocolParams) float64 {
+	pb := clampProb(pp.PBr)
+	pbw := clampProb(pp.PBw)
+	m, n := t.M(), t.N()
+	ps := math.Pow(1-pb, float64(m)) * math.Pow(1-pbw, float64(n))
+	lt := t.LambdaT()
+	ok := e.Evaluate(lt, pp.UPA)
+	if ps >= 1 {
+		return ok
+	}
+	var expected float64
+	for _, lw := range t.ReadItemsLambdaW {
+		expected += (1 - pb) * lw
+	}
+	for i, lw := range t.WriteItemsLambdaW {
+		expected += (1 - pbw) * (lw + t.WriteItemsLambdaR[i])
+	}
+	ltDagger := (expected - ps*lt) / (1 - ps)
+	if ltDagger < 0 {
+		ltDagger = 0
+	}
+	back := e.Evaluate(ltDagger, pp.UPABackoff)
+	return ps*ok + (1-ps)*(back+ok)
+}
+
+// ForTxn computes the STL of every protocol for a transaction and returns
+// the values indexed by model.Protocol.
+func ForTxn(e *Evaluator, t TxnProfile, pp ProtocolParams) [3]float64 {
+	var out [3]float64
+	out[model.TwoPL] = STL2PL(e, t, pp)
+	out[model.TO] = STLTO(e, t, pp)
+	out[model.PA] = STLPA(e, t, pp)
+	return out
+}
+
+// Best returns the protocol with the smallest STL (ties break toward 2PL,
+// then T/O, matching the paper's presentation order).
+func Best(v [3]float64) model.Protocol {
+	best := model.TwoPL
+	for _, p := range []model.Protocol{model.TO, model.PA} {
+		if v[p] < v[best] {
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,154 @@
+package stl
+
+import (
+	"math"
+	"testing"
+
+	"ucc/internal/model"
+)
+
+func testProfile(m, n int) TxnProfile {
+	var p TxnProfile
+	for i := 0; i < m; i++ {
+		p.ReadItemsLambdaW = append(p.ReadItemsLambdaW, 2.0)
+	}
+	for i := 0; i < n; i++ {
+		p.WriteItemsLambdaW = append(p.WriteItemsLambdaW, 2.0)
+		p.WriteItemsLambdaR = append(p.WriteItemsLambdaR, 3.0)
+	}
+	return p
+}
+
+func testParams() Params {
+	return Params{LambdaA: 200, LambdaW: 2, LambdaR: 3, Qr: 0.6, K: 4}
+}
+
+func TestLambdaT(t *testing.T) {
+	p := testProfile(2, 3)
+	// 2 reads × λw(2) + 3 writes × (λw(2)+λr(3)) = 4 + 15 = 19.
+	if got := p.LambdaT(); math.Abs(got-19) > 1e-12 {
+		t.Fatalf("LambdaT = %v want 19", got)
+	}
+}
+
+func TestSTL2PLNoAborts(t *testing.T) {
+	e, _ := NewEvaluator(testParams(), 32)
+	prof := testProfile(2, 2)
+	pp := ProtocolParams{U2PL: 0.01, U2PLAborted: 0.02, PAbort: 0}
+	got := STL2PL(e, prof, pp)
+	want := e.Evaluate(prof.LambdaT(), 0.01)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PAbort=0: STL2PL=%v want plain STL'=%v", got, want)
+	}
+}
+
+func TestSTL2PLAbortsIncreaseCost(t *testing.T) {
+	e, _ := NewEvaluator(testParams(), 32)
+	prof := testProfile(2, 2)
+	base := STL2PL(e, prof, ProtocolParams{U2PL: 0.01, U2PLAborted: 0.02, PAbort: 0})
+	prev := base
+	for _, pa := range []float64{0.1, 0.3, 0.6, 0.9} {
+		got := STL2PL(e, prof, ProtocolParams{U2PL: 0.01, U2PLAborted: 0.02, PAbort: pa})
+		if got <= prev {
+			t.Fatalf("STL2PL must grow with PAbort: %v <= %v at %v", got, prev, pa)
+		}
+		prev = got
+	}
+}
+
+func TestSTLTONoRejections(t *testing.T) {
+	e, _ := NewEvaluator(testParams(), 32)
+	prof := testProfile(2, 2)
+	pp := ProtocolParams{UTO: 0.01, UTOAborted: 0.005}
+	got := STLTO(e, prof, pp)
+	want := e.Evaluate(prof.LambdaT(), 0.01)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Pr=Pw=0: STLTO=%v want %v", got, want)
+	}
+}
+
+func TestSTLTORestartLoopGrowsWithSize(t *testing.T) {
+	// With per-request rejection probability fixed, bigger transactions
+	// fail more often and pay more: the §5 intuition behind EXP-2.
+	e, _ := NewEvaluator(testParams(), 32)
+	pp := ProtocolParams{UTO: 0.01, UTOAborted: 0.005, Pr: 0.05, Pw: 0.08}
+	prev := 0.0
+	for _, size := range []int{1, 2, 4, 8} {
+		got := STLTO(e, testProfile(size, size), pp)
+		if got <= prev {
+			t.Fatalf("STLTO must grow with size: %v <= %v at st=%d", got, prev, 2*size)
+		}
+		prev = got
+	}
+}
+
+func TestSTLPANoBackoffs(t *testing.T) {
+	e, _ := NewEvaluator(testParams(), 32)
+	prof := testProfile(1, 2)
+	pp := ProtocolParams{UPA: 0.01, UPABackoff: 0.004}
+	got := STLPA(e, prof, pp)
+	want := e.Evaluate(prof.LambdaT(), 0.01)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PB=0: STLPA=%v want %v", got, want)
+	}
+}
+
+func TestSTLPABoundedNoFixedPoint(t *testing.T) {
+	// PA never restarts: a backed-off transaction pays one back-off period
+	// plus one normal period — unlike T/O's unbounded restart loop. At
+	// equal per-request failure probabilities and lock times, PA must be
+	// cheaper.
+	e, _ := NewEvaluator(testParams(), 32)
+	prof := testProfile(2, 2)
+	pa := STLPA(e, prof, ProtocolParams{UPA: 0.01, UPABackoff: 0.01, PBr: 0.3, PBw: 0.3})
+	to := STLTO(e, prof, ProtocolParams{UTO: 0.01, UTOAborted: 0.01, Pr: 0.3, Pw: 0.3})
+	if pa >= to {
+		t.Fatalf("PA (%v) must cost less than T/O's restart loop (%v)", pa, to)
+	}
+	// Even at certain back-off PA is bounded by back-off period + normal
+	// period (λ† ≤ λt, so each period costs at most STL'(λt, U)).
+	worst := STLPA(e, prof, ProtocolParams{UPA: 0.01, UPABackoff: 0.01, PBr: 0.999, PBw: 0.999})
+	ok := e.Evaluate(prof.LambdaT(), 0.01)
+	if worst > 2*ok+1e-9 {
+		t.Fatalf("PA with certain backoff must be ≤ 2 periods: %v > 2×%v", worst, ok)
+	}
+}
+
+func TestForTxnAndBest(t *testing.T) {
+	e, _ := NewEvaluator(testParams(), 32)
+	prof := testProfile(2, 2)
+	// Deadlock-heavy 2PL, clean T/O → T/O must win.
+	pp := ProtocolParams{
+		U2PL: 0.02, U2PLAborted: 0.05, PAbort: 0.5,
+		UTO: 0.008, UTOAborted: 0.004, Pr: 0.0, Pw: 0.0,
+		UPA: 0.012, UPABackoff: 0.006, PBr: 0.2, PBw: 0.3,
+	}
+	vals := ForTxn(e, prof, pp)
+	if got := Best(vals); got != model.TO {
+		t.Fatalf("Best=%v want T/O; vals=%v", got, vals)
+	}
+	// All values positive and finite.
+	for p, v := range vals {
+		if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("protocol %d: bad STL %v", p, v)
+		}
+	}
+}
+
+func TestBestTieBreaksTo2PL(t *testing.T) {
+	if got := Best([3]float64{1, 1, 1}); got != model.TwoPL {
+		t.Fatalf("tie must go to 2PL, got %v", got)
+	}
+}
+
+func TestClampProb(t *testing.T) {
+	if clampProb(math.NaN()) != 0 || clampProb(-1) != 0 {
+		t.Fatal("bad negative/NaN clamp")
+	}
+	if clampProb(1.5) != 0.99 {
+		t.Fatal("bad high clamp")
+	}
+	if clampProb(0.5) != 0.5 {
+		t.Fatal("identity clamp broken")
+	}
+}

@@ -1,0 +1,160 @@
+package stl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEval(t *testing.T, p Params, grid int) *Evaluator {
+	t.Helper()
+	e, err := NewEvaluator(p, grid)
+	if err != nil {
+		t.Fatalf("NewEvaluator: %v", err)
+	}
+	return e
+}
+
+func TestEvaluateSaturation(t *testing.T) {
+	p := Params{LambdaA: 100, LambdaW: 2, LambdaR: 3, Qr: 0.5, K: 4}
+	e := mustEval(t, p, 32)
+	// At or above λA the whole system throughput is lost: STL' = λA·U.
+	for _, loss := range []float64{100, 150, 1e6} {
+		got := e.Evaluate(loss, 0.5)
+		if want := 100 * 0.5; math.Abs(got-want) > 1e-9 {
+			t.Errorf("Evaluate(%v, 0.5) = %v, want %v", loss, got, want)
+		}
+	}
+}
+
+func TestEvaluateZeroHorizonAndLoss(t *testing.T) {
+	p := Params{LambdaA: 100, LambdaW: 2, LambdaR: 3, Qr: 0.5, K: 4}
+	e := mustEval(t, p, 32)
+	if got := e.Evaluate(10, 0); got != 0 {
+		t.Errorf("U=0 must give 0, got %v", got)
+	}
+	if got := e.Evaluate(-1, 1); got != 0 {
+		t.Errorf("negative loss must give 0, got %v", got)
+	}
+}
+
+func TestEvaluateNoAccretion(t *testing.T) {
+	// λnew = 0 (no writes anywhere, Qr = 1): blocking adds nothing, so
+	// STL' = λloss·U exactly.
+	p := Params{LambdaA: 50, LambdaW: 0, LambdaR: 4, Qr: 1, K: 3}
+	e := mustEval(t, p, 32)
+	got := e.Evaluate(10, 0.2)
+	if want := 10 * 0.2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("no-accretion: got %v want %v", got, want)
+	}
+}
+
+func TestEvaluateK1NoBlocking(t *testing.T) {
+	// K=1: a transaction with one request can never also hold a blocked
+	// request, so λblock = 0 and STL' = λloss·U.
+	p := Params{LambdaA: 80, LambdaW: 3, LambdaR: 3, Qr: 0.5, K: 1}
+	e := mustEval(t, p, 64)
+	got := e.Evaluate(8, 0.1)
+	if want := 0.8; math.Abs(got-want) > 1e-6 {
+		t.Errorf("K=1: got %v want %v", got, want)
+	}
+}
+
+func TestEvaluateMonotoneInLoss(t *testing.T) {
+	p := Params{LambdaA: 200, LambdaW: 5, LambdaR: 8, Qr: 0.6, K: 4}
+	e := mustEval(t, p, 48)
+	prev := -1.0
+	for _, loss := range []float64{0, 10, 40, 80, 120, 160, 199} {
+		got := e.Evaluate(loss, 0.05)
+		if got < prev-1e-9 {
+			t.Fatalf("STL' not monotone in λloss at %v: %v < %v", loss, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEvaluateMonotoneInU(t *testing.T) {
+	p := Params{LambdaA: 200, LambdaW: 5, LambdaR: 8, Qr: 0.6, K: 4}
+	e := mustEval(t, p, 48)
+	prev := -1.0
+	for _, u := range []float64{0.001, 0.005, 0.02, 0.1, 0.5} {
+		got := e.Evaluate(30, u)
+		if got < prev-1e-9 {
+			t.Fatalf("STL' not monotone in U at %v: %v < %v", u, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEvaluateBounds(t *testing.T) {
+	// λloss·U ≤ STL' ≤ λA·U for any valid inputs (loss only accretes, and
+	// can never exceed the whole system throughput).
+	p := Params{LambdaA: 150, LambdaW: 4, LambdaR: 6, Qr: 0.6, K: 5}
+	e := mustEval(t, p, 48)
+	f := func(lossRaw, uRaw uint16) bool {
+		loss := float64(lossRaw%150) + 0.5
+		u := 0.001 + float64(uRaw%500)/1000.0
+		got := e.Evaluate(loss, u)
+		return got >= loss*u-1e-6 && got <= p.LambdaA*u+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateGridConvergence(t *testing.T) {
+	p := Params{LambdaA: 400, LambdaW: 4, LambdaR: 6, Qr: 0.6, K: 4}
+	e64 := mustEval(t, p, 64)
+	e256 := mustEval(t, p, 256)
+	for _, loss := range []float64{20, 100, 250} {
+		for _, u := range []float64{0.01, 0.05} {
+			a, b := e64.Evaluate(loss, u), e256.Evaluate(loss, u)
+			if b == 0 {
+				continue
+			}
+			if rel := math.Abs(a-b) / b; rel > 0.02 {
+				t.Errorf("grid 64 vs 256 differ by %.2f%% at (%v,%v)", 100*rel, loss, u)
+			}
+		}
+	}
+}
+
+func TestLambdaBlockProperties(t *testing.T) {
+	p := Params{LambdaA: 100, LambdaW: 2, LambdaR: 2, Qr: 0.5, K: 4}
+	if got := p.LambdaBlock(0); got != 0 {
+		t.Errorf("no loss → no blocking, got %v", got)
+	}
+	if got := p.LambdaBlock(100); got != 0 {
+		t.Errorf("full loss → nothing left to grant, got %v", got)
+	}
+	mid := p.LambdaBlock(50)
+	if mid <= 0 || mid >= 100 {
+		t.Errorf("mid-loss blocking rate out of range: %v", mid)
+	}
+}
+
+func TestLambdaNew(t *testing.T) {
+	p := Params{LambdaA: 100, LambdaW: 3, LambdaR: 10, Qr: 0.75, K: 4}
+	// λnew = λw + (1−Qr)·λr = 3 + 0.25·10 = 5.5
+	if got := p.LambdaNew(); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("LambdaNew = %v want 5.5", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{LambdaA: -1, K: 2},
+		{LambdaA: 1, Qr: 2, K: 2},
+		{LambdaA: 1, Qr: 0.5, K: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	ok := Params{LambdaA: 10, LambdaW: 1, LambdaR: 1, Qr: 0.5, K: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package storage implements the per-site data store: one versioned value
+// per physical copy D_ij. The paper's model (§2) keeps a log per physical
+// item recording the implementation order of operations; the log itself
+// lives in internal/history (it is an observability/correctness artifact),
+// while this package holds the current database state that grants and
+// releases read and write.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"ucc/internal/model"
+)
+
+// Copy is the stored state of one physical data item.
+type Copy struct {
+	ID model.CopyID
+	// Value is the current value.
+	Value int64
+	// Version counts implemented writes (0 = initial value).
+	Version uint64
+	// Writer is the transaction whose write produced Version (zero TxnID for
+	// the initial value).
+	Writer model.TxnID
+}
+
+// Store holds every physical copy resident at one data site.
+type Store struct {
+	site   model.SiteID
+	copies map[model.ItemID]*Copy
+}
+
+// NewStore creates an empty store for a site.
+func NewStore(site model.SiteID) *Store {
+	return &Store{site: site, copies: map[model.ItemID]*Copy{}}
+}
+
+// Site returns the owning site.
+func (s *Store) Site() model.SiteID { return s.site }
+
+// Create places a physical copy of item at this site with an initial value.
+func (s *Store) Create(item model.ItemID, initial int64) {
+	if _, dup := s.copies[item]; dup {
+		panic(fmt.Sprintf("storage: duplicate copy of %v at site %d", item, s.site))
+	}
+	s.copies[item] = &Copy{ID: model.CopyID{Item: item, Site: s.site}, Value: initial}
+}
+
+// Has reports whether this site stores a copy of item.
+func (s *Store) Has(item model.ItemID) bool {
+	_, ok := s.copies[item]
+	return ok
+}
+
+// Read returns the current value and version of item's copy.
+func (s *Store) Read(item model.ItemID) (value int64, version uint64) {
+	c := s.mustGet(item)
+	return c.Value, c.Version
+}
+
+// Write installs a new value for item's copy on behalf of txn and returns
+// the new version.
+func (s *Store) Write(item model.ItemID, txn model.TxnID, value int64) uint64 {
+	c := s.mustGet(item)
+	c.Value = value
+	c.Version++
+	c.Writer = txn
+	return c.Version
+}
+
+// Items returns the item ids stored here in ascending order.
+func (s *Store) Items() []model.ItemID {
+	out := make([]model.ItemID, 0, len(s.copies))
+	for it := range s.copies {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of copies stored here.
+func (s *Store) Len() int { return len(s.copies) }
+
+func (s *Store) mustGet(item model.ItemID) *Copy {
+	c := s.copies[item]
+	if c == nil {
+		panic(fmt.Sprintf("storage: site %d has no copy of %v", s.site, item))
+	}
+	return c
+}
+
+// Catalog maps logical items to the sites holding their physical copies —
+// the system's (static) directory, built once at cluster start.
+type Catalog struct {
+	sites map[model.ItemID][]model.SiteID
+}
+
+// NewCatalog builds a catalog placing each of items 0..items-1 on
+// replicas consecutive data sites chosen round-robin from dataSites.
+func NewCatalog(items int, dataSites []model.SiteID, replicas int) *Catalog {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(dataSites) {
+		replicas = len(dataSites)
+	}
+	c := &Catalog{sites: map[model.ItemID][]model.SiteID{}}
+	for i := 0; i < items; i++ {
+		var at []model.SiteID
+		for r := 0; r < replicas; r++ {
+			at = append(at, dataSites[(i+r)%len(dataSites)])
+		}
+		c.sites[model.ItemID(i)] = at
+	}
+	return c
+}
+
+// Replicas returns the sites holding copies of item (primary first).
+func (c *Catalog) Replicas(item model.ItemID) []model.SiteID {
+	s := c.sites[item]
+	if len(s) == 0 {
+		panic(fmt.Sprintf("storage: no replicas for %v", item))
+	}
+	return s
+}
+
+// Primary returns the first replica site for item; read-one/write-all reads
+// go here (deterministically, so simulations are reproducible).
+func (c *Catalog) Primary(item model.ItemID) model.SiteID { return c.sites[item][0] }
+
+// Items returns the number of logical items.
+func (c *Catalog) Items() int { return len(c.sites) }
+
+// CopiesAt returns the items that have a copy at the given site.
+func (c *Catalog) CopiesAt(site model.SiteID) []model.ItemID {
+	var out []model.ItemID
+	for it, sites := range c.sites {
+		for _, s := range sites {
+			if s == site {
+				out = append(out, it)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,233 @@
+// Package transport carries actor envelopes between processes over TCP with
+// encoding/gob framing, turning the in-process runtime into a real
+// distributed deployment (cmd/uccnode, cmd/uccclient). Connections are
+// per-peer, persistent, and FIFO — the delivery guarantee the protocol
+// assumes and the in-process engines emulate.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+func init() { model.RegisterGob() }
+
+// WireEnvelope is the on-the-wire form of engine.Envelope.
+type WireEnvelope struct {
+	FromKind uint8
+	FromID   int32
+	ToKind   uint8
+	ToID     int32
+	Msg      model.Message
+}
+
+func toWire(e engine.Envelope) WireEnvelope {
+	return WireEnvelope{
+		FromKind: uint8(e.From.Kind), FromID: int32(e.From.ID),
+		ToKind: uint8(e.To.Kind), ToID: int32(e.To.ID),
+		Msg: e.Msg,
+	}
+}
+
+func fromWire(w WireEnvelope) engine.Envelope {
+	return engine.Envelope{
+		From: engine.Addr{Kind: engine.ActorKind(w.FromKind), ID: model.SiteID(w.FromID)},
+		To:   engine.Addr{Kind: engine.ActorKind(w.ToKind), ID: model.SiteID(w.ToID)},
+		Msg:  w.Msg,
+	}
+}
+
+// Topology statically assigns every actor address to a named peer.
+type Topology struct {
+	// Peers maps peer name → TCP address.
+	Peers map[string]string
+	// Assign returns the peer name hosting an actor address.
+	Assign func(engine.Addr) string
+}
+
+// StandardAssign places QM(i)/RI(i)/Driver(i) on peer "site<i>", the
+// deadlock detector on "site0", and the collector (plus anything unknown) on
+// clientPeer — the layout cmd/uccnode and cmd/uccclient use.
+func StandardAssign(clientPeer string) func(engine.Addr) string {
+	return func(a engine.Addr) string {
+		switch a.Kind {
+		case engine.KindQM, engine.KindRI:
+			return fmt.Sprintf("site%d", a.ID)
+		case engine.KindDetector:
+			return "site0"
+		default:
+			return clientPeer
+		}
+	}
+}
+
+// Node connects one process's runtime to the topology.
+type Node struct {
+	self string
+	topo Topology
+	rt   *engine.Runtime
+
+	mu      sync.Mutex
+	conns   map[string]*peerConn
+	inbound map[net.Conn]bool
+	ln      net.Listener
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type peerConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewNode wires rt's uplink into the topology and starts listening on
+// listenAddr (empty string = outbound-only peer, e.g. a client that other
+// peers never dial).
+func NewNode(rt *engine.Runtime, self, listenAddr string, topo Topology) (*Node, error) {
+	if topo.Assign == nil {
+		return nil, fmt.Errorf("transport: topology needs an Assign function")
+	}
+	n := &Node{
+		self: self, topo: topo, rt: rt,
+		conns:   map[string]*peerConn{},
+		inbound: map[net.Conn]bool{},
+	}
+	rt.SetUplink(n.forward)
+	if listenAddr != "" {
+		ln, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+		}
+		n.ln = ln
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// Addr returns the bound listen address (tests pass ":0").
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.inbound[c] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *Node) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		c.Close()
+		n.mu.Lock()
+		delete(n.inbound, c)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var w WireEnvelope
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		n.rt.Inject(fromWire(w))
+	}
+}
+
+// forward routes an envelope produced by the local runtime.
+func (n *Node) forward(env engine.Envelope) {
+	peer := n.topo.Assign(env.To)
+	if peer == n.self {
+		n.rt.Inject(env)
+		return
+	}
+	pc, err := n.conn(peer)
+	if err != nil {
+		return // unreachable peer: the protocol tolerates message loss as a
+		// crashed site; callers see it as a silent drop
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := pc.enc.Encode(toWire(env)); err != nil {
+		pc.c.Close()
+		n.mu.Lock()
+		delete(n.conns, peer)
+		n.mu.Unlock()
+	}
+}
+
+// conn returns (dialing if needed) the persistent connection to peer.
+func (n *Node) conn(peer string) (*peerConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: node closed")
+	}
+	if pc, ok := n.conns[peer]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := n.topo.Peers[peer]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %q", peer)
+	}
+	c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{c: c, enc: gob.NewEncoder(c)}
+	n.mu.Lock()
+	if existing, ok := n.conns[peer]; ok {
+		n.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	n.conns[peer] = pc
+	n.mu.Unlock()
+	return pc, nil
+}
+
+// Close shuts the node down, closing the listener and every outbound and
+// inbound connection (read loops block in Decode until their connection
+// closes, so inbound sockets must be closed too or Close would hang).
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, pc := range n.conns {
+		pc.c.Close()
+	}
+	n.conns = map[string]*peerConn{}
+	for c := range n.inbound {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+type recorder struct {
+	mu   sync.Mutex
+	got  []model.Message
+	done chan struct{}
+	want int
+}
+
+func (r *recorder) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	r.mu.Lock()
+	r.got = append(r.got, msg)
+	if len(r.got) == r.want {
+		close(r.done)
+	}
+	r.mu.Unlock()
+}
+
+type relay struct{ to engine.Addr }
+
+func (s *relay) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	ctx.Send(s.to, msg)
+}
+
+// TestCrossProcessDelivery wires two runtimes over real TCP sockets and
+// checks ordered delivery of typed messages in both directions.
+func TestCrossProcessDelivery(t *testing.T) {
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+
+	// Peer A hosts RI(0)+QM(0); peer B hosts RI(1)+QM(1).
+	assign := func(a engine.Addr) string {
+		return fmt.Sprintf("site%d", a.ID)
+	}
+	topoA := Topology{Peers: map[string]string{}, Assign: assign}
+	nodeA, err := NewNode(rtA, "site0", "127.0.0.1:0", topoA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	topoB := Topology{Peers: map[string]string{"site0": nodeA.Addr()}, Assign: assign}
+	nodeB, err := NewNode(rtB, "site1", "127.0.0.1:0", topoB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	topoA.Peers["site1"] = nodeB.Addr()
+
+	recv := &recorder{done: make(chan struct{}), want: 50}
+	rtA.Register(engine.QMAddr(0), recv)
+	rtB.Register(engine.RIAddr(1), &relay{to: engine.QMAddr(0)})
+
+	// Drive 50 typed messages from B's actor to A's actor over the wire.
+	for i := 0; i < 50; i++ {
+		rtB.Inject(engine.Envelope{
+			From: engine.RIAddr(1), To: engine.RIAddr(1),
+			Msg: model.RequestMsg{
+				Txn:      model.TxnID{Site: 1, Seq: uint64(i)},
+				Protocol: model.PA,
+				Kind:     model.OpWrite,
+				Copy:     model.CopyID{Item: 3, Site: 0},
+				TS:       model.Timestamp(i),
+				Site:     1,
+			},
+		})
+	}
+	select {
+	case <-recv.done:
+	case <-time.After(10 * time.Second):
+		recv.mu.Lock()
+		n := len(recv.got)
+		recv.mu.Unlock()
+		t.Fatalf("timed out: got %d/50", n)
+	}
+	recv.mu.Lock()
+	defer recv.mu.Unlock()
+	for i, m := range recv.got {
+		req, ok := m.(model.RequestMsg)
+		if !ok {
+			t.Fatalf("message %d has type %T", i, m)
+		}
+		if req.Txn.Seq != uint64(i) || req.TS != model.Timestamp(i) {
+			t.Fatalf("order/content broken at %d: %+v", i, req)
+		}
+		if req.Copy != (model.CopyID{Item: 3, Site: 0}) {
+			t.Fatalf("copy id corrupted: %+v", req.Copy)
+		}
+	}
+}
+
+func TestLocalAssignShortCircuits(t *testing.T) {
+	rt := engine.NewRuntime(engine.FixedLatency{}, 1)
+	defer rt.Shutdown()
+	topo := Topology{
+		Peers:  map[string]string{},
+		Assign: func(engine.Addr) string { return "self" },
+	}
+	node, err := NewNode(rt, "self", "", topo) // outbound-only, no listener
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	recv := &recorder{done: make(chan struct{}), want: 1}
+	rt.Register(engine.QMAddr(5), recv)
+	rt.Register(engine.RIAddr(1), &relay{to: engine.QMAddr(5)})
+	rt.Inject(engine.Envelope{From: engine.RIAddr(1), To: engine.RIAddr(1), Msg: model.TickMsg{}})
+	select {
+	case <-recv.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("local short-circuit failed")
+	}
+}
+
+func TestUnknownPeerDropsSilently(t *testing.T) {
+	rt := engine.NewRuntime(engine.FixedLatency{}, 1)
+	defer rt.Shutdown()
+	topo := Topology{
+		Peers:  map[string]string{},
+		Assign: func(engine.Addr) string { return "ghost" },
+	}
+	node, err := NewNode(rt, "self", "", topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	rt.Register(engine.RIAddr(1), &relay{to: engine.QMAddr(5)})
+	rt.Inject(engine.Envelope{From: engine.RIAddr(1), To: engine.RIAddr(1), Msg: model.TickMsg{}})
+	time.Sleep(50 * time.Millisecond) // must not panic or block
+}
+
+func TestStandardAssign(t *testing.T) {
+	f := StandardAssign("client")
+	if f(engine.QMAddr(2)) != "site2" || f(engine.RIAddr(0)) != "site0" {
+		t.Fatal("site assignment wrong")
+	}
+	if f(engine.DetectorAddr()) != "site0" {
+		t.Fatal("detector must live on site0")
+	}
+	if f(engine.CollectorAddr()) != "client" || f(engine.DriverAddr(3)) != "client" {
+		t.Fatal("client-side assignment wrong")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	env := engine.Envelope{
+		From: engine.RIAddr(3),
+		To:   engine.QMAddr(7),
+		Msg:  model.GrantMsg{Txn: model.TxnID{Site: 3, Seq: 9}, Lock: model.SWL, TS: 42},
+	}
+	got := fromWire(toWire(env))
+	if got.From != env.From || got.To != env.To {
+		t.Fatalf("addresses corrupted: %+v", got)
+	}
+	if g, ok := got.Msg.(model.GrantMsg); !ok || g.TS != 42 || g.Lock != model.SWL {
+		t.Fatalf("payload corrupted: %+v", got.Msg)
+	}
+}

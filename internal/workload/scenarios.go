@@ -1,0 +1,130 @@
+package workload
+
+import "fmt"
+
+// Scenario names a reusable workload shape: a per-site Spec generator, so
+// heterogeneous sites (e.g. a reporting site among OLTP sites) are
+// expressible. Scenarios capture the workload archetypes the paper's
+// introduction motivates for dynamic concurrency control.
+type Scenario struct {
+	Name string
+	// PerSite builds the spec for one user site.
+	PerSite func(site int) Spec
+}
+
+// OLTP is a uniform small-transaction update mix: the generic benchmark
+// workload (size 3, 60% reads).
+func OLTP(items int, rate float64) Scenario {
+	return Scenario{
+		Name: "oltp",
+		PerSite: func(int) Spec {
+			return Spec{
+				ArrivalPerSec: rate,
+				Items:         items,
+				Size:          3,
+				ReadFrac:      0.6,
+				ComputeMicros: 1_000,
+				Class:         "oltp",
+			}
+		},
+	}
+}
+
+// Transfers is the banking shape: two-item read-modify-write transactions
+// (debit/credit), no pure reads — the workload where 2PL's single-item
+// superiority disappears and deadlocks become possible.
+func Transfers(accounts int, rate float64) Scenario {
+	return Scenario{
+		Name: "transfers",
+		PerSite: func(int) Spec {
+			return Spec{
+				ArrivalPerSec: rate,
+				Items:         accounts,
+				Size:          2,
+				ReadFrac:      0, // RMW: items land in the write set
+				ComputeMicros: 500,
+				Class:         "transfer",
+			}
+		},
+	}
+}
+
+// FlashSale is the inventory shape: write-heavy traffic concentrated on a
+// few hot items (size 3, 40% reads, 80% of accesses on hotItems).
+func FlashSale(items, hotItems int, rate float64) Scenario {
+	return Scenario{
+		Name: "flash-sale",
+		PerSite: func(int) Spec {
+			return Spec{
+				ArrivalPerSec: rate,
+				Items:         items,
+				Size:          3,
+				ReadFrac:      0.4,
+				Access:        AccessHotspot,
+				HotItems:      hotItems,
+				HotFrac:       0.8,
+				ComputeMicros: 800,
+				Class:         "order",
+			}
+		},
+	}
+}
+
+// MixedAnalytics models one reporting site issuing large read-only
+// transactions among OLTP sites — the individual-differences argument of
+// §1: the reporting transactions want a different protocol than the small
+// updates.
+func MixedAnalytics(items int, oltpRate, reportRate float64) Scenario {
+	return Scenario{
+		Name: "mixed-analytics",
+		PerSite: func(site int) Spec {
+			if site == 0 {
+				return Spec{
+					ArrivalPerSec: reportRate,
+					Items:         items,
+					SizeDist:      SizeUniform,
+					SizeMin:       8,
+					SizeMax:       16,
+					ReadFrac:      1,
+					ComputeMicros: 5_000,
+					Class:         "report",
+				}
+			}
+			return Spec{
+				ArrivalPerSec: oltpRate,
+				Items:         items,
+				Size:          3,
+				ReadFrac:      0.5,
+				ComputeMicros: 1_000,
+				Class:         "oltp",
+			}
+		},
+	}
+}
+
+// Scenarios lists the named scenarios (CLI discovery).
+func Scenarios(items int, rate float64) []Scenario {
+	return []Scenario{
+		OLTP(items, rate),
+		Transfers(items, rate),
+		FlashSale(items, max(1, items/8), rate),
+		MixedAnalytics(items, rate, rate/5),
+	}
+}
+
+// ByName finds a named scenario.
+func ByName(name string, items int, rate float64) (Scenario, error) {
+	for _, s := range Scenarios(items, rate) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q", name)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,261 @@
+// Package workload generates the transaction streams of the paper's
+// evaluation: Poisson arrivals at each user site with configurable
+// transaction size st, read/write mix, access skew, and per-transaction
+// concurrency control protocol shares. One Driver actor runs per user site
+// and feeds that site's Request Issuer.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+// SizeDist selects the transaction-size distribution.
+type SizeDist uint8
+
+const (
+	// SizeFixed: every transaction accesses exactly Size items.
+	SizeFixed SizeDist = iota
+	// SizeUniform: st ~ Uniform[SizeMin, SizeMax].
+	SizeUniform
+	// SizeGeometric: st ~ 1 + Geometric(p) truncated at SizeMax, with mean
+	// targeted at Size.
+	SizeGeometric
+)
+
+// AccessDist selects which items a transaction touches.
+type AccessDist uint8
+
+const (
+	// AccessUniform draws items uniformly without replacement.
+	AccessUniform AccessDist = iota
+	// AccessZipf draws items Zipf(s=ZipfS)-skewed without replacement.
+	AccessZipf
+	// AccessHotspot sends HotFrac of accesses into the first HotItems items.
+	AccessHotspot
+)
+
+// Spec describes one driver's workload.
+type Spec struct {
+	// ArrivalPerSec is the Poisson arrival rate λ at this user site
+	// (transactions per second of engine time).
+	ArrivalPerSec float64
+	// HorizonMicros stops new arrivals after this engine time.
+	HorizonMicros int64
+	// MaxTxns additionally caps the number of arrivals (0 = unlimited).
+	MaxTxns int
+
+	Items int // number of logical items in the database
+
+	SizeDist SizeDist
+	Size     int // SizeFixed: exact; SizeGeometric: mean
+	SizeMin  int // SizeUniform
+	SizeMax  int // SizeUniform / SizeGeometric truncation
+
+	// ReadFrac is the probability each accessed item is read (vs written).
+	ReadFrac float64
+
+	Access   AccessDist
+	ZipfS    float64 // AccessZipf skew (>1)
+	HotItems int     // AccessHotspot
+	HotFrac  float64 // AccessHotspot
+
+	// Protocol shares; they are normalized. A transaction draws its
+	// protocol from this distribution (the dynamic selector, when installed
+	// at the RI, overrides the draw).
+	Share2PL, ShareTO, SharePA float64
+
+	// ComputeMicros is the local computing phase duration per transaction.
+	ComputeMicros int64
+	// Class labels generated transactions (for per-class caching studies).
+	Class string
+}
+
+// Validate fills defaults and checks consistency.
+func (s *Spec) Validate() error {
+	if s.Items <= 0 {
+		return fmt.Errorf("workload: Items must be positive")
+	}
+	if s.ArrivalPerSec <= 0 {
+		return fmt.Errorf("workload: ArrivalPerSec must be positive")
+	}
+	if s.Size <= 0 {
+		s.Size = 4
+	}
+	if s.SizeMin <= 0 {
+		s.SizeMin = 1
+	}
+	if s.SizeMax <= 0 {
+		s.SizeMax = s.Size * 3
+	}
+	if s.SizeMax > s.Items {
+		s.SizeMax = s.Items
+	}
+	if s.Size > s.Items {
+		s.Size = s.Items
+	}
+	if s.ReadFrac < 0 || s.ReadFrac > 1 {
+		return fmt.Errorf("workload: ReadFrac out of range")
+	}
+	if s.Share2PL+s.ShareTO+s.SharePA <= 0 {
+		s.Share2PL = 1
+	}
+	if s.ZipfS <= 1 {
+		s.ZipfS = 1.2
+	}
+	if s.HotItems <= 0 {
+		s.HotItems = s.Items / 10
+		if s.HotItems == 0 {
+			s.HotItems = 1
+		}
+	}
+	if s.HotFrac <= 0 || s.HotFrac > 1 {
+		s.HotFrac = 0.8
+	}
+	return nil
+}
+
+// Driver is the per-user-site workload actor.
+type Driver struct {
+	site    model.SiteID
+	spec    Spec
+	nextSeq uint64
+	count   int
+	stopped bool
+	zipf    *rand.Zipf
+	// Generated counts by protocol (for verification).
+	Generated [3]uint64
+}
+
+// NewDriver builds a driver for one user site. The spec must be validated.
+func NewDriver(site model.SiteID, spec Spec) (*Driver, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Driver{site: site, spec: spec}, nil
+}
+
+// OnMessage implements engine.Actor. The cluster posts the first TickMsg to
+// start the arrival process.
+func (d *Driver) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	switch msg.(type) {
+	case model.TickMsg:
+		d.arrive(ctx)
+	case model.StopMsg:
+		d.stopped = true
+	default:
+		// Drivers ignore everything else.
+	}
+}
+
+func (d *Driver) arrive(ctx engine.Context) {
+	if d.stopped {
+		return
+	}
+	now := ctx.NowMicros()
+	if d.spec.HorizonMicros > 0 && now >= d.spec.HorizonMicros {
+		return
+	}
+	if d.spec.MaxTxns > 0 && d.count >= d.spec.MaxTxns {
+		return
+	}
+	d.count++
+	t := d.generate(ctx.Rand())
+	ctx.Send(engine.RIAddr(d.site), model.SubmitTxnMsg{Txn: t})
+
+	// Schedule the next Poisson arrival.
+	gap := int64(ctx.Rand().ExpFloat64() * 1e6 / d.spec.ArrivalPerSec)
+	if gap < 1 {
+		gap = 1
+	}
+	ctx.SetTimer(gap, model.TickMsg{})
+}
+
+// generate draws one transaction.
+func (d *Driver) generate(rng *rand.Rand) *model.Txn {
+	d.nextSeq++
+	id := model.TxnID{Site: d.site, Seq: d.nextSeq}
+
+	st := d.drawSize(rng)
+	items := d.drawItems(rng, st)
+	var reads, writes []model.ItemID
+	for _, it := range items {
+		if rng.Float64() < d.spec.ReadFrac {
+			reads = append(reads, it)
+		} else {
+			writes = append(writes, it)
+		}
+	}
+	// A transaction must do something; force at least one operation kind to
+	// exist (pure-read and pure-write transactions are both legal).
+	p := d.drawProtocol(rng)
+	d.Generated[p]++
+	t := model.NewTxn(id, p, reads, writes, d.spec.ComputeMicros)
+	t.Class = d.spec.Class
+	return t
+}
+
+func (d *Driver) drawSize(rng *rand.Rand) int {
+	switch d.spec.SizeDist {
+	case SizeUniform:
+		return d.spec.SizeMin + rng.Intn(d.spec.SizeMax-d.spec.SizeMin+1)
+	case SizeGeometric:
+		// Mean of 1+Geom(p) is 1/p; target mean Size.
+		p := 1.0 / float64(d.spec.Size)
+		n := 1
+		for rng.Float64() > p && n < d.spec.SizeMax {
+			n++
+		}
+		return n
+	default:
+		return d.spec.Size
+	}
+}
+
+func (d *Driver) drawItems(rng *rand.Rand, st int) []model.ItemID {
+	seen := map[model.ItemID]bool{}
+	out := make([]model.ItemID, 0, st)
+	guard := 0
+	for len(out) < st {
+		guard++
+		if guard > 100*st && len(out) > 0 {
+			break // pathological skew; accept fewer items
+		}
+		var it model.ItemID
+		switch d.spec.Access {
+		case AccessZipf:
+			if d.zipf == nil {
+				d.zipf = rand.NewZipf(rng, d.spec.ZipfS, 1, uint64(d.spec.Items-1))
+			}
+			it = model.ItemID(d.zipf.Uint64())
+		case AccessHotspot:
+			if rng.Float64() < d.spec.HotFrac {
+				it = model.ItemID(rng.Intn(d.spec.HotItems))
+			} else {
+				it = model.ItemID(d.spec.HotItems + rng.Intn(d.spec.Items-d.spec.HotItems))
+			}
+		default:
+			it = model.ItemID(rng.Intn(d.spec.Items))
+		}
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func (d *Driver) drawProtocol(rng *rand.Rand) model.Protocol {
+	total := d.spec.Share2PL + d.spec.ShareTO + d.spec.SharePA
+	x := rng.Float64() * total
+	if x < d.spec.Share2PL {
+		return model.TwoPL
+	}
+	if x < d.spec.Share2PL+d.spec.ShareTO {
+		return model.TO
+	}
+	return model.PA
+}

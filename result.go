@@ -1,0 +1,98 @@
+package ucc
+
+import (
+	"time"
+
+	"ucc/internal/cluster"
+	"ucc/internal/model"
+	"ucc/internal/selector"
+)
+
+// Result exposes everything measured in one run.
+type Result struct {
+	inner cluster.Result
+	cl    *cluster.Cluster
+	dyn   *selector.Dynamic
+}
+
+// Serializable reports whether the recorded execution passed the conflict
+// graph check (Theorem 1/2). Always available: clusters record history.
+func (r Result) Serializable() bool {
+	return r.inner.Serializability != nil && r.inner.Serializability.Serializable
+}
+
+// SerializationOrder returns a witness serial order over committed
+// transactions (empty if the execution was not serializable).
+func (r Result) SerializationOrder() []TxnID {
+	if r.inner.Serializability == nil {
+		return nil
+	}
+	return r.inner.Serializability.Order
+}
+
+// ConflictCycle returns a witness cycle when the execution is not
+// serializable (nil otherwise). A non-nil result indicates a protocol bug.
+func (r Result) ConflictCycle() []TxnID {
+	if r.inner.Serializability == nil {
+		return nil
+	}
+	return r.inner.Serializability.Cycle
+}
+
+// Committed returns the number of committed transactions.
+func (r Result) Committed() uint64 { return r.inner.Summary.TotalCommitted() }
+
+// Unfinished returns transactions still live after the drain (should be 0).
+func (r Result) Unfinished() int { return r.inner.Unfinished }
+
+// MeanSystemTime is S averaged over every committed transaction.
+func (r Result) MeanSystemTime() time.Duration {
+	return time.Duration(r.inner.Summary.MeanSystemTimeMicros()) * time.Microsecond
+}
+
+// Throughput is committed transactions per second of simulated time.
+func (r Result) Throughput() float64 { return r.inner.Summary.Throughput() }
+
+// ProtocolStats summarizes one protocol's outcomes in a run.
+type ProtocolStats struct {
+	Protocol       Protocol
+	Committed      uint64
+	Restarts       uint64 // T/O rejections
+	DeadlockAborts uint64 // 2PL victim events
+	Backoffs       uint64 // PA backed-off requests
+	MeanSystemTime time.Duration
+	P95SystemTime  time.Duration
+	MeanMessages   float64
+}
+
+// Stats returns per-protocol summaries.
+func (r Result) Stats(p Protocol) ProtocolStats {
+	ps := r.inner.Summary.Protocols[p]
+	return ProtocolStats{
+		Protocol:       p,
+		Committed:      ps.Committed,
+		Restarts:       ps.Rejected,
+		DeadlockAborts: ps.Victims,
+		Backoffs:       ps.BackoffReads + ps.BackoffWrites,
+		MeanSystemTime: time.Duration(ps.SystemTime.Mean()) * time.Microsecond,
+		P95SystemTime:  time.Duration(ps.SystemTimeH.Quantile(0.95)) * time.Microsecond,
+		MeanMessages:   ps.Messages.Mean(),
+	}
+}
+
+// Decisions returns how many transactions the dynamic selector routed to
+// each protocol (zero-valued without DynamicSelection).
+func (r Result) Decisions() (twoPL, to, pa uint64) {
+	if r.dyn == nil {
+		return 0, 0, 0
+	}
+	return r.dyn.Decisions[model.TwoPL], r.dyn.Decisions[model.TO], r.dyn.Decisions[model.PA]
+}
+
+// DeadlockCycles reports how many persistent deadlock cycles the coordinator
+// broke and how many observed cycles contained no 2PL member (Corollary 2
+// says the latter must all have been transient).
+func (r Result) DeadlockCycles() (broken, no2PL uint64) {
+	s := r.cl.Detector.Snapshot()
+	return s.Victims, s.No2PLCycles
+}

@@ -1,0 +1,379 @@
+// Package ucc is a from-scratch Go implementation of the unified
+// concurrency control algorithm of C. P. Wang and Victor O. K. Li (ICDE
+// 1988): a distributed database concurrency control subsystem in which every
+// transaction chooses — or is dynamically assigned — its own protocol among
+// Two-Phase Locking, Basic Timestamp Ordering, and Precedence Agreement,
+// while the system guarantees one conflict-serializable execution across the
+// mix.
+//
+// The package is a facade over the internal engine. A Cluster simulates a
+// multi-site distributed database in deterministic virtual time: each site
+// hosts a Request Issuer and a Data Queue Manager; items may be replicated
+// (read-one/write-all); a coordinator detects 2PL deadlocks; the STL cost
+// model (§5 of the paper) drives optional per-transaction protocol
+// selection.
+//
+// Quick start:
+//
+//	c, _ := ucc.New(ucc.Config{Sites: 3, Items: 64})
+//	c.Workload(ucc.Workload{Rate: 25, Duration: 2 * time.Second, Mix: ucc.Mix{TO: 1}})
+//	res := c.Run()
+//	fmt.Println(res.MeanSystemTime(), res.Serializable())
+//
+// For a real multi-process deployment over TCP, see cmd/uccnode and
+// cmd/uccclient.
+package ucc
+
+import (
+	"fmt"
+	"time"
+
+	"ucc/internal/cluster"
+	"ucc/internal/deadlock"
+	"ucc/internal/engine"
+	"ucc/internal/metrics"
+	"ucc/internal/model"
+	"ucc/internal/qm"
+	"ucc/internal/ri"
+	"ucc/internal/selector"
+	"ucc/internal/workload"
+)
+
+// Protocol selects a member concurrency control algorithm.
+type Protocol = model.Protocol
+
+// The member protocols of the unified scheme.
+const (
+	TwoPL = model.TwoPL // static two-phase locking (deadlock-prone, FCFS)
+	TO    = model.TO    // basic timestamp ordering (restart-prone)
+	PA    = model.PA    // precedence agreement (negotiated, restart-free)
+)
+
+// ItemID names a logical data item.
+type ItemID = model.ItemID
+
+// TxnID identifies a transaction.
+type TxnID = model.TxnID
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Sites is the number of computer sites; each hosts a request issuer
+	// and a queue manager (default 3).
+	Sites int
+	// Items is the number of logical data items (default 64).
+	Items int
+	// Replicas is the number of physical copies per item, placed
+	// round-robin and accessed read-one/write-all (default 1).
+	Replicas int
+	// InitialValue seeds every item (default 0).
+	InitialValue int64
+	// Seed makes the whole run reproducible (default 1).
+	Seed int64
+
+	// NetDelayMin/Max bound the uniformly jittered one-way network delay
+	// (defaults 1ms/3ms). Jitter matters: it is what makes requests arrive
+	// out of timestamp order, exercising T/O rejections and PA back-offs.
+	NetDelayMin time.Duration
+	NetDelayMax time.Duration
+
+	// DeadlockPeriod is the detection probe period for the 2PL member
+	// (default 50ms; 0 disables detection).
+	DeadlockPeriod time.Duration
+	// PAInterval is the back-off interval INT attached to PA transactions
+	// (default 2ms).
+	PAInterval time.Duration
+	// RestartDelay is the mean delay before retrying a rejected or
+	// victimized transaction (default 10ms).
+	RestartDelay time.Duration
+	// SemiLocks selects the §4.2 semi-lock enforcement; disabling it falls
+	// back to the paper's simpler lock-everything unification (default on).
+	DisableSemiLocks bool
+
+	// DynamicSelection installs the min-STL per-transaction protocol
+	// selector (§5.2); transactions' preset protocols are then ignored.
+	DynamicSelection bool
+	// SelectionFallback is used before estimates warm up (default PA).
+	SelectionFallback Protocol
+	// EscalateRestartsToPA switches a T/O transaction to PA after two
+	// rejected attempts (the paper's future-work item §6(4): transactions
+	// changing their concurrency control method). PA cannot be rejected, so
+	// escalation bounds restart storms.
+	EscalateRestartsToPA bool
+}
+
+func (c *Config) fill() {
+	if c.Sites <= 0 {
+		c.Sites = 3
+	}
+	if c.Items <= 0 {
+		c.Items = 64
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NetDelayMin <= 0 {
+		c.NetDelayMin = time.Millisecond
+	}
+	if c.NetDelayMax < c.NetDelayMin {
+		c.NetDelayMax = 3 * time.Millisecond
+	}
+	if c.DeadlockPeriod == 0 {
+		c.DeadlockPeriod = 50 * time.Millisecond
+	}
+	if c.PAInterval <= 0 {
+		c.PAInterval = 2 * time.Millisecond
+	}
+	if c.RestartDelay <= 0 {
+		c.RestartDelay = 10 * time.Millisecond
+	}
+}
+
+// Mix is a protocol share vector for generated workloads.
+type Mix struct {
+	TwoPL, TO, PA float64
+}
+
+// Workload describes one site-spanning generated workload.
+type Workload struct {
+	// Rate is the Poisson arrival rate per site (txn/s; default 20).
+	Rate float64
+	// Duration is how long arrivals continue (default 2s).
+	Duration time.Duration
+	// Size is the number of items per transaction (default 4).
+	Size int
+	// ReadFrac is the probability an accessed item is read (default 0.6).
+	ReadFrac float64
+	// Mix sets the protocol shares (default all-PA). Ignored when the
+	// cluster uses DynamicSelection.
+	Mix Mix
+	// Compute is the local computing phase duration (default 1ms).
+	Compute time.Duration
+	// Hotspot, if >0, sends 80% of accesses to the first Hotspot items.
+	Hotspot int
+}
+
+// Cluster is a wired simulated system.
+type Cluster struct {
+	cfg   Config
+	inner *cluster.Cluster
+	dyn   *selector.Dynamic
+	wl    *Workload
+	seq   uint64
+	ran   bool
+}
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	var dyn *selector.Dynamic
+	var choose ri.ChooseFunc
+	if cfg.DynamicSelection {
+		dyn = selector.NewDynamic(selector.Options{Fallback: cfg.SelectionFallback})
+		choose = dyn.Choose
+	}
+	inner, err := cluster.NewSim(cluster.Config{
+		Sites:        cfg.Sites,
+		Items:        cfg.Items,
+		Replicas:     cfg.Replicas,
+		InitialValue: cfg.InitialValue,
+		Seed:         cfg.Seed,
+		Record:       true,
+		Latency: engine.UniformLatency{
+			MinMicros:   cfg.NetDelayMin.Microseconds(),
+			MaxMicros:   cfg.NetDelayMax.Microseconds(),
+			LocalMicros: 50,
+		},
+		QM: qm.Options{
+			DisableSemiLocks:  cfg.DisableSemiLocks,
+			StatsPeriodMicros: 100_000,
+		},
+		RI: ri.Options{
+			PAIntervalMicros:     model.Timestamp(cfg.PAInterval.Microseconds()),
+			RestartDelayMicros:   cfg.RestartDelay.Microseconds(),
+			DefaultComputeMicros: 1000,
+			SwitchOnRestart:      escalation(cfg.EscalateRestartsToPA),
+		},
+		Detector: deadlock.Options{
+			PeriodMicros:  cfg.DeadlockPeriod.Microseconds(),
+			PersistRounds: 2,
+		},
+		Collector: metrics.CollectorOptions{EstimatePeriodMicros: 100_000},
+		Choose:    choose,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, inner: inner, dyn: dyn}, nil
+}
+
+// Workload attaches a generated workload to every site. Call before Run.
+func (c *Cluster) Workload(w Workload) error {
+	if c.ran {
+		return fmt.Errorf("ucc: cluster already ran")
+	}
+	if w.Rate <= 0 {
+		w.Rate = 20
+	}
+	if w.Duration <= 0 {
+		w.Duration = 2 * time.Second
+	}
+	if w.Size <= 0 {
+		w.Size = 4
+	}
+	if w.ReadFrac == 0 {
+		w.ReadFrac = 0.6
+	}
+	if w.Mix == (Mix{}) {
+		w.Mix = Mix{PA: 1}
+	}
+	if w.Compute <= 0 {
+		w.Compute = time.Millisecond
+	}
+	c.wl = &w
+	spec := workload.Spec{
+		ArrivalPerSec: w.Rate,
+		HorizonMicros: w.Duration.Microseconds(),
+		Items:         c.cfg.Items,
+		Size:          w.Size,
+		ReadFrac:      w.ReadFrac,
+		Share2PL:      w.Mix.TwoPL,
+		ShareTO:       w.Mix.TO,
+		SharePA:       w.Mix.PA,
+		ComputeMicros: w.Compute.Microseconds(),
+	}
+	if w.Hotspot > 0 {
+		spec.Access = workload.AccessHotspot
+		spec.HotItems = w.Hotspot
+		spec.HotFrac = 0.8
+	}
+	for s := 0; s < c.cfg.Sites; s++ {
+		if err := c.inner.AddDriver(model.SiteID(s), spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submit injects one hand-built transaction (see NewTxn). Submitted
+// transactions run alongside any attached workload when Run is called.
+func (c *Cluster) Submit(t *Txn) {
+	c.inner.Submit(t.inner)
+}
+
+// SubmitAt injects a transaction that arrives `at` into the simulated run
+// (Submit arrives at time zero; staggering arrivals gives meaningful system
+// times).
+func (c *Cluster) SubmitAt(t *Txn, at time.Duration) {
+	c.inner.Eng.PostAfter(at.Microseconds(),
+		engineRIAddr(t.inner.ID.Site), model.SubmitTxnMsg{Txn: t.inner})
+}
+
+// NewTxn builds a transaction issued at the given site.
+func (c *Cluster) NewTxn(site int, p Protocol) *Txn {
+	c.seq++
+	return &Txn{
+		cluster: c,
+		inner: &model.Txn{
+			ID:       model.TxnID{Site: model.SiteID(site), Seq: c.seq},
+			Protocol: p,
+		},
+	}
+}
+
+// Run executes everything to quiescence and returns the results.
+func (c *Cluster) Run() Result {
+	c.ran = true
+	horizon := int64(0)
+	if c.wl != nil {
+		horizon = c.wl.Duration.Microseconds()
+	}
+	res := c.inner.Run(horizon, 2_000_000)
+	return Result{inner: res, cl: c.inner, dyn: c.dyn}
+}
+
+// Value returns the current value of an item's primary copy (after Run).
+func (c *Cluster) Value(item ItemID) int64 {
+	primary := c.inner.Catalog.Primary(item)
+	v, _ := c.inner.Stores[primary].Read(item)
+	return v
+}
+
+func engineRIAddr(s model.SiteID) engine.Addr { return engine.RIAddr(s) }
+
+// escalation returns the §6(4) restart-protocol policy: T/O transactions
+// switch to PA after two rejected attempts.
+func escalation(enabled bool) func(model.Protocol, int) model.Protocol {
+	if !enabled {
+		return nil
+	}
+	return func(cur model.Protocol, failedAttempts int) model.Protocol {
+		if cur == model.TO && failedAttempts >= 2 {
+			return model.PA
+		}
+		return cur
+	}
+}
+
+// Txn is a fluent transaction builder.
+type Txn struct {
+	cluster *Cluster
+	inner   *model.Txn
+}
+
+// Read adds items to the read set.
+func (t *Txn) Read(items ...ItemID) *Txn {
+	t.inner.ReadSet = append(t.inner.ReadSet, items...)
+	return t
+}
+
+// Write adds items to the write set (installing pre-image+1 unless a Set or
+// Add spec overrides it).
+func (t *Txn) Write(items ...ItemID) *Txn {
+	t.inner.WriteSet = append(t.inner.WriteSet, items...)
+	return t
+}
+
+// Set makes the write phase install a constant value for item.
+func (t *Txn) Set(item ItemID, value int64) *Txn {
+	t.inner.WriteSet = append(t.inner.WriteSet, item)
+	t.inner.Specs = append(t.inner.Specs, model.WriteSpec{Item: item, AddConst: value})
+	return t
+}
+
+// Add makes the write phase install read(source)+delta for item (transfer
+// and increment patterns).
+func (t *Txn) Add(item ItemID, source ItemID, delta int64) *Txn {
+	t.inner.WriteSet = append(t.inner.WriteSet, item)
+	t.inner.Specs = append(t.inner.Specs, model.WriteSpec{
+		Item: item, UseSource: true, Source: source, AddConst: delta,
+	})
+	return t
+}
+
+// Compute sets the local computing phase duration.
+func (t *Txn) Compute(d time.Duration) *Txn {
+	t.inner.ComputeMicros = d.Microseconds()
+	return t
+}
+
+// Class labels the transaction for per-class STL caching.
+func (t *Txn) Class(name string) *Txn {
+	t.inner.Class = name
+	return t
+}
+
+// Build normalizes the transaction (dedup, overlap → write set) and returns
+// it for Submit.
+func (t *Txn) Build() *Txn {
+	n := model.NewTxn(t.inner.ID, t.inner.Protocol, t.inner.ReadSet, t.inner.WriteSet, t.inner.ComputeMicros)
+	n.Specs = t.inner.Specs
+	n.Class = t.inner.Class
+	t.inner = n
+	return t
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() TxnID { return t.inner.ID }

@@ -1,0 +1,244 @@
+package ucc
+
+import (
+	"testing"
+	"time"
+
+	"ucc/internal/model"
+)
+
+func TestFacadeWorkloadRun(t *testing.T) {
+	c, err := New(Config{Sites: 3, Items: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 30, Duration: 2 * time.Second, Mix: Mix{TwoPL: 1, TO: 1, PA: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if res.Committed() < 100 {
+		t.Fatalf("committed %d", res.Committed())
+	}
+	if !res.Serializable() {
+		t.Fatalf("not serializable: %v", res.ConflictCycle())
+	}
+	if res.Unfinished() != 0 {
+		t.Fatalf("unfinished: %d", res.Unfinished())
+	}
+	if res.MeanSystemTime() <= 0 || res.Throughput() <= 0 {
+		t.Fatal("metrics empty")
+	}
+	if len(res.SerializationOrder()) == 0 {
+		t.Fatal("no witness order")
+	}
+	for _, p := range []Protocol{TwoPL, TO, PA} {
+		if res.Stats(p).Committed == 0 {
+			t.Fatalf("protocol %v committed nothing", p)
+		}
+	}
+}
+
+func TestFacadeHandBuiltTransactions(t *testing.T) {
+	c, err := New(Config{Sites: 2, Items: 8, InitialValue: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 sets item 0 to 100; t2 moves 30 from item 0 to item 1.
+	c.SubmitAt(c.NewTxn(0, TwoPL).Set(0, 100).Build(), 0)
+	c.SubmitAt(c.NewTxn(1, PA).Add(0, 0, -30).Add(1, 1, +30).Build(), 200*time.Millisecond)
+	res := c.Run()
+	if res.Committed() != 2 {
+		t.Fatalf("committed %d", res.Committed())
+	}
+	if !res.Serializable() {
+		t.Fatal("not serializable")
+	}
+	if got := c.Value(0); got != 70 {
+		t.Fatalf("item0 = %d want 70", got)
+	}
+	if got := c.Value(1); got != 40 {
+		t.Fatalf("item1 = %d want 40 (10+30)", got)
+	}
+}
+
+func TestFacadeDynamicSelection(t *testing.T) {
+	c, err := New(Config{
+		Sites: 3, Items: 24, Seed: 4,
+		DynamicSelection:  true,
+		SelectionFallback: PA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{Rate: 25, Duration: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatal("not serializable")
+	}
+	n2, nt, np := res.Decisions()
+	if n2+nt+np == 0 {
+		t.Fatal("selector made no decisions")
+	}
+}
+
+func TestFacadeReplicaConsistency(t *testing.T) {
+	// With write-all replication every replica of every item must hold the
+	// same value once the system quiesces.
+	c, err := New(Config{Sites: 4, Items: 16, Replicas: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 20, Duration: 2 * time.Second, ReadFrac: 0.3, Mix: Mix{TwoPL: 1, TO: 1, PA: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatal("not serializable")
+	}
+	for item := 0; item < 16; item++ {
+		var vals []int64
+		for _, site := range c.inner.Catalog.Replicas(model.ItemID(item)) {
+			v, _ := c.inner.Stores[site].Read(model.ItemID(item))
+			vals = append(vals, v)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[0] {
+				t.Fatalf("item %d replicas diverged: %v", item, vals)
+			}
+		}
+	}
+}
+
+// TestSerializabilityAcrossSeeds is the headline property test: every seed,
+// every mix, every contention level must produce a conflict-serializable
+// execution (Theorem 2), with PA never restarting (Corollary 1).
+func TestSerializabilityAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		cfg := Config{Sites: 4, Items: 10 + int(seed%3)*8, Seed: seed}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Workload(Workload{
+			Rate:     35,
+			Duration: 2 * time.Second,
+			Size:     3 + int(seed%3),
+			ReadFrac: 0.5,
+			Mix:      Mix{TwoPL: 1, TO: 1, PA: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res := c.Run()
+		if !res.Serializable() {
+			t.Fatalf("seed %d: NOT serializable: %v", seed, res.ConflictCycle())
+		}
+		if res.Unfinished() != 0 {
+			t.Errorf("seed %d: %d unfinished", seed, res.Unfinished())
+		}
+		if r := res.Stats(PA).Restarts; r != 0 {
+			t.Errorf("seed %d: PA restarted %d times (Corollary 1)", seed, r)
+		}
+		if v := res.Stats(PA).DeadlockAborts; v != 0 {
+			t.Errorf("seed %d: PA deadlock-aborted %d times (Corollary 1)", seed, v)
+		}
+		if v := res.Stats(TO).DeadlockAborts; v != 0 {
+			t.Errorf("seed %d: T/O deadlock-aborted %d times", seed, v)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.fill()
+	if cfg.Sites != 3 || cfg.Items != 64 || cfg.Replicas != 1 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.NetDelayMin <= 0 || cfg.NetDelayMax < cfg.NetDelayMin {
+		t.Fatal("latency defaults")
+	}
+}
+
+func TestWorkloadAfterRunRejected(t *testing.T) {
+	c, _ := New(Config{Seed: 9, Items: 8})
+	c.Run()
+	if err := c.Workload(Workload{}); err == nil {
+		t.Fatal("Workload after Run must fail")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	// Same seed → byte-identical outcome (commit count, mean S, decisions).
+	run := func() (uint64, time.Duration) {
+		c, err := New(Config{Sites: 3, Items: 24, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Workload(Workload{
+			Rate: 30, Duration: 2 * time.Second, Mix: Mix{TwoPL: 1, TO: 1, PA: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res := c.Run()
+		return res.Committed(), res.MeanSystemTime()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%d, %v) vs (%d, %v)", c1, s1, c2, s2)
+	}
+}
+
+func TestDisableSemiLocks(t *testing.T) {
+	c, err := New(Config{Sites: 3, Items: 16, Seed: 8, DisableSemiLocks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 30, Duration: 2 * time.Second, Mix: Mix{TO: 1}, ReadFrac: 0.6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatal("lock-everything enforcement must still be serializable")
+	}
+	// No pre-scheduled grants can exist in this mode.
+	if got := c.inner.QMTotals().PreGrants; got != 0 {
+		t.Fatalf("pre-scheduled grants in lock-everything mode: %d", got)
+	}
+}
+
+func TestEscalateRestartsToPA(t *testing.T) {
+	c, err := New(Config{
+		Sites: 4, Items: 8, Seed: 31,
+		EscalateRestartsToPA: true,
+		NetDelayMin:          500 * time.Microsecond,
+		NetDelayMax:          8 * time.Millisecond, // heavy jitter → rejections
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 40, Duration: 3 * time.Second, Size: 3, ReadFrac: 0.4, Mix: Mix{TO: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatal("not serializable")
+	}
+	// Escalated transactions commit under PA even though the workload was
+	// generated as pure T/O.
+	if res.Stats(PA).Committed == 0 {
+		t.Skip("no transaction needed escalation at this seed")
+	}
+}
