@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+
+	"ucc/internal/transport"
+)
+
+// parsePeerList parses -peers: at least one site address, index = site id.
+func parsePeerList(csv string) ([]string, error) {
+	peers, err := transport.ParsePeerList(csv)
+	if err != nil {
+		return nil, fmt.Errorf("-peers: %w", err)
+	}
+	return peers, nil
+}
+
+// parseMix parses "a,b,c" protocol shares (2PL, T/O, PA). Shares are
+// relative weights; at least one must be positive.
+func parseMix(s string) ([3]float64, error) {
+	var shares [3]float64
+	if _, err := fmt.Sscanf(s, "%f,%f,%f", &shares[0], &shares[1], &shares[2]); err != nil {
+		return shares, fmt.Errorf("bad -mix %q: %w", s, err)
+	}
+	if shares[0] < 0 || shares[1] < 0 || shares[2] < 0 {
+		return shares, fmt.Errorf("bad -mix %q: negative share", s)
+	}
+	if shares[0]+shares[1]+shares[2] <= 0 {
+		return shares, fmt.Errorf("bad -mix %q: all shares zero", s)
+	}
+	return shares, nil
+}
+
+// clientTopology builds the driving client's view of the cluster: the
+// client itself (collector + drivers) on "client" at listenAddr, site i on
+// peer "site<i>".
+func clientTopology(peers []string, listenAddr string) transport.Topology {
+	return transport.StandardTopology(peers, listenAddr)
+}

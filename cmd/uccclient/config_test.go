@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+func TestParsePeerList(t *testing.T) {
+	peers, err := parsePeerList(":7700, :7701")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != ":7700" || peers[1] != ":7701" {
+		t.Fatalf("parsed %v", peers)
+	}
+	for _, bad := range []string{"", "  ", ":7700,,:7702"} {
+		if _, err := parsePeerList(bad); err == nil {
+			t.Errorf("parsePeerList(%q) accepted bad input", bad)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	shares, err := parseMix("1,2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares != [3]float64{1, 2, 3} {
+		t.Fatalf("parsed %v", shares)
+	}
+	if _, err := parseMix("0,0,1"); err != nil {
+		t.Errorf("single-protocol mix rejected: %v", err)
+	}
+	for _, bad := range []string{"", "1,2", "x,y,z", "0,0,0", "-1,1,1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted bad input", bad)
+		}
+	}
+}
+
+func TestClientTopology(t *testing.T) {
+	topo := clientTopology([]string{":7700", ":7701"}, ":7709")
+	if got := topo.Peers[topo.Assign(engine.CollectorAddr())]; got != ":7709" {
+		t.Errorf("collector at %q, want the client listen address", got)
+	}
+	// Drivers run on the client, their target QM/RI actors on the sites.
+	if got := topo.Peers[topo.Assign(engine.QMAddr(model.SiteID(1)))]; got != ":7701" {
+		t.Errorf("QM 1 at %q", got)
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strings"
 	"time"
 
 	"ucc/internal/engine"
@@ -32,22 +31,15 @@ func main() {
 	)
 	flag.Parse()
 
-	peerList := strings.Split(*sitesCSV, ",")
-	if len(peerList) == 0 || peerList[0] == "" {
-		log.Fatal("uccclient: -peers is required")
+	peerList, err := parsePeerList(*sitesCSV)
+	if err != nil {
+		log.Fatalf("uccclient: %v", err)
 	}
-	var shares [3]float64
-	if _, err := fmt.Sscanf(*mix, "%f,%f,%f", &shares[0], &shares[1], &shares[2]); err != nil {
-		log.Fatalf("uccclient: bad -mix %q: %v", *mix, err)
+	shares, err := parseMix(*mix)
+	if err != nil {
+		log.Fatalf("uccclient: %v", err)
 	}
-
-	topo := transport.Topology{
-		Peers:  map[string]string{"client": *listen},
-		Assign: transport.StandardAssign("client"),
-	}
-	for i, addr := range peerList {
-		topo.Peers[fmt.Sprintf("site%d", i)] = strings.TrimSpace(addr)
-	}
+	topo := clientTopology(peerList, *listen)
 
 	rt := engine.NewRuntime(engine.FixedLatency{}, 42)
 	collector := metrics.NewCollector(metrics.CollectorOptions{})

@@ -12,6 +12,11 @@
 //
 // Every process must agree on -sites/-items/-replicas (they derive the same
 // static catalog).
+//
+// With -data-dir the site journals every committed write to a file-backed
+// write-ahead log (group-committed) and snapshots its partition; after a
+// crash — `kill -9` included — restarting with the same -data-dir rebuilds
+// the partition from snapshot + log replay instead of reinitializing it.
 package main
 
 import (
@@ -20,7 +25,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strings"
+	"path/filepath"
 	"syscall"
 
 	"ucc/internal/deadlock"
@@ -30,6 +35,7 @@ import (
 	"ucc/internal/ri"
 	"ucc/internal/storage"
 	"ucc/internal/transport"
+	"ucc/internal/wal"
 )
 
 func main() {
@@ -45,23 +51,19 @@ func main() {
 		detector = flag.Int64("detector-period-ms", 50, "deadlock detection period (site 0 only)")
 		paInt    = flag.Int64("pa-interval-us", 2000, "PA back-off interval INT (µs)")
 		restart  = flag.Int64("restart-delay-us", 10000, "mean restart delay after rejection/victim (µs)")
+
+		dataDir  = flag.String("data-dir", "", "durability root: write-ahead log + snapshots under <dir>/site<N> (empty = volatile)")
+		gcWindow = flag.Int64("wal-group-commit-us", 0, "group-commit window (µs); 0 (default) syncs each write before exposing it — a nonzero window amortizes syncs but a crash inside it loses writes other sites may have observed")
+		segBytes = flag.Int("wal-segment-bytes", 1<<20, "WAL segment roll threshold")
+		snapN    = flag.Uint64("wal-snapshot-every", 10000, "snapshot + truncate the WAL after this many journaled writes (0 = never)")
 	)
 	flag.Parse()
 
-	peerList := strings.Split(*peers, ",")
-	if len(peerList) != *sites {
-		log.Fatalf("uccnode: -peers must list exactly %d addresses, got %d", *sites, len(peerList))
+	peerList, err := parsePeers(*peers, *sites)
+	if err != nil {
+		log.Fatalf("uccnode: %v", err)
 	}
-	topo := transport.Topology{
-		Peers:  map[string]string{},
-		Assign: transport.StandardAssign("client"),
-	}
-	for i, addr := range peerList {
-		topo.Peers[fmt.Sprintf("site%d", i)] = strings.TrimSpace(addr)
-	}
-	if *client != "" {
-		topo.Peers["client"] = *client
-	}
+	topo := siteTopology(peerList, *client)
 
 	// Build this site's slice of the system. Latency is the real network;
 	// the runtime adds nothing on top.
@@ -78,7 +80,38 @@ func main() {
 	for _, item := range catalog.CopiesAt(self) {
 		store.Create(item, *initial)
 	}
-	mgr := qm.New(self, store, nil, qm.Options{StatsPeriodMicros: 200_000})
+
+	var siteLog *wal.SiteLog
+	if *dataDir != "" {
+		media, err := wal.NewDirMedia(filepath.Join(*dataDir, fmt.Sprintf("site%d", *site)))
+		if err != nil {
+			log.Fatalf("uccnode: %v", err)
+		}
+		siteLog, err = wal.Open(media, store, wal.Options{
+			SegmentBytes:  *segBytes,
+			SnapshotEvery: *snapN,
+			GroupCommit:   true,
+		})
+		if err != nil {
+			log.Fatalf("uccnode: open wal: %v", err)
+		}
+		store.SetJournal(siteLog)
+		if st := siteLog.Stats(); st.Recoveries > 0 {
+			log.Printf("uccnode: site %d recovered %d copies from snapshot, replayed %d WAL records",
+				*site, st.RecoveredCopies, st.Replayed)
+		} else {
+			log.Printf("uccnode: site %d initialized fresh durable partition", *site)
+		}
+	}
+
+	qmOpts := qm.Options{StatsPeriodMicros: 200_000}
+	if siteLog != nil {
+		qmOpts.GroupCommitMicros = *gcWindow
+	}
+	mgr := qm.New(self, store, nil, qmOpts)
+	if siteLog != nil {
+		mgr.SetDurable(siteLog)
+	}
 	rt.Register(engine.QMAddr(self), mgr)
 
 	issuer := ri.New(self, catalog, nil, ri.Options{
@@ -103,8 +136,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("uccnode: %v", err)
 	}
-	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas)",
-		*site, node.Addr(), store.Len(), *sites, *replicas)
+	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas, durability=%v)",
+		*site, node.Addr(), store.Len(), *sites, *replicas, siteLog != nil)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -112,4 +145,11 @@ func main() {
 	log.Printf("uccnode: site %d shutting down", *site)
 	node.Close()
 	rt.Shutdown()
+	if siteLog != nil {
+		// Final sync so a graceful shutdown loses nothing (an unclean one
+		// falls back to snapshot + synced log prefix).
+		if err := siteLog.Flush(); err != nil {
+			log.Printf("uccnode: final wal flush: %v", err)
+		}
+	}
 }

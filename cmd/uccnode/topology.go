@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+
+	"ucc/internal/transport"
+)
+
+// parsePeers parses -peers and enforces the node invariant: exactly one
+// address per site, index = site id.
+func parsePeers(csv string, sites int) ([]string, error) {
+	peers, err := transport.ParsePeerList(csv)
+	if err != nil {
+		return nil, fmt.Errorf("-peers: %w", err)
+	}
+	if len(peers) != sites {
+		return nil, fmt.Errorf("-peers must list exactly %d addresses, got %d", sites, len(peers))
+	}
+	return peers, nil
+}
+
+// siteTopology builds the node's topology; clientAddr may be empty until a
+// client connects inbound.
+func siteTopology(peers []string, clientAddr string) transport.Topology {
+	return transport.StandardTopology(peers, clientAddr)
+}

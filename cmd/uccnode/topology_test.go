@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers(" :7700, :7701,:7702 ", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{":7700", ":7701", ":7702"}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("peer %d = %q, want %q", i, peers[i], want[i])
+		}
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	cases := []struct {
+		csv   string
+		sites int
+	}{
+		{"", 3},                  // missing
+		{":7700,:7701", 3},       // too few
+		{":7700,:7701,:7702", 2}, // too many
+		{":7700,,:7702", 3},      // empty entry
+	}
+	for _, c := range cases {
+		if _, err := parsePeers(c.csv, c.sites); err == nil {
+			t.Errorf("parsePeers(%q, %d) accepted bad input", c.csv, c.sites)
+		}
+	}
+}
+
+func TestSiteTopologyAssignment(t *testing.T) {
+	topo := siteTopology([]string{":7700", ":7701", ":7702"}, ":7709")
+	for i, addr := range []string{":7700", ":7701", ":7702"} {
+		name := topo.Assign(engine.QMAddr(model.SiteID(i)))
+		if got := topo.Peers[name]; got != addr {
+			t.Errorf("QM %d assigned to %q (%s), want %s", i, name, got, addr)
+		}
+		if n2 := topo.Assign(engine.RIAddr(model.SiteID(i))); n2 != name {
+			t.Errorf("RI %d on %q, QM on %q — must be co-resident", i, n2, name)
+		}
+	}
+	// Detector lives on site 0; collector on the client peer.
+	if name := topo.Assign(engine.DetectorAddr()); topo.Peers[name] != ":7700" {
+		t.Errorf("detector assigned to %q", name)
+	}
+	if name := topo.Assign(engine.CollectorAddr()); topo.Peers[name] != ":7709" {
+		t.Errorf("collector assigned to %q", name)
+	}
+}
+
+func TestSiteTopologyWithoutClient(t *testing.T) {
+	topo := siteTopology([]string{":7700"}, "")
+	if _, ok := topo.Peers["client"]; ok {
+		t.Error("client peer registered despite empty address")
+	}
+}

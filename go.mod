@@ -1,0 +1,3 @@
+module ucc
+
+go 1.22

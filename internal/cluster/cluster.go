@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"ucc/internal/deadlock"
 	"ucc/internal/engine"
@@ -17,6 +18,7 @@ import (
 	"ucc/internal/ri"
 	"ucc/internal/sim"
 	"ucc/internal/storage"
+	"ucc/internal/wal"
 	"ucc/internal/workload"
 )
 
@@ -49,6 +51,36 @@ type Config struct {
 
 	// Record enables history recording and serializability checking.
 	Record bool
+
+	// Durability attaches a per-site write-ahead log + snapshots (nil =
+	// volatile sites, the paper's failure-free model). Required for
+	// CrashSite/RecoverSite fault injection.
+	Durability *Durability
+}
+
+// Durability configures the per-site WAL (internal/wal).
+type Durability struct {
+	// Dir, when set, stores each site's log under Dir/site<N> as real files;
+	// empty uses deterministic in-memory media (the simulator's fault
+	// injection, where CrashMsg discards exactly the unsynced bytes).
+	Dir string
+	// SegmentBytes is the log segment roll threshold (default 1 MiB).
+	SegmentBytes int
+	// SnapshotEvery takes a store snapshot and truncates the log after this
+	// many journaled writes (0 disables automatic snapshots).
+	SnapshotEvery uint64
+	// GroupCommitMicros defers WAL syncs by up to this window so writes of
+	// concurrently committing transactions share one sync; zero syncs every
+	// delivery that implemented a write. See qm.Options.GroupCommitMicros.
+	//
+	// CAUTION with CrashSite: writes inside an unexpired window are not yet
+	// durable, and this protocol has no release-ack to gate their effects
+	// on the sync. A crash inside the window therefore loses writes whose
+	// effects other sites already saw — the recovered site diverges from
+	// its replicas. Invariant-checked fault-injection runs must use 0
+	// (sync-per-commit-batch); a nonzero window models the real
+	// throughput/loss tradeoff of group commit without commit-ack gating.
+	GroupCommitMicros int64
 }
 
 // Validate fills defaults.
@@ -95,6 +127,9 @@ type Cluster struct {
 	Issuers  map[model.SiteID]*ri.Issuer
 	Drivers  map[model.SiteID]*workload.Driver
 	Stores   map[model.SiteID]*storage.Store
+	// WALs holds each site's durability pipeline when Config.Durability is
+	// set (site id → site log).
+	WALs map[model.SiteID]*wal.SiteLog
 
 	started bool
 }
@@ -112,6 +147,7 @@ func NewSim(cfg Config) (*Cluster, error) {
 		Issuers:  map[model.SiteID]*ri.Issuer{},
 		Drivers:  map[model.SiteID]*workload.Driver{},
 		Stores:   map[model.SiteID]*storage.Store{},
+		WALs:     map[model.SiteID]*wal.SiteLog{},
 	}
 	if cfg.Record {
 		cl.Recorder = history.NewRecorder()
@@ -123,14 +159,41 @@ func NewSim(cfg Config) (*Cluster, error) {
 	}
 	cl.Catalog = storage.NewCatalog(cfg.Items, sites, cfg.Replicas)
 
-	// Stores + queue managers.
+	// Stores + queue managers (+ per-site durability when configured).
+	if cfg.Durability != nil {
+		cfg.QM.GroupCommitMicros = cfg.Durability.GroupCommitMicros
+	}
 	for _, s := range sites {
 		st := storage.NewStore(s)
 		for _, item := range cl.Catalog.CopiesAt(s) {
 			st.Create(item, cfg.InitialValue)
 		}
 		cl.Stores[s] = st
+		if cfg.Durability != nil {
+			var media wal.Media
+			if cfg.Durability.Dir != "" {
+				m, err := wal.NewDirMedia(filepath.Join(cfg.Durability.Dir, fmt.Sprintf("site%d", s)))
+				if err != nil {
+					return nil, err
+				}
+				media = m
+			} else {
+				media = wal.NewMemMedia()
+			}
+			sl, err := wal.Open(media, st, wal.Options{
+				SegmentBytes:  cfg.Durability.SegmentBytes,
+				SnapshotEvery: cfg.Durability.SnapshotEvery,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: site %d wal: %w", s, err)
+			}
+			st.SetJournal(sl)
+			cl.WALs[s] = sl
+		}
 		mgr := qm.New(s, st, cl.Recorder, cfg.QM)
+		if sl := cl.WALs[s]; sl != nil {
+			mgr.SetDurable(sl)
+		}
 		cl.Managers[s] = mgr
 		eng.Register(engine.QMAddr(s), mgr, cfg.Seed)
 	}
@@ -196,6 +259,21 @@ func (c *Cluster) Start() {
 // Submit injects a single transaction at its issuer (examples/tests).
 func (c *Cluster) Submit(t *model.Txn) {
 	c.Eng.Post(engine.RIAddr(t.ID.Site), model.SubmitTxnMsg{Txn: t})
+}
+
+// CrashSite schedules a site crash atMicros into the virtual future: the
+// site's volatile store and unsynced WAL tail are destroyed; until recovery
+// the site defers every message. Requires Config.Durability. Call before
+// Run (events are scheduled relative to the current virtual time).
+func (c *Cluster) CrashSite(site model.SiteID, atMicros int64) {
+	c.Eng.PostAfter(atMicros, engine.QMAddr(site), model.CrashMsg{})
+}
+
+// RecoverSite schedules the site's recovery atMicros into the virtual
+// future: the store is rebuilt from snapshot + WAL replay and deferred
+// messages are processed in arrival order.
+func (c *Cluster) RecoverSite(site model.SiteID, atMicros int64) {
+	c.Eng.PostAfter(atMicros, engine.QMAddr(site), model.RecoverMsg{})
 }
 
 // Result summarizes one complete run.
@@ -270,6 +348,26 @@ func (c *Cluster) QMTotals() qm.Counters {
 		t.Releases += s.Releases
 		t.Conversion += s.Conversion
 		t.Aborts += s.Aborts
+		t.WALSyncs += s.WALSyncs
+		t.Crashes += s.Crashes
+		t.Recoveries += s.Recoveries
+		t.Deferred += s.Deferred
+	}
+	return t
+}
+
+// WALTotals sums durability counters across sites (zero when durability is
+// disabled).
+func (c *Cluster) WALTotals() wal.Stats {
+	var t wal.Stats
+	for _, sl := range c.WALs {
+		s := sl.Stats()
+		t.Appends += s.Appends
+		t.Syncs += s.Syncs
+		t.Snapshots += s.Snapshots
+		t.Replayed += s.Replayed
+		t.RecoveredCopies += s.RecoveredCopies
+		t.Recoveries += s.Recoveries
 	}
 	return t
 }

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+	"ucc/internal/workload"
+)
+
+// durable returns a recording cluster config with in-memory per-site WALs.
+func durable(seed int64) Config {
+	cfg := base(seed)
+	cfg.Durability = &Durability{SnapshotEvery: 200}
+	return cfg
+}
+
+func addMixedDrivers(t *testing.T, cl *Cluster, arrival float64, horizon int64) {
+	t.Helper()
+	for s := 0; s < cl.Cfg.Sites; s++ {
+		if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: arrival,
+			HorizonMicros: horizon,
+			Items:         cl.Cfg.Items,
+			Size:          3,
+			ReadFrac:      0.5,
+			Share2PL:      1, ShareTO: 1, SharePA: 1,
+			ComputeMicros: 500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashRecoveryMidRun is acceptance criterion (a): a mid-run
+// CrashSite/RecoverSite cycle rebuilds the site's partition from snapshot +
+// WAL replay, and the run still satisfies the serializability and
+// replica-agreement invariants end to end.
+func TestCrashRecoveryMidRun(t *testing.T) {
+	cfg := durable(91)
+	cfg.Items = 24
+	cfg.Replicas = 2
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addMixedDrivers(t, cl, 25, 3_000_000)
+
+	// Crash site 1 at t=1.2s, recover at t=1.5s: a 300ms outage in the
+	// middle of the workload.
+	cl.CrashSite(1, 1_200_000)
+	cl.RecoverSite(1, 1_500_000)
+
+	res := cl.Run(3_000_000, 8_000_000)
+	checkRun(t, "crash-recovery", res, 150)
+
+	qt := cl.QMTotals()
+	if qt.Crashes != 1 || qt.Recoveries != 1 {
+		t.Fatalf("crashes=%d recoveries=%d, want 1/1", qt.Crashes, qt.Recoveries)
+	}
+	if qt.Deferred == 0 {
+		t.Error("no messages arrived during the outage; the test exercised nothing")
+	}
+	wt := cl.WALTotals()
+	if wt.Recoveries != 1 {
+		t.Errorf("wal recoveries = %d, want 1", wt.Recoveries)
+	}
+	if wt.RecoveredCopies == 0 {
+		t.Error("recovery restored no copies from the snapshot")
+	}
+	if cl.Managers[1].Down() {
+		t.Fatal("site 1 still down after recovery")
+	}
+
+	// Replica agreement: the recovered site's copies converge with the
+	// surviving replicas once the run quiesces.
+	for item := 0; item < cfg.Items; item++ {
+		var vals []int64
+		for _, site := range cl.Catalog.Replicas(model.ItemID(item)) {
+			v, _ := cl.Stores[site].Read(model.ItemID(item))
+			vals = append(vals, v)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[0] {
+				t.Fatalf("item %d replicas diverged after recovery: %v", item, vals)
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryPreservesExactState verifies the recovery path rebuilds
+// the crashed site's partition bit-for-bit: every surviving copy must carry
+// the exact value, version, and writer it had when the WAL was last synced.
+func TestCrashRecoveryPreservesExactState(t *testing.T) {
+	cfg := durable(17)
+	cfg.Items = 16
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addMixedDrivers(t, cl, 30, 1_000_000)
+
+	// Run the workload for 1s and drain, then crash/recover in a second
+	// phase with no concurrent traffic: recovery must reproduce the
+	// quiesced store exactly.
+	cl.Run(1_000_000, 6_000_000)
+	st := cl.Stores[2]
+	want := st.Copies()
+	if func() bool {
+		for _, c := range want {
+			if c.Version > 0 {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("site 2 saw no writes; nothing to recover")
+	}
+
+	cl.Eng.Post(engine.QMAddr(2), model.CrashMsg{})
+	cl.Eng.Post(engine.QMAddr(2), model.RecoverMsg{})
+	cl.Eng.Drain(10_000)
+
+	got := st.Copies()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d copies, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("copy %d: recovered %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGroupCommitBatchesInSim: with a group-commit window, one WAL sync
+// covers the writes of many concurrently committing transactions — syncs
+// must come out well under both the append count and the commit count.
+func TestGroupCommitBatchesInSim(t *testing.T) {
+	writeHeavy := func(cl *Cluster) {
+		for s := 0; s < cl.Cfg.Sites; s++ {
+			if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+				ArrivalPerSec: 60,
+				HorizonMicros: 2_000_000,
+				Items:         cl.Cfg.Items,
+				Size:          3,
+				ReadFrac:      0.2, // commit-heavy: most operations journal
+				SharePA:       1,   // PA never restarts, so commits flow steadily
+				ComputeMicros: 500,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cfg := durable(23)
+	cfg.Durability.GroupCommitMicros = 20_000
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeHeavy(cl)
+	res := cl.Run(2_000_000, 6_000_000)
+	checkRun(t, "group-commit", res, 200)
+
+	wt := cl.WALTotals()
+	qt := cl.QMTotals()
+	if wt.Appends == 0 {
+		t.Fatal("no writes journaled")
+	}
+	if qt.WALSyncs == 0 {
+		t.Fatal("no WAL syncs")
+	}
+	if qt.WALSyncs*2 > wt.Appends {
+		t.Errorf("group commit barely batched: %d syncs for %d journaled writes",
+			qt.WALSyncs, wt.Appends)
+	}
+	t.Logf("group commit: %d journaled writes in %d syncs (%.1f writes/sync)",
+		wt.Appends, qt.WALSyncs, float64(wt.Appends)/float64(qt.WALSyncs))
+
+	// Against the no-window policy on the same seed/workload, the window
+	// must reduce syncs.
+	cfg2 := durable(23)
+	cl2, err := NewSim(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeHeavy(cl2)
+	cl2.Run(2_000_000, 6_000_000)
+	if base := cl2.QMTotals().WALSyncs; qt.WALSyncs >= base {
+		t.Errorf("window did not reduce syncs: %d with window vs %d without",
+			qt.WALSyncs, base)
+	}
+}

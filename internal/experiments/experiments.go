@@ -71,6 +71,7 @@ func All() []Experiment {
 		{ID: "EXP-6", Title: "Dynamic min-STL selection", Claim: "choosing the protocol that minimizes STL per transaction matches or beats the best static choice across the load range", Run: Exp6},
 		{ID: "EXP-7", Title: "STL' evaluation and ranking accuracy", Claim: "STL' is efficiently computable by dynamic programming and its protocol ranking tracks the measured ranking", Run: Exp7},
 		{ID: "EXP-8", Title: "Workload archetypes: static vs dynamic", Claim: "'the best concurrency control algorithm' is transaction dependent (§1); the selector's chosen mix differs per workload shape", Run: Exp8},
+		{ID: "EXP-9", Title: "Site crash, WAL recovery, and group commit", Claim: "beyond the paper: a crashed site rebuilds its partition from snapshot + checksummed log tail; serializability and replica agreement survive the outage; group commit amortizes sync cost across concurrently committing transactions", Run: Exp9},
 		{ID: "ABL-1", Title: "Semi-locks vs lock-everything", Claim: "the semi-lock protocol preserves T/O's concurrency; the simpler all-locking unification sacrifices it", Run: Abl1},
 		{ID: "ABL-2", Title: "PA back-off interval sensitivity", Claim: "the INT back-off granularity trades spurious waiting against re-negotiation positioning", Run: Abl2},
 		{ID: "ABL-3", Title: "Deadlock detection period sensitivity", Claim: "2PL's system time under contention is dominated by detection latency", Run: Abl3},

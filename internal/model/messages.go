@@ -277,6 +277,24 @@ type RestartMsg struct {
 // StopMsg asks an actor to cease scheduling further work (workload drivers).
 type StopMsg struct{}
 
+// ---------------------------------------------------------------------------
+// Durability / fault-injection plane
+// ---------------------------------------------------------------------------
+
+// CrashMsg injects a site crash at a queue manager: its volatile store and
+// any unsynced write-ahead-log tail are destroyed. The durable media
+// (snapshot + synced log prefix) survives for RecoverMsg. Simulation only.
+type CrashMsg struct{}
+
+// RecoverMsg brings a crashed queue manager back: the store is rebuilt from
+// snapshot + log replay, and messages that arrived during the outage are
+// then processed in arrival order.
+type RecoverMsg struct{}
+
+// FlushMsg is a queue-manager-internal group-commit timer: journaled writes
+// accumulated during the window are made durable with one sync.
+type FlushMsg struct{}
+
 func (RequestMsg) isMessage()     {}
 func (FinalTSMsg) isMessage()     {}
 func (ReleaseMsg) isMessage()     {}
@@ -294,6 +312,9 @@ func (TickMsg) isMessage()        {}
 func (ComputeDoneMsg) isMessage() {}
 func (RestartMsg) isMessage()     {}
 func (StopMsg) isMessage()        {}
+func (CrashMsg) isMessage()       {}
+func (RecoverMsg) isMessage()     {}
+func (FlushMsg) isMessage()       {}
 
 // RegisterGob registers all message types with encoding/gob for the TCP
 // transport. Safe to call multiple times.
@@ -317,6 +338,9 @@ func RegisterGob() {
 	gob.Register(StopMsg{})
 	gob.Register(QueueStatsMsg{})
 	gob.Register(EstimateMsg{})
+	gob.Register(CrashMsg{})
+	gob.Register(RecoverMsg{})
+	gob.Register(FlushMsg{})
 	gob.Register(&Txn{})
 }
 

@@ -20,6 +20,15 @@ type Options struct {
 	// StatsPeriodMicros, when positive, makes the manager push cumulative
 	// per-item grant counters to the collector on this period.
 	StatsPeriodMicros int64
+	// GroupCommitMicros, when positive and a Durable is attached, defers
+	// WAL syncs by up to this window so writes implemented by concurrently
+	// committing transactions share one sync (group commit). Zero syncs a
+	// write immediately after it is implemented, before any grant exposing
+	// it is sent — the write-ahead ordering a crash cannot violate. The
+	// window trades that guarantee for fewer syncs: writes inside an
+	// unexpired window are lost by a crash even though their effects may
+	// already have been observed elsewhere.
+	GroupCommitMicros int64
 }
 
 // DefaultOptions returns the production configuration.
@@ -39,6 +48,21 @@ type Counters struct {
 	Releases   uint64
 	Conversion uint64 // lock → semi-lock conversions
 	Aborts     uint64
+	WALSyncs   uint64 // durable flushes of the site's write-ahead log
+	Crashes    uint64 // injected site crashes
+	Recoveries uint64 // completed crash recoveries
+	Deferred   uint64 // messages queued while the site was down
+}
+
+// Durable is the durability subsystem a manager drives (internal/wal's
+// SiteLog): Flush makes every journaled write durable; Crash and Recover
+// implement simulated fault injection. The manager journals nothing itself —
+// the store's Journal hook does — it only decides when to sync and how a
+// crashed site behaves.
+type Durable interface {
+	Flush() error
+	Crash()
+	Recover() error
 }
 
 // Manager is the queue-manager actor for one data site: it owns the site's
@@ -52,6 +76,20 @@ type Manager struct {
 	opts     Options
 	queues   map[model.ItemID]*dataQueue
 	counters Counters
+
+	// Durability state (nil dur = volatile site, the pre-WAL behaviour).
+	dur        Durable
+	dirty      bool // journaled writes await a sync
+	flushArmed bool // a group-commit FlushMsg timer is pending
+	down       bool // crashed: volatile state lost, messages deferred
+	deferred   []pendingMsg
+}
+
+// pendingMsg is a message that arrived while the site was down; it is
+// processed in arrival order at recovery.
+type pendingMsg struct {
+	from engine.Addr
+	msg  model.Message
 }
 
 // New creates the manager for a site. Every item already present in store
@@ -72,6 +110,23 @@ func New(site model.SiteID, store *storage.Store, recorder *history.Recorder, op
 
 // Site returns the manager's site id.
 func (m *Manager) Site() model.SiteID { return m.site }
+
+// SetDurable attaches the durability subsystem. Call before the engine
+// starts delivering messages. The store's Journal hook must be attached
+// separately (storage.Store.SetJournal) — the manager only schedules syncs
+// and drives crash/recovery.
+func (m *Manager) SetDurable(d Durable) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dur = d
+}
+
+// Down reports whether the site is currently crashed (tests).
+func (m *Manager) Down() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
 
 // Snapshot returns the current counter values. Safe to call concurrently
 // with message handling.
@@ -112,6 +167,30 @@ func (m *Manager) QueueDepth(item model.ItemID) int {
 func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		// The site is crashed. Recovery brings it back; everything else
+		// waits (durable message queues redeliver after a restart — the
+		// simulation's stand-in for the transport's reconnect-and-resend).
+		if _, ok := msg.(model.RecoverMsg); ok {
+			m.onRecover(ctx)
+		} else {
+			// Deferred counts real protocol traffic held back by the
+			// outage; the site's own timers (stats ticks, group-commit
+			// flushes) are deferred too but are not traffic.
+			switch msg.(type) {
+			case model.TickMsg, model.FlushMsg, model.StopMsg:
+			default:
+				m.counters.Deferred++
+			}
+			m.deferred = append(m.deferred, pendingMsg{from: from, msg: msg})
+		}
+		return
+	}
+	m.handle(ctx, from, msg)
+	m.maybeFlush(ctx)
+}
+
+func (m *Manager) handle(ctx engine.Context, from engine.Addr, msg model.Message) {
 	switch v := msg.(type) {
 	case model.RequestMsg:
 		m.onRequest(ctx, v)
@@ -125,11 +204,90 @@ func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 		m.onProbe(ctx, from, v)
 	case model.TickMsg:
 		m.onStatsTick(ctx)
+	case model.FlushMsg:
+		m.onFlushTimer()
+	case model.CrashMsg:
+		m.onCrash()
+	case model.RecoverMsg:
+		// Already up: stale recovery for an outage that never happened.
 	case model.StopMsg:
 		m.opts.StatsPeriodMicros = 0 // stop re-arming the stats timer
 	default:
 		panic(fmt.Sprintf("qm: site %d: unexpected message %T", m.site, msg))
 	}
+}
+
+// maybeFlush is the commit-path durability policy, run after every handled
+// message: with no group-commit window the writes this delivery implemented
+// are synced now (one sync per delivery, already batched across a
+// transaction's co-resident copies); with a window, the sync is deferred to
+// a FlushMsg timer so concurrently committing transactions share it.
+func (m *Manager) maybeFlush(ctx engine.Context) {
+	if !m.dirty || m.dur == nil {
+		return
+	}
+	if m.opts.GroupCommitMicros > 0 {
+		if !m.flushArmed {
+			m.flushArmed = true
+			ctx.SetTimer(m.opts.GroupCommitMicros, model.FlushMsg{})
+		}
+		return
+	}
+	m.flushNow()
+}
+
+func (m *Manager) onFlushTimer() {
+	m.flushArmed = false
+	if m.dirty && m.dur != nil {
+		m.flushNow()
+	}
+}
+
+func (m *Manager) flushNow() {
+	if err := m.dur.Flush(); err != nil {
+		// Losing the WAL means losing the durability contract; there is no
+		// meaningful way to continue serving writes.
+		panic(fmt.Sprintf("qm: site %d: wal flush: %v", m.site, err))
+	}
+	m.dirty = false
+	m.counters.WALSyncs++
+}
+
+// onCrash injects a site crash (CrashMsg, simulation only): the volatile
+// store and the unsynced WAL tail are destroyed; the synced prefix and
+// snapshot survive on the durable media. Until RecoverMsg arrives the site
+// defers every message.
+func (m *Manager) onCrash() {
+	if m.dur == nil {
+		panic(fmt.Sprintf("qm: site %d: CrashMsg without durability configured", m.site))
+	}
+	m.down = true
+	m.dirty = false
+	m.flushArmed = false
+	m.store.Wipe()
+	m.dur.Crash()
+	m.counters.Crashes++
+}
+
+// onRecover rebuilds the store from snapshot + WAL replay and then processes
+// the messages that queued up during the outage, in arrival order.
+func (m *Manager) onRecover(ctx engine.Context) {
+	if err := m.dur.Recover(); err != nil {
+		panic(fmt.Sprintf("qm: site %d: recovery failed: %v", m.site, err))
+	}
+	m.down = false
+	m.counters.Recoveries++
+	for len(m.deferred) > 0 {
+		p := m.deferred[0]
+		m.deferred = m.deferred[1:]
+		m.handle(ctx, p.from, p.msg)
+		if m.down {
+			// Crashed again while draining; the rest stays deferred.
+			return
+		}
+	}
+	m.deferred = nil
+	m.maybeFlush(ctx)
 }
 
 // onStatsTick pushes the cumulative per-item grant counters to the metrics
@@ -231,6 +389,11 @@ func (m *Manager) onRelease(ctx engine.Context, v model.ReleaseMsg) {
 			q.toSemi(e)
 			m.counters.Conversion++
 		}
+		// Sync before dispatch: the grants dispatch sends carry the value
+		// just implemented, and on the real runtime they hit the wire
+		// before OnMessage returns — a write another site observed must
+		// not be lost by a crash.
+		m.maybeFlush(ctx)
 		m.dispatch(ctx, q)
 		return
 	}
@@ -241,6 +404,7 @@ func (m *Manager) onRelease(ctx engine.Context, v model.ReleaseMsg) {
 	}
 	q.remove(e)
 	m.counters.Releases++
+	m.maybeFlush(ctx) // before dispatch exposes the write (see above)
 	m.dispatch(ctx, q)
 }
 
@@ -249,7 +413,8 @@ func (m *Manager) implement(e *entry, v model.ReleaseMsg) {
 	c := model.CopyID{Item: v.Copy.Item, Site: m.site}
 	if e.kind == model.OpWrite {
 		if v.HasWrite {
-			m.store.Write(v.Copy.Item, e.txn, v.Value)
+			m.store.Write(v.Copy.Item, e.txn, v.Value) // journaled via the store's hook
+			m.dirty = true
 		}
 		if m.recorder != nil {
 			m.recorder.Implemented(c, e.txn, model.OpWrite)

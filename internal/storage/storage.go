@@ -25,10 +25,19 @@ type Copy struct {
 	Writer model.TxnID
 }
 
+// Journal is the durability hook: when attached, every implemented Write is
+// reported before the Store returns, so a write-ahead log (internal/wal) can
+// journal it. Recovery-path installs (Restore, Apply) bypass the journal —
+// they re-apply history that is already durable.
+type Journal interface {
+	RecordWrite(item model.ItemID, txn model.TxnID, value int64, version uint64)
+}
+
 // Store holds every physical copy resident at one data site.
 type Store struct {
-	site   model.SiteID
-	copies map[model.ItemID]*Copy
+	site    model.SiteID
+	copies  map[model.ItemID]*Copy
+	journal Journal
 }
 
 // NewStore creates an empty store for a site.
@@ -38,6 +47,9 @@ func NewStore(site model.SiteID) *Store {
 
 // Site returns the owning site.
 func (s *Store) Site() model.SiteID { return s.site }
+
+// SetJournal attaches (or detaches, with nil) the durability hook.
+func (s *Store) SetJournal(j Journal) { s.journal = j }
 
 // Create places a physical copy of item at this site with an initial value.
 func (s *Store) Create(item model.ItemID, initial int64) {
@@ -66,6 +78,9 @@ func (s *Store) Write(item model.ItemID, txn model.TxnID, value int64) uint64 {
 	c.Value = value
 	c.Version++
 	c.Writer = txn
+	if s.journal != nil {
+		s.journal.RecordWrite(item, txn, value, c.Version)
+	}
 	return c.Version
 }
 
@@ -81,6 +96,40 @@ func (s *Store) Items() []model.ItemID {
 
 // Len returns the number of copies stored here.
 func (s *Store) Len() int { return len(s.copies) }
+
+// Copies returns a value snapshot of every physical copy, ascending by item
+// (the input to a durability snapshot).
+func (s *Store) Copies() []Copy {
+	out := make([]Copy, 0, len(s.copies))
+	for _, item := range s.Items() {
+		out = append(out, *s.copies[item])
+	}
+	return out
+}
+
+// Wipe drops every copy: the volatile-state loss of a site crash. The store
+// keeps its identity (queue managers hold a pointer) and is rebuilt through
+// Restore/Apply during recovery.
+func (s *Store) Wipe() {
+	s.copies = map[model.ItemID]*Copy{}
+}
+
+// Restore installs a copy verbatim from a durability snapshot, bypassing the
+// journal.
+func (s *Store) Restore(c Copy) {
+	cc := c
+	s.copies[c.ID.Item] = &cc
+}
+
+// Apply re-installs one replayed journaled write verbatim (exact version,
+// no journal hook). The copy must exist — every copy is present in the
+// snapshot recovery starts from.
+func (s *Store) Apply(item model.ItemID, txn model.TxnID, value int64, version uint64) {
+	c := s.mustGet(item)
+	c.Value = value
+	c.Version = version
+	c.Writer = txn
+}
 
 func (s *Store) mustGet(item model.ItemID) *Copy {
 	c := s.copies[item]

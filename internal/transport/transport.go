@@ -9,6 +9,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,6 +50,42 @@ type Topology struct {
 	Peers map[string]string
 	// Assign returns the peer name hosting an actor address.
 	Assign func(engine.Addr) string
+}
+
+// ParsePeerList splits a comma-separated site address list (index = site
+// id): at least one entry, none empty, whitespace trimmed.
+func ParsePeerList(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, fmt.Errorf("transport: peer list is empty")
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("transport: peer list entry %d is empty", i)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// StandardTopology builds the topology cmd/uccnode and cmd/uccclient share:
+// site i's actors on peer "site<i>", the collector (plus drivers and
+// anything unknown) on "client". clientAddr may be empty for a node that
+// has not yet learned the client's address (the client connects inbound).
+func StandardTopology(peers []string, clientAddr string) Topology {
+	topo := Topology{
+		Peers:  map[string]string{},
+		Assign: StandardAssign("client"),
+	}
+	for i, addr := range peers {
+		topo.Peers[fmt.Sprintf("site%d", i)] = addr
+	}
+	if clientAddr != "" {
+		topo.Peers["client"] = clientAddr
+	}
+	return topo
 }
 
 // StandardAssign places QM(i)/RI(i)/Driver(i) on peer "site<i>", the
@@ -158,24 +195,34 @@ func (n *Node) readLoop(c net.Conn) {
 	}
 }
 
-// forward routes an envelope produced by the local runtime.
+// forward routes an envelope produced by the local runtime. A send that
+// fails on a stale connection (the peer crashed and restarted since the
+// dial) is retried once on a fresh dial: without retransmission in the
+// protocol, a single lost request would leave its transaction hung holding
+// locks for the rest of the run. A peer that is genuinely down still drops
+// the message — the protocol tolerates that as a crashed site.
 func (n *Node) forward(env engine.Envelope) {
 	peer := n.topo.Assign(env.To)
 	if peer == n.self {
 		n.rt.Inject(env)
 		return
 	}
-	pc, err := n.conn(peer)
-	if err != nil {
-		return // unreachable peer: the protocol tolerates message loss as a
-		// crashed site; callers see it as a silent drop
-	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if err := pc.enc.Encode(toWire(env)); err != nil {
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, err := n.conn(peer)
+		if err != nil {
+			return // unreachable peer
+		}
+		pc.mu.Lock()
+		err = pc.enc.Encode(toWire(env))
+		pc.mu.Unlock()
+		if err == nil {
+			return
+		}
 		pc.c.Close()
 		n.mu.Lock()
-		delete(n.conns, peer)
+		if n.conns[peer] == pc {
+			delete(n.conns, peer)
+		}
 		n.mu.Unlock()
 	}
 }
@@ -202,14 +249,44 @@ func (n *Node) conn(peer string) (*peerConn, error) {
 	}
 	pc := &peerConn{c: c, enc: gob.NewEncoder(c)}
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("transport: node closed")
+	}
 	if existing, ok := n.conns[peer]; ok {
 		n.mu.Unlock()
 		c.Close()
 		return existing, nil
 	}
 	n.conns[peer] = pc
+	// Outbound connections carry no inbound traffic (each peer sends on its
+	// own dials), so a blocked read detects the peer closing — crash or
+	// restart — the moment it happens. Without it, writes into a dead
+	// connection keep "succeeding" until the kernel surfaces the RST,
+	// silently losing every message in between.
+	n.wg.Add(1)
+	go n.drainLoop(peer, pc)
 	n.mu.Unlock()
 	return pc, nil
+}
+
+// drainLoop blocks reading an outbound connection; EOF/RST retires it so the
+// next forward redials the (possibly restarted) peer.
+func (n *Node) drainLoop(peer string, pc *peerConn) {
+	defer n.wg.Done()
+	buf := make([]byte, 256)
+	for {
+		if _, err := pc.c.Read(buf); err != nil {
+			break
+		}
+	}
+	pc.c.Close()
+	n.mu.Lock()
+	if n.conns[peer] == pc {
+		delete(n.conns, peer)
+	}
+	n.mu.Unlock()
 }
 
 // Close shuts the node down, closing the listener and every outbound and

@@ -1,0 +1,244 @@
+// Package wal is the durability subsystem: an append-only, checksummed,
+// segmented write-ahead log of implemented writes plus periodic snapshots of
+// a site's storage.Store, and a recovery path that reconstructs the store
+// from the newest valid snapshot and the checksummed log tail.
+//
+// The paper's model (§2) assumes failure-free sites; this package lifts that
+// assumption so the system — and the simulator — can express site crashes.
+// The log is layered over a Media abstraction with two implementations: a
+// directory of real files (cmd/uccnode, `kill -9` recovery) and a
+// deterministic in-memory medium (simulated fault injection, where a crash
+// discards exactly the bytes that were never synced).
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Media is the byte store under a write-ahead log: a flat namespace of
+// append-written objects (log segments and snapshots). Names returned by
+// List are sorted lexicographically, which the log's naming scheme makes
+// chronological.
+type Media interface {
+	// List returns every stored object name in lexicographic order.
+	List() ([]string, error)
+	// ReadAll returns an object's full contents.
+	ReadAll(name string) ([]byte, error)
+	// Create starts a new object. Writes reach durable storage only after
+	// Sync; a crash may lose anything unsynced (or tear a partial write).
+	Create(name string) (Writer, error)
+	// Remove deletes an object (log truncation after a snapshot).
+	Remove(name string) error
+}
+
+// Writer is an append-only handle to one media object.
+type Writer interface {
+	io.Writer
+	// Sync makes everything written so far durable.
+	Sync() error
+	// Close releases the handle. Close does not imply Sync.
+	Close() error
+}
+
+// Crasher is implemented by media that can simulate a power cut: everything
+// not yet synced is discarded. DirMedia does not implement it — for files
+// the crash is the real process dying.
+type Crasher interface {
+	Crash()
+}
+
+// ---------------------------------------------------------------------------
+// DirMedia: one directory of real files
+// ---------------------------------------------------------------------------
+
+// DirMedia stores objects as files in one directory.
+type DirMedia struct {
+	dir string
+}
+
+// NewDirMedia creates (if needed) and opens a directory medium.
+func NewDirMedia(dir string) (*DirMedia, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: media dir: %w", err)
+	}
+	return &DirMedia{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (m *DirMedia) Dir() string { return m.dir }
+
+// List implements Media.
+func (m *DirMedia) List() ([]string, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReadAll implements Media.
+func (m *DirMedia) ReadAll(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(m.dir, name))
+}
+
+// Create implements Media. The directory is fsynced so the new entry is
+// durable before any content is: a power cut must never persist the later
+// removal of a superseded snapshot while losing its replacement's entry.
+func (m *DirMedia) Create(name string) (Writer, error) {
+	f, err := os.OpenFile(filepath.Join(m.dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Remove implements Media. The unlink is made durable with a directory
+// fsync — callers remove objects only once their replacement is durable.
+func (m *DirMedia) Remove(name string) error {
+	if err := os.Remove(filepath.Join(m.dir, name)); err != nil {
+		return err
+	}
+	return m.syncDir()
+}
+
+func (m *DirMedia) syncDir() error {
+	d, err := os.Open(m.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ---------------------------------------------------------------------------
+// MemMedia: deterministic in-memory medium for the simulator
+// ---------------------------------------------------------------------------
+
+// MemMedia keeps objects in memory and distinguishes synced from unsynced
+// bytes, so a simulated crash (Crash) loses exactly what a power cut would:
+// every write since the last Sync.
+type MemMedia struct {
+	mu   sync.Mutex
+	objs map[string]*memObj
+	// SyncCount counts Sync calls across all objects (test/benchmark
+	// visibility into how well group commit batches).
+	SyncCount uint64
+	// SyncDelay, when positive, makes every Sync take this long — the
+	// stand-in for fsync latency that group commit amortizes. Set it before
+	// handing the media to writers.
+	SyncDelay time.Duration
+}
+
+type memObj struct {
+	synced  []byte
+	pending []byte
+}
+
+// NewMemMedia builds an empty in-memory medium.
+func NewMemMedia() *MemMedia {
+	return &MemMedia{objs: map[string]*memObj{}}
+}
+
+// List implements Media.
+func (m *MemMedia) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.objs))
+	for n := range m.objs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReadAll implements Media. It returns synced plus still-pending bytes: an
+// in-process reader sees its own unsynced writes (like the OS page cache);
+// only a Crash discards them.
+func (m *MemMedia) ReadAll(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o := m.objs[name]
+	if o == nil {
+		return nil, fmt.Errorf("wal: mem object %q does not exist", name)
+	}
+	out := make([]byte, 0, len(o.synced)+len(o.pending))
+	out = append(out, o.synced...)
+	return append(out, o.pending...), nil
+}
+
+// Create implements Media.
+func (m *MemMedia) Create(name string) (Writer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o := &memObj{}
+	m.objs[name] = o
+	return &memWriter{media: m, obj: o}, nil
+}
+
+// Remove implements Media.
+func (m *MemMedia) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.objs, name)
+	return nil
+}
+
+// Crash implements Crasher: every unsynced byte is lost, synced bytes
+// survive.
+func (m *MemMedia) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, o := range m.objs {
+		o.pending = nil
+	}
+}
+
+// Syncs returns the cumulative Sync count.
+func (m *MemMedia) Syncs() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.SyncCount
+}
+
+type memWriter struct {
+	media *MemMedia
+	obj   *memObj
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	w.media.mu.Lock()
+	defer w.media.mu.Unlock()
+	w.obj.pending = append(w.obj.pending, p...)
+	return len(p), nil
+}
+
+func (w *memWriter) Sync() error {
+	if d := w.media.SyncDelay; d > 0 {
+		time.Sleep(d)
+	}
+	w.media.mu.Lock()
+	defer w.media.mu.Unlock()
+	w.obj.synced = append(w.obj.synced, w.obj.pending...)
+	w.obj.pending = nil
+	w.media.SyncCount++
+	return nil
+}
+
+func (w *memWriter) Close() error { return nil }

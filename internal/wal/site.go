@@ -1,0 +1,282 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+// Options configure a site's durability pipeline.
+type Options struct {
+	// SegmentBytes rolls the log to a new segment past this size
+	// (default 1 MiB).
+	SegmentBytes int
+	// SnapshotEvery takes a store snapshot (and truncates the log) after
+	// this many journaled records (0 disables automatic snapshots).
+	SnapshotEvery uint64
+	// GroupCommit serializes concurrent Flush callers through a
+	// GroupCommitter so one sync covers every record appended by the
+	// concurrently committing transactions. Leave false under the
+	// single-threaded simulator, where the queue manager already batches
+	// per delivery (and per group-commit window).
+	GroupCommit bool
+}
+
+// Stats are cumulative durability counters for one site.
+type Stats struct {
+	// Appends counts journaled write records.
+	Appends uint64
+	// Syncs counts media syncs of the log (group commit makes
+	// Syncs < Appends).
+	Syncs uint64
+	// Snapshots counts store snapshots written.
+	Snapshots uint64
+	// Replayed counts records re-applied by the last recovery.
+	Replayed uint64
+	// RecoveredCopies counts copies restored from the snapshot by the last
+	// recovery.
+	RecoveredCopies int
+	// Recoveries counts Recover/Open-from-existing-media passes.
+	Recoveries uint64
+}
+
+// SiteLog ties one site's store to its write-ahead log: it implements
+// storage.Journal (every implemented write is appended), flushes on the
+// queue manager's commit boundaries, takes periodic snapshots, and rebuilds
+// the store from snapshot + log tail after a crash.
+type SiteLog struct {
+	mu    sync.Mutex
+	media Media
+	store *storage.Store
+	opts  Options
+	log   *Log // nil while crashed
+	gc    *GroupCommitter
+
+	sinceSnap uint64
+	// lastSnapSeq is the AppliedSeq of the newest snapshot on media. A new
+	// snapshot is only written for a strictly larger seq: rewriting the
+	// same name would truncate the only valid snapshot before the new
+	// bytes are synced, and a crash in that window bricks the site.
+	lastSnapSeq uint64
+	stats       Stats
+}
+
+// Open attaches durability to a store. On empty media it seeds an initial
+// snapshot of the store as created by the caller (so recovery always has a
+// base image); on non-empty media it rebuilds the store from the newest
+// valid snapshot plus the intact log tail — the caller's pre-created state
+// is discarded in favour of the durable one.
+//
+// Open does not attach itself as the store's journal; the caller does
+// (store.SetJournal(sl)) once it is done with any non-journaled seeding.
+func Open(media Media, store *storage.Store, opts Options) (*SiteLog, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	s := &SiteLog{media: media, store: store, opts: opts}
+	if opts.GroupCommit {
+		s.gc = NewGroupCommitter(s.flush)
+	}
+	names, err := media.List()
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		// Fresh site: seed the base image.
+		if err := writeSnapshot(media, snapshot{
+			AppliedSeq: 0,
+			Site:       store.Site(),
+			Copies:     store.Copies(),
+		}); err != nil {
+			return nil, err
+		}
+		s.log, err = NewLog(media, opts.SegmentBytes, 1)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.recoverLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RecordWrite implements storage.Journal: the write is appended to the log
+// buffer and becomes durable at the next Flush.
+func (s *SiteLog) RecordWrite(item model.ItemID, txn model.TxnID, value int64, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		panic("wal: RecordWrite on crashed site log")
+	}
+	s.log.Append(Record{Item: item, Txn: txn, Value: value, Version: version})
+	s.stats.Appends++
+	s.sinceSnap++
+}
+
+// Flush makes every appended record durable. With GroupCommit enabled,
+// concurrent callers share syncs; otherwise the caller syncs directly.
+// Flush also takes the periodic snapshot when SnapshotEvery is exceeded.
+func (s *SiteLog) Flush() error {
+	if s.gc != nil {
+		return s.gc.Commit()
+	}
+	return s.flush()
+}
+
+func (s *SiteLog) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return fmt.Errorf("wal: flush on crashed site log")
+	}
+	if err := s.log.Flush(); err != nil {
+		return err
+	}
+	s.stats.Syncs++
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
+		return s.snapshotLocked()
+	}
+	return nil
+}
+
+// Snapshot forces a store snapshot + log truncation now (everything
+// appended must already be flushed or is flushed here first).
+func (s *SiteLog) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return fmt.Errorf("wal: snapshot on crashed site log")
+	}
+	if err := s.log.Flush(); err != nil {
+		return err
+	}
+	s.stats.Syncs++
+	return s.snapshotLocked()
+}
+
+// snapshotLocked requires every appended record flushed: the store state it
+// images is then exactly seq ≤ log.NextSeq()-1, all durable.
+func (s *SiteLog) snapshotLocked() error {
+	applied := s.log.NextSeq() - 1
+	if applied <= s.lastSnapSeq {
+		s.sinceSnap = 0
+		return nil // the existing snapshot already covers everything durable
+	}
+	// Roll first so every other segment is sealed and fully covered by the
+	// snapshot, then image, then prune.
+	if err := s.log.Roll(); err != nil {
+		return err
+	}
+	if err := writeSnapshot(s.media, snapshot{
+		AppliedSeq: applied,
+		Site:       s.store.Site(),
+		Copies:     s.store.Copies(),
+	}); err != nil {
+		return err
+	}
+	s.lastSnapSeq = applied
+	s.stats.Snapshots++
+	s.sinceSnap = 0
+	return pruneBefore(s.media, applied, s.log.SegmentName())
+}
+
+// Crash simulates a site power cut at the durability layer: the log buffer
+// and the media's unsynced bytes are lost; the synced prefix survives. The
+// caller (queue manager) wipes the volatile store itself.
+func (s *SiteLog) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = nil
+	if c, ok := s.media.(Crasher); ok {
+		c.Crash()
+	}
+}
+
+// Recover rebuilds the store from the newest valid snapshot plus the intact
+// log tail, then reopens the log for appending. It leaves the media in a
+// clean state: a fresh post-recovery snapshot and one empty segment, with
+// every torn suffix discarded.
+func (s *SiteLog) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoverLocked()
+}
+
+func (s *SiteLog) recoverLocked() error {
+	snap, ok, err := newestSnapshot(s.media)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("wal: no valid snapshot on media; cannot recover site %d", s.store.Site())
+	}
+	if snap.Site != s.store.Site() {
+		return fmt.Errorf("wal: media belongs to site %d, not site %d", snap.Site, s.store.Site())
+	}
+	s.store.Wipe()
+	for _, c := range snap.Copies {
+		s.store.Restore(c)
+	}
+	var replayed uint64
+	lastSeq, err := Replay(s.media, snap.AppliedSeq, func(r Record) error {
+		if !s.store.Has(r.Item) {
+			return fmt.Errorf("wal: replayed write to unknown item %v", r.Item)
+		}
+		s.store.Apply(r.Item, r.Txn, r.Value, r.Version)
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.stats.Replayed = replayed
+	s.stats.RecoveredCopies = len(snap.Copies)
+	s.stats.Recoveries++
+	s.sinceSnap = 0
+	s.lastSnapSeq = snap.AppliedSeq
+	// Reset the media to a clean base: snapshot at lastSeq, fresh segment
+	// at lastSeq+1, torn tails pruned — later replays never hit the
+	// damaged suffix of an old segment. When the log tail was empty the
+	// existing snapshot IS the base; rewriting it under the same name
+	// would truncate the only valid snapshot first, and a crash mid-write
+	// would leave the site unrecoverable.
+	if lastSeq > snap.AppliedSeq {
+		if err := writeSnapshot(s.media, snapshot{
+			AppliedSeq: lastSeq,
+			Site:       s.store.Site(),
+			Copies:     s.store.Copies(),
+		}); err != nil {
+			return err
+		}
+		s.lastSnapSeq = lastSeq
+		s.stats.Snapshots++
+	}
+	s.log, err = NewLog(s.media, s.opts.SegmentBytes, lastSeq+1)
+	if err != nil {
+		return err
+	}
+	return pruneBefore(s.media, lastSeq, s.log.SegmentName())
+}
+
+// GroupStats returns the group committer's cumulative (commits, syncs);
+// zeros when GroupCommit is off.
+func (s *SiteLog) GroupStats() (commits, syncs uint64) {
+	if s.gc == nil {
+		return 0, 0
+	}
+	return s.gc.Stats()
+}
+
+// Stats returns the cumulative counters.
+func (s *SiteLog) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Media exposes the underlying media (tests, diagnostics).
+func (s *SiteLog) Media() Media { return s.media }

@@ -1,0 +1,311 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+func newStore(t *testing.T, site model.SiteID, items int, initial int64) *storage.Store {
+	t.Helper()
+	st := storage.NewStore(site)
+	for i := 0; i < items; i++ {
+		st.Create(model.ItemID(i), initial)
+	}
+	return st
+}
+
+func sameStores(t *testing.T, a, b *storage.Store) {
+	t.Helper()
+	ac, bc := a.Copies(), b.Copies()
+	if len(ac) != len(bc) {
+		t.Fatalf("store sizes differ: %d vs %d", len(ac), len(bc))
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Fatalf("copy %d differs: %+v vs %+v", i, ac[i], bc[i])
+		}
+	}
+}
+
+// TestSiteLogCrashRecoverRoundTrip: write through the journal, crash the
+// media, recover, and get the exact same store back.
+func TestSiteLogCrashRecoverRoundTrip(t *testing.T) {
+	media := NewMemMedia()
+	st := newStore(t, 2, 8, 100)
+	sl, err := Open(media, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(sl)
+
+	txn := model.TxnID{Site: 0, Seq: 9}
+	for i := 0; i < 8; i++ {
+		st.Write(model.ItemID(i), txn, int64(1000+i))
+	}
+	st.Write(3, txn, 77)
+	if err := sl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := storage.NewStore(2)
+	for _, c := range st.Copies() {
+		want.Restore(c)
+	}
+
+	// Crash: volatile store and unsynced media bytes are lost.
+	st.Wipe()
+	sl.Crash()
+	if st.Len() != 0 {
+		t.Fatal("wipe failed")
+	}
+	if err := sl.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sameStores(t, st, want)
+	stats := sl.Stats()
+	if stats.Replayed != 9 {
+		t.Errorf("replayed %d records, want 9", stats.Replayed)
+	}
+	if stats.RecoveredCopies != 8 {
+		t.Errorf("recovered %d copies, want 8", stats.RecoveredCopies)
+	}
+
+	// The log is writable again after recovery.
+	st.Write(5, txn, -1)
+	if err := sl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSiteLogCrashLosesUnflushedTail: records appended but not flushed do
+// not survive — recovery returns the state as of the last sync.
+func TestSiteLogCrashLosesUnflushedTail(t *testing.T) {
+	media := NewMemMedia()
+	st := newStore(t, 0, 4, 0)
+	sl, _ := Open(media, st, Options{})
+	st.SetJournal(sl)
+	txn := model.TxnID{Site: 0, Seq: 1}
+
+	st.Write(0, txn, 10)
+	st.Write(1, txn, 11)
+	if err := sl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st.Write(2, txn, 12) // never flushed
+
+	st.Wipe()
+	sl.Crash()
+	if err := sl.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Read(0); v != 10 {
+		t.Errorf("item 0 = %d, want 10", v)
+	}
+	if v, ver := st.Read(2); v != 0 || ver != 0 {
+		t.Errorf("unflushed write survived the crash: value=%d version=%d", v, ver)
+	}
+}
+
+// TestSiteLogSnapshotTruncatesSegments: automatic snapshots keep the media
+// bounded and recovery correct.
+func TestSiteLogSnapshotTruncatesSegments(t *testing.T) {
+	media := NewMemMedia()
+	st := newStore(t, 1, 4, 0)
+	sl, _ := Open(media, st, Options{SegmentBytes: 128, SnapshotEvery: 10})
+	st.SetJournal(sl)
+	txn := model.TxnID{Site: 1, Seq: 1}
+
+	for i := 0; i < 55; i++ {
+		st.Write(model.ItemID(i%4), txn, int64(i))
+		if err := sl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sl.Stats().Snapshots; got < 4 {
+		t.Errorf("snapshots taken: %d, want ≥ 4", got)
+	}
+	// Media must not accumulate obsolete objects: at most one snapshot and
+	// a couple of live segments.
+	names, _ := media.List()
+	var snaps, segs int
+	for _, n := range names {
+		if isSnap(n) {
+			snaps++
+		}
+		if isSeg(n) {
+			segs++
+		}
+	}
+	if snaps != 1 {
+		t.Errorf("stale snapshots on media: %d (%v)", snaps, names)
+	}
+	if segs > 3 {
+		t.Errorf("stale segments on media: %d (%v)", segs, names)
+	}
+
+	want := storage.NewStore(1)
+	for _, c := range st.Copies() {
+		want.Restore(c)
+	}
+	st.Wipe()
+	sl.Crash()
+	if err := sl.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sameStores(t, st, want)
+}
+
+// TestSiteLogFileBackedReopen is the `kill -9` path: open a dir-backed log,
+// write, drop the SiteLog without any graceful shutdown, then Open the same
+// directory into a fresh store and find the flushed state.
+func TestSiteLogFileBackedReopen(t *testing.T) {
+	dir := t.TempDir()
+	media, err := NewDirMedia(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStore(t, 5, 6, 50)
+	sl, err := Open(media, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(sl)
+	txn := model.TxnID{Site: 5, Seq: 3}
+	st.Write(0, txn, 500)
+	st.Write(4, txn, 400)
+	if err := sl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := storage.NewStore(5)
+	for _, c := range st.Copies() {
+		want.Restore(c)
+	}
+	// No Close, no shutdown: the process just dies.
+
+	media2, err := NewDirMedia(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := newStore(t, 5, 6, 50) // what the node would pre-create at boot
+	sl2, err := Open(media2, st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStores(t, st2, want)
+	if sl2.Stats().Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", sl2.Stats().Recoveries)
+	}
+}
+
+func TestSiteLogRejectsForeignMedia(t *testing.T) {
+	media := NewMemMedia()
+	st := newStore(t, 1, 2, 0)
+	if _, err := Open(media, st, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	other := newStore(t, 2, 2, 0)
+	if _, err := Open(media, other, Options{}); err == nil {
+		t.Fatal("opened site-1 media for site 2")
+	}
+}
+
+// TestGroupCommitBatchesSyncs is acceptance criterion: N concurrently
+// committing writers share syncs — far fewer syncs than commits — and every
+// committed record is durable.
+func TestGroupCommitBatchesSyncs(t *testing.T) {
+	media := NewMemMedia()
+	media.SyncDelay = 200 * time.Microsecond // the fsync cost being amortized
+	const items = 64
+	st := newStore(t, 0, items, 0)
+	sl, err := Open(media, st, Options{GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Journal directly (bypassing Store.Write, which is not designed for
+	// concurrent callers — under the real system the QM serializes it).
+	const writers, perWriter = 16, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sl.RecordWrite(model.ItemID((w*perWriter+i)%items),
+					model.TxnID{Site: 0, Seq: uint64(w + 1)}, int64(i), 1)
+				if err := sl.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	commits, syncs := sl.GroupStats()
+	if commits != writers*perWriter {
+		t.Fatalf("commits = %d, want %d", commits, writers*perWriter)
+	}
+	if syncs >= commits {
+		t.Fatalf("group commit did not batch: %d syncs for %d commits", syncs, commits)
+	}
+	t.Logf("group commit: %d commits in %d syncs (%.1fx amortization)",
+		commits, syncs, float64(commits)/float64(syncs))
+
+	// Everything committed is durable.
+	var n int
+	if _, err := Replay(media, 0, func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", n, writers*perWriter)
+	}
+}
+
+// TestRecoverWithEmptyTailKeepsSnapshot: recovery with nothing to replay
+// must not rewrite the snapshot in place — truncating the only valid
+// snapshot before resyncing it would brick the site if that write tore.
+func TestRecoverWithEmptyTailKeepsSnapshot(t *testing.T) {
+	media := NewMemMedia()
+	st := newStore(t, 3, 4, 9)
+	sl, err := Open(media, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(sl)
+	st.Write(1, model.TxnID{Site: 3, Seq: 1}, 42)
+	if err := sl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Snapshot(); err != nil { // snapshot covers everything; log tail now empty
+		t.Fatal(err)
+	}
+	snapsBefore := sl.Stats().Snapshots
+
+	// Two crash/recover cycles with no intervening writes: no new snapshot
+	// may be written (the existing one is the base), and state survives.
+	for i := 0; i < 2; i++ {
+		st.Wipe()
+		sl.Crash()
+		if err := sl.Recover(); err != nil {
+			t.Fatalf("recovery %d: %v", i, err)
+		}
+	}
+	if got := sl.Stats().Snapshots; got != snapsBefore {
+		t.Errorf("empty-tail recovery rewrote the snapshot: %d → %d", snapsBefore, got)
+	}
+	if v, _ := st.Read(1); v != 42 {
+		t.Errorf("item 1 = %d after double recovery, want 42", v)
+	}
+
+	// A forced snapshot with no new appends must also be a no-op.
+	if err := sl.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sl.Stats().Snapshots; got != snapsBefore {
+		t.Errorf("no-op Snapshot rewrote the snapshot: %d → %d", snapsBefore, got)
+	}
+}

@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+// snapshot is a point-in-time image of one site's store: every physical
+// copy, plus the sequence number of the last journaled record already
+// reflected in those copies. Records with Seq > AppliedSeq form the log
+// tail that replays on top.
+type snapshot struct {
+	AppliedSeq uint64
+	Site       model.SiteID
+	Copies     []storage.Copy
+}
+
+const snapCopyBytes = 4 + 8 + 8 + 4 + 8 // item, value, version, writer site, writer seq
+
+// encodeSnapshot renders: crc32C(body) | body, where body is
+// appliedSeq | site | count | count × copy.
+func encodeSnapshot(s snapshot) []byte {
+	body := make([]byte, 0, 8+4+4+len(s.Copies)*snapCopyBytes)
+	var u8 [8]byte
+	var u4 [4]byte
+	binary.LittleEndian.PutUint64(u8[:], s.AppliedSeq)
+	body = append(body, u8[:]...)
+	binary.LittleEndian.PutUint32(u4[:], uint32(s.Site))
+	body = append(body, u4[:]...)
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(s.Copies)))
+	body = append(body, u4[:]...)
+	for _, c := range s.Copies {
+		binary.LittleEndian.PutUint32(u4[:], uint32(c.ID.Item))
+		body = append(body, u4[:]...)
+		binary.LittleEndian.PutUint64(u8[:], uint64(c.Value))
+		body = append(body, u8[:]...)
+		binary.LittleEndian.PutUint64(u8[:], c.Version)
+		body = append(body, u8[:]...)
+		binary.LittleEndian.PutUint32(u4[:], uint32(c.Writer.Site))
+		body = append(body, u4[:]...)
+		binary.LittleEndian.PutUint64(u8[:], c.Writer.Seq)
+		body = append(body, u8[:]...)
+	}
+	out := make([]byte, 4, 4+len(body))
+	binary.LittleEndian.PutUint32(out, crc32.Checksum(body, crcTable))
+	return append(out, body...)
+}
+
+// decodeSnapshot validates the checksum and decodes; a torn or corrupt
+// snapshot returns an error (recovery then falls back to an older one).
+func decodeSnapshot(data []byte) (snapshot, error) {
+	var s snapshot
+	if len(data) < 4+8+4+4 {
+		return s, fmt.Errorf("wal: snapshot truncated (%d bytes)", len(data))
+	}
+	crc := binary.LittleEndian.Uint32(data)
+	body := data[4:]
+	if crc32.Checksum(body, crcTable) != crc {
+		return s, fmt.Errorf("wal: snapshot checksum mismatch")
+	}
+	s.AppliedSeq = binary.LittleEndian.Uint64(body)
+	s.Site = model.SiteID(binary.LittleEndian.Uint32(body[8:]))
+	count := int(binary.LittleEndian.Uint32(body[12:]))
+	body = body[16:]
+	if len(body) != count*snapCopyBytes {
+		return s, fmt.Errorf("wal: snapshot body %d bytes, want %d copies", len(body), count)
+	}
+	s.Copies = make([]storage.Copy, count)
+	for i := 0; i < count; i++ {
+		b := body[i*snapCopyBytes:]
+		item := model.ItemID(binary.LittleEndian.Uint32(b))
+		s.Copies[i] = storage.Copy{
+			ID:      model.CopyID{Item: item, Site: s.Site},
+			Value:   int64(binary.LittleEndian.Uint64(b[4:])),
+			Version: binary.LittleEndian.Uint64(b[12:]),
+			Writer: model.TxnID{
+				Site: model.SiteID(binary.LittleEndian.Uint32(b[20:])),
+				Seq:  binary.LittleEndian.Uint64(b[24:]),
+			},
+		}
+	}
+	return s, nil
+}
+
+// writeSnapshot persists a snapshot durably (create, write, sync, close).
+func writeSnapshot(media Media, s snapshot) error {
+	w, err := media.Create(snapName(s.AppliedSeq))
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err := w.Write(encodeSnapshot(s)); err != nil {
+		w.Close()
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	return w.Close()
+}
+
+// newestSnapshot loads the newest decodable snapshot, skipping damaged ones.
+// ok is false when no valid snapshot exists.
+func newestSnapshot(media Media) (snapshot, bool, error) {
+	names, err := media.List()
+	if err != nil {
+		return snapshot{}, false, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		if !isSnap(names[i]) {
+			continue
+		}
+		data, err := media.ReadAll(names[i])
+		if err != nil {
+			return snapshot{}, false, err
+		}
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			continue // torn snapshot: fall back to an older one
+		}
+		return s, true, nil
+	}
+	return snapshot{}, false, nil
+}
+
+// pruneBefore removes every snapshot and sealed segment made obsolete by a
+// new snapshot: snapshots other than snapName(appliedSeq) and segments whose
+// name (first seq) precedes the current open segment — the snapshot covers
+// all of them because it was taken after a roll.
+func pruneBefore(media Media, appliedSeq uint64, keepSegment string) error {
+	names, err := media.List()
+	if err != nil {
+		return err
+	}
+	keepSnap := snapName(appliedSeq)
+	for _, n := range names {
+		switch {
+		case isSnap(n) && n != keepSnap:
+			if err := media.Remove(n); err != nil {
+				return err
+			}
+		case isSeg(n) && n < keepSegment:
+			if err := media.Remove(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strings"
+
+	"ucc/internal/model"
+)
+
+// Record is one journaled physical write: transaction txn installed value as
+// the given version of item's copy at this site. Seq totally orders a site's
+// records; replaying records in sequence order rebuilds the store exactly.
+type Record struct {
+	Seq     uint64
+	Item    model.ItemID
+	Txn     model.TxnID
+	Value   int64
+	Version uint64
+}
+
+const (
+	segPrefix  = "wal-"
+	snapPrefix = "snap-"
+
+	// frameHeader is crc32(payload) + uint32 payload length.
+	frameHeader = 8
+	// recordPayload is the fixed encoded size of one Record.
+	recordPayload = 8 + 4 + 4 + 8 + 8 + 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segName names the segment whose first record is seq. Zero-padded hex keeps
+// lexicographic order chronological.
+func segName(firstSeq uint64) string { return fmt.Sprintf("%s%016x", segPrefix, firstSeq) }
+
+func snapName(appliedSeq uint64) string { return fmt.Sprintf("%s%016x", snapPrefix, appliedSeq) }
+
+func isSeg(name string) bool  { return strings.HasPrefix(name, segPrefix) }
+func isSnap(name string) bool { return strings.HasPrefix(name, snapPrefix) }
+
+// appendRecord frames and appends one record: crc32C(payload) | len | payload.
+func appendRecord(buf []byte, r Record) []byte {
+	var p [recordPayload]byte
+	binary.LittleEndian.PutUint64(p[0:], r.Seq)
+	binary.LittleEndian.PutUint32(p[8:], uint32(r.Item))
+	binary.LittleEndian.PutUint32(p[12:], uint32(r.Txn.Site))
+	binary.LittleEndian.PutUint64(p[16:], r.Txn.Seq)
+	binary.LittleEndian.PutUint64(p[24:], uint64(r.Value))
+	binary.LittleEndian.PutUint64(p[32:], r.Version)
+	var h [frameHeader]byte
+	binary.LittleEndian.PutUint32(h[0:], crc32.Checksum(p[:], crcTable))
+	binary.LittleEndian.PutUint32(h[4:], uint32(len(p)))
+	buf = append(buf, h[:]...)
+	return append(buf, p[:]...)
+}
+
+// decodeRecords yields every intact record at the front of data. It stops —
+// without error — at the first torn or corrupt frame: a crash mid-write
+// leaves a damaged suffix, and exactly the checksummed prefix is the durable
+// truth. The number of dropped trailing bytes is returned for diagnostics.
+func decodeRecords(data []byte, fn func(Record)) (torn int) {
+	for len(data) > 0 {
+		if len(data) < frameHeader {
+			return len(data)
+		}
+		crc := binary.LittleEndian.Uint32(data[0:])
+		n := binary.LittleEndian.Uint32(data[4:])
+		if n != recordPayload || len(data) < frameHeader+int(n) {
+			return len(data)
+		}
+		payload := data[frameHeader : frameHeader+int(n)]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return len(data)
+		}
+		var r Record
+		r.Seq = binary.LittleEndian.Uint64(payload[0:])
+		r.Item = model.ItemID(binary.LittleEndian.Uint32(payload[8:]))
+		r.Txn.Site = model.SiteID(binary.LittleEndian.Uint32(payload[12:]))
+		r.Txn.Seq = binary.LittleEndian.Uint64(payload[16:])
+		r.Value = int64(binary.LittleEndian.Uint64(payload[24:]))
+		r.Version = binary.LittleEndian.Uint64(payload[32:])
+		fn(r)
+		data = data[frameHeader+int(n):]
+	}
+	return 0
+}
+
+// Log is the append side of a segmented write-ahead log. Append buffers
+// records in memory; Flush writes the buffer to the current segment and
+// syncs it (one sync no matter how many records were appended — the unit of
+// group commit). Not safe for concurrent use; SiteLog serializes access.
+type Log struct {
+	media    Media
+	segBytes int
+	nextSeq  uint64
+	cur      Writer
+	curName  string
+	curSize  int
+	buf      []byte
+	// poisoned latches the first Flush failure: a partial segment write
+	// leaves torn frames in place, and a retried Flush that "succeeded"
+	// would report records durable that Replay stops before. Once poisoned,
+	// every Flush fails; recovery (which rebuilds the Log) is the only way
+	// forward.
+	poisoned error
+}
+
+// NewLog opens an appender whose next record will carry seq nextSeq, on a
+// fresh segment. segBytes is the roll threshold (records never split across
+// segments).
+func NewLog(media Media, segBytes int, nextSeq uint64) (*Log, error) {
+	if segBytes <= 0 {
+		segBytes = 1 << 20
+	}
+	l := &Log{media: media, segBytes: segBytes, nextSeq: nextSeq}
+	if err := l.roll(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// NextSeq returns the sequence number the next Append will be assigned.
+func (l *Log) NextSeq() uint64 { return l.nextSeq }
+
+// SegmentName returns the current (open) segment's name.
+func (l *Log) SegmentName() string { return l.curName }
+
+// Append assigns the next sequence number to the record and buffers it. The
+// record is volatile until the next Flush.
+func (l *Log) Append(r Record) uint64 {
+	r.Seq = l.nextSeq
+	l.nextSeq++
+	l.buf = appendRecord(l.buf, r)
+	return r.Seq
+}
+
+// Flush writes every buffered record to the current segment and syncs it.
+// After a successful Flush all appended records are durable. The segment is
+// rolled once it exceeds the size threshold.
+func (l *Log) Flush() error {
+	if l.poisoned != nil {
+		return l.poisoned
+	}
+	if len(l.buf) > 0 {
+		if _, err := l.cur.Write(l.buf); err != nil {
+			l.poisoned = fmt.Errorf("wal: segment %s write: %w", l.curName, err)
+			return l.poisoned
+		}
+		l.curSize += len(l.buf)
+		l.buf = l.buf[:0]
+	}
+	if err := l.cur.Sync(); err != nil {
+		l.poisoned = fmt.Errorf("wal: segment %s sync: %w", l.curName, err)
+		return l.poisoned
+	}
+	if l.curSize >= l.segBytes {
+		return l.roll()
+	}
+	return nil
+}
+
+// Roll seals the current segment and starts a new one at the next sequence
+// number (used by the snapshot path so every sealed segment is entirely
+// covered by the snapshot).
+func (l *Log) Roll() error { return l.roll() }
+
+func (l *Log) roll() error {
+	if l.cur != nil {
+		if err := l.cur.Close(); err != nil {
+			return fmt.Errorf("wal: segment %s close: %w", l.curName, err)
+		}
+	}
+	l.curName = segName(l.nextSeq)
+	w, err := l.media.Create(l.curName)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", l.curName, err)
+	}
+	l.cur = w
+	l.curSize = 0
+	return nil
+}
+
+// Close seals the log without syncing buffered records (durability is
+// Flush's job).
+func (l *Log) Close() error {
+	if l.cur == nil {
+		return nil
+	}
+	err := l.cur.Close()
+	l.cur = nil
+	return err
+}
+
+// Replay streams every intact record with Seq > afterSeq from the media's
+// segments, in sequence order, and returns the last sequence number seen
+// (afterSeq if none). Replay stops at the first torn or corrupt record —
+// the durable history is exactly the checksummed prefix — and at any gap in
+// the sequence numbers (a segment lost out from under its successors).
+func Replay(media Media, afterSeq uint64, fn func(Record) error) (lastSeq uint64, err error) {
+	names, err := media.List()
+	if err != nil {
+		return afterSeq, err
+	}
+	lastSeq = afterSeq
+	var stop bool
+	var cbErr error
+	for _, name := range names {
+		if stop || !isSeg(name) {
+			continue
+		}
+		data, err := media.ReadAll(name)
+		if err != nil {
+			return lastSeq, fmt.Errorf("wal: read segment %s: %w", name, err)
+		}
+		torn := decodeRecords(data, func(r Record) {
+			if stop || cbErr != nil {
+				return
+			}
+			if r.Seq <= afterSeq {
+				return // already covered by the snapshot
+			}
+			if r.Seq != lastSeq+1 {
+				stop = true // sequence gap: do not replay past it
+				return
+			}
+			if err := fn(r); err != nil {
+				cbErr = err
+				return
+			}
+			lastSeq = r.Seq
+		})
+		if cbErr != nil {
+			return lastSeq, cbErr
+		}
+		if torn > 0 {
+			stop = true // damaged suffix ends the durable history
+		}
+	}
+	return lastSeq, nil
+}

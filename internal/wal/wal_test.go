@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+func copyAt(site model.SiteID, item int, value int64, version uint64) storage.Copy {
+	return storage.Copy{
+		ID:      model.CopyID{Item: model.ItemID(item), Site: site},
+		Value:   value,
+		Version: version,
+		Writer:  model.TxnID{Site: site, Seq: version},
+	}
+}
+
+func rec(seq uint64, item int, value int64) Record {
+	return Record{
+		Seq:   seq, // assigned by Append; kept for expectations
+		Item:  model.ItemID(item),
+		Txn:   model.TxnID{Site: 1, Seq: seq},
+		Value: value, Version: seq,
+	}
+}
+
+func replayAll(t *testing.T, media Media, after uint64) []Record {
+	t.Helper()
+	var out []Record
+	if _, err := Replay(media, after, func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestLogAppendFlushReplay(t *testing.T) {
+	media := NewMemMedia()
+	l, err := NewLog(media, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		l.Append(rec(0, i, int64(100+i)))
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, media, 0)
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || r.Item != model.ItemID(i+1) || r.Value != int64(101+i) {
+			t.Fatalf("record %d mismatch: %+v", i, r)
+		}
+	}
+	// afterSeq filters the snapshot-covered prefix.
+	if got := replayAll(t, media, 7); len(got) != 3 || got[0].Seq != 8 {
+		t.Fatalf("tail replay after 7: %+v", got)
+	}
+}
+
+func TestLogUnflushedRecordsAreVolatile(t *testing.T) {
+	media := NewMemMedia()
+	l, _ := NewLog(media, 1<<20, 1)
+	l.Append(rec(0, 1, 1))
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(rec(0, 2, 2)) // buffered, never flushed
+	media.Crash()
+	if got := replayAll(t, media, 0); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("after crash want exactly the flushed record, got %+v", got)
+	}
+}
+
+func TestLogSegmentRollover(t *testing.T) {
+	media := NewMemMedia()
+	l, _ := NewLog(media, 100, 1) // tiny segments: every flush rolls
+	for i := 1; i <= 9; i++ {
+		l.Append(rec(0, i, int64(i)))
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ := media.List()
+	var segs int
+	for _, n := range names {
+		if isSeg(n) {
+			segs++
+		}
+	}
+	if segs < 3 {
+		t.Fatalf("expected multiple segments, got %d (%v)", segs, names)
+	}
+	if got := replayAll(t, media, 0); len(got) != 9 {
+		t.Fatalf("replay across segments: %d records, want 9", len(got))
+	}
+}
+
+// TestTornWriteRecoversPrefix is acceptance criterion (b): a file-backed log
+// truncated mid-record replays exactly the checksummed prefix.
+func TestTornWriteRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	media, err := NewDirMedia(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLog(media, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		l.Append(rec(0, i, int64(i)))
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.SegmentName()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: chop 13 bytes off the file (mid-payload).
+	path := filepath.Join(dir, seg)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-13); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, media, 0)
+	if len(got) != 19 {
+		t.Fatalf("torn log replayed %d records, want exactly the 19 intact ones", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	media, _ := NewDirMedia(dir)
+	l, _ := NewLog(media, 1<<20, 1)
+	for i := 1; i <= 5; i++ {
+		l.Append(rec(0, i, int64(i)))
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.SegmentName()
+	l.Close()
+
+	// Flip one byte in the middle of record 4's payload.
+	path := filepath.Join(dir, seg)
+	data, _ := os.ReadFile(path)
+	off := 3*(frameHeader+recordPayload) + frameHeader + 20
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Records 1..3 are the intact prefix; 4 is corrupt; 5 must NOT replay
+	// (no replaying past damage).
+	if got := replayAll(t, media, 0); len(got) != 3 {
+		t.Fatalf("replayed %d records past corruption, want 3", len(got))
+	}
+}
+
+func TestReplayStopsAtSequenceGap(t *testing.T) {
+	media := NewMemMedia()
+	l, _ := NewLog(media, 60, 1) // roll roughly every flush
+	for i := 1; i <= 6; i++ {
+		l.Append(rec(0, i, int64(i)))
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drop a middle segment.
+	names, _ := media.List()
+	var segs []string
+	for _, n := range names {
+		if isSeg(n) {
+			segs = append(segs, n)
+		}
+	}
+	if len(segs) < 3 {
+		t.Skipf("need ≥3 segments, got %v", segs)
+	}
+	if err := media.Remove(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, media, 0)
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("replay crossed the gap: %+v", got)
+		}
+	}
+	if len(got) >= 6 {
+		t.Fatalf("replayed %d records despite a missing segment", len(got))
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	s := snapshot{AppliedSeq: 42, Site: 3}
+	for i := 0; i < 5; i++ {
+		s.Copies = append(s.Copies, copyAt(3, i, int64(i*7), uint64(i)))
+	}
+	got, err := decodeSnapshot(encodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppliedSeq != 42 || got.Site != 3 || len(got.Copies) != 5 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i, c := range got.Copies {
+		if c != s.Copies[i] {
+			t.Fatalf("copy %d: got %+v want %+v", i, c, s.Copies[i])
+		}
+	}
+	// Corruption is detected.
+	enc := encodeSnapshot(s)
+	enc[len(enc)-1] ^= 1
+	if _, err := decodeSnapshot(enc); err == nil {
+		t.Fatal("corrupt snapshot decoded without error")
+	}
+}

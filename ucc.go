@@ -99,6 +99,18 @@ type Config struct {
 	// changing their concurrency control method). PA cannot be rejected, so
 	// escalation bounds restart storms.
 	EscalateRestartsToPA bool
+
+	// Durability attaches a write-ahead log + snapshots to every site
+	// (deterministic in-memory media) and enables CrashSite/RecoverSite
+	// fault injection. Default off — the paper's failure-free model.
+	Durability bool
+	// GroupCommitWindow, with Durability, defers WAL syncs by up to this
+	// window so concurrently committing transactions share one sync. Leave
+	// it 0 (sync at every commit batch) when also injecting CrashSite: a
+	// crash inside a nonzero window loses writes whose effects other sites
+	// already observed, so the recovered site can diverge from its
+	// replicas (there is no commit-ack gating effects on the sync).
+	GroupCommitWindow time.Duration
 }
 
 func (c *Config) fill() {
@@ -136,6 +148,11 @@ type Mix struct {
 	TwoPL, TO, PA float64
 }
 
+// AllWrites is the ReadFrac sentinel for a 0% read (all-write) workload.
+// The zero value of Workload.ReadFrac selects the default of 0.6, so "no
+// reads" needs an explicit marker; any negative value works.
+const AllWrites = -1.0
+
 // Workload describes one site-spanning generated workload.
 type Workload struct {
 	// Rate is the Poisson arrival rate per site (txn/s; default 20).
@@ -144,7 +161,9 @@ type Workload struct {
 	Duration time.Duration
 	// Size is the number of items per transaction (default 4).
 	Size int
-	// ReadFrac is the probability an accessed item is read (default 0.6).
+	// ReadFrac is the probability an accessed item is read. The zero value
+	// selects the default of 0.6; pass AllWrites (or any negative value)
+	// for an all-write workload, which a literal 0 cannot express.
 	ReadFrac float64
 	// Mix sets the protocol shares (default all-PA). Ignored when the
 	// cluster uses DynamicSelection.
@@ -174,6 +193,13 @@ func New(cfg Config) (*Cluster, error) {
 		dyn = selector.NewDynamic(selector.Options{Fallback: cfg.SelectionFallback})
 		choose = dyn.Choose
 	}
+	var durability *cluster.Durability
+	if cfg.Durability {
+		durability = &cluster.Durability{
+			SnapshotEvery:     500,
+			GroupCommitMicros: cfg.GroupCommitWindow.Microseconds(),
+		}
+	}
 	inner, err := cluster.NewSim(cluster.Config{
 		Sites:        cfg.Sites,
 		Items:        cfg.Items,
@@ -181,6 +207,7 @@ func New(cfg Config) (*Cluster, error) {
 		InitialValue: cfg.InitialValue,
 		Seed:         cfg.Seed,
 		Record:       true,
+		Durability:   durability,
 		Latency: engine.UniformLatency{
 			MinMicros:   cfg.NetDelayMin.Microseconds(),
 			MaxMicros:   cfg.NetDelayMax.Microseconds(),
@@ -223,8 +250,10 @@ func (c *Cluster) Workload(w Workload) error {
 	if w.Size <= 0 {
 		w.Size = 4
 	}
-	if w.ReadFrac == 0 {
-		w.ReadFrac = 0.6
+	if w.ReadFrac < 0 {
+		w.ReadFrac = 0 // AllWrites sentinel: a genuine 0% read share
+	} else if w.ReadFrac == 0 {
+		w.ReadFrac = 0.6 // unset: the documented default
 	}
 	if w.Mix == (Mix{}) {
 		w.Mix = Mix{PA: 1}
@@ -263,6 +292,21 @@ func (c *Cluster) Submit(t *Txn) {
 	c.inner.Submit(t.inner)
 }
 
+// CrashSite schedules a site crash `at` into the simulated run: the site's
+// volatile store and any unsynced WAL tail are destroyed, and the site
+// defers all traffic until RecoverSite. Requires Config.Durability. Call
+// before Run.
+func (c *Cluster) CrashSite(site int, at time.Duration) {
+	c.inner.CrashSite(model.SiteID(site), at.Microseconds())
+}
+
+// RecoverSite schedules the site's recovery `at` into the simulated run:
+// its partition is rebuilt from the durable snapshot plus WAL replay, then
+// traffic deferred during the outage is processed in order. Call before Run.
+func (c *Cluster) RecoverSite(site int, at time.Duration) {
+	c.inner.RecoverSite(model.SiteID(site), at.Microseconds())
+}
+
 // SubmitAt injects a transaction that arrives `at` into the simulated run
 // (Submit arrives at time zero; staggering arrivals gives meaningful system
 // times).
@@ -295,10 +339,31 @@ func (c *Cluster) Run() Result {
 }
 
 // Value returns the current value of an item's primary copy (after Run).
+// If the primary site is still crashed (CrashSite without RecoverSite), the
+// first surviving replica answers instead.
 func (c *Cluster) Value(item ItemID) int64 {
-	primary := c.inner.Catalog.Primary(item)
-	v, _ := c.inner.Stores[primary].Read(item)
-	return v
+	for _, s := range c.inner.Catalog.Replicas(item) {
+		if st := c.inner.Stores[s]; st.Has(item) {
+			v, _ := st.Read(item)
+			return v
+		}
+	}
+	panic(fmt.Sprintf("ucc: no live copy of %v (every replica site crashed and unrecovered)", item))
+}
+
+// ReplicaValues returns the current value of every live physical copy of
+// item, primary first (after Run; replica-divergence checks). Copies on
+// sites still crashed at the end of the run are skipped.
+func (c *Cluster) ReplicaValues(item ItemID) []int64 {
+	sites := c.inner.Catalog.Replicas(item)
+	out := make([]int64, 0, len(sites))
+	for _, s := range sites {
+		if st := c.inner.Stores[s]; st.Has(item) {
+			v, _ := st.Read(item)
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func engineRIAddr(s model.SiteID) engine.Addr { return engine.RIAddr(s) }

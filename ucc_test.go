@@ -242,3 +242,81 @@ func TestEscalateRestartsToPA(t *testing.T) {
 		t.Skip("no transaction needed escalation at this seed")
 	}
 }
+
+func TestAllWritesWorkload(t *testing.T) {
+	c, err := New(Config{Sites: 3, Items: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadFrac: AllWrites must request a genuine 0% read share — the zero
+	// value's 0.6 default used to make this impossible.
+	if err := c.Workload(Workload{
+		Rate: 25, Duration: 2 * time.Second, ReadFrac: AllWrites, Mix: Mix{PA: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if res.Committed() < 100 {
+		t.Fatalf("committed %d", res.Committed())
+	}
+	ps := res.inner.Summary.Protocols[model.PA]
+	if ps.ReadReqs != 0 {
+		t.Fatalf("all-write workload issued %d read requests", ps.ReadReqs)
+	}
+	if ps.WriteReqs == 0 {
+		t.Fatal("all-write workload issued no writes")
+	}
+}
+
+func TestReadFracZeroStillDefaults(t *testing.T) {
+	c, err := New(Config{Sites: 3, Items: 32, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 25, Duration: time.Second, Mix: Mix{PA: 1}, // ReadFrac unset
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	ps := res.inner.Summary.Protocols[model.PA]
+	if ps.ReadReqs == 0 {
+		t.Fatal("unset ReadFrac no longer defaults to a read-mostly mix")
+	}
+}
+
+func TestFacadeCrashRecovery(t *testing.T) {
+	c, err := New(Config{Sites: 3, Items: 24, Replicas: 2, Seed: 11, Durability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 25, Duration: 3 * time.Second, Size: 3, Mix: Mix{TwoPL: 1, TO: 1, PA: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashSite(1, 1200*time.Millisecond)
+	c.RecoverSite(1, 1500*time.Millisecond)
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatalf("not serializable across the crash: %v", res.ConflictCycle())
+	}
+	if res.Committed() < 100 {
+		t.Fatalf("committed %d", res.Committed())
+	}
+	qt := c.inner.QMTotals()
+	if qt.Crashes != 1 || qt.Recoveries != 1 {
+		t.Fatalf("crashes=%d recoveries=%d, want 1/1", qt.Crashes, qt.Recoveries)
+	}
+	// Replicas converge after recovery.
+	for item := 0; item < 24; item++ {
+		sites := c.inner.Catalog.Replicas(model.ItemID(item))
+		v0, _ := c.inner.Stores[sites[0]].Read(model.ItemID(item))
+		for _, s := range sites[1:] {
+			v, _ := c.inner.Stores[s].Read(model.ItemID(item))
+			if v != v0 {
+				t.Fatalf("item %d replicas diverged after facade crash/recovery", item)
+			}
+		}
+	}
+}
