@@ -41,6 +41,7 @@ func BenchmarkExp6DynamicSelection(b *testing.B)   { benchExperiment(b, "EXP-6")
 func BenchmarkExp7STLEvaluation(b *testing.B)      { benchExperiment(b, "EXP-7") }
 func BenchmarkExp8Scenarios(b *testing.B)          { benchExperiment(b, "EXP-8") }
 func BenchmarkExp9CrashRecovery(b *testing.B)      { benchExperiment(b, "EXP-9") }
+func BenchmarkExp10ReadPath(b *testing.B)          { benchExperiment(b, "EXP-10") }
 func BenchmarkAbl1SemiLocks(b *testing.B)          { benchExperiment(b, "ABL-1") }
 func BenchmarkAbl2BackoffInterval(b *testing.B)    { benchExperiment(b, "ABL-2") }
 func BenchmarkAbl3DetectionPeriod(b *testing.B)    { benchExperiment(b, "ABL-3") }
@@ -68,6 +69,35 @@ func BenchmarkClusterThroughput(b *testing.B) {
 		committed += res.Committed()
 	}
 	b.ReportMetric(float64(committed)/float64(b.N), "txns/op")
+}
+
+// BenchmarkReadPathThroughput measures the closed-loop read-heavy capacity
+// of the snapshot fast path itself (the CI bench smoke target): committed
+// transactions per second of simulated time at fixed pressure.
+func BenchmarkReadPathThroughput(b *testing.B) {
+	var thr float64
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{Sites: 4, Items: 16, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Workload(Workload{
+			Concurrency:  8,
+			Duration:     2 * time.Second,
+			Size:         3,
+			ReadOnlySize: 8,
+			ReadFrac:     0.2,
+			Mix:          Mix{PA: 0.1, ReadOnly: 0.9},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		res := c.Run()
+		if !res.Serializable() {
+			b.Fatal("non-serializable execution")
+		}
+		thr += res.Throughput()
+	}
+	b.ReportMetric(thr/float64(b.N), "txn/s")
 }
 
 // BenchmarkPrecedenceCompare exercises the §4.1 total order.

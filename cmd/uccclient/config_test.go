@@ -27,13 +27,26 @@ func TestParseMix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shares != [3]float64{1, 2, 3} {
+	if shares != [4]float64{1, 2, 3, 0} {
 		t.Fatalf("parsed %v", shares)
+	}
+	shares, err = parseMix("1,2,3,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares != [4]float64{1, 2, 3, 4} {
+		t.Fatalf("parsed 4-share mix %v", shares)
 	}
 	if _, err := parseMix("0,0,1"); err != nil {
 		t.Errorf("single-protocol mix rejected: %v", err)
 	}
-	for _, bad := range []string{"", "1,2", "x,y,z", "0,0,0", "-1,1,1"} {
+	if _, err := parseMix("0,0,0,1"); err != nil {
+		t.Errorf("read-only-only mix rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"", "1,2", "x,y,z", "0,0,0", "-1,1,1", "0,0,0,0", "1,1,1,-1",
+		"1,1,1,x", "1,1,1,", "1,1,1,3garbage", "1,2,3,4,5",
+	} {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) accepted bad input", bad)
 		}

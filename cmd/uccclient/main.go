@@ -26,7 +26,7 @@ func main() {
 		items    = flag.Int("items", 64, "number of logical items (must match uccnode)")
 		size     = flag.Int("size", 4, "items per transaction")
 		readFrac = flag.Float64("read-frac", 0.6, "fraction of accesses that are reads")
-		mix      = flag.String("mix", "1,1,1", "protocol shares 2PL,T/O,PA")
+		mix      = flag.String("mix", "1,1,1", "protocol shares 2PL,T/O,PA[,RO-snapshot]")
 		compute  = flag.Int64("compute-us", 1000, "local computing phase (µs)")
 	)
 	flag.Parse()
@@ -57,6 +57,7 @@ func main() {
 			Share2PL:      shares[0],
 			ShareTO:       shares[1],
 			SharePA:       shares[2],
+			ShareRO:       shares[3],
 			ComputeMicros: *compute,
 		})
 		if err != nil {
@@ -85,8 +86,13 @@ func main() {
 	table := metrics.Table{Header: []string{
 		"protocol", "commits", "S mean (ms)", "S p95 (ms)", "restarts", "victims", "msgs/commit",
 	}}
-	for _, p := range model.Protocols {
+	// Member protocols plus the read-only snapshot class (its row is all
+	// zeros when the mix has no fourth share).
+	for _, p := range append(append([]model.Protocol{}, model.Protocols...), model.ROSnapshot) {
 		ps := sum.Protocols[p]
+		if p == model.ROSnapshot && ps.Committed == 0 {
+			continue
+		}
 		table.AddRow(p.String(),
 			fmt.Sprint(ps.Committed),
 			metrics.F(ps.SystemTime.Mean()/1000),

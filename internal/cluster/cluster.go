@@ -1,8 +1,3 @@
-// Package cluster wires the full distributed system — request issuers, queue
-// managers with their stores, the deadlock coordinator, the metrics
-// collector, and per-site workload drivers — over either the deterministic
-// virtual-time simulator (experiments, tests) or the real-time runtime
-// (examples, TCP deployment).
 package cluster
 
 import (
@@ -52,6 +47,14 @@ type Config struct {
 	// Record enables history recording and serializability checking.
 	Record bool
 
+	// Chain bounds each store's per-copy version chain (zero fields select
+	// storage.DefaultChainPolicy: 16 versions, 250ms of history). KeepMicros
+	// must exceed RI.SnapshotStalenessMicros plus the maximum network delay
+	// or snapshot reads can outlive their versions; Validate raises the
+	// window (and scales the version cap) to 2× the configured staleness
+	// when the policy would otherwise undercut it.
+	Chain storage.ChainPolicy
+
 	// Durability attaches a per-site write-ahead log + snapshots (nil =
 	// volatile sites, the paper's failure-free model). Required for
 	// CrashSite/RecoverSite fault injection.
@@ -80,6 +83,11 @@ type Durability struct {
 	// its replicas. Invariant-checked fault-injection runs must use 0
 	// (sync-per-commit-batch); a nonzero window models the real
 	// throughput/loss tradeoff of group commit without commit-ack gating.
+	// The history checker is likewise unreliable in that lossy regime: a
+	// crash-discarded write keeps its log entry while the recovered chain
+	// re-uses its version ordinal, so snapshot reads recorded afterwards
+	// can be mispositioned (Record + CrashSite + nonzero window is outside
+	// the checked envelope, like replica agreement above).
 	GroupCommitMicros int64
 }
 
@@ -110,6 +118,34 @@ func (c *Config) Validate() error {
 	}
 	if c.Detector == (deadlock.Options{}) {
 		c.Detector = deadlock.DefaultOptions()
+	}
+	// The chain retention window must cover the snapshot staleness margin
+	// (plus in-flight releases), or ReadAt falls off the chain and serves a
+	// version newer than the snapshot — a serializability violation waiting
+	// to happen. Size the policy up to the staleness the issuers will use,
+	// scaling the hard cap with the window so it does not silently undo the
+	// extension.
+	def := storage.DefaultChainPolicy()
+	staleness := c.RI.SnapshotStalenessMicros
+	if staleness <= 0 {
+		staleness = ri.DefaultOptions().SnapshotStalenessMicros
+	}
+	effective := c.Chain.KeepMicros
+	if effective <= 0 {
+		effective = def.KeepMicros
+	}
+	if needed := 2 * staleness; effective < needed {
+		effective = needed
+		c.Chain.KeepMicros = needed
+	}
+	// Scale the hard cap with the effective window, or the default cap
+	// silently undoes the retention under write pressure. An explicitly
+	// configured MaxVersions is respected as-is: ChainPolicy documents it
+	// as the bound where memory safety wins over retention.
+	if c.Chain.MaxVersions <= 0 {
+		if minVersions := int(int64(def.MaxVersions) * effective / def.KeepMicros); minVersions > def.MaxVersions {
+			c.Chain.MaxVersions = minVersions
+		}
 	}
 	return nil
 }
@@ -165,6 +201,7 @@ func NewSim(cfg Config) (*Cluster, error) {
 	}
 	for _, s := range sites {
 		st := storage.NewStore(s)
+		st.SetChainPolicy(cfg.Chain)
 		for _, item := range cl.Catalog.CopiesAt(s) {
 			st.Create(item, cfg.InitialValue)
 		}
@@ -225,6 +262,10 @@ func (c *Cluster) AddDriver(site model.SiteID, spec workload.Spec) error {
 		return err
 	}
 	c.Drivers[site] = d
+	if spec.ClosedLoop > 0 {
+		// Closed-loop pacing needs completion feedback from the issuer.
+		c.Issuers[site].SetNotifyDriver(true)
+	}
 	c.Eng.Register(engine.DriverAddr(site), d, c.Cfg.Seed)
 	return nil
 }
@@ -348,6 +389,8 @@ func (c *Cluster) QMTotals() qm.Counters {
 		t.Releases += s.Releases
 		t.Conversion += s.Conversion
 		t.Aborts += s.Aborts
+		t.SnapReads += s.SnapReads
+		t.SnapStale += s.SnapStale
 		t.WALSyncs += s.WALSyncs
 		t.Crashes += s.Crashes
 		t.Recoveries += s.Recoveries
@@ -379,6 +422,8 @@ func (c *Cluster) RITotals() ri.Stats {
 		s := iss.Snapshot()
 		t.Submitted += s.Submitted
 		t.Committed += s.Committed
+		t.ROCommitted += s.ROCommitted
+		t.ROStale += s.ROStale
 		t.Rejects += s.Rejects
 		t.Victims += s.Victims
 		t.Dropped += s.Dropped

@@ -1,0 +1,15 @@
+// Package cluster wires the full distributed system — request issuers, queue
+// managers with their multi-version stores, the deadlock coordinator, the
+// metrics collector, per-site workload drivers, and (optionally) per-site
+// durability pipelines — over the deterministic virtual-time simulator
+// (experiments, tests). The same actors run unchanged on the real-time
+// runtime and TCP transport (cmd/uccnode, cmd/uccclient).
+//
+// The cluster is where cross-cutting configuration meets: the version-chain
+// bounds every store enforces (Config.Chain), the snapshot staleness margin
+// the issuers read at (Config.RI), the WAL each store journals into
+// (Config.Durability), and the fault-injection schedule
+// (CrashSite/RecoverSite). Run executes the standard experiment schedule
+// and returns a Result with the summary, the event count, and — when
+// recording — the serializability verdict.
+package cluster

@@ -1,0 +1,14 @@
+// Package deadlock implements wait-for-graph deadlock detection for the 2PL
+// member of the unified scheme.
+//
+// The paper cites distributed deadlock detection [1,6,11] without fixing an
+// algorithm; we implement a coordinator that periodically probes every queue
+// manager for its local wait-for edges (Obermarck-style global-graph
+// aggregation with a central coordinator), requires a cycle to persist
+// across two consecutive rounds before acting (PA negotiations and T/O
+// queue waits form transient cycles that resolve by themselves — Corollary 1),
+// and then aborts the youngest 2PL member of the cycle. Corollary 2
+// guarantees every genuine deadlock cycle contains a 2PL transaction; the
+// detector counts cycles without one (they must all be transient) so tests
+// can assert the corollary empirically.
+package deadlock

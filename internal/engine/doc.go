@@ -1,0 +1,14 @@
+// Package engine defines the actor abstraction shared by the deterministic
+// virtual-time simulator (internal/sim) and the real-time goroutine runtime
+// (this package). Protocol state machines — queue managers, request issuers,
+// the deadlock coordinator, workload drivers — are written once against
+// Actor/Context and run unchanged on either engine, and across the TCP
+// transport.
+//
+// The package also defines the address space (one Addr per actor role and
+// site) and the pluggable network LatencyModel. Latency jitter is
+// load-bearing for the protocols: without it every queue sees requests in
+// timestamp order and T/O never rejects. The models are bounded, which is
+// also what the read-only snapshot fast path's staleness margin leans on —
+// a release older than the margin has always arrived.
+package engine

@@ -1,9 +1,3 @@
-// Package engine defines the actor abstraction shared by the deterministic
-// virtual-time simulator (internal/sim) and the real-time goroutine runtime
-// (this package). Protocol state machines — queue managers, request issuers,
-// the deadlock coordinator, workload drivers — are written once against
-// Actor/Context and run unchanged on either engine, and across the TCP
-// transport.
 package engine
 
 import (

@@ -35,6 +35,7 @@ type Runtime struct {
 	uplink   func(Envelope)
 	closed   bool
 	start    time.Time
+	epoch    int64 // start as wall-clock µs since the Unix epoch
 	wg       sync.WaitGroup
 }
 
@@ -136,13 +137,15 @@ func NewRuntime(latency LatencyModel, seed int64) *Runtime {
 	if latency == nil {
 		latency = FixedLatency{}
 	}
+	now := time.Now()
 	return &Runtime{
 		latency:  latency,
 		seed:     seed,
 		actors:   map[Addr]*mailbox{},
 		lastSend: map[pairKey]time.Time{},
 		pairs:    map[pairKey]*pairQueue{},
-		start:    time.Now(),
+		start:    now,
+		epoch:    now.UnixMicro(),
 	}
 }
 
@@ -207,8 +210,14 @@ func (r *Runtime) Shutdown() {
 	r.wg.Wait()
 }
 
-// NowMicros returns microseconds since the runtime started.
-func (r *Runtime) NowMicros() int64 { return time.Since(r.start).Microseconds() }
+// NowMicros returns wall-clock microseconds since the Unix epoch, advanced
+// by the process's monotonic clock (immune to wall-clock jumps after start).
+// The epoch anchoring matters across processes: commit stamps and snapshot
+// timestamps (ReleaseMsg.CommitMicros, SnapReadMsg.SnapMicros) are compared
+// across sites, so every uccnode — including one restarted after a crash —
+// must draw from one loosely synchronized timeline, not from its own
+// process-start offset.
+func (r *Runtime) NowMicros() int64 { return r.epoch + time.Since(r.start).Microseconds() }
 
 func (r *Runtime) deliverAfter(env Envelope, delay time.Duration) {
 	// Enforce per-pair FIFO: the pairQueue drains strictly in send order,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -44,6 +45,33 @@ func TestByID(t *testing.T) {
 	}
 	if _, ok := ByID("EXP-99"); ok {
 		t.Fatal("phantom experiment")
+	}
+}
+
+// TestExp10ReadPathSpeedup is the acceptance gate for the read-only
+// snapshot fast path: on the ≥90%-read closed-loop mix, every sweep point
+// must show at least 2x committed throughput with the path on vs off, stay
+// conflict serializable both ways, and never serve a stale (GC'd-past)
+// snapshot read. The sim is virtual-time deterministic, so asserting on a
+// throughput ratio is seed-stable, not flaky.
+func TestExp10ReadPathSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	res := Exp10(RunConfig{Quick: true, Seed: 1988})
+	for _, n := range res.Notes {
+		if strings.Contains(n, "VIOLATION") || strings.Contains(n, "STALE") {
+			t.Fatalf("invariant violated: %v", res.Notes)
+		}
+	}
+	for _, row := range res.Tables[0].Rows {
+		var speedup float64
+		if _, err := fmt.Sscanf(row[3], "%f", &speedup); err != nil {
+			t.Fatalf("unparseable speedup %q: %v", row[3], err)
+		}
+		if speedup < 2 {
+			t.Fatalf("speedup %.2f < 2 at inflight=%s (row %v)", speedup, row[0], row)
+		}
 	}
 }
 

@@ -1,0 +1,17 @@
+// Package history records executions and checks conflict serializability.
+//
+// The paper models an execution as one log per physical data item giving the
+// order in which operations are implemented there (§2), and takes Theorem 1
+// conflict serializability as the correctness criterion: the execution is
+// correct iff the conflict graph induced by the logs is acyclic. This
+// package is the test oracle for Theorem 2 — every mixed-protocol execution
+// the unified system allows must pass Check.
+//
+// Snapshot reads need one refinement: a read-only transaction that read an
+// older version must sit in the log before the writes it did not see, or
+// the conflict graph would grow inverted edges. ImplementedReadAt therefore
+// inserts a snapshot read at the position of the version it observed (the
+// k-th write entry in a copy's log is the write that produced version k),
+// while ordinary lock-path operations append in implementation order as
+// before.
+package history

@@ -1,11 +1,3 @@
-// Package history records executions and checks conflict serializability.
-//
-// The paper models an execution as one log per physical data item giving the
-// order in which operations are implemented there (§2), and takes Theorem 1
-// conflict serializability as the correctness criterion: the execution is
-// correct iff the conflict graph induced by the logs is acyclic. This
-// package is the test oracle for Theorem 2 — every mixed-protocol execution
-// the unified system allows must pass Check.
 package history
 
 import (
@@ -32,6 +24,10 @@ type Recorder struct {
 	seq       uint64
 	logs      map[model.CopyID][]Entry
 	committed map[model.TxnID]model.Protocol
+	// writes counts the write entries in each copy's log, so the common
+	// snapshot read — one that observed the newest version — appends in
+	// O(1) instead of scanning the log to find its position.
+	writes map[model.CopyID]uint64
 }
 
 // NewRecorder returns an empty execution record.
@@ -39,6 +35,7 @@ func NewRecorder() *Recorder {
 	return &Recorder{
 		logs:      map[model.CopyID][]Entry{},
 		committed: map[model.TxnID]model.Protocol{},
+		writes:    map[model.CopyID]uint64{},
 	}
 }
 
@@ -51,6 +48,56 @@ func (r *Recorder) Implemented(c model.CopyID, txn model.TxnID, kind model.OpKin
 	defer r.mu.Unlock()
 	r.seq++
 	r.logs[c] = append(r.logs[c], Entry{Txn: txn, Kind: kind, Seq: r.seq})
+	if kind == model.OpWrite {
+		r.writes[c]++
+	}
+}
+
+// ImplementedReadAt records a snapshot read of copy c positioned by the
+// version it observed: the read entry is inserted into the log immediately
+// before the (version+1)-th write (i.e. after the write that produced the
+// version read, and after any reads already recorded against it), or
+// appended when no newer write exists yet. Position is what the conflict
+// graph is built from, so a snapshot read of an older version must sit
+// before the writes it did not see — appending it at wall-clock order would
+// fabricate inverted conflict edges.
+//
+// The correspondence used here — the k-th write entry in a copy's log is the
+// write that produced version k — holds because every implemented write
+// increments the copy's version by exactly one and is recorded exactly once
+// (aborted attempts never implement writes).
+func (r *Recorder) ImplementedReadAt(c model.CopyID, txn model.TxnID, version uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	entry := Entry{Txn: txn, Kind: model.OpRead, Seq: r.seq}
+	log := r.logs[c]
+	total := r.writes[c]
+	if version >= total {
+		// The common case — the read observed the newest version — appends
+		// in O(1); anything else would scan the ever-growing log and make
+		// read-heavy recorded runs quadratic.
+		r.logs[c] = append(log, entry)
+		return
+	}
+	// Older version: find the (version+1)-th write — the (total−version)-th
+	// counting backward from the tail, so the cost scales with how stale
+	// the read is, not with the log length.
+	at := len(log)
+	var behind uint64
+	for i := len(log) - 1; i >= 0; i-- {
+		if log[i].Kind == model.OpWrite {
+			behind++
+			if behind == total-version {
+				at = i
+				break
+			}
+		}
+	}
+	log = append(log, Entry{})
+	copy(log[at+1:], log[at:])
+	log[at] = entry
+	r.logs[c] = log
 }
 
 // Discard removes txn's entries from one copy's log: an aborted T/O attempt
@@ -64,6 +111,8 @@ func (r *Recorder) Discard(c model.CopyID, txn model.TxnID) {
 	for _, e := range log {
 		if e.Txn != txn {
 			out = append(out, e)
+		} else if e.Kind == model.OpWrite {
+			r.writes[c]--
 		}
 	}
 	r.logs[c] = out

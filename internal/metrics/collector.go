@@ -46,7 +46,7 @@ type Collector struct {
 	mu   sync.Mutex
 	opts CollectorOptions
 
-	protos [3]*ProtoStats
+	protos [model.NumProtocols]*ProtoStats
 	sizeW  Welford // K estimator: requests per committed transaction
 
 	// Per-site last cumulative queue stats, for rate differencing.
@@ -112,7 +112,11 @@ func (c *Collector) onDone(v model.TxnDoneMsg) {
 		p.LockedOK.Add(float64(v.LockedMicros))
 		p.Messages.Add(float64(v.Messages))
 		p.AttemptsPerTx.Add(float64(v.Attempts))
-		c.sizeW.Add(float64(v.Size))
+		if v.Protocol != model.ROSnapshot {
+			// K feeds the §5 STL model, which describes queued (lock-taking)
+			// traffic; snapshot reads never enter a queue.
+			c.sizeW.Add(float64(v.Size))
+		}
 		if c.startMicros == 0 {
 			c.startMicros = v.FirstArrivalMicros
 		}
@@ -170,8 +174,10 @@ func (c *Collector) estimatesLocked(nowMicros int64) model.EstimateMsg {
 		est.LambdaW[k] = v
 		est.LambdaA += v
 	}
+	// Estimates describe the queued (lock-taking) traffic the STL model is
+	// about, so the ROSnapshot class is excluded throughout.
 	var reads, writes uint64
-	for _, p := range c.protos {
+	for _, p := range c.protos[:len(model.Protocols)] {
 		reads += p.ReadReqs
 		writes += p.WriteReqs
 	}
@@ -184,7 +190,7 @@ func (c *Collector) estimatesLocked(nowMicros int64) model.EstimateMsg {
 	if est.K == 0 {
 		est.K = 4
 	}
-	for i, p := range c.protos {
+	for i, p := range c.protos[:len(model.Protocols)] {
 		est.U[i] = p.LockedOK.Mean() / 1e6
 		est.UPrime[i] = p.LockedAborted.Mean() / 1e6
 	}
@@ -219,7 +225,9 @@ func (c *Collector) broadcast(ctx engine.Context) {
 
 // Summary is a read-only view of everything the collector measured.
 type Summary struct {
-	Protocols [3]ProtoStats
+	// Protocols indexes ProtoStats by model.Protocol, including the
+	// ROSnapshot read-only class at index model.ROSnapshot.
+	Protocols [model.NumProtocols]ProtoStats
 	// SpanMicros is the measurement span (first arrival → last event).
 	SpanMicros int64
 	// K is the mean transaction size among committed transactions.

@@ -1,0 +1,13 @@
+// Package metrics provides streaming statistics (mean/variance, log-scale
+// histograms with quantiles) and the Collector actor that turns the
+// transaction-event and queue-stats streams into the performance measures of
+// §5 — average transaction system time S, throughput, restart/back-off
+// rates — and into the live system-parameter estimates the dynamic selector
+// consumes.
+//
+// Per-protocol statistics are kept for all of model.NumProtocols classes:
+// the three member protocols plus the ROSnapshot read-only class. The
+// estimate stream (Qr, K, U, U′) deliberately excludes the ROSnapshot class
+// — the §5 STL model describes queued, lock-taking traffic, and snapshot
+// reads never enter a queue.
+package metrics

@@ -1,9 +1,3 @@
-// Package metrics provides streaming statistics (mean/variance, log-scale
-// histograms with quantiles) and the Collector actor that turns the
-// transaction-event and queue-stats streams into the performance measures of
-// §5 — average transaction system time S, throughput, restart/back-off
-// rates — and into the live system-parameter estimates the dynamic selector
-// consumes.
 package metrics
 
 import (
@@ -104,6 +98,16 @@ func (h *Histogram) Add(v float64) {
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Merge folds another histogram's samples into this one (bucket-wise sum;
+// quantiles of the merge are exact at the shared bucket resolution).
+func (h *Histogram) Merge(o Histogram) {
+	for b, n := range o.buckets {
+		h.buckets[b] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
 
 // Mean returns the exact sample mean.
 func (h *Histogram) Mean() float64 {

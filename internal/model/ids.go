@@ -1,12 +1,3 @@
-// Package model defines the shared vocabulary of the unified concurrency
-// control system: site/transaction/item identifiers, timestamps, the unified
-// precedence space of Wang & Li (ICDE 1988) §4.1, transaction descriptors,
-// and every message exchanged between Request Issuers (RI), data Queue
-// Managers (QM), the deadlock detector, and the measurement plane.
-//
-// The package is deliberately free of behaviour beyond ordering and
-// formatting so that every other package (simulator, runtime, TCP transport)
-// can share one wire vocabulary.
 package model
 
 import "fmt"
@@ -84,10 +75,21 @@ const (
 	// PA is Precedence Agreement: timestamp precedence negotiated via
 	// back-off intervals; deadlock- and restart-free (§3.4).
 	PA
+	// ROSnapshot is the read-only snapshot fast path (beyond the paper): a
+	// pure-read transaction reads committed versions at a site-local
+	// snapshot timestamp directly from the multi-version store, bypassing
+	// the data queues entirely — no locks, no timestamps checks, no
+	// restarts. Read-write transactions can never run under ROSnapshot.
+	ROSnapshot
 )
 
-// Protocols lists all member protocols in presentation order.
+// Protocols lists the paper's member protocols in presentation order.
+// ROSnapshot is deliberately absent: it is a transaction class layered on
+// top of the unified scheme, not a member of the precedence space.
 var Protocols = []Protocol{TwoPL, TO, PA}
+
+// NumProtocols sizes per-protocol arrays that include the ROSnapshot class.
+const NumProtocols = 4
 
 func (p Protocol) String() string {
 	switch p {
@@ -97,6 +99,8 @@ func (p Protocol) String() string {
 		return "T/O"
 	case PA:
 		return "PA"
+	case ROSnapshot:
+		return "RO"
 	default:
 		return fmt.Sprintf("Protocol(%d)", uint8(p))
 	}

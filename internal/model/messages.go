@@ -69,6 +69,13 @@ type ReleaseMsg struct {
 	// HasWrite and Value carry the write-phase value for write locks.
 	HasWrite bool
 	Value    int64
+	// CommitMicros is the issuer's engine time at the instant the release
+	// round was sent — the transaction's single commit point. Every version
+	// the transaction installs (at any site) carries this one stamp, which
+	// is what makes snapshot reads all-or-nothing per writer: a read-only
+	// snapshot at time ts either sees every write of a transaction with
+	// CommitMicros ≤ ts or none of them.
+	CommitMicros int64
 }
 
 // AbortMsg withdraws a transaction attempt from one queue: its queue entry
@@ -147,6 +154,44 @@ type VictimMsg struct {
 	// Cycle is the deadlock cycle that was broken (for diagnostics and the
 	// Corollary 2 assertion that it contains a 2PL transaction).
 	Cycle []TxnID
+}
+
+// ---------------------------------------------------------------------------
+// Read-only snapshot fast path (RI ↔ QM, no queueing)
+// ---------------------------------------------------------------------------
+
+// SnapReadMsg asks a queue manager for a versioned read of one physical copy
+// at a snapshot timestamp, bypassing the data queue entirely. The manager
+// answers from the copy's version chain with the newest committed version
+// whose commit stamp is ≤ SnapMicros. Only ROSnapshot transactions send
+// these; they take no locks and can never be rejected or backed off.
+type SnapReadMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+	// SnapMicros is the transaction's snapshot timestamp: issuer engine time
+	// at submission minus the configured staleness margin. The margin must
+	// exceed the maximum network delay so that every release with
+	// CommitMicros ≤ SnapMicros has already been implemented when the read
+	// arrives (bounded-staleness consistency).
+	SnapMicros int64
+	// Site is the issuing user site (reply address).
+	Site SiteID
+}
+
+// SnapReadReplyMsg answers a SnapReadMsg with the selected version.
+type SnapReadReplyMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+	Value   int64
+	// Version and CommitMicros identify the version served.
+	Version      uint64
+	CommitMicros int64
+	// Exact is false when the chain had been garbage-collected past the
+	// snapshot timestamp and the oldest retained version was served instead
+	// (bounded chains under extreme write rates; counted at the QM).
+	Exact bool
 }
 
 // ---------------------------------------------------------------------------
@@ -274,6 +319,14 @@ type RestartMsg struct {
 	Attempt Attempt
 }
 
+// TxnFinishedMsg tells a closed-loop workload driver that one of its
+// transactions reached a terminal state (committed or dropped), freeing a
+// concurrency slot. Sent by the RI only when the site's driver asked for
+// completion notifications.
+type TxnFinishedMsg struct {
+	Txn TxnID
+}
+
 // StopMsg asks an actor to cease scheduling further work (workload drivers).
 type StopMsg struct{}
 
@@ -295,8 +348,10 @@ type RecoverMsg struct{}
 // accumulated during the window are made durable with one sync.
 type FlushMsg struct{}
 
-func (RequestMsg) isMessage()     {}
-func (FinalTSMsg) isMessage()     {}
+func (RequestMsg) isMessage()       {}
+func (FinalTSMsg) isMessage()       {}
+func (SnapReadMsg) isMessage()      {}
+func (SnapReadReplyMsg) isMessage() {}
 func (ReleaseMsg) isMessage()     {}
 func (AbortMsg) isMessage()       {}
 func (GrantMsg) isMessage()       {}
@@ -304,6 +359,7 @@ func (NormalGrantMsg) isMessage() {}
 func (RejectMsg) isMessage()      {}
 func (BackoffMsg) isMessage()     {}
 func (VictimMsg) isMessage()      {}
+func (TxnFinishedMsg) isMessage() {}
 func (WFGReportMsg) isMessage()   {}
 func (ProbeWFGMsg) isMessage()    {}
 func (SubmitTxnMsg) isMessage()   {}
@@ -341,6 +397,9 @@ func RegisterGob() {
 	gob.Register(CrashMsg{})
 	gob.Register(RecoverMsg{})
 	gob.Register(FlushMsg{})
+	gob.Register(SnapReadMsg{})
+	gob.Register(SnapReadReplyMsg{})
+	gob.Register(TxnFinishedMsg{})
 	gob.Register(&Txn{})
 }
 

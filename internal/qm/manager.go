@@ -48,6 +48,8 @@ type Counters struct {
 	Releases   uint64
 	Conversion uint64 // lock → semi-lock conversions
 	Aborts     uint64
+	SnapReads  uint64 // read-only snapshot reads served (queue bypassed)
+	SnapStale  uint64 // snapshot reads served inexactly (chain GC'd past ts)
 	WALSyncs   uint64 // durable flushes of the site's write-ahead log
 	Crashes    uint64 // injected site crashes
 	Recoveries uint64 // completed crash recoveries
@@ -200,6 +202,8 @@ func (m *Manager) handle(ctx engine.Context, from engine.Addr, msg model.Message
 		m.onRelease(ctx, v)
 	case model.AbortMsg:
 		m.onAbort(ctx, v)
+	case model.SnapReadMsg:
+		m.onSnapRead(ctx, v)
 	case model.ProbeWFGMsg:
 		m.onProbe(ctx, from, v)
 	case model.TickMsg:
@@ -408,12 +412,37 @@ func (m *Manager) onRelease(ctx engine.Context, v model.ReleaseMsg) {
 	m.dispatch(ctx, q)
 }
 
+// onSnapRead serves a read-only snapshot read directly from the store's
+// version chain: no queue entry, no lock, no threshold check, and therefore
+// no way to be rejected, backed off, or deadlocked. The read is recorded in
+// the history log at the position of the version it observed, so the
+// serializability checker sees the true dataflow order.
+func (m *Manager) onSnapRead(ctx engine.Context, v model.SnapReadMsg) {
+	m.counters.SnapReads++
+	ver, exact := m.store.ReadAt(v.Copy.Item, v.SnapMicros)
+	if !exact {
+		m.counters.SnapStale++
+	}
+	if m.recorder != nil {
+		m.recorder.ImplementedReadAt(model.CopyID{Item: v.Copy.Item, Site: m.site}, v.Txn, ver.Version)
+	}
+	ctx.Send(engine.RIAddr(v.Site), model.SnapReadReplyMsg{
+		Txn:          v.Txn,
+		Attempt:      v.Attempt,
+		Copy:         v.Copy,
+		Value:        ver.Value,
+		Version:      ver.Version,
+		CommitMicros: ver.CommitMicros,
+		Exact:        exact,
+	})
+}
+
 // implement applies the operation to the store and the history log.
 func (m *Manager) implement(e *entry, v model.ReleaseMsg) {
 	c := model.CopyID{Item: v.Copy.Item, Site: m.site}
 	if e.kind == model.OpWrite {
 		if v.HasWrite {
-			m.store.Write(v.Copy.Item, e.txn, v.Value) // journaled via the store's hook
+			m.store.Write(v.Copy.Item, e.txn, v.Value, v.CommitMicros) // journaled via the store's hook
 			m.dirty = true
 		}
 		if m.recorder != nil {

@@ -419,3 +419,81 @@ func TestTOReadNotDoubleRecorded(t *testing.T) {
 		t.Fatalf("read double-recorded: %+v", log)
 	}
 }
+
+// TestSnapReadBypassesQueue: a snapshot read is answered immediately — and
+// with the right version — even while a write lock is held and a writer
+// queue has formed; it never creates a queue entry.
+func TestSnapReadBypassesQueue(t *testing.T) {
+	m, rec := testManager(1, true)
+	ctx := newFakeCtx()
+
+	// Writer 1 commits value 200 at t=1000.
+	ctx.now = 500
+	m.OnMessage(ctx, engine.RIAddr(1), req(1, model.PA, model.OpWrite, 0, 500))
+	take[model.GrantMsg](ctx)
+	ctx.now = 1_000
+	rel := release(1, 0, true, 200)
+	rel.CommitMicros = 1_000
+	m.OnMessage(ctx, engine.RIAddr(1), rel)
+
+	// Writer 2 takes the write lock and sits on it (no release yet).
+	ctx.now = 2_000
+	m.OnMessage(ctx, engine.RIAddr(1), req(2, model.PA, model.OpWrite, 0, 2_000))
+	if g := take[model.GrantMsg](ctx); len(g) != 1 {
+		t.Fatalf("writer 2 not granted: %d", len(g))
+	}
+	depthBefore := m.QueueDepth(0)
+
+	// Snapshot read at ts=1500 must answer now with writer 1's version,
+	// not wait for writer 2.
+	ctx.now = 3_000
+	m.OnMessage(ctx, engine.RIAddr(2), model.SnapReadMsg{
+		Txn:        model.TxnID{Site: 2, Seq: 9},
+		Copy:       model.CopyID{Item: 0, Site: 0},
+		SnapMicros: 1_500,
+		Site:       2,
+	})
+	replies := take[model.SnapReadReplyMsg](ctx)
+	if len(replies) != 1 {
+		t.Fatalf("replies=%d want 1", len(replies))
+	}
+	r := replies[0]
+	if r.Value != 200 || r.Version != 1 || !r.Exact || r.CommitMicros != 1_000 {
+		t.Fatalf("reply = %+v, want value 200 v1 exact @1000", r)
+	}
+	if m.QueueDepth(0) != depthBefore {
+		t.Fatal("snapshot read created a queue entry")
+	}
+	if got := m.Snapshot().SnapReads; got != 1 {
+		t.Fatalf("SnapReads = %d, want 1", got)
+	}
+
+	// A pre-first-commit snapshot sees the initial value.
+	m.OnMessage(ctx, engine.RIAddr(2), model.SnapReadMsg{
+		Txn:        model.TxnID{Site: 2, Seq: 10},
+		Copy:       model.CopyID{Item: 0, Site: 0},
+		SnapMicros: 900,
+		Site:       2,
+	})
+	replies = take[model.SnapReadReplyMsg](ctx)
+	if len(replies) != 1 || replies[0].Value != 100 || replies[0].Version != 0 {
+		t.Fatalf("pre-commit reply = %+v, want initial value 100 v0", replies)
+	}
+
+	// The history log orders the two snapshot reads by the version they
+	// observed: the v0 read sits before writer 1's write even though it was
+	// recorded after it.
+	log := rec.Log(model.CopyID{Item: 0, Site: 0})
+	if len(log) != 3 {
+		t.Fatalf("log = %+v, want [r(v0) w1 r(v1)]", log)
+	}
+	if log[0].Kind != model.OpRead || log[0].Txn.Seq != 10 {
+		t.Fatalf("log[0] = %+v, want the v0 snapshot read", log[0])
+	}
+	if log[1].Kind != model.OpWrite || log[1].Txn.Seq != 1 {
+		t.Fatalf("log[1] = %+v, want writer 1", log[1])
+	}
+	if log[2].Kind != model.OpRead || log[2].Txn.Seq != 9 {
+		t.Fatalf("log[2] = %+v, want the v1 snapshot read", log[2])
+	}
+}

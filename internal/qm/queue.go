@@ -1,14 +1,3 @@
-// Package qm implements the Data Queue and Data Queue Manager of the
-// Precedence-Assignment Model (§3.1) with the unified precedence space
-// (§4.1) and the semi-lock precedence enforcement protocol (§4.2) of
-// Wang & Li (ICDE 1988).
-//
-// One Manager actor runs per data site and hosts a dataQueue per physical
-// copy stored there. Each dataQueue keeps its entries sorted by unified
-// precedence, tracks the R-TS/W-TS thresholds, assigns 2PL precedences from
-// the biggest timestamp ever seen, rejects out-of-order T/O requests,
-// computes PA back-off timestamps, and grants locks to HD(j) according to
-// the semi-lock rules.
 package qm
 
 import (

@@ -1,0 +1,18 @@
+// Package ri implements the Request Issuer of the Precedence-Assignment
+// Model (§3.1): the per-user-site actor that turns transactions into
+// requests, runs the per-protocol lifecycles — static 2PL with deadlock
+// aborts, Basic T/O with timestamped requests and restart-on-rejection, and
+// the PA negotiation of §3.4 — and drives the semi-lock release discipline
+// of §4.2 rule 3/4 for the unified system.
+//
+// Read-only snapshot transactions (model.ROSnapshot) run a fourth, trivial
+// lifecycle: scatter one SnapReadMsg per item at a snapshot timestamp a
+// configurable staleness margin in the past, gather the replies, compute,
+// commit. No locks, no negotiation, no restarts. The margin must exceed the
+// maximum network delay: then every release carrying an older commit stamp
+// has already been implemented at every site when the reads arrive, so the
+// snapshot observes a consistent cut of committed transactions. Releases of
+// read-write transactions carry a single CommitMicros stamp per transaction
+// (taken when the release round is sent), which is what the version chains
+// — and therefore the snapshots — are ordered by.
+package ri

@@ -1,9 +1,3 @@
-// Package ri implements the Request Issuer of the Precedence-Assignment
-// Model (§3.1): the per-user-site actor that turns transactions into
-// requests, runs the per-protocol lifecycles — static 2PL with deadlock
-// aborts, Basic T/O with timestamped requests and restart-on-rejection, and
-// the PA negotiation of §3.4 — and drives the semi-lock release discipline
-// of §4.2 rule 3/4 for the unified system.
 package ri
 
 import (
@@ -38,14 +32,28 @@ type Options struct {
 	// makes this safe — each attempt is a fresh set of requests under the
 	// unified precedence space.
 	SwitchOnRestart func(current model.Protocol, failedAttempts int) model.Protocol
+	// SnapshotStalenessMicros is the read-only snapshot margin: an
+	// ROSnapshot transaction reads at (submission time − this margin). It
+	// must exceed the maximum one-way network delay — then every write with
+	// an older commit stamp has already been implemented at every site when
+	// the snapshot read arrives, and the snapshot is a consistent cut.
+	// Default 15ms (simulated latencies top out at 5ms). On the real
+	// runtime clocks are wall-anchored per process, so the margin must also
+	// absorb inter-machine clock skew — size it to NTP error + max delay.
+	SnapshotStalenessMicros int64
+	// DisableROFastPath demotes ROSnapshot transactions to PA read-only
+	// transactions that queue and lock like everyone else (the EXP-10
+	// baseline and an operational escape hatch).
+	DisableROFastPath bool
 }
 
 // DefaultOptions returns sensible defaults for simulation-scale runs.
 func DefaultOptions() Options {
 	return Options{
-		PAIntervalMicros:     2_000,
-		RestartDelayMicros:   4_000,
-		DefaultComputeMicros: 1_000,
+		PAIntervalMicros:        2_000,
+		RestartDelayMicros:      4_000,
+		DefaultComputeMicros:    1_000,
+		SnapshotStalenessMicros: 15_000,
 	}
 }
 
@@ -133,6 +141,17 @@ func (s *txnState) allNormal() bool {
 	return true
 }
 
+// roState is the issuer-side state of one in-flight read-only snapshot
+// transaction: no locks, no negotiation, no restarts — just a scatter of
+// snapshot reads and a gather of their replies.
+type roState struct {
+	txn      *model.Txn
+	snapTS   int64
+	arrival  int64
+	pending  map[model.CopyID]bool
+	messages int64
+}
+
 // Issuer is the request-issuer actor for one user site.
 type Issuer struct {
 	mu       sync.Mutex
@@ -144,18 +163,25 @@ type Issuer struct {
 
 	clock     model.Timestamp
 	active    map[model.TxnID]*txnState
+	roActive  map[model.TxnID]*roState
 	estimates model.EstimateMsg
+	// notifyDriver sends TxnFinishedMsg to the site's workload driver on
+	// every terminal transaction event (closed-loop pacing). Only set when
+	// a closed-loop driver is actually registered at this site.
+	notifyDriver bool
 	// finalTS remembers the committed timestamp of T/O and PA transactions
 	// (test oracle for the timestamp-order invariant).
 	finalTS map[model.TxnID]model.Timestamp
 
 	// Stats (monotone counters).
-	submitted  uint64
-	committed  uint64
-	rejects    uint64
-	victims    uint64
-	dropped    uint64
-	rebackoffs uint64 // PA back-offs received after finalization (must stay 0)
+	submitted   uint64
+	committed   uint64
+	roCommitted uint64 // committed via the read-only snapshot fast path
+	roStale     uint64 // snapshot replies served inexactly (chain GC'd past ts)
+	rejects     uint64
+	victims     uint64
+	dropped     uint64
+	rebackoffs  uint64 // PA back-offs received after finalization (must stay 0)
 }
 
 // New creates an issuer for site. recorder may be nil; choose may be nil to
@@ -167,6 +193,9 @@ func New(site model.SiteID, catalog *storage.Catalog, recorder *history.Recorder
 	if opts.DefaultComputeMicros < 0 {
 		opts.DefaultComputeMicros = 0
 	}
+	if opts.SnapshotStalenessMicros <= 0 {
+		opts.SnapshotStalenessMicros = DefaultOptions().SnapshotStalenessMicros
+	}
 	return &Issuer{
 		site:     site,
 		catalog:  catalog,
@@ -174,14 +203,15 @@ func New(site model.SiteID, catalog *storage.Catalog, recorder *history.Recorder
 		opts:     opts,
 		choose:   choose,
 		active:   map[model.TxnID]*txnState{},
+		roActive: map[model.TxnID]*roState{},
 		finalTS:  map[model.TxnID]model.Timestamp{},
 	}
 }
 
 // Stats is a snapshot of issuer counters.
 type Stats struct {
-	Submitted, Committed, Rejects, Victims, Dropped, ReBackoffs uint64
-	Active                                                      int
+	Submitted, Committed, ROCommitted, ROStale, Rejects, Victims, Dropped, ReBackoffs uint64
+	Active                                                                            int
 }
 
 // Snapshot returns current counters; safe for concurrent use.
@@ -189,9 +219,10 @@ func (ri *Issuer) Snapshot() Stats {
 	ri.mu.Lock()
 	defer ri.mu.Unlock()
 	return Stats{
-		Submitted: ri.submitted, Committed: ri.committed, Rejects: ri.rejects,
-		Victims: ri.victims, Dropped: ri.dropped, ReBackoffs: ri.rebackoffs,
-		Active: len(ri.active),
+		Submitted: ri.submitted, Committed: ri.committed, ROCommitted: ri.roCommitted,
+		ROStale: ri.roStale,
+		Rejects: ri.rejects, Victims: ri.victims, Dropped: ri.dropped, ReBackoffs: ri.rebackoffs,
+		Active: len(ri.active) + len(ri.roActive),
 	}
 }
 
@@ -238,7 +269,29 @@ func (ri *Issuer) ActiveTxns() []ActiveTxn {
 		}
 		out = append(out, at)
 	}
+	for _, s := range ri.roActive {
+		at := ActiveTxn{ID: s.txn.ID, Protocol: model.ROSnapshot, Phase: "snapshot-read"}
+		for c := range s.pending {
+			at.Waiting = append(at.Waiting, c)
+		}
+		out = append(out, at)
+	}
 	return out
+}
+
+// SetNotifyDriver makes the issuer report terminal transaction events to the
+// site's workload driver (closed-loop pacing). Call before the engine starts.
+func (ri *Issuer) SetNotifyDriver(on bool) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	ri.notifyDriver = on
+}
+
+// finished reports a terminal event to the driver when asked to.
+func (ri *Issuer) finished(ctx engine.Context, id model.TxnID) {
+	if ri.notifyDriver {
+		ctx.Send(engine.DriverAddr(ri.site), model.TxnFinishedMsg{Txn: id})
+	}
 }
 
 // FinalTimestamp reports the committed timestamp of a T/O or PA transaction.
@@ -258,6 +311,8 @@ func (ri *Issuer) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 		ri.onSubmit(ctx, v.Txn)
 	case model.GrantMsg:
 		ri.onGrant(ctx, v)
+	case model.SnapReadReplyMsg:
+		ri.onSnapReply(ctx, v)
 	case model.NormalGrantMsg:
 		ri.onNormalGrant(ctx, v)
 	case model.RejectMsg:
@@ -298,13 +353,110 @@ func (ri *Issuer) onSubmit(ctx engine.Context, t *model.Txn) {
 	if ri.choose != nil {
 		t.Protocol = ri.choose(t, ri.estimates)
 	}
+	if t.Protocol == model.ROSnapshot && (t.NumWrites() > 0 || ri.opts.DisableROFastPath) {
+		// The fast path is read-only by construction; writers (and every
+		// transaction when the path is disabled) fall back to PA, the
+		// restart-free member protocol.
+		t.Protocol = model.PA
+	}
 	ri.submitted++
+	if t.Protocol == model.ROSnapshot {
+		ri.launchRO(ctx, t)
+		return
+	}
 	s := &txnState{
 		txn:          t,
 		firstArrival: ctx.NowMicros(),
 	}
 	ri.active[t.ID] = s
 	ri.launch(ctx, s)
+}
+
+// launchRO starts a read-only snapshot transaction: one SnapReadMsg per item
+// to its primary copy, at a snapshot timestamp safely in the past. There is
+// no negotiation and no lock: the transaction cannot be rejected, backed
+// off, victimized, or restarted, and it never re-enters launch.
+func (ri *Issuer) launchRO(ctx engine.Context, t *model.Txn) {
+	now := ctx.NowMicros()
+	snap := now - ri.opts.SnapshotStalenessMicros
+	if snap < 0 {
+		snap = 0
+	}
+	s := &roState{
+		txn:     t,
+		snapTS:  snap,
+		arrival: now,
+		pending: map[model.CopyID]bool{},
+	}
+	ri.roActive[t.ID] = s
+	// ReadSet is sorted, so the send order is deterministic (map iteration
+	// would reorder same-timestamp events between runs).
+	for _, item := range t.ReadSet {
+		c := model.CopyID{Item: item, Site: ri.catalog.Primary(item)}
+		s.pending[c] = true
+		s.messages++
+		ctx.Send(engine.QMAddr(c.Site), model.SnapReadMsg{
+			Txn:        t.ID,
+			Copy:       c,
+			SnapMicros: snap,
+			Site:       ri.site,
+		})
+	}
+	if len(s.pending) == 0 {
+		// Unreachable via onSubmit (zero-op transactions return before the
+		// RO branch), but a hang here would leak a closed-loop slot forever,
+		// so go straight to the compute phase defensively.
+		ri.startROCompute(ctx, s)
+	}
+}
+
+// startROCompute runs the local computing phase like any other transaction
+// (the fast path removes queueing, not work), then finishes via
+// onComputeDone.
+func (ri *Issuer) startROCompute(ctx engine.Context, s *roState) {
+	d := s.txn.ComputeMicros
+	if d <= 0 {
+		d = ri.opts.DefaultComputeMicros
+	}
+	ctx.SetTimer(d, model.ComputeDoneMsg{Txn: s.txn.ID})
+}
+
+func (ri *Issuer) onSnapReply(ctx engine.Context, v model.SnapReadReplyMsg) {
+	s := ri.roActive[v.Txn]
+	if s == nil || !s.pending[v.Copy] {
+		return
+	}
+	delete(s.pending, v.Copy)
+	if !v.Exact {
+		ri.roStale++
+	}
+	if len(s.pending) == 0 {
+		ri.startROCompute(ctx, s)
+	}
+}
+
+// finishRO commits a read-only snapshot transaction.
+func (ri *Issuer) finishRO(ctx engine.Context, s *roState) {
+	ri.committed++
+	ri.roCommitted++
+	if ri.recorder != nil {
+		ri.recorder.Committed(s.txn.ID, model.ROSnapshot)
+	}
+	now := ctx.NowMicros()
+	ctx.Send(engine.CollectorAddr(), model.TxnDoneMsg{
+		Txn:                s.txn.ID,
+		Protocol:           model.ROSnapshot,
+		Outcome:            model.OutcomeCommitted,
+		ArrivalMicros:      s.arrival,
+		DoneMicros:         now,
+		FirstArrivalMicros: s.arrival,
+		Attempts:           1,
+		Size:               s.txn.Size(),
+		Reads:              s.txn.NumReads(),
+		Messages:           s.messages,
+	})
+	delete(ri.roActive, s.txn.ID)
+	ri.finished(ctx, s.txn.ID)
 }
 
 // launch sends the attempt's requests to every queue manager involved:
@@ -549,6 +701,7 @@ func (ri *Issuer) scheduleRestart(ctx engine.Context, s *txnState) {
 	if ri.opts.MaxAttempts > 0 && s.attempts >= ri.opts.MaxAttempts {
 		ri.dropped++
 		delete(ri.active, s.txn.ID)
+		ri.finished(ctx, s.txn.ID)
 		return
 	}
 	s.attempt++
@@ -580,6 +733,12 @@ func (ri *Issuer) startCompute(ctx engine.Context, s *txnState) {
 }
 
 func (ri *Issuer) onComputeDone(ctx engine.Context, v model.ComputeDoneMsg) {
+	if ro := ri.roActive[v.Txn]; ro != nil {
+		if len(ro.pending) == 0 {
+			ri.finishRO(ctx, ro)
+		}
+		return
+	}
 	s := ri.stateFor(v.Txn, v.Attempt)
 	if s == nil || s.phase != phaseComputing {
 		return
@@ -627,12 +786,16 @@ func (ri *Issuer) writeValue(s *txnState, item model.ItemID) int64 {
 
 // releaseAll sends the write-phase releases. toSemi selects the semi-lock
 // conversion round; the final round (toSemi=false) after a conversion does
-// not resend values (writes were implemented at conversion).
+// not resend values (writes were implemented at conversion). Every release
+// of the round carries the same CommitMicros stamp — the transaction's
+// single commit point, which versions the writes for snapshot reads.
 func (ri *Issuer) releaseAll(ctx engine.Context, s *txnState, toSemi bool) {
 	converted := s.phase == phaseAwaitNormal || (s.txn.Protocol == model.TO && s.preSchedAny && !toSemi)
+	commit := ctx.NowMicros()
 	for _, r := range s.order {
 		msg := model.ReleaseMsg{
 			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID, ToSemi: toSemi,
+			CommitMicros: commit,
 		}
 		if r.kind == model.OpWrite && !converted {
 			msg.HasWrite = true
@@ -669,6 +832,7 @@ func (ri *Issuer) finish(ctx engine.Context, s *txnState) {
 		ri.reportAttempt(ctx, s, model.OutcomeCommitted, model.OpRead)
 	}
 	delete(ri.active, s.txn.ID)
+	ri.finished(ctx, s.txn.ID)
 }
 
 // reportAttempt emits a TxnDoneMsg for this attempt's terminal event.

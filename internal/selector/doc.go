@@ -1,0 +1,12 @@
+// Package selector implements §5.2's algorithm selection: static selection
+// (the baseline "static concurrency control" the paper argues against),
+// dynamic per-transaction min-STL selection from live parameter estimates,
+// and the paper's suggested speed-up of caching STL values per transaction
+// class.
+//
+// One extension sits above the STL comparison: with ReadOnlyFastPath set,
+// pure-read transactions are routed to the model.ROSnapshot class instead
+// of any member protocol. No STL evaluation is needed — a snapshot read has
+// zero lock time and zero restart probability, so no member protocol can
+// beat it.
+package selector

@@ -1,8 +1,3 @@
-// Package selector implements §5.2's algorithm selection: static selection
-// (the baseline "static concurrency control" the paper argues against),
-// dynamic per-transaction min-STL selection from live parameter estimates,
-// and the paper's suggested speed-up of caching STL values per transaction
-// class.
 package selector
 
 import (
@@ -23,6 +18,12 @@ func Static(p model.Protocol) ri.ChooseFunc {
 type Options struct {
 	// Fallback is used while no estimates have arrived yet (cold start).
 	Fallback model.Protocol
+	// ReadOnlyFastPath routes pure-read transactions to the ROSnapshot
+	// class (no queueing, no locks, snapshot reads) instead of evaluating
+	// STL over the member protocols. The STL comparison is moot for such
+	// transactions: a snapshot read has zero lock time and zero restart
+	// probability, so no member protocol can beat it.
+	ReadOnlyFastPath bool
 	// ColdStart, when non-nil, replaces Fallback during warm-up with a full
 	// min-STL decision over analytically derived parameters (§5.2's
 	// "estimated through analytical methods"; see stl.Analytic).
@@ -45,8 +46,10 @@ type Dynamic struct {
 	opts Options
 
 	cache map[classKey]cacheEntry
-	// Decisions counts choices per protocol (observability for EXP-6).
-	Decisions [3]uint64
+	// Decisions counts choices per protocol — including routes to the
+	// ROSnapshot fast path at index model.ROSnapshot (observability for
+	// EXP-6/EXP-10).
+	Decisions [model.NumProtocols]uint64
 }
 
 type classKey struct {
@@ -78,6 +81,13 @@ func NewDynamic(opts Options) *Dynamic {
 func (d *Dynamic) Choose(t *model.Txn, est model.EstimateMsg) model.Protocol {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.opts.ReadOnlyFastPath && t.NumWrites() == 0 {
+		d.Decisions[model.ROSnapshot]++
+		return model.ROSnapshot
+	}
+	// A preset ROSnapshot tag the fast path will not take (path disabled
+	// here) simply falls through to normal min-STL selection, whose return
+	// value replaces the tag at the issuer.
 	if est.LambdaA < d.opts.MinLambdaA {
 		p := d.opts.Fallback
 		if d.opts.ColdStart != nil {

@@ -1,0 +1,7 @@
+// Package sim is the deterministic virtual-time engine. It runs the same
+// actors as the real-time runtime but single-threaded over an event heap
+// with a virtual microsecond clock, which makes experiments fast (no real
+// sleeping) and exactly reproducible from a seed — the property the paper's
+// own evaluation relies on ("a detailed simulation of the proposed method",
+// §6 item 1).
+package sim

@@ -1,0 +1,27 @@
+// Package storage implements the per-site data store as a multi-version
+// store: each physical copy D_ij keeps a short, bounded chain of committed
+// versions, newest last, each stamped with its writer's commit point.
+//
+// The paper's model (§2) holds one versioned value per physical copy; the
+// chain is a strictly additive extension. The lock-protected read/write path
+// (Read, Write) still sees exactly the newest committed state — the unified
+// 2PL/T/O/PA machinery is unchanged — while ReadAt serves the read-only
+// snapshot fast path: the newest version whose commit stamp is at or below a
+// snapshot timestamp. Because a writer stamps every version it installs (at
+// every copy, at every site) with one commit point, version selection by
+// stamp is all-or-nothing per transaction, which is what makes a snapshot a
+// consistent cut.
+//
+// Chains are bounded by a ChainPolicy with two rules: a watermark (a version
+// may be pruned only once a newer version is KeepMicros old, so every
+// snapshot read within the staleness window finds its exact version) and a
+// hard cap (MaxVersions, memory safety; a read older than the capped chain
+// is served the oldest version and reported inexact).
+//
+// The paper's per-item operation log lives in internal/history (it is an
+// observability/correctness artifact); this package holds the state that
+// grants and releases read and write. The Journal hook reports every
+// implemented write — with its version ordinal and commit stamp — to the
+// durability subsystem (internal/wal) before Write returns, and the
+// recovery-path installs (Restore, RestoreChain, Apply) bypass it.
+package storage

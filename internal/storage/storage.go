@@ -1,9 +1,3 @@
-// Package storage implements the per-site data store: one versioned value
-// per physical copy D_ij. The paper's model (§2) keeps a log per physical
-// item recording the implementation order of operations; the log itself
-// lives in internal/history (it is an observability/correctness artifact),
-// while this package holds the current database state that grants and
-// releases read and write.
 package storage
 
 import (
@@ -13,36 +7,116 @@ import (
 	"ucc/internal/model"
 )
 
-// Copy is the stored state of one physical data item.
+// Version is one committed version of a physical copy.
+type Version struct {
+	// Value is the installed value.
+	Value int64
+	// Version is the write ordinal: version v is the state after the v-th
+	// implemented write (0 = the initial value from Create).
+	Version uint64
+	// Writer is the transaction whose write produced this version (zero
+	// TxnID for the initial value).
+	Writer model.TxnID
+	// CommitMicros is the writer's commit point (engine time at which the
+	// writer sent its release round; 0 for the initial value). A writer
+	// stamps every version it installs — at every copy, at every site —
+	// with this one value, so version selection by commit stamp is
+	// all-or-nothing per transaction.
+	CommitMicros int64
+}
+
+// Copy is the latest-version view of one physical copy. It stays a flat,
+// comparable struct: most of the system (lock grants, invariant checks,
+// durability snapshot identity) only cares about the newest committed state.
 type Copy struct {
 	ID model.CopyID
-	// Value is the current value.
+	// Value is the current (newest committed) value.
 	Value int64
 	// Version counts implemented writes (0 = initial value).
 	Version uint64
-	// Writer is the transaction whose write produced Version (zero TxnID for
-	// the initial value).
+	// Writer is the transaction whose write produced Version.
 	Writer model.TxnID
+	// CommitMicros is the commit stamp of the newest version.
+	CommitMicros int64
+}
+
+// CopyChain is the full retained version chain of one physical copy,
+// oldest first (the durability snapshot unit: recovery must rebuild chains,
+// not just latest values, or snapshot reads issued across a crash would lose
+// their versions).
+type CopyChain struct {
+	ID       model.CopyID
+	Versions []Version
+}
+
+// ChainPolicy bounds a copy's version chain.
+type ChainPolicy struct {
+	// MaxVersions is the hard cap on retained versions per copy (≥1). When
+	// the watermark rule below still retains more than this many versions,
+	// the oldest are dropped anyway — memory safety wins and a snapshot read
+	// older than the chain is served its oldest version (reported inexact).
+	MaxVersions int
+	// KeepMicros is the staleness window: a version may be pruned only once
+	// a newer version is at least this old, so every snapshot read taken
+	// within the window finds its exact version. Must exceed the issuers'
+	// snapshot staleness margin plus the maximum network delay.
+	KeepMicros int64
+}
+
+// DefaultChainPolicy returns the production bounds: 16 versions per copy,
+// 250ms of retained history (comfortably above the default 15ms snapshot
+// staleness margin plus worst-case simulated latency).
+func DefaultChainPolicy() ChainPolicy {
+	return ChainPolicy{MaxVersions: 16, KeepMicros: 250_000}
+}
+
+func (p *ChainPolicy) fill() {
+	if p.MaxVersions <= 0 {
+		p.MaxVersions = DefaultChainPolicy().MaxVersions
+	}
+	if p.KeepMicros <= 0 {
+		p.KeepMicros = DefaultChainPolicy().KeepMicros
+	}
 }
 
 // Journal is the durability hook: when attached, every implemented Write is
 // reported before the Store returns, so a write-ahead log (internal/wal) can
-// journal it. Recovery-path installs (Restore, Apply) bypass the journal —
-// they re-apply history that is already durable.
+// journal it. Recovery-path installs (Restore, RestoreChain, Apply) bypass
+// the journal — they re-apply history that is already durable.
 type Journal interface {
-	RecordWrite(item model.ItemID, txn model.TxnID, value int64, version uint64)
+	RecordWrite(item model.ItemID, txn model.TxnID, value int64, version uint64, commitMicros int64)
 }
 
-// Store holds every physical copy resident at one data site.
+// copyState is the resident state of one physical copy: its retained version
+// chain, oldest first. The newest version (last element) is the current
+// value; the chain always holds at least one version.
+type copyState struct {
+	id       model.CopyID
+	versions []Version
+}
+
+func (c *copyState) latest() *Version { return &c.versions[len(c.versions)-1] }
+
+// view renders the comparable latest-version Copy.
+func (c *copyState) view() Copy {
+	v := c.latest()
+	return Copy{ID: c.id, Value: v.Value, Version: v.Version, Writer: v.Writer, CommitMicros: v.CommitMicros}
+}
+
+// Store holds every physical copy resident at one data site as a bounded
+// multi-version chain per copy.
 type Store struct {
 	site    model.SiteID
-	copies  map[model.ItemID]*Copy
+	copies  map[model.ItemID]*copyState
+	policy  ChainPolicy
 	journal Journal
+	// pruned counts versions dropped by chain GC (observability).
+	pruned uint64
 }
 
-// NewStore creates an empty store for a site.
+// NewStore creates an empty store for a site with the default chain policy.
 func NewStore(site model.SiteID) *Store {
-	return &Store{site: site, copies: map[model.ItemID]*Copy{}}
+	return &Store{site: site, copies: map[model.ItemID]*copyState{}, policy: DefaultChainPolicy()}
 }
 
 // Site returns the owning site.
@@ -51,12 +125,26 @@ func (s *Store) Site() model.SiteID { return s.site }
 // SetJournal attaches (or detaches, with nil) the durability hook.
 func (s *Store) SetJournal(j Journal) { s.journal = j }
 
+// SetChainPolicy replaces the version-chain bounds (zero fields select the
+// defaults). Call before traffic; existing chains are trimmed lazily on the
+// next write.
+func (s *Store) SetChainPolicy(p ChainPolicy) {
+	p.fill()
+	s.policy = p
+}
+
+// ChainPolicy returns the active bounds.
+func (s *Store) ChainPolicy() ChainPolicy { return s.policy }
+
 // Create places a physical copy of item at this site with an initial value.
 func (s *Store) Create(item model.ItemID, initial int64) {
 	if _, dup := s.copies[item]; dup {
 		panic(fmt.Sprintf("storage: duplicate copy of %v at site %d", item, s.site))
 	}
-	s.copies[item] = &Copy{ID: model.CopyID{Item: item, Site: s.site}, Value: initial}
+	s.copies[item] = &copyState{
+		id:       model.CopyID{Item: item, Site: s.site},
+		versions: []Version{{Value: initial}},
+	}
 }
 
 // Has reports whether this site stores a copy of item.
@@ -65,24 +153,83 @@ func (s *Store) Has(item model.ItemID) bool {
 	return ok
 }
 
-// Read returns the current value and version of item's copy.
+// Read returns the current (newest committed) value and version of item's
+// copy — the lock-protected read path.
 func (s *Store) Read(item model.ItemID) (value int64, version uint64) {
-	c := s.mustGet(item)
-	return c.Value, c.Version
+	v := s.mustGet(item).latest()
+	return v.Value, v.Version
 }
 
-// Write installs a new value for item's copy on behalf of txn and returns
-// the new version.
-func (s *Store) Write(item model.ItemID, txn model.TxnID, value int64) uint64 {
+// ReadAt returns the newest version of item's copy whose commit stamp is
+// ≤ atMicros — the snapshot read path. exact is false when every retained
+// version is newer than atMicros (the chain was GC'd past the snapshot); the
+// oldest retained version is then served as the best available answer.
+func (s *Store) ReadAt(item model.ItemID, atMicros int64) (v Version, exact bool) {
 	c := s.mustGet(item)
-	c.Value = value
-	c.Version++
-	c.Writer = txn
-	if s.journal != nil {
-		s.journal.RecordWrite(item, txn, value, c.Version)
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		if c.versions[i].CommitMicros <= atMicros {
+			return c.versions[i], true
+		}
 	}
-	return c.Version
+	return c.versions[0], false
 }
+
+// Write installs a new version for item's copy on behalf of txn, stamped
+// with the writer's commit point, and returns the new version ordinal. The
+// chain is pruned under the store's ChainPolicy using commitMicros as "now"
+// (commit stamps are nondecreasing along a chain, so the newest stamp is the
+// freshest clock reading the store has).
+func (s *Store) Write(item model.ItemID, txn model.TxnID, value int64, commitMicros int64) uint64 {
+	c := s.mustGet(item)
+	next := Version{
+		Value:        value,
+		Version:      c.latest().Version + 1,
+		Writer:       txn,
+		CommitMicros: commitMicros,
+	}
+	c.versions = append(c.versions, next)
+	s.prune(c, commitMicros)
+	if s.journal != nil {
+		s.journal.RecordWrite(item, txn, value, next.Version, commitMicros)
+	}
+	return next.Version
+}
+
+// prune applies the watermark rule, then the hard cap. The watermark rule
+// keeps the newest version with CommitMicros ≤ now−Keep as the chain base
+// (it is what a snapshot at the oldest admissible timestamp reads) and drops
+// everything older.
+func (s *Store) prune(c *copyState, nowMicros int64) {
+	watermark := nowMicros - s.policy.KeepMicros
+	base := 0
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		if c.versions[i].CommitMicros <= watermark {
+			base = i
+			break
+		}
+	}
+	if over := len(c.versions) - s.policy.MaxVersions; over > base {
+		base = over // hard cap: may sacrifice in-window versions
+	}
+	if base > 0 {
+		s.pruned += uint64(base)
+		c.versions = append(c.versions[:0:0], c.versions[base:]...)
+	}
+}
+
+// Chain returns a copy of item's retained version chain, oldest first.
+func (s *Store) Chain(item model.ItemID) []Version {
+	c := s.mustGet(item)
+	out := make([]Version, len(c.versions))
+	copy(out, c.versions)
+	return out
+}
+
+// ChainLen returns the number of retained versions of item's copy.
+func (s *Store) ChainLen(item model.ItemID) int { return len(s.mustGet(item).versions) }
+
+// Pruned returns the cumulative number of versions dropped by chain GC.
+func (s *Store) Pruned() uint64 { return s.pruned }
 
 // Items returns the item ids stored here in ascending order.
 func (s *Store) Items() []model.ItemID {
@@ -97,41 +244,70 @@ func (s *Store) Items() []model.ItemID {
 // Len returns the number of copies stored here.
 func (s *Store) Len() int { return len(s.copies) }
 
-// Copies returns a value snapshot of every physical copy, ascending by item
-// (the input to a durability snapshot).
+// Copies returns the latest-version view of every physical copy, ascending
+// by item.
 func (s *Store) Copies() []Copy {
 	out := make([]Copy, 0, len(s.copies))
 	for _, item := range s.Items() {
-		out = append(out, *s.copies[item])
+		out = append(out, s.copies[item].view())
+	}
+	return out
+}
+
+// Chains returns the full retained version chain of every physical copy,
+// ascending by item (the input to a durability snapshot).
+func (s *Store) Chains() []CopyChain {
+	out := make([]CopyChain, 0, len(s.copies))
+	for _, item := range s.Items() {
+		c := s.copies[item]
+		vs := make([]Version, len(c.versions))
+		copy(vs, c.versions)
+		out = append(out, CopyChain{ID: c.id, Versions: vs})
 	}
 	return out
 }
 
 // Wipe drops every copy: the volatile-state loss of a site crash. The store
 // keeps its identity (queue managers hold a pointer) and is rebuilt through
-// Restore/Apply during recovery.
+// RestoreChain/Apply during recovery.
 func (s *Store) Wipe() {
-	s.copies = map[model.ItemID]*Copy{}
+	s.copies = map[model.ItemID]*copyState{}
 }
 
-// Restore installs a copy verbatim from a durability snapshot, bypassing the
-// journal.
+// Restore installs a copy as a single-version chain, bypassing the journal
+// (seeding and tests; durability recovery uses RestoreChain).
 func (s *Store) Restore(c Copy) {
-	cc := c
-	s.copies[c.ID.Item] = &cc
+	s.copies[c.ID.Item] = &copyState{
+		id: c.ID,
+		versions: []Version{{
+			Value: c.Value, Version: c.Version, Writer: c.Writer, CommitMicros: c.CommitMicros,
+		}},
+	}
 }
 
-// Apply re-installs one replayed journaled write verbatim (exact version,
-// no journal hook). The copy must exist — every copy is present in the
-// snapshot recovery starts from.
-func (s *Store) Apply(item model.ItemID, txn model.TxnID, value int64, version uint64) {
+// RestoreChain installs a copy's full version chain verbatim from a
+// durability snapshot, bypassing the journal.
+func (s *Store) RestoreChain(cc CopyChain) {
+	if len(cc.Versions) == 0 {
+		panic(fmt.Sprintf("storage: empty chain for %v", cc.ID))
+	}
+	vs := make([]Version, len(cc.Versions))
+	copy(vs, cc.Versions)
+	s.copies[cc.ID.Item] = &copyState{id: cc.ID, versions: vs}
+}
+
+// Apply re-installs one replayed journaled write verbatim (exact version and
+// commit stamp, no journal hook), extending the copy's chain. The copy must
+// exist — every copy is present in the snapshot recovery starts from.
+func (s *Store) Apply(item model.ItemID, txn model.TxnID, value int64, version uint64, commitMicros int64) {
 	c := s.mustGet(item)
-	c.Value = value
-	c.Version = version
-	c.Writer = txn
+	c.versions = append(c.versions, Version{
+		Value: value, Version: version, Writer: txn, CommitMicros: commitMicros,
+	})
+	s.prune(c, commitMicros)
 }
 
-func (s *Store) mustGet(item model.ItemID) *Copy {
+func (s *Store) mustGet(item model.ItemID) *copyState {
 	c := s.copies[item]
 	if c == nil {
 		panic(fmt.Sprintf("storage: site %d has no copy of %v", s.site, item))

@@ -1,8 +1,3 @@
-// Package transport carries actor envelopes between processes over TCP with
-// encoding/gob framing, turning the in-process runtime into a real
-// distributed deployment (cmd/uccnode, cmd/uccclient). Connections are
-// per-peer, persistent, and FIFO — the delivery guarantee the protocol
-// assumes and the in-process engines emulate.
 package transport
 
 import (

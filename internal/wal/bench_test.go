@@ -35,7 +35,7 @@ func runCommitters(b *testing.B, sl *SiteLog, writers int, total int64) {
 				if i > total {
 					return
 				}
-				sl.RecordWrite(model.ItemID(i%64), model.TxnID{Site: 0, Seq: uint64(i)}, i, 1)
+				sl.RecordWrite(model.ItemID(i%64), model.TxnID{Site: 0, Seq: uint64(i)}, i, 1, 0)
 				if err := sl.Flush(); err != nil {
 					b.Error(err)
 					return

@@ -1,14 +1,3 @@
-// Package wal is the durability subsystem: an append-only, checksummed,
-// segmented write-ahead log of implemented writes plus periodic snapshots of
-// a site's storage.Store, and a recovery path that reconstructs the store
-// from the newest valid snapshot and the checksummed log tail.
-//
-// The paper's model (§2) assumes failure-free sites; this package lifts that
-// assumption so the system — and the simulator — can express site crashes.
-// The log is layered over a Media abstraction with two implementations: a
-// directory of real files (cmd/uccnode, `kill -9` recovery) and a
-// deterministic in-memory medium (simulated fault injection, where a crash
-// discards exactly the bytes that were never synced).
 package wal
 
 import (

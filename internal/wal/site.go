@@ -88,7 +88,7 @@ func Open(media Media, store *storage.Store, opts Options) (*SiteLog, error) {
 		if err := writeSnapshot(media, snapshot{
 			AppliedSeq: 0,
 			Site:       store.Site(),
-			Copies:     store.Copies(),
+			Chains:     store.Chains(),
 		}); err != nil {
 			return nil, err
 		}
@@ -106,13 +106,13 @@ func Open(media Media, store *storage.Store, opts Options) (*SiteLog, error) {
 
 // RecordWrite implements storage.Journal: the write is appended to the log
 // buffer and becomes durable at the next Flush.
-func (s *SiteLog) RecordWrite(item model.ItemID, txn model.TxnID, value int64, version uint64) {
+func (s *SiteLog) RecordWrite(item model.ItemID, txn model.TxnID, value int64, version uint64, commitMicros int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.log == nil {
 		panic("wal: RecordWrite on crashed site log")
 	}
-	s.log.Append(Record{Item: item, Txn: txn, Value: value, Version: version})
+	s.log.Append(Record{Item: item, Txn: txn, Value: value, Version: version, CommitMicros: commitMicros})
 	s.stats.Appends++
 	s.sinceSnap++
 }
@@ -174,7 +174,7 @@ func (s *SiteLog) snapshotLocked() error {
 	if err := writeSnapshot(s.media, snapshot{
 		AppliedSeq: applied,
 		Site:       s.store.Site(),
-		Copies:     s.store.Copies(),
+		Chains:     s.store.Chains(),
 	}); err != nil {
 		return err
 	}
@@ -218,15 +218,15 @@ func (s *SiteLog) recoverLocked() error {
 		return fmt.Errorf("wal: media belongs to site %d, not site %d", snap.Site, s.store.Site())
 	}
 	s.store.Wipe()
-	for _, c := range snap.Copies {
-		s.store.Restore(c)
+	for _, c := range snap.Chains {
+		s.store.RestoreChain(c)
 	}
 	var replayed uint64
 	lastSeq, err := Replay(s.media, snap.AppliedSeq, func(r Record) error {
 		if !s.store.Has(r.Item) {
 			return fmt.Errorf("wal: replayed write to unknown item %v", r.Item)
 		}
-		s.store.Apply(r.Item, r.Txn, r.Value, r.Version)
+		s.store.Apply(r.Item, r.Txn, r.Value, r.Version, r.CommitMicros)
 		replayed++
 		return nil
 	})
@@ -234,7 +234,7 @@ func (s *SiteLog) recoverLocked() error {
 		return err
 	}
 	s.stats.Replayed = replayed
-	s.stats.RecoveredCopies = len(snap.Copies)
+	s.stats.RecoveredCopies = len(snap.Chains)
 	s.stats.Recoveries++
 	s.sinceSnap = 0
 	s.lastSnapSeq = snap.AppliedSeq
@@ -248,7 +248,7 @@ func (s *SiteLog) recoverLocked() error {
 		if err := writeSnapshot(s.media, snapshot{
 			AppliedSeq: lastSeq,
 			Site:       s.store.Site(),
-			Copies:     s.store.Copies(),
+			Chains:     s.store.Chains(),
 		}); err != nil {
 			return err
 		}

@@ -44,9 +44,9 @@ func TestSiteLogCrashRecoverRoundTrip(t *testing.T) {
 
 	txn := model.TxnID{Site: 0, Seq: 9}
 	for i := 0; i < 8; i++ {
-		st.Write(model.ItemID(i), txn, int64(1000+i))
+		st.Write(model.ItemID(i), txn, int64(1000+i), int64(i)*10)
 	}
-	st.Write(3, txn, 77)
+	st.Write(3, txn, 77, 90)
 	if err := sl.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestSiteLogCrashRecoverRoundTrip(t *testing.T) {
 	}
 
 	// The log is writable again after recovery.
-	st.Write(5, txn, -1)
+	st.Write(5, txn, -1, 200)
 	if err := sl.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -89,12 +89,12 @@ func TestSiteLogCrashLosesUnflushedTail(t *testing.T) {
 	st.SetJournal(sl)
 	txn := model.TxnID{Site: 0, Seq: 1}
 
-	st.Write(0, txn, 10)
-	st.Write(1, txn, 11)
+	st.Write(0, txn, 10, 10)
+	st.Write(1, txn, 11, 20)
 	if err := sl.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	st.Write(2, txn, 12) // never flushed
+	st.Write(2, txn, 12, 30) // never flushed
 
 	st.Wipe()
 	sl.Crash()
@@ -119,7 +119,7 @@ func TestSiteLogSnapshotTruncatesSegments(t *testing.T) {
 	txn := model.TxnID{Site: 1, Seq: 1}
 
 	for i := 0; i < 55; i++ {
-		st.Write(model.ItemID(i%4), txn, int64(i))
+		st.Write(model.ItemID(i%4), txn, int64(i), int64(i)*5)
 		if err := sl.Flush(); err != nil {
 			t.Fatal(err)
 		}
@@ -174,8 +174,8 @@ func TestSiteLogFileBackedReopen(t *testing.T) {
 	}
 	st.SetJournal(sl)
 	txn := model.TxnID{Site: 5, Seq: 3}
-	st.Write(0, txn, 500)
-	st.Write(4, txn, 400)
+	st.Write(0, txn, 500, 50)
+	st.Write(4, txn, 400, 60)
 	if err := sl.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestGroupCommitBatchesSyncs(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
 				sl.RecordWrite(model.ItemID((w*perWriter+i)%items),
-					model.TxnID{Site: 0, Seq: uint64(w + 1)}, int64(i), 1)
+					model.TxnID{Site: 0, Seq: uint64(w + 1)}, int64(i), 1, 0)
 				if err := sl.Flush(); err != nil {
 					t.Error(err)
 					return
@@ -276,7 +276,7 @@ func TestRecoverWithEmptyTailKeepsSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	st.SetJournal(sl)
-	st.Write(1, model.TxnID{Site: 3, Seq: 1}, 42)
+	st.Write(1, model.TxnID{Site: 3, Seq: 1}, 42, 70)
 	if err := sl.Flush(); err != nil {
 		t.Fatal(err)
 	}

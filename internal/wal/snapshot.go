@@ -9,41 +9,54 @@ import (
 	"ucc/internal/storage"
 )
 
-// snapshot is a point-in-time image of one site's store: every physical
-// copy, plus the sequence number of the last journaled record already
-// reflected in those copies. Records with Seq > AppliedSeq form the log
-// tail that replays on top.
+// snapshot is a point-in-time image of one site's store: the full retained
+// version chain of every physical copy, plus the sequence number of the last
+// journaled record already reflected in those chains. Records with
+// Seq > AppliedSeq form the log tail that replays on top. Chains (not just
+// latest values) are imaged so that a recovered site can keep serving
+// snapshot reads at timestamps that predate the crash.
 type snapshot struct {
 	AppliedSeq uint64
 	Site       model.SiteID
-	Copies     []storage.Copy
+	Chains     []storage.CopyChain
 }
 
-const snapCopyBytes = 4 + 8 + 8 + 4 + 8 // item, value, version, writer site, writer seq
+// snapVersionBytes encodes one storage.Version:
+// value | version | writer site | writer seq | commit micros.
+const snapVersionBytes = 8 + 8 + 4 + 8 + 8
 
 // encodeSnapshot renders: crc32C(body) | body, where body is
-// appliedSeq | site | count | count × copy.
+// appliedSeq | site | copyCount | copyCount × (item | versionCount |
+// versionCount × version).
 func encodeSnapshot(s snapshot) []byte {
-	body := make([]byte, 0, 8+4+4+len(s.Copies)*snapCopyBytes)
+	size := 8 + 4 + 4
+	for _, c := range s.Chains {
+		size += 4 + 4 + len(c.Versions)*snapVersionBytes
+	}
+	body := make([]byte, 0, size)
 	var u8 [8]byte
 	var u4 [4]byte
-	binary.LittleEndian.PutUint64(u8[:], s.AppliedSeq)
-	body = append(body, u8[:]...)
-	binary.LittleEndian.PutUint32(u4[:], uint32(s.Site))
-	body = append(body, u4[:]...)
-	binary.LittleEndian.PutUint32(u4[:], uint32(len(s.Copies)))
-	body = append(body, u4[:]...)
-	for _, c := range s.Copies {
-		binary.LittleEndian.PutUint32(u4[:], uint32(c.ID.Item))
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u8[:], v)
+		body = append(body, u8[:]...)
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u4[:], v)
 		body = append(body, u4[:]...)
-		binary.LittleEndian.PutUint64(u8[:], uint64(c.Value))
-		body = append(body, u8[:]...)
-		binary.LittleEndian.PutUint64(u8[:], c.Version)
-		body = append(body, u8[:]...)
-		binary.LittleEndian.PutUint32(u4[:], uint32(c.Writer.Site))
-		body = append(body, u4[:]...)
-		binary.LittleEndian.PutUint64(u8[:], c.Writer.Seq)
-		body = append(body, u8[:]...)
+	}
+	put64(s.AppliedSeq)
+	put32(uint32(s.Site))
+	put32(uint32(len(s.Chains)))
+	for _, c := range s.Chains {
+		put32(uint32(c.ID.Item))
+		put32(uint32(len(c.Versions)))
+		for _, v := range c.Versions {
+			put64(uint64(v.Value))
+			put64(v.Version)
+			put32(uint32(v.Writer.Site))
+			put64(v.Writer.Seq)
+			put64(uint64(v.CommitMicros))
+		}
 	}
 	out := make([]byte, 4, 4+len(body))
 	binary.LittleEndian.PutUint32(out, crc32.Checksum(body, crcTable))
@@ -64,24 +77,40 @@ func decodeSnapshot(data []byte) (snapshot, error) {
 	}
 	s.AppliedSeq = binary.LittleEndian.Uint64(body)
 	s.Site = model.SiteID(binary.LittleEndian.Uint32(body[8:]))
-	count := int(binary.LittleEndian.Uint32(body[12:]))
+	copies := int(binary.LittleEndian.Uint32(body[12:]))
 	body = body[16:]
-	if len(body) != count*snapCopyBytes {
-		return s, fmt.Errorf("wal: snapshot body %d bytes, want %d copies", len(body), count)
-	}
-	s.Copies = make([]storage.Copy, count)
-	for i := 0; i < count; i++ {
-		b := body[i*snapCopyBytes:]
-		item := model.ItemID(binary.LittleEndian.Uint32(b))
-		s.Copies[i] = storage.Copy{
-			ID:      model.CopyID{Item: item, Site: s.Site},
-			Value:   int64(binary.LittleEndian.Uint64(b[4:])),
-			Version: binary.LittleEndian.Uint64(b[12:]),
-			Writer: model.TxnID{
-				Site: model.SiteID(binary.LittleEndian.Uint32(b[20:])),
-				Seq:  binary.LittleEndian.Uint64(b[24:]),
-			},
+	s.Chains = make([]storage.CopyChain, 0, copies)
+	for i := 0; i < copies; i++ {
+		if len(body) < 8 {
+			return s, fmt.Errorf("wal: snapshot truncated at copy %d", i)
 		}
+		item := model.ItemID(binary.LittleEndian.Uint32(body))
+		nv := int(binary.LittleEndian.Uint32(body[4:]))
+		body = body[8:]
+		if nv < 1 || len(body) < nv*snapVersionBytes {
+			return s, fmt.Errorf("wal: snapshot chain for item %d malformed (%d versions, %d bytes left)", item, nv, len(body))
+		}
+		cc := storage.CopyChain{
+			ID:       model.CopyID{Item: item, Site: s.Site},
+			Versions: make([]storage.Version, nv),
+		}
+		for j := 0; j < nv; j++ {
+			b := body[j*snapVersionBytes:]
+			cc.Versions[j] = storage.Version{
+				Value:   int64(binary.LittleEndian.Uint64(b)),
+				Version: binary.LittleEndian.Uint64(b[8:]),
+				Writer: model.TxnID{
+					Site: model.SiteID(binary.LittleEndian.Uint32(b[16:])),
+					Seq:  binary.LittleEndian.Uint64(b[20:]),
+				},
+				CommitMicros: int64(binary.LittleEndian.Uint64(b[28:])),
+			}
+		}
+		body = body[nv*snapVersionBytes:]
+		s.Chains = append(s.Chains, cc)
+	}
+	if len(body) != 0 {
+		return s, fmt.Errorf("wal: snapshot has %d trailing bytes", len(body))
 	}
 	return s, nil
 }

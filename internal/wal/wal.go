@@ -10,14 +10,17 @@ import (
 )
 
 // Record is one journaled physical write: transaction txn installed value as
-// the given version of item's copy at this site. Seq totally orders a site's
-// records; replaying records in sequence order rebuilds the store exactly.
+// the given version of item's copy at this site, stamped with the writer's
+// commit point. Seq totally orders a site's records; replaying records in
+// sequence order rebuilds the store — including its version chains, which
+// the commit stamps order for snapshot reads — exactly.
 type Record struct {
-	Seq     uint64
-	Item    model.ItemID
-	Txn     model.TxnID
-	Value   int64
-	Version uint64
+	Seq          uint64
+	Item         model.ItemID
+	Txn          model.TxnID
+	Value        int64
+	Version      uint64
+	CommitMicros int64
 }
 
 const (
@@ -27,7 +30,7 @@ const (
 	// frameHeader is crc32(payload) + uint32 payload length.
 	frameHeader = 8
 	// recordPayload is the fixed encoded size of one Record.
-	recordPayload = 8 + 4 + 4 + 8 + 8 + 8
+	recordPayload = 8 + 4 + 4 + 8 + 8 + 8 + 8
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -50,6 +53,7 @@ func appendRecord(buf []byte, r Record) []byte {
 	binary.LittleEndian.PutUint64(p[16:], r.Txn.Seq)
 	binary.LittleEndian.PutUint64(p[24:], uint64(r.Value))
 	binary.LittleEndian.PutUint64(p[32:], r.Version)
+	binary.LittleEndian.PutUint64(p[40:], uint64(r.CommitMicros))
 	var h [frameHeader]byte
 	binary.LittleEndian.PutUint32(h[0:], crc32.Checksum(p[:], crcTable))
 	binary.LittleEndian.PutUint32(h[4:], uint32(len(p)))
@@ -82,6 +86,7 @@ func decodeRecords(data []byte, fn func(Record)) (torn int) {
 		r.Txn.Seq = binary.LittleEndian.Uint64(payload[16:])
 		r.Value = int64(binary.LittleEndian.Uint64(payload[24:]))
 		r.Version = binary.LittleEndian.Uint64(payload[32:])
+		r.CommitMicros = int64(binary.LittleEndian.Uint64(payload[40:]))
 		fn(r)
 		data = data[frameHeader+int(n):]
 	}

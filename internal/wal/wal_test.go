@@ -9,13 +9,18 @@ import (
 	"ucc/internal/storage"
 )
 
-func copyAt(site model.SiteID, item int, value int64, version uint64) storage.Copy {
-	return storage.Copy{
-		ID:      model.CopyID{Item: model.ItemID(item), Site: site},
-		Value:   value,
-		Version: version,
-		Writer:  model.TxnID{Site: site, Seq: version},
+// chainAt builds a test version chain of depth versions for one copy.
+func chainAt(site model.SiteID, item int, depth int) storage.CopyChain {
+	cc := storage.CopyChain{ID: model.CopyID{Item: model.ItemID(item), Site: site}}
+	for v := 0; v < depth; v++ {
+		cc.Versions = append(cc.Versions, storage.Version{
+			Value:        int64(item*100 + v),
+			Version:      uint64(v),
+			Writer:       model.TxnID{Site: site, Seq: uint64(v)},
+			CommitMicros: int64(v) * 1_000,
+		})
 	}
+	return cc
 }
 
 func rec(seq uint64, item int, value int64) Record {
@@ -214,18 +219,24 @@ func TestReplayStopsAtSequenceGap(t *testing.T) {
 func TestSnapshotCodecRoundTrip(t *testing.T) {
 	s := snapshot{AppliedSeq: 42, Site: 3}
 	for i := 0; i < 5; i++ {
-		s.Copies = append(s.Copies, copyAt(3, i, int64(i*7), uint64(i)))
+		// Varying chain depth exercises the variable-length encoding.
+		s.Chains = append(s.Chains, chainAt(3, i, i+1))
 	}
 	got, err := decodeSnapshot(encodeSnapshot(s))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.AppliedSeq != 42 || got.Site != 3 || len(got.Copies) != 5 {
+	if got.AppliedSeq != 42 || got.Site != 3 || len(got.Chains) != 5 {
 		t.Fatalf("round trip: %+v", got)
 	}
-	for i, c := range got.Copies {
-		if c != s.Copies[i] {
-			t.Fatalf("copy %d: got %+v want %+v", i, c, s.Copies[i])
+	for i, c := range got.Chains {
+		if c.ID != s.Chains[i].ID || len(c.Versions) != len(s.Chains[i].Versions) {
+			t.Fatalf("chain %d: got %+v want %+v", i, c, s.Chains[i])
+		}
+		for j, v := range c.Versions {
+			if v != s.Chains[i].Versions[j] {
+				t.Fatalf("chain %d version %d: got %+v want %+v", i, j, v, s.Chains[i].Versions[j])
+			}
 		}
 	}
 	// Corruption is detected.

@@ -102,6 +102,37 @@ func MixedAnalytics(items int, oltpRate, reportRate float64) Scenario {
 	}
 }
 
+// ReadHeavy is the dashboard/read-mostly shape the RO snapshot fast path
+// exists for: roShare of the traffic is read-only scans (size roSize, run
+// under model.ROSnapshot), the rest are small updates whose accessed items
+// are mostly written (so the read-only traffic is what the queues would
+// otherwise choke on). roShare 0.9 gives the ≥90%-read mix of EXP-10.
+func ReadHeavy(items int, rate float64, roShare float64, roSize int) Scenario {
+	if roShare <= 0 || roShare > 1 {
+		roShare = 0.9 // roShare == 1 (a pure read-only mix) is legal
+	}
+	if roSize <= 0 {
+		roSize = 6
+	}
+	return Scenario{
+		Name: "read-heavy",
+		PerSite: func(int) Spec {
+			return Spec{
+				ArrivalPerSec:   rate,
+				Items:           items,
+				Size:            3,
+				ROSize:          roSize,
+				ReadFrac:        0.2, // the non-RO remainder is update-heavy
+				SharePA:         1 - roShare,
+				ShareRO:         roShare,
+				ComputeMicros:   1_000,
+				ROComputeMicros: 5_000, // scans crunch what they read
+				Class:           "read-heavy",
+			}
+		},
+	}
+}
+
 // Scenarios lists the named scenarios (CLI discovery).
 func Scenarios(items int, rate float64) []Scenario {
 	return []Scenario{
@@ -109,6 +140,7 @@ func Scenarios(items int, rate float64) []Scenario {
 		Transfers(items, rate),
 		FlashSale(items, max(1, items/8), rate),
 		MixedAnalytics(items, rate, rate/5),
+		ReadHeavy(items, rate, 0.9, 6),
 	}
 }
 

@@ -1,8 +1,3 @@
-// Package workload generates the transaction streams of the paper's
-// evaluation: Poisson arrivals at each user site with configurable
-// transaction size st, read/write mix, access skew, and per-transaction
-// concurrency control protocol shares. One Driver actor runs per user site
-// and feeds that site's Request Issuer.
 package workload
 
 import (
@@ -41,8 +36,16 @@ const (
 // Spec describes one driver's workload.
 type Spec struct {
 	// ArrivalPerSec is the Poisson arrival rate λ at this user site
-	// (transactions per second of engine time).
+	// (transactions per second of engine time). Ignored in closed-loop mode.
 	ArrivalPerSec float64
+	// ClosedLoop switches the driver from open-loop Poisson arrivals to a
+	// fixed-concurrency closed loop: this many transactions are kept in
+	// flight, each completion immediately launching the next. Closed loops
+	// measure capacity (completions per second at fixed pressure) where an
+	// open loop with a run-to-quiescence drain cannot — it eventually
+	// commits every arrival no matter how slow the path. Requires the
+	// site's issuer to send TxnFinishedMsg (cluster.AddDriver wires this).
+	ClosedLoop int
 	// HorizonMicros stops new arrivals after this engine time.
 	HorizonMicros int64
 	// MaxTxns additionally caps the number of arrivals (0 = unlimited).
@@ -67,6 +70,16 @@ type Spec struct {
 	// protocol from this distribution (the dynamic selector, when installed
 	// at the RI, overrides the draw).
 	Share2PL, ShareTO, SharePA float64
+	// ShareRO is the share of read-only snapshot transactions: a transaction
+	// drawn from this share reads all of its items (ReadFrac is ignored for
+	// it) and runs under model.ROSnapshot — the no-lock fast path.
+	ShareRO float64
+	// ROSize overrides Size for read-only snapshot transactions (0 = use
+	// Size); analytic read-only scans are typically larger than updates.
+	ROSize int
+	// ROComputeMicros overrides ComputeMicros for read-only snapshot
+	// transactions (0 = use ComputeMicros); scans typically crunch longer.
+	ROComputeMicros int64
 
 	// ComputeMicros is the local computing phase duration per transaction.
 	ComputeMicros int64
@@ -79,8 +92,8 @@ func (s *Spec) Validate() error {
 	if s.Items <= 0 {
 		return fmt.Errorf("workload: Items must be positive")
 	}
-	if s.ArrivalPerSec <= 0 {
-		return fmt.Errorf("workload: ArrivalPerSec must be positive")
+	if s.ArrivalPerSec <= 0 && s.ClosedLoop <= 0 {
+		return fmt.Errorf("workload: ArrivalPerSec must be positive (or ClosedLoop set)")
 	}
 	if s.Size <= 0 {
 		s.Size = 4
@@ -100,8 +113,11 @@ func (s *Spec) Validate() error {
 	if s.ReadFrac < 0 || s.ReadFrac > 1 {
 		return fmt.Errorf("workload: ReadFrac out of range")
 	}
-	if s.Share2PL+s.ShareTO+s.SharePA <= 0 {
+	if s.Share2PL+s.ShareTO+s.SharePA+s.ShareRO <= 0 {
 		s.Share2PL = 1
+	}
+	if s.ROSize > s.Items {
+		s.ROSize = s.Items
 	}
 	if s.ZipfS <= 1 {
 		s.ZipfS = 1.2
@@ -126,8 +142,9 @@ type Driver struct {
 	count   int
 	stopped bool
 	zipf    *rand.Zipf
-	// Generated counts by protocol (for verification).
-	Generated [3]uint64
+	// Generated counts by protocol, including the ROSnapshot class (for
+	// verification).
+	Generated [model.NumProtocols]uint64
 }
 
 // NewDriver builds a driver for one user site. The spec must be validated.
@@ -139,11 +156,22 @@ func NewDriver(site model.SiteID, spec Spec) (*Driver, error) {
 }
 
 // OnMessage implements engine.Actor. The cluster posts the first TickMsg to
-// start the arrival process.
+// start the arrival process; in closed-loop mode each TxnFinishedMsg from
+// the site's issuer launches the replacement transaction.
 func (d *Driver) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
 	switch msg.(type) {
 	case model.TickMsg:
-		d.arrive(ctx)
+		if d.spec.ClosedLoop > 0 {
+			for i := 0; i < d.spec.ClosedLoop; i++ {
+				d.launchOne(ctx)
+			}
+		} else {
+			d.arrive(ctx)
+		}
+	case model.TxnFinishedMsg:
+		if d.spec.ClosedLoop > 0 {
+			d.launchOne(ctx)
+		}
 	case model.StopMsg:
 		d.stopped = true
 	default:
@@ -151,20 +179,35 @@ func (d *Driver) OnMessage(ctx engine.Context, from engine.Addr, msg model.Messa
 	}
 }
 
-func (d *Driver) arrive(ctx engine.Context) {
+// admitting reports whether a new arrival is still allowed.
+func (d *Driver) admitting(now int64) bool {
 	if d.stopped {
-		return
+		return false
 	}
-	now := ctx.NowMicros()
 	if d.spec.HorizonMicros > 0 && now >= d.spec.HorizonMicros {
-		return
+		return false
 	}
 	if d.spec.MaxTxns > 0 && d.count >= d.spec.MaxTxns {
+		return false
+	}
+	return true
+}
+
+// launchOne submits one transaction now (closed-loop slot fill).
+func (d *Driver) launchOne(ctx engine.Context) {
+	if !d.admitting(ctx.NowMicros()) {
 		return
 	}
 	d.count++
 	t := d.generate(ctx.Rand())
 	ctx.Send(engine.RIAddr(d.site), model.SubmitTxnMsg{Txn: t})
+}
+
+func (d *Driver) arrive(ctx engine.Context) {
+	if !d.admitting(ctx.NowMicros()) {
+		return
+	}
+	d.launchOne(ctx)
 
 	// Schedule the next Poisson arrival.
 	gap := int64(ctx.Rand().ExpFloat64() * 1e6 / d.spec.ArrivalPerSec)
@@ -179,6 +222,9 @@ func (d *Driver) generate(rng *rand.Rand) *model.Txn {
 	d.nextSeq++
 	id := model.TxnID{Site: d.site, Seq: d.nextSeq}
 
+	// Draw order (size, items, read/write split, protocol) is load-bearing:
+	// it keeps the generated stream of ShareRO=0 specs bit-identical to
+	// pre-fast-path seeds.
 	st := d.drawSize(rng)
 	items := d.drawItems(rng, st)
 	var reads, writes []model.ItemID
@@ -189,11 +235,20 @@ func (d *Driver) generate(rng *rand.Rand) *model.Txn {
 			writes = append(writes, it)
 		}
 	}
-	// A transaction must do something; force at least one operation kind to
-	// exist (pure-read and pure-write transactions are both legal).
 	p := d.drawProtocol(rng)
 	d.Generated[p]++
-	t := model.NewTxn(id, p, reads, writes, d.spec.ComputeMicros)
+	compute := d.spec.ComputeMicros
+	if p == model.ROSnapshot {
+		// Read-only snapshot transactions read every drawn item.
+		if d.spec.ROSize > 0 && d.spec.ROSize != st {
+			items = d.drawItems(rng, d.spec.ROSize)
+		}
+		reads, writes = items, nil
+		if d.spec.ROComputeMicros > 0 {
+			compute = d.spec.ROComputeMicros
+		}
+	}
+	t := model.NewTxn(id, p, reads, writes, compute)
 	t.Class = d.spec.Class
 	return t
 }
@@ -249,7 +304,7 @@ func (d *Driver) drawItems(rng *rand.Rand, st int) []model.ItemID {
 }
 
 func (d *Driver) drawProtocol(rng *rand.Rand) model.Protocol {
-	total := d.spec.Share2PL + d.spec.ShareTO + d.spec.SharePA
+	total := d.spec.Share2PL + d.spec.ShareTO + d.spec.SharePA + d.spec.ShareRO
 	x := rng.Float64() * total
 	if x < d.spec.Share2PL {
 		return model.TwoPL
@@ -257,5 +312,8 @@ func (d *Driver) drawProtocol(rng *rand.Rand) model.Protocol {
 	if x < d.spec.Share2PL+d.spec.ShareTO {
 		return model.TO
 	}
-	return model.PA
+	if x < d.spec.Share2PL+d.spec.ShareTO+d.spec.SharePA {
+		return model.PA
+	}
+	return model.ROSnapshot
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ucc/internal/cluster"
+	"ucc/internal/metrics"
 	"ucc/internal/model"
 	"ucc/internal/selector"
 )
@@ -65,7 +66,8 @@ type ProtocolStats struct {
 	MeanMessages   float64
 }
 
-// Stats returns per-protocol summaries.
+// Stats returns per-protocol summaries. The ROSnapshot read-only class is
+// reported like a protocol: Stats(ucc.ROSnapshot).
 func (r Result) Stats(p Protocol) ProtocolStats {
 	ps := r.inner.Summary.Protocols[p]
 	return ProtocolStats{
@@ -80,6 +82,52 @@ func (r Result) Stats(p Protocol) ProtocolStats {
 	}
 }
 
+// ClassStats summarizes one transaction class — read-only (the ROSnapshot
+// fast path) or read-write (the three member protocols combined).
+type ClassStats struct {
+	Committed      uint64
+	MeanSystemTime time.Duration
+	P95SystemTime  time.Duration
+}
+
+// ReadOnly returns the latency of the read-only snapshot class.
+func (r Result) ReadOnly() ClassStats {
+	ps := r.inner.Summary.Protocols[model.ROSnapshot]
+	return ClassStats{
+		Committed:      ps.Committed,
+		MeanSystemTime: time.Duration(ps.SystemTime.Mean()) * time.Microsecond,
+		P95SystemTime:  time.Duration(ps.SystemTimeH.Quantile(0.95)) * time.Microsecond,
+	}
+}
+
+// ReadWrite returns the combined latency of the read-write classes (2PL,
+// T/O, and PA together): commit-weighted mean, and the p95 of the merged
+// latency distribution.
+func (r Result) ReadWrite() ClassStats {
+	var out ClassStats
+	var sum float64
+	var merged metrics.Histogram
+	for _, p := range model.Protocols {
+		ps := r.inner.Summary.Protocols[p]
+		out.Committed += ps.Committed
+		sum += ps.SystemTime.Mean() * float64(ps.Committed)
+		merged.Merge(ps.SystemTimeH)
+	}
+	if out.Committed > 0 {
+		out.MeanSystemTime = time.Duration(sum/float64(out.Committed)) * time.Microsecond
+		out.P95SystemTime = time.Duration(merged.Quantile(0.95)) * time.Microsecond
+	}
+	return out
+}
+
+// SnapshotReads reports how many reads the queue-bypassing fast path served
+// and how many of those were inexact (version chain GC'd past the snapshot
+// timestamp — should be zero under a sane ChainPolicy).
+func (r Result) SnapshotReads() (served, inexact uint64) {
+	qt := r.cl.QMTotals()
+	return qt.SnapReads, qt.SnapStale
+}
+
 // Decisions returns how many transactions the dynamic selector routed to
 // each protocol (zero-valued without DynamicSelection).
 func (r Result) Decisions() (twoPL, to, pa uint64) {
@@ -87,6 +135,15 @@ func (r Result) Decisions() (twoPL, to, pa uint64) {
 		return 0, 0, 0
 	}
 	return r.dyn.Decisions[model.TwoPL], r.dyn.Decisions[model.TO], r.dyn.Decisions[model.PA]
+}
+
+// ReadOnlyDecisions returns how many transactions the dynamic selector
+// routed to the ROSnapshot fast path.
+func (r Result) ReadOnlyDecisions() uint64 {
+	if r.dyn == nil {
+		return 0
+	}
+	return r.dyn.Decisions[model.ROSnapshot]
 }
 
 // DeadlockCycles reports how many persistent deadlock cycles the coordinator

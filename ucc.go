@@ -42,11 +42,17 @@ import (
 // Protocol selects a member concurrency control algorithm.
 type Protocol = model.Protocol
 
-// The member protocols of the unified scheme.
+// The member protocols of the unified scheme, plus the read-only snapshot
+// class layered on top of it.
 const (
 	TwoPL = model.TwoPL // static two-phase locking (deadlock-prone, FCFS)
 	TO    = model.TO    // basic timestamp ordering (restart-prone)
 	PA    = model.PA    // precedence agreement (negotiated, restart-free)
+	// ROSnapshot runs a pure-read transaction on the snapshot fast path: it
+	// reads committed versions at a recent snapshot timestamp straight from
+	// the multi-version store — no queueing, no locks, no restarts. A
+	// transaction with writes tagged ROSnapshot silently runs under PA.
+	ROSnapshot = model.ROSnapshot
 )
 
 // ItemID names a logical data item.
@@ -89,8 +95,22 @@ type Config struct {
 	// back to the paper's simpler lock-everything unification (default on).
 	DisableSemiLocks bool
 
+	// DisableReadOnlyFastPath demotes every ROSnapshot transaction to a PA
+	// read-only transaction that queues and locks like everyone else — the
+	// measured baseline of EXP-10 and an operational escape hatch. Default
+	// off: read-only transactions tagged (or routed) ROSnapshot use the
+	// multi-version snapshot fast path.
+	DisableReadOnlyFastPath bool
+	// SnapshotStaleness is how far in the past ROSnapshot transactions
+	// read (default 15ms). It must exceed the maximum network delay so a
+	// snapshot is a consistent cut of committed transactions; larger values
+	// trade staleness for safety margin.
+	SnapshotStaleness time.Duration
+
 	// DynamicSelection installs the min-STL per-transaction protocol
-	// selector (§5.2); transactions' preset protocols are then ignored.
+	// selector (§5.2); transactions' preset protocols are then ignored —
+	// except that pure-read transactions are routed to the ROSnapshot fast
+	// path (unless DisableReadOnlyFastPath).
 	DynamicSelection bool
 	// SelectionFallback is used before estimates warm up (default PA).
 	SelectionFallback Protocol
@@ -141,11 +161,16 @@ func (c *Config) fill() {
 	if c.RestartDelay <= 0 {
 		c.RestartDelay = 10 * time.Millisecond
 	}
+	if c.SnapshotStaleness <= 0 {
+		c.SnapshotStaleness = 15 * time.Millisecond
+	}
 }
 
-// Mix is a protocol share vector for generated workloads.
+// Mix is a protocol share vector for generated workloads. ReadOnly is the
+// share of pure-read snapshot transactions (the ROSnapshot class); the other
+// three split the read-write remainder.
 type Mix struct {
-	TwoPL, TO, PA float64
+	TwoPL, TO, PA, ReadOnly float64
 }
 
 // AllWrites is the ReadFrac sentinel for a 0% read (all-write) workload.
@@ -156,7 +181,13 @@ const AllWrites = -1.0
 // Workload describes one site-spanning generated workload.
 type Workload struct {
 	// Rate is the Poisson arrival rate per site (txn/s; default 20).
+	// Ignored when Concurrency is set.
 	Rate float64
+	// Concurrency switches to closed-loop load: this many transactions are
+	// kept in flight per site, each completion launching the next. Use it
+	// to measure capacity — an open-loop run that drains to quiescence
+	// commits every arrival eventually, whatever the path costs.
+	Concurrency int
 	// Duration is how long arrivals continue (default 2s).
 	Duration time.Duration
 	// Size is the number of items per transaction (default 4).
@@ -166,8 +197,12 @@ type Workload struct {
 	// for an all-write workload, which a literal 0 cannot express.
 	ReadFrac float64
 	// Mix sets the protocol shares (default all-PA). Ignored when the
-	// cluster uses DynamicSelection.
+	// cluster uses DynamicSelection — except Mix.ReadOnly, which still
+	// shapes generation (the selector routes pure reads to the fast path).
 	Mix Mix
+	// ReadOnlySize is the item count of read-only snapshot transactions
+	// (default: Size); analytic scans are typically larger than updates.
+	ReadOnlySize int
 	// Compute is the local computing phase duration (default 1ms).
 	Compute time.Duration
 	// Hotspot, if >0, sends 80% of accesses to the first Hotspot items.
@@ -190,7 +225,10 @@ func New(cfg Config) (*Cluster, error) {
 	var dyn *selector.Dynamic
 	var choose ri.ChooseFunc
 	if cfg.DynamicSelection {
-		dyn = selector.NewDynamic(selector.Options{Fallback: cfg.SelectionFallback})
+		dyn = selector.NewDynamic(selector.Options{
+			Fallback:         cfg.SelectionFallback,
+			ReadOnlyFastPath: !cfg.DisableReadOnlyFastPath,
+		})
 		choose = dyn.Choose
 	}
 	var durability *cluster.Durability
@@ -218,10 +256,12 @@ func New(cfg Config) (*Cluster, error) {
 			StatsPeriodMicros: 100_000,
 		},
 		RI: ri.Options{
-			PAIntervalMicros:     model.Timestamp(cfg.PAInterval.Microseconds()),
-			RestartDelayMicros:   cfg.RestartDelay.Microseconds(),
-			DefaultComputeMicros: 1000,
-			SwitchOnRestart:      escalation(cfg.EscalateRestartsToPA),
+			PAIntervalMicros:        model.Timestamp(cfg.PAInterval.Microseconds()),
+			RestartDelayMicros:      cfg.RestartDelay.Microseconds(),
+			DefaultComputeMicros:    1000,
+			SwitchOnRestart:         escalation(cfg.EscalateRestartsToPA),
+			SnapshotStalenessMicros: cfg.SnapshotStaleness.Microseconds(),
+			DisableROFastPath:       cfg.DisableReadOnlyFastPath,
 		},
 		Detector: deadlock.Options{
 			PeriodMicros:  cfg.DeadlockPeriod.Microseconds(),
@@ -264,13 +304,16 @@ func (c *Cluster) Workload(w Workload) error {
 	c.wl = &w
 	spec := workload.Spec{
 		ArrivalPerSec: w.Rate,
+		ClosedLoop:    w.Concurrency,
 		HorizonMicros: w.Duration.Microseconds(),
 		Items:         c.cfg.Items,
 		Size:          w.Size,
+		ROSize:        w.ReadOnlySize,
 		ReadFrac:      w.ReadFrac,
 		Share2PL:      w.Mix.TwoPL,
 		ShareTO:       w.Mix.TO,
 		SharePA:       w.Mix.PA,
+		ShareRO:       w.Mix.ReadOnly,
 		ComputeMicros: w.Compute.Microseconds(),
 	}
 	if w.Hotspot > 0 {

@@ -40,6 +40,137 @@ func TestFacadeWorkloadRun(t *testing.T) {
 	}
 }
 
+// TestFacadeReadOnlyFastPath: a Mix with a ReadOnly share runs pure-read
+// transactions on the snapshot fast path — committed under the RO class,
+// served from version chains without queueing, still one serializable
+// execution, and visible as a separate latency class in the result.
+func TestFacadeReadOnlyFastPath(t *testing.T) {
+	c, err := New(Config{Sites: 3, Items: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 40, Duration: 2 * time.Second,
+		Mix: Mix{TwoPL: 0.2, TO: 0.2, PA: 0.2, ReadOnly: 0.4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatalf("not serializable: %v", res.ConflictCycle())
+	}
+	if res.Unfinished() != 0 {
+		t.Fatalf("unfinished: %d", res.Unfinished())
+	}
+	ro := res.ReadOnly()
+	if ro.Committed == 0 {
+		t.Fatal("no read-only snapshot transactions committed")
+	}
+	if ro.MeanSystemTime <= 0 {
+		t.Fatal("read-only latency class empty")
+	}
+	rw := res.ReadWrite()
+	if rw.Committed == 0 || rw.MeanSystemTime <= 0 {
+		t.Fatal("read-write latency class empty")
+	}
+	if res.Stats(ROSnapshot).Committed != ro.Committed {
+		t.Fatal("Stats(ROSnapshot) disagrees with ReadOnly()")
+	}
+	served, inexact := res.SnapshotReads()
+	if served == 0 {
+		t.Fatal("no snapshot reads served at the QMs")
+	}
+	if inexact != 0 {
+		t.Fatalf("%d snapshot reads were inexact", inexact)
+	}
+	// Restarts cannot happen on the fast path.
+	if s := res.Stats(ROSnapshot); s.Restarts != 0 || s.DeadlockAborts != 0 || s.Backoffs != 0 {
+		t.Fatalf("read-only class saw contention events: %+v", s)
+	}
+}
+
+// TestFacadeLargeStalenessStaysConsistent: a snapshot staleness larger than
+// the default chain retention window must not produce inexact reads or
+// non-serializable executions — the cluster sizes the chain policy up to
+// cover the configured staleness.
+func TestFacadeLargeStalenessStaysConsistent(t *testing.T) {
+	c, err := New(Config{
+		Sites: 3, Items: 16, Seed: 9,
+		SnapshotStaleness: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 60, Duration: 2 * time.Second,
+		ReadFrac: 0.2, // write-heavy remainder churns the chains
+		Mix:      Mix{PA: 0.5, ReadOnly: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatalf("not serializable with 400ms staleness: %v", res.ConflictCycle())
+	}
+	served, inexact := res.SnapshotReads()
+	if served == 0 {
+		t.Fatal("no snapshot reads served")
+	}
+	if inexact != 0 {
+		t.Fatalf("%d of %d snapshot reads inexact: chain retention did not cover the staleness margin", inexact, served)
+	}
+}
+
+// TestFacadeReadOnlySeesCommittedWrites: a hand-built snapshot read observes
+// a write committed comfortably before its snapshot timestamp.
+func TestFacadeReadOnlySeesCommittedWrites(t *testing.T) {
+	c, err := New(Config{Sites: 2, Items: 8, InitialValue: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SubmitAt(c.NewTxn(0, TwoPL).Set(3, 77).Build(), 0)
+	// 500ms later (snapshot staleness is 15ms), a read-only transaction
+	// must see the committed value.
+	c.SubmitAt(c.NewTxn(1, ROSnapshot).Read(3).Build(), 500*time.Millisecond)
+	res := c.Run()
+	if res.Committed() != 2 {
+		t.Fatalf("committed %d, want 2", res.Committed())
+	}
+	if !res.Serializable() {
+		t.Fatal("not serializable")
+	}
+	if res.ReadOnly().Committed != 1 {
+		t.Fatalf("RO committed = %d, want 1", res.ReadOnly().Committed)
+	}
+}
+
+// TestFacadeDynamicSelectionRoutesReadsToFastPath: with dynamic selection
+// on, pure-read transactions go to the ROSnapshot class without any Mix or
+// protocol tagging.
+func TestFacadeDynamicSelectionRoutesReadsToFastPath(t *testing.T) {
+	c, err := New(Config{Sites: 3, Items: 32, Seed: 6, DynamicSelection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 40, Duration: 2 * time.Second,
+		Size: 4, ReadFrac: 0.95, // high read share → frequent pure-read draws
+		Mix: Mix{PA: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatalf("not serializable: %v", res.ConflictCycle())
+	}
+	if res.ReadOnlyDecisions() == 0 {
+		t.Fatal("selector never routed a pure-read transaction to the fast path")
+	}
+	if res.ReadOnly().Committed == 0 {
+		t.Fatal("no routed read-only transactions committed")
+	}
+}
+
 func TestFacadeHandBuiltTransactions(t *testing.T) {
 	c, err := New(Config{Sites: 2, Items: 8, InitialValue: 10, Seed: 3})
 	if err != nil {
