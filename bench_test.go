@@ -9,6 +9,7 @@
 package ucc
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -42,6 +43,7 @@ func BenchmarkExp7STLEvaluation(b *testing.B)      { benchExperiment(b, "EXP-7")
 func BenchmarkExp8Scenarios(b *testing.B)          { benchExperiment(b, "EXP-8") }
 func BenchmarkExp9CrashRecovery(b *testing.B)      { benchExperiment(b, "EXP-9") }
 func BenchmarkExp10ReadPath(b *testing.B)          { benchExperiment(b, "EXP-10") }
+func BenchmarkExp11ShardScaling(b *testing.B)      { benchExperiment(b, "EXP-11") }
 func BenchmarkAbl1SemiLocks(b *testing.B)          { benchExperiment(b, "ABL-1") }
 func BenchmarkAbl2BackoffInterval(b *testing.B)    { benchExperiment(b, "ABL-2") }
 func BenchmarkAbl3DetectionPeriod(b *testing.B)    { benchExperiment(b, "ABL-3") }
@@ -98,6 +100,28 @@ func BenchmarkReadPathThroughput(b *testing.B) {
 		thr += res.Throughput()
 	}
 	b.ReportMetric(thr/float64(b.N), "txn/s")
+}
+
+// BenchmarkReadWriteThroughput measures the sharded queue manager's uniform
+// read-write capacity on the wall-clock harness: 4 issuer goroutines, items
+// hashed across shards, size-4 half-write transactions, full history
+// recording. The shards=1 vs shards=4 pair is the EXP-11 headline number —
+// on 4+ cores the sharded run should be ≥1.5x — and both are gated in CI
+// against BENCH_baseline.json.
+func BenchmarkReadWriteThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var thr float64
+			for i := 0; i < b.N; i++ {
+				res := experiments.ShardThroughput(shards, 4, 3000, false, int64(i)+7)
+				if !res.Serializable {
+					b.Fatal("non-serializable execution")
+				}
+				thr += res.Throughput
+			}
+			b.ReportMetric(thr/float64(b.N), "txn/s")
+		})
+	}
 }
 
 // BenchmarkPrecedenceCompare exercises the §4.1 total order.

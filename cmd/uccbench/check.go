@@ -1,0 +1,194 @@
+// Bench-gate mode: compare a `go test -bench` output file against the
+// checked-in baseline (BENCH_baseline.json) and fail on a >tolerance
+// throughput drop. This is what turns BENCH_baseline.json from a write-only
+// artifact into a CI gate.
+//
+// What is gated: the benchmarks' custom metrics (txn/s, txns/op,
+// commits/sync, …) — all throughput-like, higher-is-better numbers. For the
+// simulator benchmarks they measure virtual-time throughput and are
+// near-deterministic across hardware; for ratio metrics (commits per sync)
+// they are hardware-robust by construction. ns/op is reported for context
+// and only gated with -gate-ns, because wall-clock per-op cost does not
+// transfer between runner generations the way the gated metrics do.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchSample is one parsed `go test -bench` result line.
+type benchSample struct {
+	Name    string
+	NsPerOp float64
+	Metrics map[string]float64
+}
+
+// baselineFile mirrors BENCH_baseline.json's flat benchmark list (the extra
+// sections of that file are documentation; the gate reads only this).
+type baselineFile struct {
+	Benchmarks []baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkReadPathThroughput-4   3   123456 ns/op   456.7 txn/s
+//	BenchmarkReadWriteThroughput/shards=4-8   1   99 ns/op   1000 txn/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.e+]+) ns/op((?:\s+[\d.e+]+ \S+)*)\s*$`)
+
+// metricPair matches the trailing custom metrics of a bench line.
+var metricPair = regexp.MustCompile(`([\d.e+]+) (\S+)`)
+
+// normalizeMetric converts a go-bench metric unit to a baseline JSON key:
+// "txns/op" → "txns_per_op", "txn/s" → "txn_per_s".
+func normalizeMetric(unit string) string {
+	return strings.ReplaceAll(unit, "/", "_per_")
+}
+
+// parseBenchOutput extracts samples from `go test -bench` output. Repeated
+// runs of the same benchmark keep the LAST sample (matching `-count`
+// semantics where later runs are warmed).
+func parseBenchOutput(r io.Reader) ([]benchSample, error) {
+	byName := map[string]int{}
+	var out []benchSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		s := benchSample{Name: m[1], NsPerOp: ns, Metrics: map[string]float64{}}
+		for _, mp := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			if v, err := strconv.ParseFloat(mp[1], 64); err == nil {
+				s.Metrics[normalizeMetric(mp[2])] = v
+			}
+		}
+		if i, dup := byName[s.Name]; dup {
+			out[i] = s
+		} else {
+			byName[s.Name] = len(out)
+			out = append(out, s)
+		}
+	}
+	return out, sc.Err()
+}
+
+// checkResult is one gate comparison.
+type checkResult struct {
+	name   string
+	what   string // which number was compared
+	base   float64
+	got    float64
+	change float64 // relative change, >0 improvement for metrics
+	failed bool
+}
+
+// runCheck compares samples against the baseline. Only baseline entries
+// whose benchmark appears in the sample set are gated (CI runs a subset);
+// missing samples are listed as skipped, never failed — except that an
+// empty intersection is itself a failure (a typo'd bench regex must not
+// produce a silently green gate).
+func runCheck(base baselineFile, samples []benchSample, tolerance float64, gateNs bool) ([]checkResult, error) {
+	byName := map[string]benchSample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	var out []checkResult
+	matched := 0
+	for _, b := range base.Benchmarks {
+		s, ok := byName[b.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		for key, bv := range b.Metrics {
+			gv, ok := s.Metrics[key]
+			if !ok || bv <= 0 {
+				continue
+			}
+			change := gv/bv - 1
+			out = append(out, checkResult{
+				name: b.Name, what: key, base: bv, got: gv, change: change,
+				failed: change < -tolerance,
+			})
+		}
+		if b.NsPerOp > 0 && s.NsPerOp > 0 {
+			change := b.NsPerOp/s.NsPerOp - 1 // faster = positive improvement
+			out = append(out, checkResult{
+				name: b.Name, what: "ns/op", base: b.NsPerOp, got: s.NsPerOp, change: change,
+				failed: gateNs && change < -tolerance,
+			})
+		}
+	}
+	if matched == 0 {
+		return out, fmt.Errorf("no benchmark in the output matches any baseline entry")
+	}
+	return out, nil
+}
+
+// check is the -check entry point; returns the process exit code.
+func check(benchFile, basePath string, tolerance float64, gateNs bool) int {
+	f, err := os.Open(benchFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uccbench: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	samples, err := parseBenchOutput(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uccbench: parse %s: %v\n", benchFile, err)
+		return 2
+	}
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uccbench: %v\n", err)
+		return 2
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "uccbench: parse %s: %v\n", basePath, err)
+		return 2
+	}
+	results, err := runCheck(base, samples, tolerance, gateNs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uccbench: check: %v\n", err)
+		return 1
+	}
+	failures := 0
+	fmt.Printf("bench gate: %s vs %s (tolerance %.0f%%, ns/op gated: %v)\n",
+		benchFile, basePath, tolerance*100, gateNs)
+	for _, r := range results {
+		verdict := "ok"
+		if r.failed {
+			verdict = "FAIL"
+			failures++
+		} else if r.change < -tolerance {
+			verdict = "info" // ns/op drift outside tolerance but not gated
+		}
+		fmt.Printf("  %-4s %-45s %-16s base %14.1f  got %14.1f  (%+.1f%%)\n",
+			verdict, r.name, r.what, r.base, r.got, r.change*100)
+	}
+	if failures > 0 {
+		fmt.Printf("bench gate: %d regression(s) beyond %.0f%%\n", failures, tolerance*100)
+		return 1
+	}
+	fmt.Println("bench gate: pass")
+	return 0
+}

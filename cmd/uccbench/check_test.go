@@ -1,0 +1,164 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `
+goos: linux
+goarch: amd64
+pkg: ucc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReadPathThroughput-4         	       3	 512345678 ns/op	       500.0 txn/s
+BenchmarkReadWriteThroughput/shards=1-4 	       1	1844275177 ns/op	    274599 txn/s
+BenchmarkReadWriteThroughput/shards=4-4 	       1	 922137588 ns/op	    549198 txn/s
+BenchmarkCommitGroup16-4              	    2000	    240193 ns/op	         4.706 commits/sync
+PASS
+ok  	ucc	3.753s
+`
+
+func parsedSamples(t *testing.T) []benchSample {
+	t.Helper()
+	samples, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	samples := parsedSamples(t)
+	if len(samples) != 4 {
+		t.Fatalf("parsed %d samples, want 4: %+v", len(samples), samples)
+	}
+	byName := map[string]benchSample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	rp, ok := byName["BenchmarkReadPathThroughput"]
+	if !ok {
+		t.Fatalf("proc-count suffix not stripped: %+v", samples)
+	}
+	if rp.Metrics["txn_per_s"] != 500.0 {
+		t.Fatalf("metric not normalized: %+v", rp.Metrics)
+	}
+	sub, ok := byName["BenchmarkReadWriteThroughput/shards=4"]
+	if !ok || sub.Metrics["txn_per_s"] != 549198 {
+		t.Fatalf("sub-benchmark parse wrong: %+v", sub)
+	}
+	if byName["BenchmarkCommitGroup16"].Metrics["commits_per_sync"] != 4.706 {
+		t.Fatalf("ratio metric lost: %+v", byName["BenchmarkCommitGroup16"])
+	}
+}
+
+func TestCheckPassesAgainstHonestBaseline(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadPathThroughput", NsPerOp: 500_000_000,
+			Metrics: map[string]float64{"txn_per_s": 480}}, // we measure 500: improvement
+		{Name: "BenchmarkCommitGroup16", NsPerOp: 250_000,
+			Metrics: map[string]float64{"commits_per_sync": 4.5}},
+		{Name: "BenchmarkNotRunThisTime", NsPerOp: 1, // subset runs must not fail on absences
+			Metrics: map[string]float64{"txn_per_s": 1e9}},
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.failed {
+			t.Fatalf("unexpected failure: %+v", r)
+		}
+	}
+}
+
+// TestCheckFailsAgainstDegradedBaseline is the gate's own acceptance
+// criterion: fed a baseline that claims much higher throughput than
+// measured (equivalently: a PR that regressed throughput >20%), the check
+// must fail.
+func TestCheckFailsAgainstDegradedBaseline(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadPathThroughput",
+			Metrics: map[string]float64{"txn_per_s": 1000}}, // measured 500 → −50%
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	for _, r := range results {
+		if r.failed && r.name == "BenchmarkReadPathThroughput" && r.what == "txn_per_s" {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatalf("50%% throughput drop passed the 20%% gate: %+v", results)
+	}
+}
+
+// TestCheckToleranceBoundary: a drop inside the tolerance passes, one just
+// beyond fails.
+func TestCheckToleranceBoundary(t *testing.T) {
+	mk := func(baselineTxn float64) []checkResult {
+		base := baselineFile{Benchmarks: []baselineEntry{
+			{Name: "BenchmarkReadPathThroughput", Metrics: map[string]float64{"txn_per_s": baselineTxn}},
+		}}
+		res, err := runCheck(base, parsedSamples(t), 0.20, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, r := range mk(600) { // measured 500 = −16.7%: inside
+		if r.failed {
+			t.Fatalf("−16.7%% drop failed a 20%% gate: %+v", r)
+		}
+	}
+	var sawFail bool
+	for _, r := range mk(640) { // measured 500 = −21.9%: beyond
+		if r.failed {
+			sawFail = true
+		}
+	}
+	if !sawFail {
+		t.Fatal("−21.9% drop passed a 20% gate")
+	}
+}
+
+// TestCheckNsOptIn: ns/op regressions are informational unless -gate-ns.
+func TestCheckNsOptIn(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkCommitGroup16", NsPerOp: 100_000}, // measured 240193: 2.4x slower
+	}}
+	res, err := runCheck(base, parsedSamples(t), 0.20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.failed {
+			t.Fatalf("ns/op gated without -gate-ns: %+v", r)
+		}
+	}
+	res, err = runCheck(base, parsedSamples(t), 0.20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFail bool
+	for _, r := range res {
+		sawFail = sawFail || r.failed
+	}
+	if !sawFail {
+		t.Fatal("-gate-ns did not gate a 2.4x ns/op regression")
+	}
+}
+
+// TestCheckEmptyIntersectionFails: a typo'd -bench regex must not produce a
+// silently green gate.
+func TestCheckEmptyIntersectionFails(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkSomethingElse", NsPerOp: 1},
+	}}
+	if _, err := runCheck(base, parsedSamples(t), 0.20, false); err == nil {
+		t.Fatal("empty baseline∩output intersection must error")
+	}
+}

@@ -8,6 +8,19 @@
 //	uccbench -quick          # smaller sweeps (CI-scale)
 //	uccbench -seed 7         # change the random seed
 //	uccbench -list           # list experiments
+//
+// Bench-gate mode (CI):
+//
+//	go test -run '^$' -bench ... | tee bench.out
+//	uccbench -check bench.out -baseline BENCH_baseline.json -tolerance 0.20
+//
+// compares the measured throughput metrics against the checked-in baseline
+// and exits 1 on a drop beyond the tolerance. And:
+//
+//	uccbench -shards-json BENCH_shards.json
+//
+// runs the EXP-11 wall-clock shard sweep and writes it as JSON (the
+// bench-gate job uploads it as an artifact on every PR).
 package main
 
 import (
@@ -25,8 +38,26 @@ func main() {
 		quick = flag.Bool("quick", false, "smaller sweeps and horizons")
 		seed  = flag.Int64("seed", 1988, "random seed")
 		list  = flag.Bool("list", false, "list experiments and exit")
+
+		checkFile  = flag.String("check", "", "bench-gate mode: compare this `go test -bench` output against -baseline and exit 1 on regression")
+		baseline   = flag.String("baseline", "BENCH_baseline.json", "baseline file for -check")
+		tolerance  = flag.Float64("tolerance", 0.20, "relative throughput drop that fails -check")
+		gateNs     = flag.Bool("gate-ns", false, "also gate ns/op in -check (off by default: wall-clock cost does not transfer across runners)")
+		shardsJSON = flag.String("shards-json", "", "run the EXP-11 shard sweep and write this JSON artifact, then exit")
 	)
 	flag.Parse()
+
+	if *checkFile != "" {
+		os.Exit(check(*checkFile, *baseline, *tolerance, *gateNs))
+	}
+	if *shardsJSON != "" {
+		if err := writeShardsJSON(*shardsJSON, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "uccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *shardsJSON)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,0 +1,100 @@
+// BENCH_shards.json generation: the EXP-11 shard sweep as a machine-readable
+// artifact, refreshed by the bench-gate CI job on every PR so shard-scaling
+// numbers from real multi-core runners accumulate next to the code.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ucc/internal/experiments"
+)
+
+type shardsReport struct {
+	Recorded   string      `json:"recorded"`
+	Command    string      `json:"command"`
+	Host       shardsHost  `json:"host"`
+	Workers    int         `json:"workers"`
+	TxnsPerRun uint64      `json:"txns_per_run"`
+	Rows       []shardsRow `json:"rows"`
+	Note       string      `json:"note"`
+}
+
+type shardsHost struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+}
+
+type shardsRow struct {
+	Shards         int     `json:"shards"`
+	UniformTxnPerS float64 `json:"uniform_txn_per_s"`
+	UniformSpeedup float64 `json:"uniform_speedup"`
+	HotTxnPerS     float64 `json:"hot_shard_txn_per_s"`
+	HotSpeedup     float64 `json:"hot_shard_speedup"`
+	Serializable   bool    `json:"serializable"`
+}
+
+// writeShardsJSON runs the wall-clock shard sweep and writes the report.
+func writeShardsJSON(path string, seed int64) error {
+	const workers, txns = 4, 3000
+	sweep := []int{1, 2, 4, 8}
+	rep := shardsReport{
+		Recorded: time.Now().UTC().Format("2006-01-02"),
+		Command:  fmt.Sprintf("go run ./cmd/uccbench -shards-json %s", path),
+		Host: shardsHost{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go: runtime.Version(),
+		},
+		Workers:    workers,
+		TxnsPerRun: uint64(workers * txns),
+		Note: "wall-clock harness (see internal/experiments ShardThroughput): " +
+			"uniform items hash across shards; hot-shard restricts all traffic to shard 0's items. " +
+			"Speedups are relative to shards=1 on the same host and need cores ≥ shards.",
+	}
+	// Median of three runs per cell: wall-clock throughput on shared
+	// runners is noisy, and a single outlier run should not be what gets
+	// checked in next to the code.
+	measure := func(shards int, hot bool, seed int64) (float64, bool) {
+		thr := make([]float64, 0, 3)
+		ser := true
+		for r := 0; r < 3; r++ {
+			res := experiments.ShardThroughput(shards, workers, txns, hot, seed+int64(r)*101)
+			thr = append(thr, res.Throughput)
+			ser = ser && res.Serializable
+		}
+		sort.Float64s(thr)
+		return thr[1], ser
+	}
+	var baseUniform, baseHot float64
+	for _, s := range sweep {
+		u, uSer := measure(s, false, seed)
+		h, hSer := measure(s, true, seed+7)
+		if s == sweep[0] {
+			baseUniform, baseHot = u, h
+		}
+		rep.Rows = append(rep.Rows, shardsRow{
+			Shards:         s,
+			UniformTxnPerS: round1(u),
+			UniformSpeedup: round3(u / baseUniform),
+			HotTxnPerS:     round1(h),
+			HotSpeedup:     round3(h / baseHot),
+			Serializable:   uSer && hSer,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func round1(v float64) float64 { return float64(int64(v*10+0.5)) / 10 }
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

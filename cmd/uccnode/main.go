@@ -10,8 +10,8 @@
 //	uccnode -site 2 -sites 3 -listen :7702 -peers :7700,:7701,:7702 &
 //	uccclient -peers :7700,:7701,:7702 -listen :7709 -rate 50 -duration 5s
 //
-// Every process must agree on -sites/-items/-replicas (they derive the same
-// static catalog).
+// Every process must agree on -sites/-items/-replicas/-shards (they derive
+// the same static catalog and the same item→shard routing).
 //
 // With -data-dir the site journals every committed write to a file-backed
 // write-ahead log (group-committed) and snapshots its partition; after a
@@ -44,6 +44,7 @@ func main() {
 		sites    = flag.Int("sites", 3, "total number of sites")
 		items    = flag.Int("items", 64, "number of logical data items")
 		replicas = flag.Int("replicas", 1, "physical copies per item")
+		shards   = flag.Int("shards", 1, "queue-manager shards per site (item-hash partitioned; all processes must agree)")
 		initial  = flag.Int64("initial", 100, "initial value of every item")
 		listen   = flag.String("listen", ":7700", "TCP listen address")
 		peers    = flag.String("peers", "", "comma-separated site TCP addresses, index = site id")
@@ -62,6 +63,14 @@ func main() {
 	peerList, err := parsePeers(*peers, *sites)
 	if err != nil {
 		log.Fatalf("uccnode: %v", err)
+	}
+	if *shards < 1 {
+		*shards = 1
+	}
+	if *shards > 256 {
+		// engine.Addr carries the shard index in a byte; mirror
+		// cluster.Config.Validate so both entry points agree.
+		*shards = 256
 	}
 	topo := siteTopology(peerList, *client)
 
@@ -104,7 +113,7 @@ func main() {
 		}
 	}
 
-	qmOpts := qm.Options{StatsPeriodMicros: 200_000}
+	qmOpts := qm.Options{StatsPeriodMicros: 200_000, Shards: *shards}
 	if siteLog != nil {
 		qmOpts.GroupCommitMicros = *gcWindow
 	}
@@ -112,12 +121,17 @@ func main() {
 	if siteLog != nil {
 		mgr.SetDurable(siteLog)
 	}
-	rt.Register(engine.QMAddr(self), mgr)
+	// One mailbox goroutine per shard: items hash to shard addresses, so
+	// conflict-free operations on this site's partition execute in parallel.
+	for i := 0; i < mgr.NumShards(); i++ {
+		rt.Register(engine.QMShardAddr(self, i), mgr)
+	}
 
 	issuer := ri.New(self, catalog, nil, ri.Options{
 		PAIntervalMicros:     model.Timestamp(*paInt),
 		RestartDelayMicros:   *restart,
 		DefaultComputeMicros: 1000,
+		QMShards:             *shards,
 	}, nil)
 	rt.Register(engine.RIAddr(self), issuer)
 
@@ -136,8 +150,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("uccnode: %v", err)
 	}
-	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas, durability=%v)",
-		*site, node.Addr(), store.Len(), *sites, *replicas, siteLog != nil)
+	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas, %d qm shards, durability=%v)",
+		*site, node.Addr(), store.Len(), *sites, *replicas, mgr.NumShards(), siteLog != nil)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -27,6 +27,15 @@ type Config struct {
 	Items int
 	// Replicas is the number of physical copies per item (read-one/write-all).
 	Replicas int
+	// Shards partitions every site's queue manager into this many
+	// independent shards (hash of item → shard): per-shard queue tables,
+	// lock state, and group-commit batches, each registered at its own
+	// engine address so conflict-free operations at one site execute in
+	// parallel on the real-time runtime. Default 1 (unsharded). The
+	// simulator delivers to one event loop regardless, so Shards changes
+	// no sim outcome except message addressing — which is exactly what the
+	// sharded correctness tests rely on.
+	Shards int
 	// InitialValue seeds every item's copies.
 	InitialValue int64
 
@@ -104,6 +113,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Replicas > c.Sites {
 		c.Replicas = c.Sites
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > 256 {
+		c.Shards = 256 // engine.Addr carries the shard index in a byte
 	}
 	if c.Latency == nil {
 		// Jittered latency: without jitter every queue sees requests in
@@ -199,6 +214,8 @@ func NewSim(cfg Config) (*Cluster, error) {
 	if cfg.Durability != nil {
 		cfg.QM.GroupCommitMicros = cfg.Durability.GroupCommitMicros
 	}
+	cfg.QM.Shards = cfg.Shards
+	cfg.RI.QMShards = cfg.Shards
 	for _, s := range sites {
 		st := storage.NewStore(s)
 		st.SetChainPolicy(cfg.Chain)
@@ -232,7 +249,15 @@ func NewSim(cfg Config) (*Cluster, error) {
 			mgr.SetDurable(sl)
 		}
 		cl.Managers[s] = mgr
-		eng.Register(engine.QMAddr(s), mgr, cfg.Seed)
+		// One registration per shard: issuers address per-item traffic to
+		// the shard mailbox its item hashes to (QMShardAddr), and the
+		// manager routes by content, so this works unchanged whether the
+		// engine gives each address a goroutine (runtime) or one event
+		// loop serves them all (simulator). Shard 0 is also QMAddr(s), the
+		// control address for crash/recovery/probes/ticks.
+		for i := 0; i < mgr.NumShards(); i++ {
+			eng.Register(engine.QMShardAddr(s, i), mgr, cfg.Seed)
+		}
 	}
 	// Request issuers.
 	for _, s := range sites {
@@ -392,6 +417,7 @@ func (c *Cluster) QMTotals() qm.Counters {
 		t.SnapReads += s.SnapReads
 		t.SnapStale += s.SnapStale
 		t.WALSyncs += s.WALSyncs
+		t.Commits += s.Commits
 		t.Crashes += s.Crashes
 		t.Recoveries += s.Recoveries
 		t.Deferred += s.Deferred

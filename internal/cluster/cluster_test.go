@@ -93,3 +93,49 @@ func TestMixedHighContention(t *testing.T) {
 	res := runMix(t, cfg, 1, 1, 1, 25, 3, 2_000_000)
 	checkRun(t, "hot-mixed", res, 80)
 }
+
+// TestShardedMixedProtocols: the same mixed workload with the queue manager
+// split four ways per site — sharding changes which mailbox serves an item,
+// never what commits; the full-protocol mix must stay serializable and
+// productive at any shard count.
+func TestShardedMixedProtocols(t *testing.T) {
+	cfg := base(4)
+	cfg.Shards = 4
+	res := runMix(t, cfg, 1, 1, 1, 25, 4, 2_000_000)
+	checkRun(t, "sharded-mixed", res, 120)
+}
+
+// TestShardedHotShardSkew: the HotShard scenario (every access hashes to
+// shard 0 of the cluster's OWN shard count) must stay correct — the shard
+// the traffic lands on serializes it exactly like the unsharded manager
+// would, and the other shards idle without breaking anything.
+func TestShardedHotShardSkew(t *testing.T) {
+	cfg := base(9)
+	cfg.Items = 32
+	cfg.Shards = 4
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workload.HotShard(cfg.Items, 25, cfg.Shards)
+	for s := 0; s < cfg.Sites; s++ {
+		spec := sc.PerSite(s)
+		spec.HorizonMicros = 2_000_000
+		if err := cl.AddDriver(model.SiteID(s), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := cl.Run(2_000_000, 6_000_000)
+	checkRun(t, "hot-shard-skew", res, 80)
+}
+
+// TestShardedHighContention: conflicts concentrated on 8 items still
+// resolve correctly when those items span multiple shards (deadlock
+// detection aggregates wait-edges across shards into one site report).
+func TestShardedHighContention(t *testing.T) {
+	cfg := base(5)
+	cfg.Items = 8
+	cfg.Shards = 3
+	res := runMix(t, cfg, 1, 1, 1, 25, 3, 2_000_000)
+	checkRun(t, "sharded-hot", res, 80)
+}

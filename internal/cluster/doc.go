@@ -7,8 +7,9 @@
 //
 // The cluster is where cross-cutting configuration meets: the version-chain
 // bounds every store enforces (Config.Chain), the snapshot staleness margin
-// the issuers read at (Config.RI), the WAL each store journals into
-// (Config.Durability), and the fault-injection schedule
+// the issuers read at (Config.RI), the queue-manager shard count both the
+// managers and the issuers must agree on (Config.Shards), the WAL each
+// store journals into (Config.Durability), and the fault-injection schedule
 // (CrashSite/RecoverSite). Run executes the standard experiment schedule
 // and returns a Result with the summary, the event count, and — when
 // recording — the serializability verdict.

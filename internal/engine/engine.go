@@ -41,19 +41,40 @@ func (k ActorKind) String() string {
 	}
 }
 
-// Addr names an actor: a role plus a site/index.
+// Addr names an actor: a role plus a site/index. Sharded roles (the queue
+// manager) additionally carry a shard index; the zero shard is the site's
+// control shard and doubles as the whole-site address for unsharded roles.
 type Addr struct {
 	Kind ActorKind
 	ID   model.SiteID
+	// Shard selects a sub-actor within a sharded role (queue-manager shards).
+	// Zero for every unsharded role and for shard 0 itself, so pre-sharding
+	// addresses compare equal to their shard-0 successors.
+	Shard uint8
 }
 
-func (a Addr) String() string { return fmt.Sprintf("%s@%d", a.Kind, a.ID) }
+func (a Addr) String() string {
+	if a.Shard != 0 {
+		return fmt.Sprintf("%s@%d/%d", a.Kind, a.ID, a.Shard)
+	}
+	return fmt.Sprintf("%s@%d", a.Kind, a.ID)
+}
 
 // RIAddr returns the address of site s's request issuer.
 func RIAddr(s model.SiteID) Addr { return Addr{Kind: KindRI, ID: s} }
 
-// QMAddr returns the address of site s's queue-manager host.
+// QMAddr returns the address of site s's queue-manager control shard (shard
+// 0): the destination for whole-site traffic — crash/recovery, stats ticks,
+// deadlock probes — and for all data traffic when the site is unsharded.
 func QMAddr(s model.SiteID) Addr { return Addr{Kind: KindQM, ID: s} }
+
+// QMShardAddr returns the address of one queue-manager shard at site s. Each
+// shard gets its own mailbox (and, on the real-time runtime, its own
+// goroutine), so operations on items hashed to different shards execute in
+// parallel. Shard 0 is identical to QMAddr(s).
+func QMShardAddr(s model.SiteID, shard int) Addr {
+	return Addr{Kind: KindQM, ID: s, Shard: uint8(shard)}
+}
 
 // DetectorAddr is the deadlock coordinator's address.
 func DetectorAddr() Addr { return Addr{Kind: KindDetector} }

@@ -1,8 +1,12 @@
 // Package experiments defines one registered, reproducible experiment per
 // evaluation claim of the paper (see DESIGN.md §4 for the index), plus the
 // beyond-the-paper experiments the repo has grown: EXP-9 (site crash, WAL
-// recovery, group commit) and EXP-10 (the read-only snapshot fast path
-// on/off). Each experiment sweeps a parameter, runs seeded virtual-time
-// clusters, and renders the table/series the evaluation describes;
-// EXPERIMENTS.md records paper-claim vs measured for each.
+// recovery, group commit), EXP-10 (the read-only snapshot fast path
+// on/off), and EXP-11 (queue-manager shard scaling, uniform vs hot-shard).
+// Each experiment sweeps a parameter, runs seeded virtual-time clusters,
+// and renders the table/series the evaluation describes — except EXP-11,
+// which measures wall-clock throughput on a multi-goroutine harness
+// (ShardThroughput) because the single-threaded simulator cannot express
+// parallel speedup. EXPERIMENTS.md records paper-claim vs measured for
+// each.
 package experiments

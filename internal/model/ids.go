@@ -52,6 +52,21 @@ type CopyID struct {
 
 func (c CopyID) String() string { return fmt.Sprintf("D%d@%d", c.Item, c.Site) }
 
+// ShardOfItem maps an item to one of shards queue-manager shards. Every
+// component that routes per-item traffic — request issuers addressing shard
+// mailboxes, the queue manager partitioning its queue tables, workload
+// scenarios constructing shard-local hot sets — must agree on this function,
+// which is why it lives in model rather than qm. The multiplicative hash
+// spreads the (typically small, sequential) item space evenly so shard load
+// is balanced even when items are accessed in ranges.
+func ShardOfItem(item ItemID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(uint32(item)) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(shards))
+}
+
 // Timestamp is a logical timestamp drawn from each RI's Lamport clock.
 // Uniqueness across sites is not required of the raw value: the unified
 // precedence order breaks ties by site id and transaction id (§4.1).

@@ -345,32 +345,37 @@ type CrashMsg struct{}
 type RecoverMsg struct{}
 
 // FlushMsg is a queue-manager-internal group-commit timer: journaled writes
-// accumulated during the window are made durable with one sync.
-type FlushMsg struct{}
+// accumulated during the window are made durable with one sync. Shard names
+// the queue-manager shard whose window expired — each shard defers its own
+// dirty batch, and the timer must find its way back to the right one
+// regardless of which mailbox delivers it.
+type FlushMsg struct {
+	Shard int32
+}
 
 func (RequestMsg) isMessage()       {}
 func (FinalTSMsg) isMessage()       {}
 func (SnapReadMsg) isMessage()      {}
 func (SnapReadReplyMsg) isMessage() {}
-func (ReleaseMsg) isMessage()     {}
-func (AbortMsg) isMessage()       {}
-func (GrantMsg) isMessage()       {}
-func (NormalGrantMsg) isMessage() {}
-func (RejectMsg) isMessage()      {}
-func (BackoffMsg) isMessage()     {}
-func (VictimMsg) isMessage()      {}
-func (TxnFinishedMsg) isMessage() {}
-func (WFGReportMsg) isMessage()   {}
-func (ProbeWFGMsg) isMessage()    {}
-func (SubmitTxnMsg) isMessage()   {}
-func (TxnDoneMsg) isMessage()     {}
-func (TickMsg) isMessage()        {}
-func (ComputeDoneMsg) isMessage() {}
-func (RestartMsg) isMessage()     {}
-func (StopMsg) isMessage()        {}
-func (CrashMsg) isMessage()       {}
-func (RecoverMsg) isMessage()     {}
-func (FlushMsg) isMessage()       {}
+func (ReleaseMsg) isMessage()       {}
+func (AbortMsg) isMessage()         {}
+func (GrantMsg) isMessage()         {}
+func (NormalGrantMsg) isMessage()   {}
+func (RejectMsg) isMessage()        {}
+func (BackoffMsg) isMessage()       {}
+func (VictimMsg) isMessage()        {}
+func (TxnFinishedMsg) isMessage()   {}
+func (WFGReportMsg) isMessage()     {}
+func (ProbeWFGMsg) isMessage()      {}
+func (SubmitTxnMsg) isMessage()     {}
+func (TxnDoneMsg) isMessage()       {}
+func (TickMsg) isMessage()          {}
+func (ComputeDoneMsg) isMessage()   {}
+func (RestartMsg) isMessage()       {}
+func (StopMsg) isMessage()          {}
+func (CrashMsg) isMessage()         {}
+func (RecoverMsg) isMessage()       {}
+func (FlushMsg) isMessage()         {}
 
 // RegisterGob registers all message types with encoding/gob for the TCP
 // transport. Safe to call multiple times.

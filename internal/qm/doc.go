@@ -3,12 +3,34 @@
 // (§4.1) and the semi-lock precedence enforcement protocol (§4.2) of
 // Wang & Li (ICDE 1988).
 //
-// One Manager actor runs per data site and hosts a dataQueue per physical
-// copy stored there. Each dataQueue keeps its entries sorted by unified
-// precedence, tracks the R-TS/W-TS thresholds, assigns 2PL precedences from
-// the biggest timestamp ever seen, rejects out-of-order T/O requests,
-// computes PA back-off timestamps, and grants locks to HD(j) according to
-// the semi-lock rules.
+// One Manager runs per data site, partitioned into Options.Shards
+// independent shards (hash of item → shard, model.ShardOfItem). Each shard
+// owns a dataQueue per physical copy hashed to it, its own lock state and
+// counters, and its own group-commit batch, behind its own mutex — and may
+// be registered at its own engine address (engine.QMShardAddr), giving it a
+// private mailbox goroutine on the real-time runtime. Conflict-free
+// operations at one site therefore execute in parallel; operations on one
+// item are always serialized by its owning shard, which is all the protocol
+// requires. Each dataQueue keeps its entries sorted by unified precedence,
+// tracks the R-TS/W-TS thresholds, assigns 2PL precedences from the biggest
+// timestamp ever seen, rejects out-of-order T/O requests, computes PA
+// back-off timestamps, and grants locks to HD(j) according to the semi-lock
+// rules.
+//
+// Site-wide concerns deliberately stay un-sharded at the Manager:
+//
+//   - The commit sequencer (sequencer.go): a transaction's writes may span
+//     shards, but its commit point is one atomic site-wide WAL sync. Shards
+//     drain their dirty batches through a per-site leader/follower
+//     sequencer, so concurrently expiring shard batches coalesce into one
+//     media sync (cross-shard group commit) while each shard's write-ahead
+//     guarantee — sync before the grant exposing the write — is preserved.
+//   - Crash and recovery (CrashMsg/RecoverMsg): a site fails as a unit;
+//     every shard goes down together, defers its traffic, and drains in
+//     per-shard arrival order after the store is rebuilt once from
+//     snapshot + replay.
+//   - Deadlock probes and the stats tick: aggregated across shards into
+//     one per-site report.
 //
 // Two paths never touch the queues at all:
 //

@@ -1,0 +1,180 @@
+package qm
+
+import (
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+// FuzzQueueMessages is the go-native fuzz target for the sharded queue
+// manager: a byte string is decoded as a message script — interleaved
+// requests across protocols and items, PA final timestamps, releases,
+// semi-lock conversions, aborts, probes — driven into a sharded manager,
+// with the structural queue invariants asserted after every message. The
+// seed corpus covers each opcode; `go test -fuzz FuzzQueueMessages`
+// explores interleavings CI's seed run cannot.
+//
+// The script grammar is 3 bytes per step:
+//
+//	b0 % 8  → opcode (0-3 request, 4 finalTS, 5-6 release, 7 abort/probe)
+//	b1      → protocol/kind/item selector
+//	b2      → timestamp delta / txn selector
+func FuzzQueueMessages(f *testing.F) {
+	// One seed per opcode family plus a mixed soup.
+	f.Add(uint8(2), []byte{0, 0x00, 1, 1, 0x11, 2, 2, 0x22, 3, 3, 0x33, 4})
+	f.Add(uint8(1), []byte{0, 0x02, 5, 4, 0x00, 0, 5, 0x00, 0})
+	f.Add(uint8(4), []byte{0, 0x12, 3, 0, 0x21, 2, 6, 0x01, 1, 7, 0x00, 9})
+	f.Add(uint8(3), []byte{
+		0, 0x00, 1, 0, 0x11, 2, 0, 0x22, 3, 4, 0x00, 0,
+		5, 0x00, 0, 5, 0x01, 1, 7, 0x02, 2, 0, 0x10, 4,
+	})
+	f.Fuzz(func(t *testing.T, shardsRaw uint8, script []byte) {
+		const items = 4
+		shards := 1 + int(shardsRaw%4)
+		st := storage.NewStore(0)
+		for i := 0; i < items; i++ {
+			st.Create(model.ItemID(i), 0)
+		}
+		m := New(0, st, nil, Options{Shards: shards})
+		ctx := newFakeCtx()
+
+		type liveTxn struct {
+			id       model.TxnID
+			protocol model.Protocol
+			kind     model.OpKind
+			item     model.ItemID
+			granted  bool
+			preSched bool
+			semi     bool
+			backoff  model.Timestamp
+		}
+		var live []*liveTxn
+		var nextSeq uint64
+		ts := model.Timestamp(1)
+
+		drain := func() {
+			for _, env := range ctx.sent {
+				switch v := env.Msg.(type) {
+				case model.GrantMsg:
+					for _, lt := range live {
+						if lt.id == v.Txn {
+							lt.granted = true
+							lt.preSched = v.PreScheduled
+						}
+					}
+				case model.BackoffMsg:
+					for _, lt := range live {
+						if lt.id == v.Txn {
+							lt.backoff = v.NewTS
+						}
+					}
+				case model.RejectMsg:
+					for i, lt := range live {
+						if lt.id == v.Txn {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			ctx.sent = nil
+		}
+		remove := func(lt *liveTxn) {
+			for i, x := range live {
+				if x == lt {
+					live = append(live[:i], live[i+1:]...)
+					return
+				}
+			}
+		}
+		checkAll := func() {
+			for i := 0; i < items; i++ {
+				checkQueueInvariants(t, m.queueOf(model.ItemID(i)))
+			}
+		}
+
+		for at := 0; at+2 < len(script); at += 3 {
+			b0, b1, b2 := script[at], script[at+1], script[at+2]
+			switch b0 % 8 {
+			case 0, 1, 2, 3: // new request
+				nextSeq++
+				lt := &liveTxn{
+					id:       model.TxnID{Site: model.SiteID(1 + b1%3), Seq: nextSeq},
+					protocol: model.Protocol(b1 % 3),
+					kind:     model.OpKind((b1 >> 4) % 2),
+					item:     model.ItemID(b1 % items),
+				}
+				ts += model.Timestamp(b2 % 5)
+				live = append(live, lt)
+				m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.RequestMsg{
+					Txn: lt.id, Protocol: lt.protocol, Kind: lt.kind,
+					Copy: model.CopyID{Item: lt.item, Site: 0},
+					TS:   ts, Interval: model.Timestamp(1 + b2%20),
+					Site: lt.id.Site,
+				})
+			case 4: // final timestamp for a backed-off PA txn
+				for _, lt := range live {
+					if lt.protocol == model.PA && lt.backoff > 0 {
+						m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.FinalTSMsg{
+							Txn: lt.id, Copy: model.CopyID{Item: lt.item, Site: 0},
+							TS: lt.backoff,
+						})
+						lt.backoff = 0
+						lt.granted = false
+						break
+					}
+				}
+			case 5, 6: // release a granted txn (conversion first for T/O preSched)
+				for _, lt := range live {
+					if !lt.granted {
+						continue
+					}
+					if lt.protocol == model.TO && lt.preSched && !lt.semi {
+						m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.ReleaseMsg{
+							Txn: lt.id, Copy: model.CopyID{Item: lt.item, Site: 0},
+							ToSemi: true, HasWrite: lt.kind == model.OpWrite, Value: int64(b2),
+						})
+						lt.semi = true
+						break
+					}
+					m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.ReleaseMsg{
+						Txn: lt.id, Copy: model.CopyID{Item: lt.item, Site: 0},
+						HasWrite: lt.kind == model.OpWrite && !lt.semi, Value: int64(b2),
+					})
+					remove(lt)
+					break
+				}
+			case 7: // abort someone, or probe
+				if b2%2 == 0 && len(live) > 0 {
+					lt := live[int(b2/2)%len(live)]
+					m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.AbortMsg{
+						Txn: lt.id, Copy: model.CopyID{Item: lt.item, Site: 0},
+					})
+					remove(lt)
+				} else {
+					m.OnMessage(ctx, engine.RIAddr(0), model.ProbeWFGMsg{Round: uint64(at)})
+				}
+			}
+			drain()
+			checkAll()
+		}
+
+		// Abort everything; all queues must drain empty.
+		for len(live) > 0 {
+			lt := live[0]
+			m.OnMessage(ctx, engine.RIAddr(lt.id.Site), model.AbortMsg{
+				Txn: lt.id, Copy: model.CopyID{Item: lt.item, Site: 0},
+			})
+			remove(lt)
+		}
+		drain()
+		checkAll()
+		for i := 0; i < items; i++ {
+			if d := m.QueueDepth(model.ItemID(i)); d != 0 {
+				t.Fatalf("item %d queue not empty after abort-all: %d", i, d)
+			}
+		}
+	})
+}

@@ -178,7 +178,7 @@ func TestQueueFuzz(t *testing.T) {
 				})
 			}
 			drain()
-			checkQueueInvariants(t, m.queues[0])
+			checkQueueInvariants(t, m.queueOf(0))
 		}
 		// Drain everything still live; the queue must empty.
 		for _, lt := range live {
@@ -187,7 +187,7 @@ func TestQueueFuzz(t *testing.T) {
 			})
 		}
 		drain()
-		checkQueueInvariants(t, m.queues[0])
+		checkQueueInvariants(t, m.queueOf(0))
 		if depth := m.QueueDepth(0); depth != 0 {
 			for _, l := range m.DumpQueue(0) {
 				fmt.Println(l)

@@ -12,6 +12,14 @@ import (
 
 // Options configure a queue-manager site.
 type Options struct {
+	// Shards partitions the site's queue manager into this many independent
+	// shards (hash of data item → shard, model.ShardOfItem). Each shard owns
+	// its slice of the queue tables, its own lock state, and its own
+	// group-commit batch, and is addressable as its own actor
+	// (engine.QMShardAddr) — so on the real-time runtime, conflict-free
+	// operations at one site execute in parallel. Zero or one keeps the
+	// pre-sharding single-partition behaviour.
+	Shards int
 	// DisableSemiLocks falls back from the §4.2 semi-lock enforcement (the
 	// paper's contribution, the zero-value default) to the simpler "lock
 	// everything" unified enforcement (ablation ABL-1). Inverted so the
@@ -27,7 +35,8 @@ type Options struct {
 	// it is sent — the write-ahead ordering a crash cannot violate. The
 	// window trades that guarantee for fewer syncs: writes inside an
 	// unexpired window are lost by a crash even though their effects may
-	// already have been observed elsewhere.
+	// already have been observed elsewhere. Each shard defers its own batch;
+	// the per-site commit sequencer coalesces the expiring windows.
 	GroupCommitMicros int64
 }
 
@@ -51,6 +60,7 @@ type Counters struct {
 	SnapReads  uint64 // read-only snapshot reads served (queue bypassed)
 	SnapStale  uint64 // snapshot reads served inexactly (chain GC'd past ts)
 	WALSyncs   uint64 // durable flushes of the site's write-ahead log
+	Commits    uint64 // commit-sequencer passes (≥ WALSyncs; the gap is batching)
 	Crashes    uint64 // injected site crashes
 	Recoveries uint64 // completed crash recoveries
 	Deferred   uint64 // messages queued while the site was down
@@ -67,45 +77,66 @@ type Durable interface {
 	Recover() error
 }
 
-// Manager is the queue-manager actor for one data site: it owns the site's
-// store and one dataQueue per physical copy, and speaks the unified
-// concurrency control protocol with every request issuer.
+// Manager is the queue-manager host for one data site. It owns the site's
+// store and partitions the site's per-copy data queues across Shards
+// independent shards; each shard speaks the unified concurrency control
+// protocol for the items hashed to it and may be registered at its own
+// engine address (engine.QMShardAddr) for a private mailbox.
+//
+// The manager itself holds only the site-wide concerns the shards must not
+// split: the commit sequencer (one atomic site-wide sync point), crash and
+// recovery (a site fails as a unit), deadlock probes (the detector wants one
+// report per site), and the stats tick.
 type Manager struct {
-	mu       sync.Mutex
 	site     model.SiteID
 	store    *storage.Store
 	recorder *history.Recorder
 	opts     Options
-	queues   map[model.ItemID]*dataQueue
-	counters Counters
+	shards   []*shard
 
 	// Durability state (nil dur = volatile site, the pre-WAL behaviour).
-	dur        Durable
-	dirty      bool // journaled writes await a sync
-	flushArmed bool // a group-commit FlushMsg timer is pending
-	down       bool // crashed: volatile state lost, messages deferred
-	deferred   []pendingMsg
+	// Set once via SetDurable before traffic flows.
+	dur Durable
+	seq *commitSequencer
+
+	// Control plane: crash/recovery and the stats tick serialize here so
+	// they cannot interleave; the per-item fast path never touches ctlMu.
+	ctlMu        sync.Mutex
+	statsStopped bool
+	pendingTick  bool // a stats tick arrived during an outage
 }
 
-// pendingMsg is a message that arrived while the site was down; it is
-// processed in arrival order at recovery.
+// pendingMsg is a message that arrived at a shard while the site was down;
+// it is processed in arrival order at recovery.
 type pendingMsg struct {
 	from engine.Addr
 	msg  model.Message
 }
 
 // New creates the manager for a site. Every item already present in store
-// gets a data queue; recorder may be nil to skip history recording.
+// gets a data queue in the shard it hashes to; recorder may be nil to skip
+// history recording.
 func New(site model.SiteID, store *storage.Store, recorder *history.Recorder, opts Options) *Manager {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
 	m := &Manager{
 		site:     site,
 		store:    store,
 		recorder: recorder,
 		opts:     opts,
-		queues:   map[model.ItemID]*dataQueue{},
+	}
+	m.shards = make([]*shard, opts.Shards)
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			m:      m,
+			idx:    i,
+			queues: map[model.ItemID]*dataQueue{},
+		}
 	}
 	for _, item := range store.Items() {
-		m.queues[item] = newDataQueue(model.CopyID{Item: item, Site: site}, !opts.DisableSemiLocks)
+		sh := m.shards[model.ShardOfItem(item, opts.Shards)]
+		sh.queues[item] = newDataQueue(model.CopyID{Item: item, Site: site}, !opts.DisableSemiLocks)
 	}
 	return m
 }
@@ -113,37 +144,77 @@ func New(site model.SiteID, store *storage.Store, recorder *history.Recorder, op
 // Site returns the manager's site id.
 func (m *Manager) Site() model.SiteID { return m.site }
 
-// SetDurable attaches the durability subsystem. Call before the engine
-// starts delivering messages. The store's Journal hook must be attached
-// separately (storage.Store.SetJournal) — the manager only schedules syncs
-// and drives crash/recovery.
+// NumShards returns the shard count (≥1). The cluster registers the manager
+// at engine.QMShardAddr(site, 0..NumShards-1); on the real-time runtime each
+// address gets its own mailbox goroutine, which is where the parallelism
+// comes from.
+func (m *Manager) NumShards() int { return len(m.shards) }
+
+// SetDurable attaches the durability subsystem and builds the per-site
+// commit sequencer the shards drain through. Call before the engine starts
+// delivering messages. The store's Journal hook must be attached separately
+// (storage.Store.SetJournal) — the manager only schedules syncs and drives
+// crash/recovery.
 func (m *Manager) SetDurable(d Durable) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.dur = d
+	m.seq = newCommitSequencer(d.Flush)
 }
 
 // Down reports whether the site is currently crashed (tests).
 func (m *Manager) Down() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.down
+	sh := m.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.down
 }
 
-// Snapshot returns the current counter values. Safe to call concurrently
-// with message handling.
+// Snapshot returns the current counter values aggregated across shards.
+// Safe to call concurrently with message handling.
 func (m *Manager) Snapshot() Counters {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters
+	var t Counters
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		c := sh.counters
+		sh.mu.Unlock()
+		t.Requests += c.Requests
+		t.Grants += c.Grants
+		t.PreGrants += c.PreGrants
+		t.Promotions += c.Promotions
+		t.Rejects += c.Rejects
+		t.Backoffs += c.Backoffs
+		t.Revokes += c.Revokes
+		t.Releases += c.Releases
+		t.Conversion += c.Conversion
+		t.Aborts += c.Aborts
+		t.SnapReads += c.SnapReads
+		t.SnapStale += c.SnapStale
+		t.Crashes += c.Crashes
+		t.Recoveries += c.Recoveries
+		t.Deferred += c.Deferred
+	}
+	if m.seq != nil {
+		t.Commits, t.WALSyncs = m.seq.stats()
+	}
+	return t
+}
+
+// shardFor returns the shard owning item's queue.
+func (m *Manager) shardFor(item model.ItemID) *shard {
+	return m.shards[model.ShardOfItem(item, len(m.shards))]
+}
+
+// queueOf returns item's data queue (tests).
+func (m *Manager) queueOf(item model.ItemID) *dataQueue {
+	return m.shardFor(item).queues[item]
 }
 
 // DumpQueue renders item's queue for debugging: one line per entry in
 // precedence order.
 func (m *Manager) DumpQueue(item model.ItemID) []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	q := m.queues[item]
+	sh := m.shardFor(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := sh.queues[item]
 	if q == nil {
 		return nil
 	}
@@ -156,155 +227,159 @@ func (m *Manager) DumpQueue(item model.ItemID) []string {
 
 // QueueDepth returns the number of resident entries for item (tests).
 func (m *Manager) QueueDepth(item model.ItemID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	q := m.queues[item]
+	sh := m.shardFor(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := sh.queues[item]
 	if q == nil {
 		return 0
 	}
 	return len(q.entries)
 }
 
-// OnMessage implements engine.Actor.
+// OnMessage implements engine.Actor. Item-bearing messages route to the
+// owning shard (the same routing the issuers use to pick a shard mailbox, so
+// a message is handled by the shard it was addressed to); site-wide control
+// messages — crash, recovery, deadlock probes, the stats tick — are handled
+// at the manager. The manager may be registered at every shard address: the
+// routing is by content, not by mailbox, so delivery stays correct whether
+// the site runs one mailbox (simulator) or one per shard (runtime).
 func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.down {
-		// The site is crashed. Recovery brings it back; everything else
-		// waits (durable message queues redeliver after a restart — the
-		// simulation's stand-in for the transport's reconnect-and-resend).
-		if _, ok := msg.(model.RecoverMsg); ok {
-			m.onRecover(ctx)
-		} else {
-			// Deferred counts real protocol traffic held back by the
-			// outage; the site's own timers (stats ticks, group-commit
-			// flushes) are deferred too but are not traffic.
-			switch msg.(type) {
-			case model.TickMsg, model.FlushMsg, model.StopMsg:
-			default:
-				m.counters.Deferred++
-			}
-			m.deferred = append(m.deferred, pendingMsg{from: from, msg: msg})
-		}
-		return
-	}
-	m.handle(ctx, from, msg)
-	m.maybeFlush(ctx)
-}
-
-func (m *Manager) handle(ctx engine.Context, from engine.Addr, msg model.Message) {
 	switch v := msg.(type) {
 	case model.RequestMsg:
-		m.onRequest(ctx, v)
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.FinalTSMsg:
-		m.onFinalTS(ctx, v)
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.ReleaseMsg:
-		m.onRelease(ctx, v)
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.AbortMsg:
-		m.onAbort(ctx, v)
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.SnapReadMsg:
-		m.onSnapRead(ctx, v)
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
+	case model.FlushMsg:
+		if int(v.Shard) < len(m.shards) {
+			m.shards[v.Shard].onMessage(ctx, from, msg)
+		}
 	case model.ProbeWFGMsg:
 		m.onProbe(ctx, from, v)
 	case model.TickMsg:
 		m.onStatsTick(ctx)
-	case model.FlushMsg:
-		m.onFlushTimer()
 	case model.CrashMsg:
 		m.onCrash()
 	case model.RecoverMsg:
-		// Already up: stale recovery for an outage that never happened.
+		m.onRecover(ctx)
 	case model.StopMsg:
-		m.opts.StatsPeriodMicros = 0 // stop re-arming the stats timer
+		m.onStop()
 	default:
 		panic(fmt.Sprintf("qm: site %d: unexpected message %T", m.site, msg))
 	}
 }
 
-// maybeFlush is the commit-path durability policy, run after every handled
-// message: with no group-commit window the writes this delivery implemented
-// are synced now (one sync per delivery, already batched across a
-// transaction's co-resident copies); with a window, the sync is deferred to
-// a FlushMsg timer so concurrently committing transactions share it.
-func (m *Manager) maybeFlush(ctx engine.Context) {
-	if !m.dirty || m.dur == nil {
-		return
-	}
-	if m.opts.GroupCommitMicros > 0 {
-		if !m.flushArmed {
-			m.flushArmed = true
-			ctx.SetTimer(m.opts.GroupCommitMicros, model.FlushMsg{})
-		}
-		return
-	}
-	m.flushNow()
-}
-
-func (m *Manager) onFlushTimer() {
-	m.flushArmed = false
-	if m.dirty && m.dur != nil {
-		m.flushNow()
+// lockAll acquires every shard lock in index order (the site-wide critical
+// section used by crash and recovery; index order prevents lock cycles with
+// other all-shard holders — per-item handlers only ever hold one).
+func (m *Manager) lockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
 	}
 }
 
-func (m *Manager) flushNow() {
-	if err := m.dur.Flush(); err != nil {
-		// Losing the WAL means losing the durability contract; there is no
-		// meaningful way to continue serving writes.
-		panic(fmt.Sprintf("qm: site %d: wal flush: %v", m.site, err))
+func (m *Manager) unlockAll() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
 	}
-	m.dirty = false
-	m.counters.WALSyncs++
 }
 
 // onCrash injects a site crash (CrashMsg, simulation only): the volatile
 // store and the unsynced WAL tail are destroyed; the synced prefix and
-// snapshot survive on the durable media. Until RecoverMsg arrives the site
-// defers every message.
+// snapshot survive on the durable media. The site fails as a unit — every
+// shard goes down together — and until RecoverMsg arrives each shard defers
+// its messages. Crashing an already-down site is a no-op (the volatile state
+// is already gone).
 func (m *Manager) onCrash() {
 	if m.dur == nil {
 		panic(fmt.Sprintf("qm: site %d: CrashMsg without durability configured", m.site))
 	}
-	m.down = true
-	m.dirty = false
-	m.flushArmed = false
+	m.ctlMu.Lock()
+	defer m.ctlMu.Unlock()
+	m.lockAll()
+	defer m.unlockAll()
+	if m.shards[0].down {
+		return
+	}
+	for _, sh := range m.shards {
+		sh.down = true
+		sh.dirty = false
+		sh.flushArmed = false
+	}
 	m.store.Wipe()
 	m.dur.Crash()
-	m.counters.Crashes++
+	m.shards[0].counters.Crashes++
 }
 
 // onRecover rebuilds the store from snapshot + WAL replay and then processes
-// the messages that queued up during the outage, in arrival order.
+// the messages that queued up during the outage, shard by shard in arrival
+// order. Per-shard arrival order is the order the protocol needs: messages
+// for one item always route to one shard, so its FIFO is preserved exactly.
 func (m *Manager) onRecover(ctx engine.Context) {
+	m.ctlMu.Lock()
+	defer m.ctlMu.Unlock()
+	if !m.Down() {
+		return // already up: stale recovery for an outage that never happened
+	}
+	// All shards are down, so no shard handler can touch the store while
+	// recovery rebuilds it (down shards only append to their deferred list).
 	if err := m.dur.Recover(); err != nil {
 		panic(fmt.Sprintf("qm: site %d: recovery failed: %v", m.site, err))
 	}
-	m.down = false
-	m.counters.Recoveries++
-	for len(m.deferred) > 0 {
-		p := m.deferred[0]
-		m.deferred = m.deferred[1:]
-		m.handle(ctx, p.from, p.msg)
-		if m.down {
-			// Crashed again while draining; the rest stays deferred.
-			return
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.down = false
+		for len(sh.deferred) > 0 {
+			p := sh.deferred[0]
+			sh.deferred = sh.deferred[1:]
+			sh.handle(ctx, p.from, p.msg)
 		}
+		sh.deferred = nil
+		sh.maybeFlush(ctx)
+		sh.mu.Unlock()
 	}
-	m.deferred = nil
-	m.maybeFlush(ctx)
+	m.shards[0].mu.Lock()
+	m.shards[0].counters.Recoveries++
+	m.shards[0].mu.Unlock()
+	if m.pendingTick {
+		m.pendingTick = false
+		m.statsTickLocked(ctx)
+	}
 }
 
 // onStatsTick pushes the cumulative per-item grant counters to the metrics
-// collector and re-arms the timer. The cluster posts the first TickMsg.
+// collector and re-arms the timer. The cluster posts the first TickMsg. A
+// tick that lands during an outage is parked and re-fired at recovery so the
+// timer chain survives the crash.
 func (m *Manager) onStatsTick(ctx engine.Context) {
-	if m.opts.StatsPeriodMicros <= 0 {
+	m.ctlMu.Lock()
+	defer m.ctlMu.Unlock()
+	if m.Down() {
+		m.pendingTick = true
+		return
+	}
+	m.statsTickLocked(ctx)
+}
+
+func (m *Manager) statsTickLocked(ctx engine.Context) {
+	if m.statsStopped || m.opts.StatsPeriodMicros <= 0 {
 		return
 	}
 	read := map[model.ItemID]uint64{}
 	write := map[model.ItemID]uint64{}
-	for item, q := range m.queues {
-		read[item] = q.readGrants
-		write[item] = q.writeGrants
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for item, q := range sh.queues {
+			read[item] = q.readGrants
+			write[item] = q.writeGrants
+		}
+		sh.mu.Unlock()
 	}
 	ctx.Send(engine.CollectorAddr(), model.QueueStatsMsg{
 		From:        m.site,
@@ -315,222 +390,39 @@ func (m *Manager) onStatsTick(ctx engine.Context) {
 	ctx.SetTimer(m.opts.StatsPeriodMicros, model.TickMsg{})
 }
 
-func (m *Manager) queue(item model.ItemID) *dataQueue {
-	q := m.queues[item]
-	if q == nil {
-		panic(fmt.Sprintf("qm: site %d has no queue for %v", m.site, item))
-	}
-	return q
+func (m *Manager) onStop() {
+	m.ctlMu.Lock()
+	m.statsStopped = true // stop re-arming the stats timer
+	m.ctlMu.Unlock()
 }
 
-func (m *Manager) onRequest(ctx engine.Context, v model.RequestMsg) {
-	q := m.queue(v.Copy.Item)
-	m.counters.Requests++
-	if old := q.find(v.Txn); old != nil {
-		// A stale entry from a previous attempt whose abort raced ahead of
-		// us cannot exist under FIFO delivery, but drop defensively.
-		if old.attempt >= v.Attempt {
-			return
-		}
-		if old.readRecorded && m.recorder != nil {
-			m.recorder.Discard(q.copyID, old.txn)
-		}
-		q.remove(old)
-	}
-	e := &entry{
-		txn:      v.Txn,
-		attempt:  v.Attempt,
-		protocol: v.Protocol,
-		kind:     v.Kind,
-		interval: v.Interval,
-		prec: model.Precedence{
-			Site:  v.Site,
-			Txn:   v.Txn,
-			Is2PL: v.Protocol == model.TwoPL,
-		},
-	}
-	out := q.admit(e, v.TS, v.Interval)
-	issuer := engine.RIAddr(v.Site)
-	switch {
-	case out.rejected:
-		m.counters.Rejects++
-		ctx.Send(issuer, model.RejectMsg{
-			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy, Threshold: out.threshold,
-		})
-	case out.backedOff:
-		m.counters.Backoffs++
-		ctx.Send(issuer, model.BackoffMsg{
-			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy, NewTS: out.newTS,
-		})
-	}
-	m.dispatch(ctx, q)
-}
-
-func (m *Manager) onFinalTS(ctx engine.Context, v model.FinalTSMsg) {
-	q := m.queue(v.Copy.Item)
-	e := q.find(v.Txn)
-	if e == nil || e.attempt != v.Attempt {
-		return // attempt was aborted; stale message
-	}
-	if q.applyFinalTS(e, v.TS) {
-		m.counters.Revokes++
-	}
-	m.dispatch(ctx, q)
-}
-
-func (m *Manager) onRelease(ctx engine.Context, v model.ReleaseMsg) {
-	q := m.queue(v.Copy.Item)
-	e := q.find(v.Txn)
-	if e == nil || e.attempt != v.Attempt || !e.granted {
-		return
-	}
-	if v.ToSemi {
-		// §4.2 rule 4: the T/O transaction received a pre-scheduled lock;
-		// its operations are implemented now, and the lock becomes a
-		// semi-lock until every item has issued a normal grant.
-		if !e.semi {
-			m.implement(e, v)
-			q.toSemi(e)
-			m.counters.Conversion++
-		}
-		// Sync before dispatch: the grants dispatch sends carry the value
-		// just implemented, and on the real runtime they hit the wire
-		// before OnMessage returns — a write another site observed must
-		// not be lost by a crash.
-		m.maybeFlush(ctx)
-		m.dispatch(ctx, q)
-		return
-	}
-	if !e.semi {
-		// Implemented at release (§4.3: 2PL/PA always; T/O when it received
-		// no pre-scheduled lock and released directly).
-		m.implement(e, v)
-	}
-	q.remove(e)
-	m.counters.Releases++
-	m.maybeFlush(ctx) // before dispatch exposes the write (see above)
-	m.dispatch(ctx, q)
-}
-
-// onSnapRead serves a read-only snapshot read directly from the store's
-// version chain: no queue entry, no lock, no threshold check, and therefore
-// no way to be rejected, backed off, or deadlocked. The read is recorded in
-// the history log at the position of the version it observed, so the
-// serializability checker sees the true dataflow order.
-func (m *Manager) onSnapRead(ctx engine.Context, v model.SnapReadMsg) {
-	m.counters.SnapReads++
-	ver, exact := m.store.ReadAt(v.Copy.Item, v.SnapMicros)
-	if !exact {
-		m.counters.SnapStale++
-	}
-	if m.recorder != nil {
-		m.recorder.ImplementedReadAt(model.CopyID{Item: v.Copy.Item, Site: m.site}, v.Txn, ver.Version)
-	}
-	ctx.Send(engine.RIAddr(v.Site), model.SnapReadReplyMsg{
-		Txn:          v.Txn,
-		Attempt:      v.Attempt,
-		Copy:         v.Copy,
-		Value:        ver.Value,
-		Version:      ver.Version,
-		CommitMicros: ver.CommitMicros,
-		Exact:        exact,
-	})
-}
-
-// implement applies the operation to the store and the history log.
-func (m *Manager) implement(e *entry, v model.ReleaseMsg) {
-	c := model.CopyID{Item: v.Copy.Item, Site: m.site}
-	if e.kind == model.OpWrite {
-		if v.HasWrite {
-			m.store.Write(v.Copy.Item, e.txn, v.Value, v.CommitMicros) // journaled via the store's hook
-			m.dirty = true
-		}
-		if m.recorder != nil {
-			m.recorder.Implemented(c, e.txn, model.OpWrite)
-		}
-	} else if m.recorder != nil && !e.readRecorded {
-		m.recorder.Implemented(c, e.txn, model.OpRead)
-	}
-}
-
-func (m *Manager) onAbort(ctx engine.Context, v model.AbortMsg) {
-	q := m.queue(v.Copy.Item)
-	e := q.find(v.Txn)
-	if e == nil || e.attempt != v.Attempt {
-		return
-	}
-	if e.readRecorded && m.recorder != nil {
-		// The grant-time read never took effect; drop it from the log so it
-		// cannot fabricate conflict edges.
-		m.recorder.Discard(q.copyID, e.txn)
-	}
-	q.remove(e)
-	m.counters.Aborts++
-	m.dispatch(ctx, q)
-}
-
-// dispatch grants every grantable head in sequence and then promotes
-// pre-scheduled locks whose earlier conflicts have all been released.
-func (m *Manager) dispatch(ctx engine.Context, q *dataQueue) {
-	for {
-		hd := q.head()
-		if hd == nil {
-			break
-		}
-		d := q.decide(hd)
-		if !d.ok {
-			break
-		}
-		q.grant(hd, d)
-		m.counters.Grants++
-		if d.preSched {
-			m.counters.PreGrants++
-		}
-		if hd.protocol == model.TO && hd.kind == model.OpRead && m.recorder != nil {
-			// A T/O read is implemented at its grant: the SRL it receives
-			// is already a semi-lock (§4.3) and the value travels with the
-			// grant. Recording it at release would order it after any
-			// pre-scheduled write that converts in between, inverting the
-			// conflict edge relative to the actual dataflow.
-			m.recorder.Implemented(q.copyID, hd.txn, model.OpRead)
-			hd.readRecorded = true
-		}
-		value, version := m.store.Read(q.copyID.Item)
-		ctx.Send(engine.RIAddr(hd.prec.Site), model.GrantMsg{
-			Txn:          hd.txn,
-			Attempt:      hd.attempt,
-			Copy:         q.copyID,
-			Lock:         d.lock,
-			PreScheduled: d.preSched,
-			TS:           hd.prec.TS,
-			Value:        value,
-			Version:      version,
-		})
-	}
-	for _, e := range q.promotable() {
-		e.normalSent = true
-		m.counters.Promotions++
-		ctx.Send(engine.RIAddr(e.prec.Site), model.NormalGrantMsg{
-			Txn: e.txn, Attempt: e.attempt, Copy: q.copyID,
-		})
-	}
-}
-
+// onProbe reports the site's wait-for edges across every shard as one
+// report (the deadlock detector reasons per site, not per shard). A down
+// site does not answer — the detector's persistence rounds absorb the gap.
 func (m *Manager) onProbe(ctx engine.Context, from engine.Addr, v model.ProbeWFGMsg) {
+	m.ctlMu.Lock()
+	defer m.ctlMu.Unlock()
+	if m.Down() {
+		return
+	}
 	var edges []model.WaitEdge
-	for _, q := range m.queues {
-		q.waitEdges(func(e, b *entry) {
-			edges = append(edges, model.WaitEdge{
-				Waiter:       e.txn,
-				Holder:       b.txn,
-				Waiter2PL:    e.protocol == model.TwoPL,
-				Holder2PL:    b.protocol == model.TwoPL,
-				WaiterSite:   e.prec.Site,
-				WaiterSeq:    e.attempt,
-				Copy:         q.copyID,
-				WaiterIssuer: e.prec.Site,
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, q := range sh.queues {
+			q.waitEdges(func(e, b *entry) {
+				edges = append(edges, model.WaitEdge{
+					Waiter:       e.txn,
+					Holder:       b.txn,
+					Waiter2PL:    e.protocol == model.TwoPL,
+					Holder2PL:    b.protocol == model.TwoPL,
+					WaiterSite:   e.prec.Site,
+					WaiterSeq:    e.attempt,
+					Copy:         q.copyID,
+					WaiterIssuer: e.prec.Site,
+				})
 			})
-		})
+		}
+		sh.mu.Unlock()
 	}
 	ctx.Send(from, model.WFGReportMsg{From: m.site, Round: v.Round, Edges: edges})
 }

@@ -26,7 +26,6 @@ type entry struct {
 	protocol model.Protocol
 	kind     model.OpKind
 	prec     model.Precedence
-	interval model.Timestamp
 	state    entryState
 
 	granted    bool

@@ -1,0 +1,308 @@
+package qm
+
+import (
+	"fmt"
+	"sync"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+// shard is one partition of a site's queue manager: the data queues, lock
+// state, counters, and group-commit batch for the items hashed to it
+// (model.ShardOfItem). Each shard is independently lockable — operations on
+// items in different shards never contend — which is what lets one site's
+// conflict-free traffic execute in parallel when the shards run on separate
+// mailbox goroutines.
+type shard struct {
+	m   *Manager
+	idx int
+
+	mu       sync.Mutex
+	queues   map[model.ItemID]*dataQueue
+	counters Counters
+
+	dirty      bool // journaled writes await a sync
+	flushArmed bool // a group-commit FlushMsg timer is pending for this shard
+	down       bool // site crashed: messages defer until recovery
+	deferred   []pendingMsg
+}
+
+// onMessage handles one delivery for this shard. Crashed shards defer
+// everything (durable message queues redeliver after a restart — the
+// simulation's stand-in for the transport's reconnect-and-resend).
+func (sh *shard) onMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.down {
+		// Deferred counts real protocol traffic held back by the outage; the
+		// shard's own group-commit flush timers are deferred too but are not
+		// traffic.
+		if _, timer := msg.(model.FlushMsg); !timer {
+			sh.counters.Deferred++
+		}
+		sh.deferred = append(sh.deferred, pendingMsg{from: from, msg: msg})
+		return
+	}
+	sh.handle(ctx, from, msg)
+	sh.maybeFlush(ctx)
+}
+
+// handle dispatches one message. Callers hold sh.mu.
+func (sh *shard) handle(ctx engine.Context, from engine.Addr, msg model.Message) {
+	switch v := msg.(type) {
+	case model.RequestMsg:
+		sh.onRequest(ctx, v)
+	case model.FinalTSMsg:
+		sh.onFinalTS(ctx, v)
+	case model.ReleaseMsg:
+		sh.onRelease(ctx, v)
+	case model.AbortMsg:
+		sh.onAbort(ctx, v)
+	case model.SnapReadMsg:
+		sh.onSnapRead(ctx, v)
+	case model.FlushMsg:
+		sh.onFlushTimer()
+	default:
+		panic(fmt.Sprintf("qm: site %d shard %d: unexpected message %T", sh.m.site, sh.idx, msg))
+	}
+}
+
+// maybeFlush is the commit-path durability policy, run after every handled
+// message: with no group-commit window the writes this delivery implemented
+// are synced now (one commit-sequencer pass per delivery, already batched
+// across a transaction's co-resident copies and coalesced with concurrently
+// flushing shards); with a window, the sync is deferred to a per-shard
+// FlushMsg timer so concurrently committing transactions share it.
+func (sh *shard) maybeFlush(ctx engine.Context) {
+	if !sh.dirty || sh.m.dur == nil {
+		return
+	}
+	if sh.m.opts.GroupCommitMicros > 0 {
+		if !sh.flushArmed {
+			sh.flushArmed = true
+			ctx.SetTimer(sh.m.opts.GroupCommitMicros, model.FlushMsg{Shard: int32(sh.idx)})
+		}
+		return
+	}
+	sh.flushNow()
+}
+
+func (sh *shard) onFlushTimer() {
+	sh.flushArmed = false
+	if sh.dirty && sh.m.dur != nil {
+		sh.flushNow()
+	}
+}
+
+// flushNow drains this shard's dirty batch through the site's commit
+// sequencer: it returns once every record the shard journaled before the
+// call is durable. Concurrent shards coalesce into one media sync.
+func (sh *shard) flushNow() {
+	if err := sh.m.seq.commit(); err != nil {
+		// Losing the WAL means losing the durability contract; there is no
+		// meaningful way to continue serving writes.
+		panic(fmt.Sprintf("qm: site %d shard %d: wal flush: %v", sh.m.site, sh.idx, err))
+	}
+	sh.dirty = false
+}
+
+func (sh *shard) queue(item model.ItemID) *dataQueue {
+	q := sh.queues[item]
+	if q == nil {
+		panic(fmt.Sprintf("qm: site %d shard %d has no queue for %v", sh.m.site, sh.idx, item))
+	}
+	return q
+}
+
+func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
+	q := sh.queue(v.Copy.Item)
+	sh.counters.Requests++
+	if old := q.find(v.Txn); old != nil {
+		// A stale entry from a previous attempt whose abort raced ahead of
+		// us cannot exist under FIFO delivery, but drop defensively.
+		if old.attempt >= v.Attempt {
+			return
+		}
+		if old.readRecorded && sh.m.recorder != nil {
+			sh.m.recorder.Discard(q.copyID, old.txn)
+		}
+		q.remove(old)
+	}
+	e := &entry{
+		txn:      v.Txn,
+		attempt:  v.Attempt,
+		protocol: v.Protocol,
+		kind:     v.Kind,
+		prec: model.Precedence{
+			Site:  v.Site,
+			Txn:   v.Txn,
+			Is2PL: v.Protocol == model.TwoPL,
+		},
+	}
+	out := q.admit(e, v.TS, v.Interval)
+	issuer := engine.RIAddr(v.Site)
+	switch {
+	case out.rejected:
+		sh.counters.Rejects++
+		ctx.Send(issuer, model.RejectMsg{
+			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy, Threshold: out.threshold,
+		})
+	case out.backedOff:
+		sh.counters.Backoffs++
+		ctx.Send(issuer, model.BackoffMsg{
+			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy, NewTS: out.newTS,
+		})
+	}
+	sh.dispatch(ctx, q)
+}
+
+func (sh *shard) onFinalTS(ctx engine.Context, v model.FinalTSMsg) {
+	q := sh.queue(v.Copy.Item)
+	e := q.find(v.Txn)
+	if e == nil || e.attempt != v.Attempt {
+		return // attempt was aborted; stale message
+	}
+	if q.applyFinalTS(e, v.TS) {
+		sh.counters.Revokes++
+	}
+	sh.dispatch(ctx, q)
+}
+
+func (sh *shard) onRelease(ctx engine.Context, v model.ReleaseMsg) {
+	q := sh.queue(v.Copy.Item)
+	e := q.find(v.Txn)
+	if e == nil || e.attempt != v.Attempt || !e.granted {
+		return
+	}
+	if v.ToSemi {
+		// §4.2 rule 4: the T/O transaction received a pre-scheduled lock;
+		// its operations are implemented now, and the lock becomes a
+		// semi-lock until every item has issued a normal grant.
+		if !e.semi {
+			sh.implement(e, v)
+			q.toSemi(e)
+			sh.counters.Conversion++
+		}
+		// Sync before dispatch: the grants dispatch sends carry the value
+		// just implemented, and on the real runtime they hit the wire
+		// before OnMessage returns — a write another site observed must
+		// not be lost by a crash.
+		sh.maybeFlush(ctx)
+		sh.dispatch(ctx, q)
+		return
+	}
+	if !e.semi {
+		// Implemented at release (§4.3: 2PL/PA always; T/O when it received
+		// no pre-scheduled lock and released directly).
+		sh.implement(e, v)
+	}
+	q.remove(e)
+	sh.counters.Releases++
+	sh.maybeFlush(ctx) // before dispatch exposes the write (see above)
+	sh.dispatch(ctx, q)
+}
+
+// onSnapRead serves a read-only snapshot read directly from the store's
+// version chain: no queue entry, no lock, no threshold check, and therefore
+// no way to be rejected, backed off, or deadlocked. The read is recorded in
+// the history log at the position of the version it observed, so the
+// serializability checker sees the true dataflow order.
+func (sh *shard) onSnapRead(ctx engine.Context, v model.SnapReadMsg) {
+	sh.counters.SnapReads++
+	ver, exact := sh.m.store.ReadAt(v.Copy.Item, v.SnapMicros)
+	if !exact {
+		sh.counters.SnapStale++
+	}
+	if sh.m.recorder != nil {
+		sh.m.recorder.ImplementedReadAt(model.CopyID{Item: v.Copy.Item, Site: sh.m.site}, v.Txn, ver.Version)
+	}
+	ctx.Send(engine.RIAddr(v.Site), model.SnapReadReplyMsg{
+		Txn:          v.Txn,
+		Attempt:      v.Attempt,
+		Copy:         v.Copy,
+		Value:        ver.Value,
+		Version:      ver.Version,
+		CommitMicros: ver.CommitMicros,
+		Exact:        exact,
+	})
+}
+
+// implement applies the operation to the store and the history log.
+func (sh *shard) implement(e *entry, v model.ReleaseMsg) {
+	c := model.CopyID{Item: v.Copy.Item, Site: sh.m.site}
+	if e.kind == model.OpWrite {
+		if v.HasWrite {
+			sh.m.store.Write(v.Copy.Item, e.txn, v.Value, v.CommitMicros) // journaled via the store's hook
+			sh.dirty = true
+		}
+		if sh.m.recorder != nil {
+			sh.m.recorder.Implemented(c, e.txn, model.OpWrite)
+		}
+	} else if sh.m.recorder != nil && !e.readRecorded {
+		sh.m.recorder.Implemented(c, e.txn, model.OpRead)
+	}
+}
+
+func (sh *shard) onAbort(ctx engine.Context, v model.AbortMsg) {
+	q := sh.queue(v.Copy.Item)
+	e := q.find(v.Txn)
+	if e == nil || e.attempt != v.Attempt {
+		return
+	}
+	if e.readRecorded && sh.m.recorder != nil {
+		// The grant-time read never took effect; drop it from the log so it
+		// cannot fabricate conflict edges.
+		sh.m.recorder.Discard(q.copyID, e.txn)
+	}
+	q.remove(e)
+	sh.counters.Aborts++
+	sh.dispatch(ctx, q)
+}
+
+// dispatch grants every grantable head in sequence and then promotes
+// pre-scheduled locks whose earlier conflicts have all been released.
+func (sh *shard) dispatch(ctx engine.Context, q *dataQueue) {
+	for {
+		hd := q.head()
+		if hd == nil {
+			break
+		}
+		d := q.decide(hd)
+		if !d.ok {
+			break
+		}
+		q.grant(hd, d)
+		sh.counters.Grants++
+		if d.preSched {
+			sh.counters.PreGrants++
+		}
+		if hd.protocol == model.TO && hd.kind == model.OpRead && sh.m.recorder != nil {
+			// A T/O read is implemented at its grant: the SRL it receives
+			// is already a semi-lock (§4.3) and the value travels with the
+			// grant. Recording it at release would order it after any
+			// pre-scheduled write that converts in between, inverting the
+			// conflict edge relative to the actual dataflow.
+			sh.m.recorder.Implemented(q.copyID, hd.txn, model.OpRead)
+			hd.readRecorded = true
+		}
+		value, version := sh.m.store.Read(q.copyID.Item)
+		ctx.Send(engine.RIAddr(hd.prec.Site), model.GrantMsg{
+			Txn:          hd.txn,
+			Attempt:      hd.attempt,
+			Copy:         q.copyID,
+			Lock:         d.lock,
+			PreScheduled: d.preSched,
+			TS:           hd.prec.TS,
+			Value:        value,
+			Version:      version,
+		})
+	}
+	for _, e := range q.promotable() {
+		e.normalSent = true
+		sh.counters.Promotions++
+		ctx.Send(engine.RIAddr(e.prec.Site), model.NormalGrantMsg{
+			Txn: e.txn, Attempt: e.attempt, Copy: q.copyID,
+		})
+	}
+}

@@ -45,6 +45,12 @@ type Options struct {
 	// transactions that queue and lock like everyone else (the EXP-10
 	// baseline and an operational escape hatch).
 	DisableROFastPath bool
+	// QMShards is the number of queue-manager shards per data site; every
+	// per-item message is addressed to the shard mailbox its item hashes to
+	// (engine.QMShardAddr + model.ShardOfItem). Must match qm.Options.Shards
+	// cluster-wide. Zero or one addresses the site's single shard-0 mailbox,
+	// the pre-sharding behaviour.
+	QMShards int
 }
 
 // DefaultOptions returns sensible defaults for simulation-scale runs.
@@ -287,6 +293,13 @@ func (ri *Issuer) SetNotifyDriver(on bool) {
 	ri.notifyDriver = on
 }
 
+// qmAddr returns the shard mailbox serving one physical copy: the queue
+// manager of the copy's site, shard chosen by the item hash every routing
+// party agrees on.
+func (ri *Issuer) qmAddr(c model.CopyID) engine.Addr {
+	return engine.QMShardAddr(c.Site, model.ShardOfItem(c.Item, ri.opts.QMShards))
+}
+
 // finished reports a terminal event to the driver when asked to.
 func (ri *Issuer) finished(ctx engine.Context, id model.TxnID) {
 	if ri.notifyDriver {
@@ -395,7 +408,7 @@ func (ri *Issuer) launchRO(ctx engine.Context, t *model.Txn) {
 		c := model.CopyID{Item: item, Site: ri.catalog.Primary(item)}
 		s.pending[c] = true
 		s.messages++
-		ctx.Send(engine.QMAddr(c.Site), model.SnapReadMsg{
+		ctx.Send(ri.qmAddr(c), model.SnapReadMsg{
 			Txn:        t.ID,
 			Copy:       c,
 			SnapMicros: snap,
@@ -506,7 +519,7 @@ func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
 		return a.Site < b.Site
 	})
 	for _, r := range s.order {
-		ri.send(ctx, s, engine.QMAddr(r.copyID.Site), model.RequestMsg{
+		ri.send(ctx, s, ri.qmAddr(r.copyID), model.RequestMsg{
 			Txn:      t.ID,
 			Attempt:  s.attempt,
 			Protocol: t.Protocol,
@@ -612,7 +625,7 @@ func (ri *Issuer) finalizePA(ctx engine.Context, s *txnState) {
 		r.granted = false
 		r.normal = false
 		r.preSched = false
-		ri.send(ctx, s, engine.QMAddr(r.copyID.Site), model.FinalTSMsg{
+		ri.send(ctx, s, ri.qmAddr(r.copyID), model.FinalTSMsg{
 			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID, TS: final,
 		})
 	}
@@ -691,7 +704,7 @@ func (ri *Issuer) abortAttempt(ctx engine.Context, s *txnState, skip model.CopyI
 		if r.copyID == skip {
 			continue
 		}
-		ri.send(ctx, s, engine.QMAddr(r.copyID.Site), model.AbortMsg{
+		ri.send(ctx, s, ri.qmAddr(r.copyID), model.AbortMsg{
 			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID,
 		})
 	}
@@ -801,7 +814,7 @@ func (ri *Issuer) releaseAll(ctx engine.Context, s *txnState, toSemi bool) {
 			msg.HasWrite = true
 			msg.Value = ri.writeValue(s, r.copyID.Item)
 		}
-		ri.send(ctx, s, engine.QMAddr(r.copyID.Site), msg)
+		ri.send(ctx, s, ri.qmAddr(r.copyID), msg)
 	}
 }
 

@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ucc/internal/model"
 )
@@ -105,13 +107,29 @@ func (c *copyState) view() Copy {
 
 // Store holds every physical copy resident at one data site as a bounded
 // multi-version chain per copy.
+//
+// Concurrency: the copies map is structurally immutable while traffic flows
+// (Create seeds it before the engine starts; Wipe/Restore* run only during
+// crash recovery, when every queue-manager shard is quiesced), and each
+// copy's chain is only ever touched by the one shard its item hashes to —
+// so sharded queue managers may call Read/ReadAt/Write for different items
+// concurrently without a store-wide lock. The two pieces of cross-item
+// mutable state are the pruned counter (atomic) and whole-store snapshots:
+// Chains/Copies must observe no torn chain, so chain mutations share the
+// barrier read-side and snapshots take it exclusively. The journal append
+// deliberately happens OUTSIDE the barrier (holding it across the WAL's
+// lock would deadlock with a snapshot running inside a WAL flush); the
+// resulting snapshot/append race — a snapshot imaging a write whose record
+// is not yet covered by its AppliedSeq — is resolved by Apply's idempotent
+// redo at recovery.
 type Store struct {
 	site    model.SiteID
 	copies  map[model.ItemID]*copyState
 	policy  ChainPolicy
 	journal Journal
+	barrier sync.RWMutex
 	// pruned counts versions dropped by chain GC (observability).
-	pruned uint64
+	pruned atomic.Uint64
 }
 
 // NewStore creates an empty store for a site with the default chain policy.
@@ -181,6 +199,7 @@ func (s *Store) ReadAt(item model.ItemID, atMicros int64) (v Version, exact bool
 // freshest clock reading the store has).
 func (s *Store) Write(item model.ItemID, txn model.TxnID, value int64, commitMicros int64) uint64 {
 	c := s.mustGet(item)
+	s.barrier.RLock()
 	next := Version{
 		Value:        value,
 		Version:      c.latest().Version + 1,
@@ -189,6 +208,9 @@ func (s *Store) Write(item model.ItemID, txn model.TxnID, value int64, commitMic
 	}
 	c.versions = append(c.versions, next)
 	s.prune(c, commitMicros)
+	s.barrier.RUnlock()
+	// Outside the barrier — see the Store comment for the lock-order and
+	// snapshot-consistency reasoning.
 	if s.journal != nil {
 		s.journal.RecordWrite(item, txn, value, next.Version, commitMicros)
 	}
@@ -212,7 +234,7 @@ func (s *Store) prune(c *copyState, nowMicros int64) {
 		base = over // hard cap: may sacrifice in-window versions
 	}
 	if base > 0 {
-		s.pruned += uint64(base)
+		s.pruned.Add(uint64(base))
 		c.versions = append(c.versions[:0:0], c.versions[base:]...)
 	}
 }
@@ -229,7 +251,7 @@ func (s *Store) Chain(item model.ItemID) []Version {
 func (s *Store) ChainLen(item model.ItemID) int { return len(s.mustGet(item).versions) }
 
 // Pruned returns the cumulative number of versions dropped by chain GC.
-func (s *Store) Pruned() uint64 { return s.pruned }
+func (s *Store) Pruned() uint64 { return s.pruned.Load() }
 
 // Items returns the item ids stored here in ascending order.
 func (s *Store) Items() []model.ItemID {
@@ -245,8 +267,10 @@ func (s *Store) Items() []model.ItemID {
 func (s *Store) Len() int { return len(s.copies) }
 
 // Copies returns the latest-version view of every physical copy, ascending
-// by item.
+// by item. Safe against concurrent shard writers (whole-store barrier).
 func (s *Store) Copies() []Copy {
+	s.barrier.Lock()
+	defer s.barrier.Unlock()
 	out := make([]Copy, 0, len(s.copies))
 	for _, item := range s.Items() {
 		out = append(out, s.copies[item].view())
@@ -255,8 +279,11 @@ func (s *Store) Copies() []Copy {
 }
 
 // Chains returns the full retained version chain of every physical copy,
-// ascending by item (the input to a durability snapshot).
+// ascending by item (the input to a durability snapshot). The whole-store
+// barrier excludes concurrent shard writers, so no chain is imaged torn.
 func (s *Store) Chains() []CopyChain {
+	s.barrier.Lock()
+	defer s.barrier.Unlock()
 	out := make([]CopyChain, 0, len(s.copies))
 	for _, item := range s.Items() {
 		c := s.copies[item]
@@ -299,8 +326,17 @@ func (s *Store) RestoreChain(cc CopyChain) {
 // Apply re-installs one replayed journaled write verbatim (exact version and
 // commit stamp, no journal hook), extending the copy's chain. The copy must
 // exist — every copy is present in the snapshot recovery starts from.
+//
+// Apply is idempotent redo: a record whose version the chain already holds
+// is skipped. That closes the snapshot/append race of sharded sites — a
+// snapshot may image a chain mutation whose WAL record lands just after the
+// snapshot's AppliedSeq, so replay can legitimately present an
+// already-applied record.
 func (s *Store) Apply(item model.ItemID, txn model.TxnID, value int64, version uint64, commitMicros int64) {
 	c := s.mustGet(item)
+	if version <= c.latest().Version {
+		return // already reflected by the snapshot this replay started from
+	}
 	c.versions = append(c.versions, Version{
 		Value: value, Version: version, Writer: txn, CommitMicros: commitMicros,
 	})

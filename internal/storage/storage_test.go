@@ -35,12 +35,12 @@ func TestReadAtSelectsByCommitStamp(t *testing.T) {
 		value int64
 		ver   uint64
 	}{
-		{0, 10, 0},      // before any commit: the initial version
-		{999, 10, 0},    // still before the first commit
-		{1_000, 20, 1},  // inclusive boundary
-		{1_500, 20, 1},  // between commits
-		{2_000, 30, 2},  // newest
-		{9_999, 30, 2},  // far future: newest
+		{0, 10, 0},     // before any commit: the initial version
+		{999, 10, 0},   // still before the first commit
+		{1_000, 20, 1}, // inclusive boundary
+		{1_500, 20, 1}, // between commits
+		{2_000, 30, 2}, // newest
+		{9_999, 30, 2}, // far future: newest
 	}
 	for _, c := range cases {
 		v, exact := s.ReadAt(1, c.at)

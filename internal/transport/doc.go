@@ -1,6 +1,28 @@
-// Package transport carries actor envelopes between processes over TCP with
-// encoding/gob framing, turning the in-process runtime into a real
-// distributed deployment (cmd/uccnode, cmd/uccclient). Connections are
-// per-peer, persistent, and FIFO — the delivery guarantee the protocol
-// assumes and the in-process engines emulate.
+// Package transport carries engine envelopes between processes over TCP,
+// turning the in-process actor system into the real distributed deployment
+// (cmd/uccnode + cmd/uccclient).
+//
+// A Node binds one process's runtime to a static Topology (actor address →
+// peer name → TCP address). Outbound envelopes are enqueued per peer and
+// drained by one writer goroutine per peer, which gob-encodes the whole
+// backlog through a persistent pipelined encoder into a buffered writer and
+// flushes once per drained batch (plus at a byte threshold mid-batch) — one
+// framed write instead of one syscall per envelope. Batching is purely
+// load-adaptive: an idle connection flushes each lone envelope immediately;
+// a busy one coalesces everything that queued during the previous flush.
+//
+// Wire format (version 2): every connection starts with a single version
+// byte, then a gob stream of WireEnvelope values (addresses carry the
+// queue-manager shard index). Readers drop connections with the wrong
+// version byte rather than decode a misframed stream.
+//
+// Failure model: messages are best-effort with one retry. A batch that
+// fails mid-write retires its connection — socket, buffered writer, and
+// encoder are all discarded together, so a half-written frame cannot leak
+// into a replacement connection's stream — and is re-sent whole on a fresh
+// dial exactly once. A genuinely down peer drops traffic (the protocol
+// tolerates that as a crashed site); a bounced peer may therefore see
+// duplicates from the retried batch, which the protocol's attempt tagging
+// absorbs. Per-peer FIFO is preserved end to end: one outbox, one writer,
+// retry-before-next-batch.
 package transport

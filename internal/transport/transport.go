@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ucc/internal/engine"
@@ -14,27 +16,40 @@ import (
 
 func init() { model.RegisterGob() }
 
+// WireVersion is the first byte a dialer writes on a fresh connection, before
+// the gob stream starts. Version 2 introduced batched (pipelined-encoder)
+// framing and shard-qualified addresses; a reader that sees any other value
+// closes the connection instead of feeding misframed bytes to the decoder.
+const WireVersion byte = 2
+
+// defaultBatchBytes is the mid-batch flush threshold: while draining a large
+// backlog the writer flushes whenever this much is buffered, bounding memory
+// and keeping the pipe busy instead of building one giant frame.
+const defaultBatchBytes = 64 << 10
+
 // WireEnvelope is the on-the-wire form of engine.Envelope.
 type WireEnvelope struct {
-	FromKind uint8
-	FromID   int32
-	ToKind   uint8
-	ToID     int32
-	Msg      model.Message
+	FromKind  uint8
+	FromID    int32
+	FromShard uint8
+	ToKind    uint8
+	ToID      int32
+	ToShard   uint8
+	Msg       model.Message
 }
 
 func toWire(e engine.Envelope) WireEnvelope {
 	return WireEnvelope{
-		FromKind: uint8(e.From.Kind), FromID: int32(e.From.ID),
-		ToKind: uint8(e.To.Kind), ToID: int32(e.To.ID),
+		FromKind: uint8(e.From.Kind), FromID: int32(e.From.ID), FromShard: e.From.Shard,
+		ToKind: uint8(e.To.Kind), ToID: int32(e.To.ID), ToShard: e.To.Shard,
 		Msg: e.Msg,
 	}
 }
 
 func fromWire(w WireEnvelope) engine.Envelope {
 	return engine.Envelope{
-		From: engine.Addr{Kind: engine.ActorKind(w.FromKind), ID: model.SiteID(w.FromID)},
-		To:   engine.Addr{Kind: engine.ActorKind(w.ToKind), ID: model.SiteID(w.ToID)},
+		From: engine.Addr{Kind: engine.ActorKind(w.FromKind), ID: model.SiteID(w.FromID), Shard: w.FromShard},
+		To:   engine.Addr{Kind: engine.ActorKind(w.ToKind), ID: model.SiteID(w.ToID), Shard: w.ToShard},
 		Msg:  w.Msg,
 	}
 }
@@ -83,9 +98,10 @@ func StandardTopology(peers []string, clientAddr string) Topology {
 	return topo
 }
 
-// StandardAssign places QM(i)/RI(i)/Driver(i) on peer "site<i>", the
-// deadlock detector on "site0", and the collector (plus anything unknown) on
-// clientPeer — the layout cmd/uccnode and cmd/uccclient use.
+// StandardAssign places QM(i)/RI(i)/Driver(i) on peer "site<i>" (every QM
+// shard of a site lives with the site), the deadlock detector on "site0",
+// and the collector (plus anything unknown) on clientPeer — the layout
+// cmd/uccnode and cmd/uccclient use.
 func StandardAssign(clientPeer string) func(engine.Addr) string {
 	return func(a engine.Addr) string {
 		switch a.Kind {
@@ -100,23 +116,51 @@ func StandardAssign(clientPeer string) func(engine.Addr) string {
 }
 
 // Node connects one process's runtime to the topology.
+//
+// Outbound wire path: envelopes for a peer are enqueued on that peer's
+// outbox and drained by one writer goroutine, which encodes every queued
+// envelope through a persistent pipelined gob encoder into a buffered
+// writer and flushes once per drained batch (or at BatchBytes mid-batch) —
+// one framed write instead of one syscall-sized write per envelope. Under
+// load the batch size grows naturally; when idle, a lone envelope flushes
+// immediately, adding no latency.
 type Node struct {
-	self string
-	topo Topology
-	rt   *engine.Runtime
+	self       string
+	topo       Topology
+	rt         *engine.Runtime
+	batchBytes int
+	// batchDelay, when positive, makes the writer linger once per batch for
+	// this long before flushing, trading latency for bigger coalesced
+	// writes. Zero (the default) flushes as soon as the outbox drains.
+	batchDelay time.Duration
 
-	mu      sync.Mutex
-	conns   map[string]*peerConn
-	inbound map[net.Conn]bool
-	ln      net.Listener
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	senders  map[string]*peerSender
+	outbound map[net.Conn]bool
+	inbound  map[net.Conn]bool
+	ln       net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Batching observability (tests, diagnostics).
+	sentEnvelopes atomic.Uint64
+	flushes       atomic.Uint64
 }
 
-type peerConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+// peerSender owns the outbox and the single writer goroutine for one peer.
+// The writer is the only goroutine that ever touches the peer's connection
+// or encoder, which is what makes reconnection safe: a retired connection's
+// half-written frame dies with its socket and its encoder; the replacement
+// gets a fresh socket, a fresh buffered writer, and a fresh gob stream, so
+// no stale bytes can interleave with the new connection's first batch.
+type peerSender struct {
+	n    *Node
+	peer string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []engine.Envelope
+	closed bool
 }
 
 // NewNode wires rt's uplink into the topology and starts listening on
@@ -128,8 +172,10 @@ func NewNode(rt *engine.Runtime, self, listenAddr string, topo Topology) (*Node,
 	}
 	n := &Node{
 		self: self, topo: topo, rt: rt,
-		conns:   map[string]*peerConn{},
-		inbound: map[net.Conn]bool{},
+		batchBytes: defaultBatchBytes,
+		senders:    map[string]*peerSender{},
+		outbound:   map[net.Conn]bool{},
+		inbound:    map[net.Conn]bool{},
 	}
 	rt.SetUplink(n.forward)
 	if listenAddr != "" {
@@ -142,6 +188,24 @@ func NewNode(rt *engine.Runtime, self, listenAddr string, topo Topology) (*Node,
 		go n.acceptLoop()
 	}
 	return n, nil
+}
+
+// SetBatching overrides the outbound batching knobs: flushBytes is the
+// mid-batch flush threshold (≤0 keeps the default), delay an optional linger
+// before each flush. Call before traffic flows.
+func (n *Node) SetBatching(flushBytes int, delay time.Duration) {
+	if flushBytes > 0 {
+		n.batchBytes = flushBytes
+	}
+	n.batchDelay = delay
+}
+
+// BatchStats reports (envelopes sent over the wire, flushes performed). The
+// ratio is the coalescing factor; envelopes/flushes = 1 means no batching
+// happened (idle traffic), larger means the pipelined encoder amortized
+// syscalls across that many envelopes.
+func (n *Node) BatchStats() (envelopes, flushes uint64) {
+	return n.sentEnvelopes.Load(), n.flushes.Load()
 }
 
 // Addr returns the bound listen address (tests pass ":0").
@@ -180,7 +244,12 @@ func (n *Node) readLoop(c net.Conn) {
 		delete(n.inbound, c)
 		n.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReader(c)
+	ver, err := br.ReadByte()
+	if err != nil || ver != WireVersion {
+		return // wrong protocol era (or a port scanner); drop the conn
+	}
+	dec := gob.NewDecoder(br)
 	for {
 		var w WireEnvelope
 		if err := dec.Decode(&w); err != nil {
@@ -190,48 +259,166 @@ func (n *Node) readLoop(c net.Conn) {
 	}
 }
 
-// forward routes an envelope produced by the local runtime. A send that
-// fails on a stale connection (the peer crashed and restarted since the
-// dial) is retried once on a fresh dial: without retransmission in the
-// protocol, a single lost request would leave its transaction hung holding
-// locks for the rest of the run. A peer that is genuinely down still drops
-// the message — the protocol tolerates that as a crashed site.
+// forward routes an envelope produced by the local runtime: local
+// destinations short-circuit into the runtime; remote ones enqueue on the
+// destination peer's outbox for its writer goroutine to batch onto the wire.
 func (n *Node) forward(env engine.Envelope) {
 	peer := n.topo.Assign(env.To)
 	if peer == n.self {
 		n.rt.Inject(env)
 		return
 	}
-	for attempt := 0; attempt < 2; attempt++ {
-		pc, err := n.conn(peer)
-		if err != nil {
-			return // unreachable peer
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	ps := n.senders[peer]
+	if ps == nil {
+		ps = &peerSender{n: n, peer: peer}
+		ps.cond = sync.NewCond(&ps.mu)
+		n.senders[peer] = ps
+		n.wg.Add(1)
+		go ps.run()
+	}
+	n.mu.Unlock()
+
+	ps.mu.Lock()
+	if !ps.closed {
+		ps.queue = append(ps.queue, env)
+		ps.cond.Signal()
+	}
+	ps.mu.Unlock()
+}
+
+// take blocks until the outbox is non-empty (or the sender is closed) and
+// returns the whole backlog.
+func (ps *peerSender) take() ([]engine.Envelope, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for len(ps.queue) == 0 && !ps.closed {
+		ps.cond.Wait()
+	}
+	if len(ps.queue) == 0 {
+		return nil, false // closed and drained
+	}
+	batch := ps.queue
+	ps.queue = nil
+	return batch, true
+}
+
+// tryTake returns any backlog without blocking (batch growth between
+// encoding and flushing).
+func (ps *peerSender) tryTake() []engine.Envelope {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	batch := ps.queue
+	ps.queue = nil
+	return batch
+}
+
+// conn bundles the per-connection encoding state. It is rebuilt from scratch
+// on every (re)dial — see peerSender for why reuse would corrupt the stream.
+type peerConn struct {
+	c   net.Conn
+	bw  *bufio.Writer
+	enc *gob.Encoder
+}
+
+// run is the writer loop: take the backlog, encode it all, flush once.
+// A send that fails on a stale connection (the peer crashed and restarted
+// since the dial) is retried once on a fresh dial: without retransmission in
+// the protocol, a single lost request would leave its transaction hung
+// holding locks for the rest of the run. A peer that is genuinely down still
+// drops the batch — the protocol tolerates that as a crashed site. A batch
+// that was partially received before its connection died is re-sent whole,
+// so a reconnect may duplicate envelopes; the protocol's attempt tagging
+// absorbs duplicates (queue managers drop stale re-requests defensively).
+func (ps *peerSender) run() {
+	defer ps.n.wg.Done()
+	var pc *peerConn
+	retire := func() {
+		if pc != nil {
+			pc.c.Close()
+			ps.n.mu.Lock()
+			delete(ps.n.outbound, pc.c)
+			ps.n.mu.Unlock()
+			pc = nil
 		}
-		pc.mu.Lock()
-		err = pc.enc.Encode(toWire(env))
-		pc.mu.Unlock()
-		if err == nil {
+	}
+	defer retire()
+	for {
+		batch, ok := ps.take()
+		if !ok {
 			return
 		}
-		pc.c.Close()
-		n.mu.Lock()
-		if n.conns[peer] == pc {
-			delete(n.conns, peer)
+		if ps.n.batchDelay > 0 {
+			// Optional linger: let the batch grow before it is framed. The
+			// grown batch is still retried as a unit on a dead connection.
+			time.Sleep(ps.n.batchDelay)
+			batch = append(batch, ps.tryTake()...)
 		}
-		n.mu.Unlock()
+		for attempt := 0; attempt < 2; attempt++ {
+			if pc == nil {
+				c, err := ps.n.dial(ps.peer)
+				if err != nil {
+					break // unreachable peer: drop the batch
+				}
+				pc = &peerConn{c: c, bw: bufio.NewWriterSize(c, ps.n.batchBytes)}
+				pc.enc = gob.NewEncoder(pc.bw)
+				pc.bw.WriteByte(WireVersion)
+			}
+			if err := ps.writeBatch(pc, batch); err == nil {
+				break
+			}
+			// The connection is dead: retire it — along with its encoder and
+			// any half-written frame buffered for it — and retry the whole
+			// batch exactly once on a fresh dial.
+			retire()
+		}
 	}
 }
 
-// conn returns (dialing if needed) the persistent connection to peer.
-func (n *Node) conn(peer string) (*peerConn, error) {
+// writeBatch encodes one batch through the connection's pipelined encoder
+// and flushes once at the end, plus at BatchBytes boundaries so a huge
+// backlog cannot buffer unboundedly. Envelopes that arrive while encoding
+// simply form the next batch — the writer loop takes them on its next
+// iteration, so they are never orphaned by a retry of the current batch.
+// Stats are counted only on success, so a retried batch is not
+// double-counted and the envelopes/flushes ratio keeps meaning "coalescing
+// on the wire" even across reconnects.
+func (ps *peerSender) writeBatch(pc *peerConn, batch []engine.Envelope) error {
+	flushes := uint64(0)
+	for _, env := range batch {
+		if err := pc.enc.Encode(toWire(env)); err != nil {
+			return err
+		}
+		if pc.bw.Buffered() >= ps.n.batchBytes {
+			flushes++
+			if err := pc.bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := pc.bw.Flush(); err != nil {
+		return err
+	}
+	ps.n.sentEnvelopes.Add(uint64(len(batch)))
+	ps.n.flushes.Add(flushes + 1)
+	return nil
+}
+
+// dial opens a fresh connection to peer and starts the close-detection
+// reader. Outbound connections carry no inbound traffic (each peer sends on
+// its own dials), so a blocked read detects the peer closing — crash or
+// restart — the moment it happens. Without it, writes into a dead connection
+// keep "succeeding" until the kernel surfaces the RST, silently losing every
+// message in between.
+func (n *Node) dial(peer string) (net.Conn, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("transport: node closed")
-	}
-	if pc, ok := n.conns[peer]; ok {
-		n.mu.Unlock()
-		return pc, nil
 	}
 	addr, ok := n.topo.Peers[peer]
 	n.mu.Unlock()
@@ -242,64 +429,63 @@ func (n *Node) conn(peer string) (*peerConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	pc := &peerConn{c: c, enc: gob.NewEncoder(c)}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		c.Close()
 		return nil, fmt.Errorf("transport: node closed")
 	}
-	if existing, ok := n.conns[peer]; ok {
-		n.mu.Unlock()
-		c.Close()
-		return existing, nil
-	}
-	n.conns[peer] = pc
-	// Outbound connections carry no inbound traffic (each peer sends on its
-	// own dials), so a blocked read detects the peer closing — crash or
-	// restart — the moment it happens. Without it, writes into a dead
-	// connection keep "succeeding" until the kernel surfaces the RST,
-	// silently losing every message in between.
+	n.outbound[c] = true
 	n.wg.Add(1)
-	go n.drainLoop(peer, pc)
+	go n.drainLoop(c)
 	n.mu.Unlock()
-	return pc, nil
+	return c, nil
 }
 
-// drainLoop blocks reading an outbound connection; EOF/RST retires it so the
-// next forward redials the (possibly restarted) peer.
-func (n *Node) drainLoop(peer string, pc *peerConn) {
+// drainLoop blocks reading an outbound connection; EOF/RST closes it so the
+// owning writer's next flush fails fast and redials the (possibly
+// restarted) peer.
+func (n *Node) drainLoop(c net.Conn) {
 	defer n.wg.Done()
 	buf := make([]byte, 256)
 	for {
-		if _, err := pc.c.Read(buf); err != nil {
+		if _, err := c.Read(buf); err != nil {
 			break
 		}
 	}
-	pc.c.Close()
+	c.Close()
 	n.mu.Lock()
-	if n.conns[peer] == pc {
-		delete(n.conns, peer)
-	}
+	delete(n.outbound, c)
 	n.mu.Unlock()
 }
 
 // Close shuts the node down, closing the listener and every outbound and
 // inbound connection (read loops block in Decode until their connection
-// closes, so inbound sockets must be closed too or Close would hang).
+// closes, so inbound sockets must be closed too or Close would hang), and
+// waking every writer goroutine so it can drain and exit.
 func (n *Node) Close() {
 	n.mu.Lock()
 	n.closed = true
 	if n.ln != nil {
 		n.ln.Close()
 	}
-	for _, pc := range n.conns {
-		pc.c.Close()
+	senders := make([]*peerSender, 0, len(n.senders))
+	for _, ps := range n.senders {
+		senders = append(senders, ps)
 	}
-	n.conns = map[string]*peerConn{}
+	for c := range n.outbound {
+		c.Close()
+	}
 	for c := range n.inbound {
 		c.Close()
 	}
 	n.mu.Unlock()
+	for _, ps := range senders {
+		ps.mu.Lock()
+		ps.closed = true
+		ps.queue = nil
+		ps.cond.Broadcast()
+		ps.mu.Unlock()
+	}
 	n.wg.Wait()
 }

@@ -16,5 +16,8 @@
 //     difference between two configurations that both eventually finish.
 //
 // Scenarios name reusable workload shapes (OLTP, transfers, flash-sale,
-// mixed-analytics, read-heavy) so experiments and CLIs share definitions.
+// mixed-analytics, read-heavy, hot-shard) so experiments and CLIs share
+// definitions. HotShard is the adversarial one for the sharded queue
+// manager: every access lands on items hashing to a single shard, the
+// skew that sharding cannot fix.
 package workload

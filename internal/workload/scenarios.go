@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"ucc/internal/model"
+)
 
 // Scenario names a reusable workload shape: a per-site Spec generator, so
 // heterogeneous sites (e.g. a reporting site among OLTP sites) are
@@ -133,7 +137,47 @@ func ReadHeavy(items int, rate float64, roShare float64, roSize int) Scenario {
 	}
 }
 
-// Scenarios lists the named scenarios (CLI discovery).
+// HotShard is the anti-sharding shape: every access lands on items that all
+// hash to ONE queue-manager shard (shard 0 of shards), so partitioning the
+// queue manager buys nothing — the hot shard's mutex and mailbox stay the
+// serial bottleneck however many shards exist. It is the workload EXP-11
+// uses to show where sharding does NOT help: skew, not core count, is the
+// limit, and the fix is spreading the keys (or the hotspot) — not more
+// shards. Update-heavy so the hot queues actually serialize.
+func HotShard(items int, rate float64, shards int) Scenario {
+	if shards < 1 {
+		shards = 1
+	}
+	var hot []model.ItemID
+	for i := 0; i < items; i++ {
+		if model.ShardOfItem(model.ItemID(i), shards) == 0 {
+			hot = append(hot, model.ItemID(i))
+		}
+	}
+	if len(hot) == 0 {
+		hot = []model.ItemID{0} // degenerate hash split; keep the spec valid
+	}
+	return Scenario{
+		Name: "hot-shard",
+		PerSite: func(int) Spec {
+			return Spec{
+				ArrivalPerSec: rate,
+				Items:         items,
+				Size:          3,
+				ReadFrac:      0.4,
+				Access:        AccessFixedSet,
+				ItemSet:       hot,
+				ComputeMicros: 800,
+				Class:         "hot-shard",
+			}
+		},
+	}
+}
+
+// Scenarios lists the named scenarios (CLI discovery). HotShard is
+// deliberately absent: its item set is a function of the cluster's actual
+// shard count, so callers must construct it with that count rather than
+// have a hardcoded split silently disagree with the cluster under test.
 func Scenarios(items int, rate float64) []Scenario {
 	return []Scenario{
 		OLTP(items, rate),

@@ -1,6 +1,10 @@
 package workload
 
-import "testing"
+import (
+	"testing"
+
+	"ucc/internal/model"
+)
 
 func TestScenariosValidate(t *testing.T) {
 	for _, sc := range Scenarios(64, 20) {
@@ -43,6 +47,27 @@ func TestMixedAnalyticsHeterogeneous(t *testing.T) {
 		if tx.Size() < 8 {
 			t.Fatalf("report txn too small: %d", tx.Size())
 		}
+	}
+}
+
+// TestHotShardConcentratesOnOneShard: every access the scenario generates
+// must hash to shard 0 of the shard count it was built for — the premise of
+// the "sharding cannot help skew" demonstration.
+func TestHotShardConcentratesOnOneShard(t *testing.T) {
+	const items, shards = 64, 4
+	spec := HotShard(items, 20, shards).PerSite(0)
+	txns := drive(t, spec, 200)
+	accesses := 0
+	for _, tx := range txns {
+		for _, it := range append(append([]model.ItemID{}, tx.ReadSet...), tx.WriteSet...) {
+			accesses++
+			if s := model.ShardOfItem(it, shards); s != 0 {
+				t.Fatalf("item %v landed in shard %d, want 0", it, s)
+			}
+		}
+	}
+	if accesses == 0 {
+		t.Fatal("scenario generated no accesses")
 	}
 }
 

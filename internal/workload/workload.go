@@ -31,6 +31,11 @@ const (
 	AccessZipf
 	// AccessHotspot sends HotFrac of accesses into the first HotItems items.
 	AccessHotspot
+	// AccessFixedSet draws items uniformly from Spec.ItemSet only — the
+	// adversarial shape for partitioned services: all traffic lands on one
+	// slice of the key space (e.g. the items of a single queue-manager
+	// shard, see the HotShard scenario).
+	AccessFixedSet
 )
 
 // Spec describes one driver's workload.
@@ -65,6 +70,9 @@ type Spec struct {
 	ZipfS    float64 // AccessZipf skew (>1)
 	HotItems int     // AccessHotspot
 	HotFrac  float64 // AccessHotspot
+	// ItemSet is the AccessFixedSet universe (must be non-empty for that
+	// distribution; transaction sizes are clamped to its cardinality).
+	ItemSet []model.ItemID
 
 	// Protocol shares; they are normalized. A transaction draws its
 	// protocol from this distribution (the dynamic selector, when installed
@@ -130,6 +138,20 @@ func (s *Spec) Validate() error {
 	}
 	if s.HotFrac <= 0 || s.HotFrac > 1 {
 		s.HotFrac = 0.8
+	}
+	if s.Access == AccessFixedSet {
+		if len(s.ItemSet) == 0 {
+			return fmt.Errorf("workload: AccessFixedSet needs a non-empty ItemSet")
+		}
+		if s.Size > len(s.ItemSet) {
+			s.Size = len(s.ItemSet)
+		}
+		if s.SizeMax > len(s.ItemSet) {
+			s.SizeMax = len(s.ItemSet)
+		}
+		if s.ROSize > len(s.ItemSet) {
+			s.ROSize = len(s.ItemSet)
+		}
 	}
 	return nil
 }
@@ -292,6 +314,8 @@ func (d *Driver) drawItems(rng *rand.Rand, st int) []model.ItemID {
 			} else {
 				it = model.ItemID(d.spec.HotItems + rng.Intn(d.spec.Items-d.spec.HotItems))
 			}
+		case AccessFixedSet:
+			it = d.spec.ItemSet[rng.Intn(len(d.spec.ItemSet))]
 		default:
 			it = model.ItemID(rng.Intn(d.spec.Items))
 		}
