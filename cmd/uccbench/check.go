@@ -100,12 +100,13 @@ type checkResult struct {
 	failed bool
 }
 
-// runCheck compares samples against the baseline. Only baseline entries
-// whose benchmark appears in the sample set are gated (CI runs a subset);
-// missing samples are listed as skipped, never failed — except that an
-// empty intersection is itself a failure (a typo'd bench regex must not
-// produce a silently green gate).
-func runCheck(base baselineFile, samples []benchSample, tolerance float64, gateNs bool) ([]checkResult, error) {
+// runCheck compares samples against the baseline. A baseline entry missing
+// from the candidate output FAILS the gate (reported as "MISS") unless its
+// name is excluded by `require`: a benchmark silently skipped is a benchmark
+// silently ungated, which is how a renamed or typo'd bench regex turns the
+// gate green while gating nothing. `require` (nil = every baseline entry)
+// lets a CI job that deliberately runs a subset say which entries it owes.
+func runCheck(base baselineFile, samples []benchSample, tolerance float64, gateNs bool, require *regexp.Regexp) ([]checkResult, error) {
 	byName := map[string]benchSample{}
 	for _, s := range samples {
 		byName[s.Name] = s
@@ -115,6 +116,11 @@ func runCheck(base baselineFile, samples []benchSample, tolerance float64, gateN
 	for _, b := range base.Benchmarks {
 		s, ok := byName[b.Name]
 		if !ok {
+			if require == nil || require.MatchString(b.Name) {
+				out = append(out, checkResult{
+					name: b.Name, what: "missing", failed: true,
+				})
+			}
 			continue
 		}
 		matched++
@@ -144,7 +150,18 @@ func runCheck(base baselineFile, samples []benchSample, tolerance float64, gateN
 }
 
 // check is the -check entry point; returns the process exit code.
-func check(benchFile, basePath string, tolerance float64, gateNs bool) int {
+// requireExpr scopes which baseline entries MUST be present in the bench
+// output ("" requires all of them — missing is a loud failure, not a skip).
+func check(benchFile, basePath string, tolerance float64, gateNs bool, requireExpr string) int {
+	var require *regexp.Regexp
+	if requireExpr != "" {
+		re, err := regexp.Compile(requireExpr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uccbench: -require: %v\n", err)
+			return 2
+		}
+		require = re
+	}
 	f, err := os.Open(benchFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uccbench: %v\n", err)
@@ -166,7 +183,7 @@ func check(benchFile, basePath string, tolerance float64, gateNs bool) int {
 		fmt.Fprintf(os.Stderr, "uccbench: parse %s: %v\n", basePath, err)
 		return 2
 	}
-	results, err := runCheck(base, samples, tolerance, gateNs)
+	results, err := runCheck(base, samples, tolerance, gateNs, require)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uccbench: check: %v\n", err)
 		return 1
@@ -175,6 +192,11 @@ func check(benchFile, basePath string, tolerance float64, gateNs bool) int {
 	fmt.Printf("bench gate: %s vs %s (tolerance %.0f%%, ns/op gated: %v)\n",
 		benchFile, basePath, tolerance*100, gateNs)
 	for _, r := range results {
+		if r.what == "missing" {
+			failures++
+			fmt.Printf("  MISS %-45s not in the bench output (renamed? typo'd -bench regex? scope with -require)\n", r.name)
+			continue
+		}
 		verdict := "ok"
 		if r.failed {
 			verdict = "FAIL"
@@ -186,7 +208,7 @@ func check(benchFile, basePath string, tolerance float64, gateNs bool) int {
 			verdict, r.name, r.what, r.base, r.got, r.change*100)
 	}
 	if failures > 0 {
-		fmt.Printf("bench gate: %d regression(s) beyond %.0f%%\n", failures, tolerance*100)
+		fmt.Printf("bench gate: %d failure(s) (regressions beyond %.0f%% or missing benchmarks)\n", failures, tolerance*100)
 		return 1
 	}
 	fmt.Println("bench gate: pass")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -58,10 +59,11 @@ func TestCheckPassesAgainstHonestBaseline(t *testing.T) {
 			Metrics: map[string]float64{"txn_per_s": 480}}, // we measure 500: improvement
 		{Name: "BenchmarkCommitGroup16", NsPerOp: 250_000,
 			Metrics: map[string]float64{"commits_per_sync": 4.5}},
-		{Name: "BenchmarkNotRunThisTime", NsPerOp: 1, // subset runs must not fail on absences
+		{Name: "BenchmarkNotRunThisTime", NsPerOp: 1, // scoped out by -require below
 			Metrics: map[string]float64{"txn_per_s": 1e9}},
 	}}
-	results, err := runCheck(base, parsedSamples(t), 0.20, false)
+	results, err := runCheck(base, parsedSamples(t), 0.20, false,
+		regexp.MustCompile("ReadPathThroughput|CommitGroup16"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestCheckFailsAgainstDegradedBaseline(t *testing.T) {
 		{Name: "BenchmarkReadPathThroughput",
 			Metrics: map[string]float64{"txn_per_s": 1000}}, // measured 500 → −50%
 	}}
-	results, err := runCheck(base, parsedSamples(t), 0.20, false)
+	results, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestCheckToleranceBoundary(t *testing.T) {
 		base := baselineFile{Benchmarks: []baselineEntry{
 			{Name: "BenchmarkReadPathThroughput", Metrics: map[string]float64{"txn_per_s": baselineTxn}},
 		}}
-		res, err := runCheck(base, parsedSamples(t), 0.20, false)
+		res, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +132,7 @@ func TestCheckNsOptIn(t *testing.T) {
 	base := baselineFile{Benchmarks: []baselineEntry{
 		{Name: "BenchmarkCommitGroup16", NsPerOp: 100_000}, // measured 240193: 2.4x slower
 	}}
-	res, err := runCheck(base, parsedSamples(t), 0.20, false)
+	res, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestCheckNsOptIn(t *testing.T) {
 			t.Fatalf("ns/op gated without -gate-ns: %+v", r)
 		}
 	}
-	res, err = runCheck(base, parsedSamples(t), 0.20, true)
+	res, err = runCheck(base, parsedSamples(t), 0.20, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +160,76 @@ func TestCheckEmptyIntersectionFails(t *testing.T) {
 	base := baselineFile{Benchmarks: []baselineEntry{
 		{Name: "BenchmarkSomethingElse", NsPerOp: 1},
 	}}
-	if _, err := runCheck(base, parsedSamples(t), 0.20, false); err == nil {
+	if _, err := runCheck(base, parsedSamples(t), 0.20, false, nil); err == nil {
 		t.Fatal("empty baseline∩output intersection must error")
+	}
+}
+
+// TestCheckMissingBaselineFailsLoudly: a baseline entry absent from the
+// candidate run must FAIL the gate by default — a silently skipped benchmark
+// is a silently ungated one (the renamed-benchmark / typo'd-regex trap).
+func TestCheckMissingBaselineFailsLoudly(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadPathThroughput",
+			Metrics: map[string]float64{"txn_per_s": 480}},
+		{Name: "BenchmarkRenamedAway",
+			Metrics: map[string]float64{"txn_per_s": 100}},
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missFailed bool
+	for _, r := range results {
+		if r.name == "BenchmarkRenamedAway" {
+			if !r.failed || r.what != "missing" {
+				t.Fatalf("missing baseline not failed: %+v", r)
+			}
+			missFailed = true
+		}
+	}
+	if !missFailed {
+		t.Fatal("missing baseline entry was silently skipped")
+	}
+}
+
+// TestCheckRequireScopesMissing: -require lets a deliberate-subset CI job
+// name what it owes; baseline entries outside the scope may be absent, ones
+// inside may not.
+func TestCheckRequireScopesMissing(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadPathThroughput",
+			Metrics: map[string]float64{"txn_per_s": 480}},
+		{Name: "BenchmarkNightlyOnly",
+			Metrics: map[string]float64{"txn_per_s": 100}},
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false,
+		regexp.MustCompile("^BenchmarkReadPath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.failed {
+			t.Fatalf("out-of-scope absence failed the gate: %+v", r)
+		}
+	}
+	// The same scope with the required benchmark absent must fail.
+	base2 := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadPathGone",
+			Metrics: map[string]float64{"txn_per_s": 480}},
+		{Name: "BenchmarkCommitGroup16",
+			Metrics: map[string]float64{"commits_per_sync": 4.5}},
+	}}
+	results, err = runCheck(base2, parsedSamples(t), 0.20, false,
+		regexp.MustCompile("^BenchmarkReadPath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMiss bool
+	for _, r := range results {
+		sawMiss = sawMiss || (r.failed && r.what == "missing")
+	}
+	if !sawMiss {
+		t.Fatal("in-scope missing benchmark did not fail")
 	}
 }

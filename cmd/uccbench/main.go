@@ -15,7 +15,9 @@
 //	uccbench -check bench.out -baseline BENCH_baseline.json -tolerance 0.20
 //
 // compares the measured throughput metrics against the checked-in baseline
-// and exits 1 on a drop beyond the tolerance. And:
+// and exits 1 on a drop beyond the tolerance — or on a baseline benchmark
+// missing from the output entirely (pass -require <regexp> to scope which
+// entries a deliberately-partial run owes). And:
 //
 //	uccbench -shards-json BENCH_shards.json
 //
@@ -43,12 +45,13 @@ func main() {
 		baseline   = flag.String("baseline", "BENCH_baseline.json", "baseline file for -check")
 		tolerance  = flag.Float64("tolerance", 0.20, "relative throughput drop that fails -check")
 		gateNs     = flag.Bool("gate-ns", false, "also gate ns/op in -check (off by default: wall-clock cost does not transfer across runners)")
+		require    = flag.String("require", "", "regexp of baseline benchmark names that must appear in the -check output; empty requires ALL of them — a baseline entry missing from the run fails loudly instead of being skipped")
 		shardsJSON = flag.String("shards-json", "", "run the EXP-11 shard sweep and write this JSON artifact, then exit")
 	)
 	flag.Parse()
 
 	if *checkFile != "" {
-		os.Exit(check(*checkFile, *baseline, *tolerance, *gateNs))
+		os.Exit(check(*checkFile, *baseline, *tolerance, *gateNs, *require))
 	}
 	if *shardsJSON != "" {
 		if err := writeShardsJSON(*shardsJSON, *seed); err != nil {

@@ -28,6 +28,7 @@ func main() {
 		readFrac = flag.Float64("read-frac", 0.6, "fraction of accesses that are reads")
 		mix      = flag.String("mix", "1,1,1", "protocol shares 2PL,T/O,PA[,RO-snapshot]")
 		compute  = flag.Int64("compute-us", 1000, "local computing phase (µs)")
+		sendCap  = flag.Int("send-queue-cap", 65536, "per-peer transport send-queue bound, drop-oldest beyond it (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("uccclient: %v", err)
 	}
+	// The client's outboxes melt just like a node's when a site dies mid-run
+	// (the writer blocks in a 3s dial while the drivers keep producing).
+	node.SetSendQueueCap(*sendCap)
 	log.Printf("uccclient: driving %d sites at %.0f txn/s/site for %s", len(peerList), *rate, *duration)
 	for i := range peerList {
 		rt.Inject(engine.Envelope{
@@ -105,6 +109,9 @@ func main() {
 	fmt.Print(table.String())
 	fmt.Printf("\ntotal committed: %d, throughput: %.1f txn/s\n",
 		sum.TotalCommitted(), sum.Throughput())
+	if shed, busy := sum.TotalShed(), sum.TotalBusy(); shed+busy > 0 {
+		fmt.Printf("overload: %d arrivals shed by admission control, %d attempts busy-NAK'd\n", shed, busy)
+	}
 
 	node.Close()
 	rt.Shutdown()

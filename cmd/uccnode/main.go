@@ -17,6 +17,14 @@
 // write-ahead log (group-committed) and snapshots its partition; after a
 // crash — `kill -9` included — restarting with the same -data-dir rebuilds
 // the partition from snapshot + log replay instead of reinitializing it.
+//
+// Overload defense defaults ON for a real node: mailboxes, per-item data
+// queues, and per-peer send queues are all bounded (-mailbox-depth,
+// -queue-depth, -send-queue-cap), requests past a bound are NAK'd busy
+// rather than queued, and the issuer's admission controller (-admission,
+// -admission-window, -admission-rate, -admission-target-ms) sheds arrivals
+// beyond capacity so goodput plateaus instead of the node melting. Restart
+// delays back off exponentially to -restart-delay-cap-us.
 package main
 
 import (
@@ -51,7 +59,17 @@ func main() {
 		client   = flag.String("client", "", "client peer TCP address (collector/driver host); may be empty until a client connects inbound")
 		detector = flag.Int64("detector-period-ms", 50, "deadlock detection period (site 0 only)")
 		paInt    = flag.Int64("pa-interval-us", 2000, "PA back-off interval INT (µs)")
-		restart  = flag.Int64("restart-delay-us", 10000, "mean restart delay after rejection/victim (µs)")
+		restart  = flag.Int64("restart-delay-us", 10000, "base restart delay after rejection/victim/busy (µs); doubles per failed attempt")
+		restCap  = flag.Int64("restart-delay-cap-us", 0, "exponential restart backoff cap (µs); 0 = 32× the base delay")
+
+		mailboxDepth = flag.Int("mailbox-depth", 8192, "actor mailbox bound: requests to a full QM-shard mailbox are NAK'd busy (0 = unbounded)")
+		queueDepth   = flag.Int("queue-depth", 1024, "per-item data queue bound: requests beyond it are NAK'd busy (0 = unbounded)")
+		sendCap      = flag.Int("send-queue-cap", 65536, "per-peer transport send-queue bound, drop-oldest beyond it (0 = unbounded)")
+
+		admission = flag.Bool("admission", true, "enable the admission controller (AIMD in-flight window on new-transaction starts)")
+		admWindow = flag.Int("admission-window", 128, "initial admission in-flight window per site")
+		admRate   = flag.Float64("admission-rate", 0, "token-bucket cap on new-transaction starts per second (0 = no rate gate)")
+		admTarget = flag.Int64("admission-target-ms", 0, "commit-latency target (ms); commits slower than this shrink the window (0 = busy-NAK signal only)")
 
 		dataDir  = flag.String("data-dir", "", "durability root: write-ahead log + snapshots under <dir>/site<N> (empty = volatile)")
 		gcWindow = flag.Int64("wal-group-commit-us", 0, "group-commit window (µs); 0 (default) syncs each write before exposing it — a nonzero window amortizes syncs but a crash inside it loses writes other sites may have observed")
@@ -68,15 +86,20 @@ func main() {
 		*shards = 1
 	}
 	if *shards > 256 {
-		// engine.Addr carries the shard index in a byte; mirror
-		// cluster.Config.Validate so both entry points agree.
-		*shards = 256
+		// engine.Addr carries the shard index in a byte and QMShardAddr
+		// truncates with uint8: above 256 shards, traffic for the high
+		// shards would silently land in the wrong mailbox. Refuse, exactly
+		// as cluster.Config.Validate does, so every entry point agrees.
+		log.Fatalf("uccnode: -shards %d exceeds the maximum of 256 (shard index travels in one byte)", *shards)
 	}
 	topo := siteTopology(peerList, *client)
 
 	// Build this site's slice of the system. Latency is the real network;
 	// the runtime adds nothing on top.
 	rt := engine.NewRuntime(engine.FixedLatency{}, int64(*site)+1)
+	// Bound every mailbox registered below: new-work requests beyond the
+	// bound are NAK'd busy rather than queued without limit.
+	rt.SetMailboxDepth(*mailboxDepth)
 
 	siteIDs := make([]model.SiteID, *sites)
 	for i := range siteIDs {
@@ -113,7 +136,7 @@ func main() {
 		}
 	}
 
-	qmOpts := qm.Options{StatsPeriodMicros: 200_000, Shards: *shards}
+	qmOpts := qm.Options{StatsPeriodMicros: 200_000, Shards: *shards, MaxQueueDepth: *queueDepth}
 	if siteLog != nil {
 		qmOpts.GroupCommitMicros = *gcWindow
 	}
@@ -128,10 +151,17 @@ func main() {
 	}
 
 	issuer := ri.New(self, catalog, nil, ri.Options{
-		PAIntervalMicros:     model.Timestamp(*paInt),
-		RestartDelayMicros:   *restart,
-		DefaultComputeMicros: 1000,
-		QMShards:             *shards,
+		PAIntervalMicros:      model.Timestamp(*paInt),
+		RestartDelayMicros:    *restart,
+		RestartDelayCapMicros: *restCap,
+		DefaultComputeMicros:  1000,
+		QMShards:              *shards,
+		Admission: ri.AdmissionOptions{
+			Enabled:             *admission,
+			InitialWindow:       *admWindow,
+			TokensPerSec:        *admRate,
+			TargetLatencyMicros: *admTarget * 1000,
+		},
 	}, nil)
 	rt.Register(engine.RIAddr(self), issuer)
 
@@ -150,13 +180,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("uccnode: %v", err)
 	}
-	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas, %d qm shards, durability=%v)",
-		*site, node.Addr(), store.Len(), *sites, *replicas, mgr.NumShards(), siteLog != nil)
+	node.SetSendQueueCap(*sendCap)
+	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas, %d qm shards, durability=%v, admission=%v)",
+		*site, node.Addr(), store.Len(), *sites, *replicas, mgr.NumShards(), siteLog != nil, *admission)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("uccnode: site %d shutting down", *site)
+	ovf, mbHigh := rt.MailboxStats()
+	dropped, sqHigh := node.QueueStats()
+	st := issuer.Snapshot()
+	log.Printf("uccnode: site %d backpressure: mailbox NAKs=%d high=%d, send-queue drops=%d high=%d, shed=%d, busy NAKs=%d",
+		*site, ovf, mbHigh, dropped, sqHigh, st.Shed, st.BusyNAKs)
 	node.Close()
 	rt.Shutdown()
 	if siteLog != nil {

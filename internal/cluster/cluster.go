@@ -118,7 +118,13 @@ func (c *Config) Validate() error {
 		c.Shards = 1
 	}
 	if c.Shards > 256 {
-		c.Shards = 256 // engine.Addr carries the shard index in a byte
+		// engine.Addr carries the shard index in a byte and QMShardAddr
+		// truncates with uint8(shard), while model.ShardOfItem returns up to
+		// Shards-1: above 256 the high shards would silently alias low shard
+		// mailboxes and misroute traffic. Refuse loudly rather than clamp —
+		// a clamp here would disagree with the item→shard hash everywhere
+		// else and split one shard's queue table across two mailboxes.
+		return fmt.Errorf("cluster: Shards=%d exceeds 256 (engine addresses carry the shard index in one byte)", c.Shards)
 	}
 	if c.Latency == nil {
 		// Jittered latency: without jitter every queue sees requests in
@@ -129,7 +135,16 @@ func (c *Config) Validate() error {
 	if c.RI.PAIntervalMicros == 0 && c.RI.RestartDelayMicros == 0 &&
 		c.RI.DefaultComputeMicros == 0 && c.RI.MaxAttempts == 0 &&
 		c.RI.SwitchOnRestart == nil {
+		// All the protocol-timing knobs are unset: fill the defaults, but
+		// keep the backpressure configuration — a caller enabling only
+		// admission control (or only a backoff cap) must not silently lose
+		// it to the reset (RestartDelayMicros=0 would recreate the
+		// zero-delay restart storm the backoff exists to prevent).
+		adm := c.RI.Admission
+		cap := c.RI.RestartDelayCapMicros
 		c.RI = ri.DefaultOptions()
+		c.RI.Admission = adm
+		c.RI.RestartDelayCapMicros = cap
 	}
 	if c.Detector == (deadlock.Options{}) {
 		c.Detector = deadlock.DefaultOptions()
@@ -416,6 +431,7 @@ func (c *Cluster) QMTotals() qm.Counters {
 		t.Aborts += s.Aborts
 		t.SnapReads += s.SnapReads
 		t.SnapStale += s.SnapStale
+		t.Busy += s.Busy
 		t.WALSyncs += s.WALSyncs
 		t.Commits += s.Commits
 		t.Crashes += s.Crashes
@@ -453,8 +469,23 @@ func (c *Cluster) RITotals() ri.Stats {
 		t.Rejects += s.Rejects
 		t.Victims += s.Victims
 		t.Dropped += s.Dropped
+		t.Shed += s.Shed
+		t.BusyNAKs += s.BusyNAKs
 		t.ReBackoffs += s.ReBackoffs
 		t.Active += s.Active
 	}
 	return t
+}
+
+// DepthHighWater returns the deepest data queue observed at any site. With
+// qm.Options.MaxQueueDepth configured it must never exceed that bound — the
+// invariant the overload experiment asserts.
+func (c *Cluster) DepthHighWater() int {
+	high := 0
+	for _, m := range c.Managers {
+		if d := m.DepthHighWater(); d > high {
+			high = d
+		}
+	}
+	return high
 }

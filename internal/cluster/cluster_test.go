@@ -139,3 +139,67 @@ func TestShardedHighContention(t *testing.T) {
 	res := runMix(t, cfg, 1, 1, 1, 25, 3, 2_000_000)
 	checkRun(t, "sharded-hot", res, 80)
 }
+
+// TestShardsOver256Rejected is the shard-address wraparound regression test:
+// engine.Addr carries the shard index in one byte, so Shards=300 would
+// silently alias shards 256..299 onto mailboxes 0..43 and misroute traffic.
+// The knob must be refused loudly, and 256 itself (the last representable
+// count) must still validate.
+func TestShardsOver256Rejected(t *testing.T) {
+	cfg := base(1)
+	cfg.Shards = 300
+	if _, err := NewSim(cfg); err == nil {
+		t.Fatal("Shards=300 accepted; shard addresses would wrap around uint8")
+	}
+	ok := base(1)
+	ok.Shards = 256
+	if _, err := NewSim(ok); err != nil {
+		t.Fatalf("Shards=256 must be accepted: %v", err)
+	}
+}
+
+// TestOverloadShedsAndBoundsQueues: a cluster with the backpressure knobs on
+// survives 10x-capacity open-loop arrivals with every data queue inside its
+// bound, a busy-NAK/shed trail proving the machinery engaged, and the
+// execution still serializable.
+func TestOverloadShedsAndBoundsQueues(t *testing.T) {
+	cfg := base(7)
+	cfg.Items = 12
+	cfg.QM.MaxQueueDepth = 8
+	cfg.RI.Admission.Enabled = true
+	cfg.RI.Admission.InitialWindow = 16
+	cl, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		if err := cl.AddDriver(model.SiteID(s), workload.Spec{
+			ArrivalPerSec: 400,
+			HorizonMicros: 2_000_000,
+			Items:         cfg.Items,
+			Size:          3,
+			ReadFrac:      0.6,
+			SharePA:       1,
+			ComputeMicros: 500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res2 := cl.Run(2_000_000, 4_000_000)
+	if res2.Serializability == nil || !res2.Serializability.Serializable {
+		t.Fatal("overloaded run not serializable")
+	}
+	if high := cl.DepthHighWater(); high > cfg.QM.MaxQueueDepth {
+		t.Fatalf("queue depth %d exceeded bound %d", high, cfg.QM.MaxQueueDepth)
+	}
+	rt := cl.RITotals()
+	if rt.Shed == 0 {
+		t.Fatal("admission shed nothing at 10x load")
+	}
+	if rt.Submitted <= rt.Shed {
+		t.Fatalf("everything shed (%d of %d): admission over-rotated", rt.Shed, rt.Submitted)
+	}
+	if cl.QMTotals().Busy == 0 {
+		t.Fatal("no busy NAKs at 10x load with depth-8 queues")
+	}
+}

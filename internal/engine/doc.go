@@ -11,4 +11,14 @@
 // timestamp order and T/O never rejects. The models are bounded, which is
 // also what the read-only snapshot fast path's staleness margin leans on —
 // a release older than the margin has always arrived.
+//
+// Backpressure: the real-time runtime's mailboxes can be bounded
+// (Runtime.SetMailboxDepth). A sheddable message (model.Sheddable — the
+// new-work openers, RequestMsg and SnapReadMsg) arriving at a full mailbox
+// is NAK'd back to its sender as a model.BusyMsg instead of enqueued;
+// protocol-completion messages (grants, releases, aborts) always enqueue,
+// even past the bound, because dropping one would strand locks forever.
+// Nothing ever blocks a sender, which is what makes the bound
+// deadlock-free. The virtual-time simulator needs no mailbox bound — its
+// equivalent pressure point is the queue manager's MaxQueueDepth.
 package engine

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ucc/internal/model"
@@ -37,6 +38,16 @@ type Runtime struct {
 	start    time.Time
 	epoch    int64 // start as wall-clock µs since the Unix epoch
 	wg       sync.WaitGroup
+
+	// mailboxDepth bounds every mailbox registered after SetMailboxDepth:
+	// sheddable messages (model.Sheddable — new-work openers) arriving at a
+	// full mailbox are NAK'd back to their sender with a BusyMsg instead of
+	// enqueued; everything else still enqueues, because dropping an in-flight
+	// protocol message (a release, a grant) would strand locks forever. Zero
+	// means unbounded, the pre-backpressure behaviour.
+	mailboxDepth int
+	// overflows counts sheddable messages NAK'd at a full mailbox.
+	overflows atomic.Uint64
 }
 
 type pairKey struct{ from, to Addr }
@@ -93,21 +104,40 @@ type mailbox struct {
 	cond  *sync.Cond
 	queue []Envelope
 	done  bool
+	// bound is the depth at which sheddable messages are refused (0 =
+	// unbounded); high is the deepest the queue has ever been.
+	bound int
+	high  int
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(bound int) *mailbox {
+	m := &mailbox{bound: bound}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-func (m *mailbox) push(e Envelope) {
+// push enqueues e, reporting false when e is sheddable and the mailbox is at
+// its bound (the caller NAKs). Non-sheddable messages enqueue past the bound:
+// the bound must never block or drop protocol-completion traffic, or a full
+// mailbox would hold locks forever — the classic bounded-queue deadlock this
+// policy exists to avoid.
+func (m *mailbox) push(e Envelope) bool {
 	m.mu.Lock()
 	if !m.done {
+		if m.bound > 0 && len(m.queue) >= m.bound {
+			if _, shed := e.Msg.(model.Sheddable); shed {
+				m.mu.Unlock()
+				return false
+			}
+		}
 		m.queue = append(m.queue, e)
+		if len(m.queue) > m.high {
+			m.high = len(m.queue)
+		}
 	}
 	m.mu.Unlock()
 	m.cond.Signal()
+	return true
 }
 
 func (m *mailbox) pop() (Envelope, bool) {
@@ -158,6 +188,61 @@ func (r *Runtime) SetUplink(f func(Envelope)) {
 	r.mu.Unlock()
 }
 
+// SetMailboxDepth bounds the mailboxes of actors registered after this call:
+// sheddable messages (new-work openers) arriving at a full mailbox are NAK'd
+// back to the sender with model.BusyMsg; protocol-completion messages still
+// enqueue past the bound. Zero (the default) keeps mailboxes unbounded. Call
+// before Register.
+func (r *Runtime) SetMailboxDepth(depth int) {
+	r.mu.Lock()
+	r.mailboxDepth = depth
+	r.mu.Unlock()
+}
+
+// MailboxStats reports (sheddable messages NAK'd at a full mailbox, deepest
+// any mailbox has ever been). With only sheddable traffic in flight the
+// high-water mark never exceeds the configured depth; completer traffic may
+// push past it by its own (small, protocol-bounded) amount.
+func (r *Runtime) MailboxStats() (overflows uint64, highWater int) {
+	r.mu.Lock()
+	boxes := make([]*mailbox, 0, len(r.actors))
+	for _, mb := range r.actors {
+		boxes = append(boxes, mb)
+	}
+	r.mu.Unlock()
+	for _, mb := range boxes {
+		mb.mu.Lock()
+		if mb.high > highWater {
+			highWater = mb.high
+		}
+		mb.mu.Unlock()
+	}
+	return r.overflows.Load(), highWater
+}
+
+// nak answers a refused sheddable envelope with its BusyMsg, delivered
+// straight to the sender's mailbox (or the uplink for remote senders). The
+// NAK itself is never sheddable, so this cannot recurse.
+func (r *Runtime) nak(env Envelope) {
+	r.overflows.Add(1)
+	sh, ok := env.Msg.(model.Sheddable)
+	if !ok {
+		return
+	}
+	back := Envelope{From: env.To, To: env.From, Msg: sh.Busy()}
+	r.mu.Lock()
+	mb := r.actors[back.To]
+	uplink := r.uplink
+	r.mu.Unlock()
+	if mb != nil {
+		mb.push(back)
+		return
+	}
+	if uplink != nil {
+		uplink(back)
+	}
+}
+
 // Register adds an actor and starts its mailbox goroutine.
 func (r *Runtime) Register(addr Addr, a Actor) {
 	r.mu.Lock()
@@ -165,7 +250,7 @@ func (r *Runtime) Register(addr Addr, a Actor) {
 	if _, dup := r.actors[addr]; dup {
 		panic(fmt.Sprintf("engine: duplicate actor %v", addr))
 	}
-	mb := newMailbox()
+	mb := newMailbox(r.mailboxDepth)
 	r.actors[addr] = mb
 	rng := rand.New(rand.NewSource(r.seed ^ int64(addr.Kind)<<32 ^ int64(addr.ID)<<8 ^ 0x9e3779b9))
 	ctx := &rtContext{rt: r, self: addr, rng: rng}
@@ -189,8 +274,8 @@ func (r *Runtime) Inject(env Envelope) {
 	r.mu.Lock()
 	mb := r.actors[env.To]
 	r.mu.Unlock()
-	if mb != nil {
-		mb.push(env)
+	if mb != nil && !mb.push(env) {
+		r.nak(env)
 	}
 }
 
@@ -244,7 +329,9 @@ func (r *Runtime) deliverAfter(env Envelope, delay time.Duration) {
 
 	fire := func(e Envelope) {
 		if mb != nil {
-			mb.push(e)
+			if !mb.push(e) {
+				r.nak(e)
+			}
 			return
 		}
 		if uplink != nil {

@@ -154,3 +154,159 @@ func TestLatencyModels(t *testing.T) {
 }
 
 func newTestRand() *rand.Rand { return rand.New(rand.NewSource(5)) }
+
+// blockingActor wedges its mailbox goroutine on the first delivery until
+// released — the stand-in for a queue-manager shard that cannot keep up.
+type blockingActor struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+	handled atomic.Int64
+}
+
+func (a *blockingActor) OnMessage(ctx Context, from Addr, msg model.Message) {
+	a.once.Do(func() { close(a.entered) })
+	<-a.release
+	a.handled.Add(1)
+}
+
+// busyCollector records BusyMsg NAKs delivered to the sending actor.
+type busyCollector struct {
+	mu    sync.Mutex
+	busys []model.BusyMsg
+}
+
+func (c *busyCollector) OnMessage(ctx Context, from Addr, msg model.Message) {
+	if b, ok := msg.(model.BusyMsg); ok {
+		c.mu.Lock()
+		c.busys = append(c.busys, b)
+		c.mu.Unlock()
+	}
+}
+
+// TestMailboxBoundNAKsSheddable is the full-mailbox overflow-policy test: a
+// QM-shard mailbox at its bound NAKs sheddable requests back to the sender
+// with BusyMsg, keeps admitting protocol-completion traffic (whose loss
+// would strand locks), and never blocks anyone.
+func TestMailboxBoundNAKsSheddable(t *testing.T) {
+	const depth = 4
+	rt := NewRuntime(FixedLatency{}, 1)
+	rt.SetMailboxDepth(depth)
+	qmAddr := QMShardAddr(0, 1)
+	riAddr := RIAddr(3)
+	blocked := &blockingActor{entered: make(chan struct{}), release: make(chan struct{})}
+	sender := &busyCollector{}
+	rt.Register(qmAddr, blocked)
+	rt.Register(riAddr, sender)
+	var unwedgeOnce sync.Once
+	unwedge := func() { unwedgeOnce.Do(func() { close(blocked.release) }) }
+	defer func() {
+		unwedge()
+		rt.Shutdown()
+	}()
+
+	req := func(seq uint64) Envelope {
+		return Envelope{From: riAddr, To: qmAddr, Msg: model.RequestMsg{
+			Txn:  model.TxnID{Site: 3, Seq: seq},
+			Copy: model.CopyID{Item: model.ItemID(seq), Site: 0},
+			Site: 3,
+		}}
+	}
+	// Wedge the consumer: the first request is popped into OnMessage and
+	// blocks there, leaving the mailbox itself empty.
+	rt.Inject(req(0))
+	select {
+	case <-blocked.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer never entered OnMessage")
+	}
+	// Fill the mailbox to its bound, then overflow it.
+	const overflow = 10
+	for i := 1; i <= depth+overflow; i++ {
+		rt.Inject(req(uint64(i)))
+	}
+	// Exactly the overflowing requests must be NAK'd (delivered through the
+	// sender's own mailbox goroutine, hence the poll).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sender.mu.Lock()
+		got := len(sender.busys)
+		sender.mu.Unlock()
+		if got == overflow {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("busy NAKs = %d, want %d", got, overflow)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A non-sheddable message (a release) must be admitted past the bound.
+	rt.Inject(Envelope{From: riAddr, To: qmAddr, Msg: model.ReleaseMsg{
+		Txn: model.TxnID{Site: 3, Seq: 99},
+	}})
+	overflows, high := rt.MailboxStats()
+	if overflows != overflow {
+		t.Fatalf("overflow counter = %d, want %d", overflows, overflow)
+	}
+	if high < depth+1 {
+		t.Fatalf("mailbox high-water = %d, want ≥ %d (the non-sheddable release must pass the bound)", high, depth+1)
+	}
+	// The NAKs carry the refused request's identity.
+	sender.mu.Lock()
+	for i, b := range sender.busys {
+		if b.Txn.Seq != uint64(depth+1+i) {
+			sender.mu.Unlock()
+			t.Fatalf("NAK %d names txn %v, want seq %d", i, b.Txn, depth+1+i)
+		}
+	}
+	sender.mu.Unlock()
+	// Unwedge the consumer and count what it actually processed: the first
+	// request + exactly `depth` queued requests + the release — never the
+	// NAK'd overflow.
+	unwedge()
+	want := int64(1 + depth + 1)
+	deadline = time.Now().Add(5 * time.Second)
+	for blocked.handled.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("consumer handled %d messages, want %d", blocked.handled.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMailboxNAKReachesRemoteSenderViaUplink: a refused request from a
+// remote site must NAK through the uplink (the TCP transport), not vanish.
+func TestMailboxNAKReachesRemoteSenderViaUplink(t *testing.T) {
+	rt := NewRuntime(FixedLatency{}, 1)
+	rt.SetMailboxDepth(1)
+	naks := make(chan Envelope, 16)
+	rt.SetUplink(func(e Envelope) { naks <- e })
+	blocked := &blockingActor{entered: make(chan struct{}), release: make(chan struct{})}
+	rt.Register(QMAddr(0), blocked)
+	defer func() {
+		close(blocked.release)
+		rt.Shutdown()
+	}()
+
+	remote := RIAddr(7) // not registered locally
+	req := func(seq uint64) Envelope {
+		return Envelope{From: remote, To: QMAddr(0), Msg: model.RequestMsg{
+			Txn: model.TxnID{Site: 7, Seq: seq}, Site: 7,
+		}}
+	}
+	rt.Inject(req(0))
+	<-blocked.entered
+	rt.Inject(req(1)) // fills the depth-1 mailbox
+	rt.Inject(req(2)) // must NAK via uplink
+	select {
+	case e := <-naks:
+		if e.To != remote {
+			t.Fatalf("NAK addressed to %v, want %v", e.To, remote)
+		}
+		if b, ok := e.Msg.(model.BusyMsg); !ok || b.Txn.Seq != 2 {
+			t.Fatalf("NAK payload = %+v", e.Msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NAK never reached the uplink")
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ucc/internal/cluster"
+	"ucc/internal/deadlock"
+	"ucc/internal/engine"
+	"ucc/internal/metrics"
+	"ucc/internal/model"
+	"ucc/internal/qm"
+	"ucc/internal/ri"
+	"ucc/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// EXP-12: overload sweep
+//
+// The paper evaluates rising multiprogramming levels but assumes the system
+// is always asked for less than it can do. This experiment asks the opposite
+// question: what happens when open-loop arrivals exceed capacity? Without
+// defenses the answer is divergence — every queue (data queues, mailboxes,
+// send queues) grows for as long as the overload lasts, so latency and
+// memory are unbounded and goodput collapses as the backlog is dragged to
+// quiescence. With the backpressure stack — bounded data queues that NAK
+// busy, plus per-site admission control (AIMD in-flight window fed by the
+// NAK stream) — arrivals beyond capacity are shed at submission, the queues
+// stay at their bound, and goodput plateaus near peak however far past
+// saturation the offered load climbs.
+// ---------------------------------------------------------------------------
+
+// overloadQueueBound is the per-item data queue bound the defended runs use.
+const overloadQueueBound = 32
+
+// overloadSLOMicros is the latency budget goodput is counted against: a
+// commit slower than this served nobody, however eventually the virtual-time
+// drain completed it. ~20× the unloaded mean system time.
+const overloadSLOMicros = 400_000
+
+// OverloadPoint is one offered-load multiple of the sweep, run twice:
+// defended (admission control + bounded queues) and undefended (both off).
+type OverloadPoint struct {
+	Multiple      float64
+	OfferedPerSec float64 // offered load, txn/s across the cluster
+	Offered       uint64  // transactions submitted
+
+	GoodputOn  float64 // committed txn/s, defended
+	GoodputOff float64 // committed txn/s, undefended
+	P99OnMs    float64
+	P99OffMs   float64
+	Shed       uint64 // admission-refused arrivals (defended run)
+	Busy       uint64 // queue-manager busy NAKs sent (defended run)
+	DepthOn    int    // deepest data queue, defended (≤ QueueBound)
+	DepthOff   int    // deepest data queue, undefended
+	QueueBound int
+
+	SerializableOn  bool
+	SerializableOff bool
+}
+
+// overloadBase is the cluster shape shared by the capacity measurement and
+// both sweep arms; only the load and the defenses vary.
+func overloadBase(seed int64) cluster.Config {
+	return cluster.Config{
+		Sites:   4,
+		Items:   24,
+		Seed:    seed,
+		Record:  true,
+		Latency: engine.UniformLatency{MinMicros: 1_000, MaxMicros: 5_000, LocalMicros: 50},
+		RI: ri.Options{
+			PAIntervalMicros:     2_000,
+			RestartDelayMicros:   5_000,
+			DefaultComputeMicros: 1_000,
+		},
+		Detector: deadlock.Options{PeriodMicros: 50_000, PersistRounds: 2},
+	}
+}
+
+// MeasureOverloadCapacity measures the cluster's committed throughput at
+// fixed closed-loop pressure — the "peak" the open-loop sweep offers
+// multiples of. Closed loop is the right instrument here: it holds the
+// system at saturation without ever overcommitting it.
+func MeasureOverloadCapacity(seed int64, horizonMicros int64) float64 {
+	cl, err := cluster.NewSim(overloadBase(seed))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	for i := 0; i < 4; i++ {
+		if err := cl.AddDriver(model.SiteID(i), workload.Spec{
+			ClosedLoop:    16,
+			HorizonMicros: horizonMicros,
+			Items:         24,
+			Size:          3,
+			ReadFrac:      0.5,
+			SharePA:       1,
+			ComputeMicros: 1_000,
+		}); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+	}
+	res := cl.Run(horizonMicros, 2_000_000)
+	// Capacity is committed work per second of the arrival window, not of
+	// the whole span — the settle/drain tail would dilute it by a constant.
+	return float64(res.Summary.TotalCommitted()) / (float64(horizonMicros) / 1e6)
+}
+
+// OverloadSweep runs the open-loop overload sweep at the given multiples of
+// measured capacity and returns one point per multiple. Exported so the
+// acceptance test asserts on the numbers rather than on rendered strings.
+func OverloadSweep(cfg RunConfig, multiples []float64, horizonMicros int64) []OverloadPoint {
+	capacity := MeasureOverloadCapacity(cfg.Seed, horizonMicros)
+	perSite := capacity / 4
+
+	run := func(multiple float64, defended bool) (cluster.Result, *cluster.Cluster) {
+		base := overloadBase(cfg.Seed)
+		if defended {
+			base.QM = qm.Options{MaxQueueDepth: overloadQueueBound}
+			base.RI.Admission = ri.AdmissionOptions{Enabled: true}
+		}
+		cl, err := cluster.NewSim(base)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		scenario := workload.Overload(24, perSite, multiple)
+		for i := 0; i < 4; i++ {
+			spec := scenario.PerSite(i)
+			spec.HorizonMicros = horizonMicros
+			if err := cl.AddDriver(model.SiteID(i), spec); err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
+		}
+		return cl.Run(horizonMicros, 2_000_000), cl
+	}
+
+	horizonSec := float64(horizonMicros) / 1e6
+	var out []OverloadPoint
+	for _, m := range multiples {
+		on, clOn := run(m, true)
+		off, clOff := run(m, false)
+		p := OverloadPoint{
+			Multiple:        m,
+			OfferedPerSec:   capacity * m,
+			Offered:         clOn.RITotals().Submitted,
+			GoodputOn:       float64(on.Summary.CommittedWithin(overloadSLOMicros)) / horizonSec,
+			GoodputOff:      float64(off.Summary.CommittedWithin(overloadSLOMicros)) / horizonSec,
+			P99OnMs:         on.Summary.Protocols[model.PA].SystemTimeH.Quantile(0.99) / 1000,
+			P99OffMs:        off.Summary.Protocols[model.PA].SystemTimeH.Quantile(0.99) / 1000,
+			Shed:            clOn.RITotals().Shed,
+			Busy:            clOn.QMTotals().Busy,
+			DepthOn:         clOn.DepthHighWater(),
+			DepthOff:        clOff.DepthHighWater(),
+			QueueBound:      overloadQueueBound,
+			SerializableOn:  on.Serializability != nil && on.Serializability.Serializable,
+			SerializableOff: off.Serializability != nil && off.Serializability.Serializable,
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Exp12 renders the overload sweep: goodput, tail latency, shed/NAK volume,
+// and queue depth at rising multiples of measured capacity, defended vs
+// undefended.
+func Exp12(cfg RunConfig) Result {
+	multiples := []float64{0.5, 1, 2, 4}
+	horizon := int64(4_000_000)
+	if cfg.Quick {
+		multiples = []float64{1, 4}
+		horizon = 2_000_000
+	}
+	points := OverloadSweep(cfg, multiples, horizon)
+
+	table := &metrics.Table{Header: []string{
+		"offered", "offered/s", "goodput on", "p99 on (ms)", "shed", "busy NAKs",
+		"depth on", "goodput off", "p99 off (ms)", "depth off", "serializable",
+	}}
+	var peak float64
+	for _, p := range points {
+		if p.GoodputOn > peak {
+			peak = p.GoodputOn
+		}
+	}
+	var notes []string
+	for _, p := range points {
+		table.AddRow(
+			fmt.Sprintf("%.1fx", p.Multiple),
+			metrics.F(p.OfferedPerSec),
+			metrics.F(p.GoodputOn),
+			metrics.F(p.P99OnMs),
+			fmt.Sprint(p.Shed),
+			fmt.Sprint(p.Busy),
+			fmt.Sprint(p.DepthOn),
+			metrics.F(p.GoodputOff),
+			metrics.F(p.P99OffMs),
+			fmt.Sprint(p.DepthOff),
+			yesNo(p.SerializableOn)+"/"+yesNo(p.SerializableOff),
+		)
+		if !p.SerializableOn || !p.SerializableOff {
+			notes = append(notes, fmt.Sprintf("VIOLATION at %.1fx (on=%v off=%v)",
+				p.Multiple, p.SerializableOn, p.SerializableOff))
+		}
+		if p.DepthOn > p.QueueBound {
+			notes = append(notes, fmt.Sprintf("BOUND EXCEEDED at %.1fx: depth %d > %d",
+				p.Multiple, p.DepthOn, p.QueueBound))
+		}
+		if p.Multiple >= 4 && peak > 0 && p.GoodputOn < 0.8*peak {
+			notes = append(notes, fmt.Sprintf("GOODPUT COLLAPSE at %.1fx: %.0f < 80%% of peak %.0f",
+				p.Multiple, p.GoodputOn, peak))
+		}
+	}
+	notes = append(notes,
+		"on = admission control (AIMD in-flight window fed by busy NAKs) + per-item queue bound of "+fmt.Sprint(overloadQueueBound),
+		"off = unbounded queues, no admission: the queues absorb every over-capacity arrival, so system time grows with the backlog and p99 diverges with the horizon",
+		fmt.Sprintf("goodput = commits within the %dms SLO per second of the arrival window (a commit the backlog delayed past the SLO served nobody)", overloadSLOMicros/1000),
+		"offered/s is a multiple of capacity measured by a closed-loop run of the same cluster shape",
+	)
+	return Result{
+		ID:     "EXP-12",
+		Title:  "Overload: admission control and bounded queues",
+		Claim:  "beyond the paper: with every queue bounded and an AIMD admission window shedding arrivals beyond capacity, goodput at 4x saturation stays within 20% of peak and p99 stays bounded, while the undefended system's backlog drags both off a cliff — and every execution, defended or not, stays conflict serializable",
+		Tables: []*metrics.Table{table},
+		Notes:  notes,
+	}
+}

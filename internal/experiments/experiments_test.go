@@ -113,6 +113,53 @@ func TestExp11ShardScaling(t *testing.T) {
 	}
 }
 
+// TestExp12OverloadGoodput is the acceptance gate for the backpressure
+// stack: at 4x the measured capacity, the defended system (bounded data
+// queues + AIMD admission control) must keep SLO-goodput at ≥80% of its
+// sweep peak with a bounded tail and every data queue within its configured
+// cap, while the undefended run proves the counterfactual — queues past the
+// bound and a diverging p99. Virtual-time deterministic, so the assertions
+// are seed-stable.
+func TestExp12OverloadGoodput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	points := OverloadSweep(RunConfig{Quick: true, Seed: 1988}, []float64{1, 4}, 2_000_000)
+	var peak float64
+	for _, p := range points {
+		if !p.SerializableOn || !p.SerializableOff {
+			t.Fatalf("serializability violated at %.1fx (on=%v off=%v)",
+				p.Multiple, p.SerializableOn, p.SerializableOff)
+		}
+		if p.DepthOn > p.QueueBound {
+			t.Fatalf("data queue exceeded its bound at %.1fx: depth %d > %d",
+				p.Multiple, p.DepthOn, p.QueueBound)
+		}
+		if p.GoodputOn > peak {
+			peak = p.GoodputOn
+		}
+	}
+	last := points[len(points)-1]
+	if last.Multiple < 4 {
+		t.Fatalf("sweep did not reach 4x saturation: %+v", last)
+	}
+	t.Logf("4x: goodput on %.0f/s (peak %.0f), p99 on %.0fms, shed %d, busy %d, depth on/off %d/%d",
+		last.GoodputOn, peak, last.P99OnMs, last.Shed, last.Busy, last.DepthOn, last.DepthOff)
+	if last.GoodputOn < 0.8*peak {
+		t.Fatalf("goodput at 4x = %.0f/s, below 80%% of peak %.0f/s", last.GoodputOn, peak)
+	}
+	if last.Shed == 0 {
+		t.Fatal("admission control shed nothing at 4x saturation; the controller is not engaging")
+	}
+	if last.P99OnMs > 1000 {
+		t.Fatalf("defended p99 %.0fms not bounded at 4x", last.P99OnMs)
+	}
+	if last.DepthOff <= last.QueueBound {
+		t.Fatalf("undefended queues stayed at %d ≤ bound %d: the sweep is not actually overloading",
+			last.DepthOff, last.QueueBound)
+	}
+}
+
 func TestExp5SerializabilityGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep")

@@ -22,9 +22,15 @@ type CollectorOptions struct {
 
 // ProtoStats aggregates per-protocol measurements.
 type ProtoStats struct {
-	Committed     uint64
-	Rejected      uint64
-	Victims       uint64
+	Committed uint64
+	Rejected  uint64
+	Victims   uint64
+	// Shed counts arrivals refused by admission control (never launched);
+	// Busy counts attempts aborted by a queue manager's BusyMsg NAK. Both
+	// are the overload outcomes: offered = committed + shed (+ the busy-shed
+	// read-only transactions); goodput counts only Committed.
+	Shed          uint64
+	Busy          uint64
 	Attempts      uint64
 	SystemTime    Welford   // S per committed txn (µs, from first arrival)
 	SystemTimeH   Histogram // quantiles for S
@@ -98,6 +104,12 @@ func (c *Collector) OnMessage(ctx engine.Context, from engine.Addr, msg model.Me
 
 func (c *Collector) onDone(v model.TxnDoneMsg) {
 	p := c.protos[v.Protocol]
+	if v.Outcome == model.OutcomeShed {
+		// A shed arrival never launched an attempt or issued a request; it
+		// must not dilute the request-probability estimators.
+		p.Shed++
+		return
+	}
 	p.Attempts++
 	p.ReadReqs += uint64(v.Reads)
 	p.WriteReqs += uint64(v.Writes)
@@ -131,6 +143,8 @@ func (c *Collector) onDone(v model.TxnDoneMsg) {
 	case model.OutcomeDeadlockVictim:
 		p.Victims++
 		p.LockedAborted.Add(float64(v.LockedMicros))
+	case model.OutcomeBusy:
+		p.Busy++
 	}
 }
 
@@ -252,6 +266,36 @@ func (s Summary) TotalCommitted() uint64 {
 	var n uint64
 	for _, p := range s.Protocols {
 		n += p.Committed
+	}
+	return n
+}
+
+// CommittedWithin counts commits whose system time was ≤ sloMicros across
+// all protocols (histogram-resolution approximate). Goodput under overload
+// is this divided by the arrival window: a commit that took seconds is not
+// good service, however eventually it drained.
+func (s Summary) CommittedWithin(sloMicros int64) uint64 {
+	var n uint64
+	for _, p := range s.Protocols {
+		n += p.SystemTimeH.CountAtMost(float64(sloMicros))
+	}
+	return n
+}
+
+// TotalShed sums admission-refused arrivals across protocols.
+func (s Summary) TotalShed() uint64 {
+	var n uint64
+	for _, p := range s.Protocols {
+		n += p.Shed
+	}
+	return n
+}
+
+// TotalBusy sums busy-NAK'd attempts across protocols.
+func (s Summary) TotalBusy() uint64 {
+	var n uint64
+	for _, p := range s.Protocols {
+		n += p.Busy
 	}
 	return n
 }

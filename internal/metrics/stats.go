@@ -117,6 +117,22 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// CountAtMost returns (approximately) how many samples were ≤ v: every
+// sample in a bucket whose upper edge is ≤ v, plus the bucket containing v
+// (resolution is the log₂ bucket width, consistent with Quantile). Used for
+// SLO accounting — "commits that finished within the latency budget".
+func (h *Histogram) CountAtMost(v float64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	top := bucketOf(v)
+	var n uint64
+	for b := 0; b <= top; b++ {
+		n += h.buckets[b]
+	}
+	return n
+}
+
 // Quantile returns an approximate q-quantile (q in [0,1]) using the
 // geometric midpoint of the containing bucket.
 func (h *Histogram) Quantile(q float64) float64 {

@@ -146,6 +146,46 @@ type BackoffMsg struct {
 	NewTS Timestamp
 }
 
+// BusyMsg NAKs a sheddable request whose destination was saturated: the
+// receiving queue-manager shard's mailbox was at its configured bound
+// (real-time runtime), or the item's data queue was at MaxQueueDepth. The
+// issuer treats it as a congestion signal — the attempt aborts and restarts
+// under exponential backoff, and the admission controller shrinks its
+// in-flight window — instead of the request queueing without bound. A NAK is
+// itself never sheddable, so the overflow policy cannot livelock: saturated
+// components always have room to say "busy".
+type BusyMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+}
+
+// Sheddable marks messages a saturated receiver may refuse with a BusyMsg
+// NAK instead of enqueueing. Only new-work openers implement it (RequestMsg,
+// SnapReadMsg): shedding one sheds a transaction attempt cleanly. Messages
+// that complete in-flight protocol work — releases, aborts, grants, final
+// timestamps — are never sheddable, because dropping one would strand locks
+// forever; bounded mailboxes therefore admit them even past the bound (the
+// bound is hard for openers, soft for completers, which is what makes the
+// policy deadlock-free).
+type Sheddable interface {
+	Message
+	// Busy returns the NAK to deliver to the sender in place of processing.
+	Busy() Message
+}
+
+// Busy implements Sheddable: a refused request NAKs with its identity so the
+// issuer can abort the attempt.
+func (m RequestMsg) Busy() Message {
+	return BusyMsg{Txn: m.Txn, Attempt: m.Attempt, Copy: m.Copy}
+}
+
+// Busy implements Sheddable for snapshot reads (the read-only fast path
+// sheds the whole transaction — it has no retry machinery by design).
+func (m SnapReadMsg) Busy() Message {
+	return BusyMsg{Txn: m.Txn, Attempt: m.Attempt, Copy: m.Copy}
+}
+
 // VictimMsg tells an RI that its 2PL transaction was chosen as a deadlock
 // victim and must abort and restart.
 type VictimMsg struct {
@@ -364,6 +404,7 @@ func (NormalGrantMsg) isMessage()   {}
 func (RejectMsg) isMessage()        {}
 func (BackoffMsg) isMessage()       {}
 func (VictimMsg) isMessage()        {}
+func (BusyMsg) isMessage()          {}
 func (TxnFinishedMsg) isMessage()   {}
 func (WFGReportMsg) isMessage()     {}
 func (ProbeWFGMsg) isMessage()      {}
@@ -389,6 +430,7 @@ func RegisterGob() {
 	gob.Register(RejectMsg{})
 	gob.Register(BackoffMsg{})
 	gob.Register(VictimMsg{})
+	gob.Register(BusyMsg{})
 	gob.Register(WFGReportMsg{})
 	gob.Register(ProbeWFGMsg{})
 	gob.Register(SubmitTxnMsg{})

@@ -158,6 +158,15 @@ const (
 	// OutcomeDeadlockVictim: the 2PL attempt was chosen as a deadlock victim
 	// and restarts.
 	OutcomeDeadlockVictim
+	// OutcomeShed: the admission controller refused the transaction at
+	// submission (in-flight window full or token bucket empty). The
+	// transaction never issued a request; shedding it is what keeps goodput
+	// near peak when offered load exceeds capacity.
+	OutcomeShed
+	// OutcomeBusy: a saturated queue manager NAK'd one of the attempt's
+	// requests with BusyMsg and the attempt aborted (read-write transactions
+	// restart under backoff; read-only snapshot transactions are shed).
+	OutcomeBusy
 )
 
 func (o TxnOutcome) String() string {
@@ -168,6 +177,10 @@ func (o TxnOutcome) String() string {
 		return "rejected"
 	case OutcomeDeadlockVictim:
 		return "deadlock-victim"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("TxnOutcome(%d)", uint8(o))
 	}

@@ -42,4 +42,10 @@
 //     when the site's write-ahead log syncs (per delivery, or deferred by a
 //     group-commit window) and how a crashed site defers traffic until its
 //     store — version chains included — is rebuilt from snapshot + replay.
+//
+// Backpressure: Options.MaxQueueDepth bounds every data queue. A request
+// landing on a full queue — unless its transaction is already resident —
+// is refused with a model.BusyMsg NAK (counted in Counters.Busy) rather
+// than admitted, so overload stops at the queue bound and the refusal
+// feeds the issuers' admission controllers instead of growing memory.
 package qm

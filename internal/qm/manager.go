@@ -28,6 +28,14 @@ type Options struct {
 	// StatsPeriodMicros, when positive, makes the manager push cumulative
 	// per-item grant counters to the collector on this period.
 	StatsPeriodMicros int64
+	// MaxQueueDepth bounds every per-item data queue: a RequestMsg arriving
+	// when the item's queue already holds this many entries is NAK'd with
+	// model.BusyMsg instead of admitted, so past saturation the queues stop
+	// growing and the issuers' admission controllers see the congestion
+	// signal. Zero (the default) keeps queues unbounded, the paper's model.
+	// Re-requests by transactions already resident (PA re-insertion, attempt
+	// replacement) are never NAK'd — they do not grow the queue.
+	MaxQueueDepth int
 	// GroupCommitMicros, when positive and a Durable is attached, defers
 	// WAL syncs by up to this window so writes implemented by concurrently
 	// committing transactions share one sync (group commit). Zero syncs a
@@ -59,6 +67,7 @@ type Counters struct {
 	Aborts     uint64
 	SnapReads  uint64 // read-only snapshot reads served (queue bypassed)
 	SnapStale  uint64 // snapshot reads served inexactly (chain GC'd past ts)
+	Busy       uint64 // requests NAK'd because the item's queue was at MaxQueueDepth
 	WALSyncs   uint64 // durable flushes of the site's write-ahead log
 	Commits    uint64 // commit-sequencer passes (≥ WALSyncs; the gap is batching)
 	Crashes    uint64 // injected site crashes
@@ -188,6 +197,7 @@ func (m *Manager) Snapshot() Counters {
 		t.Aborts += c.Aborts
 		t.SnapReads += c.SnapReads
 		t.SnapStale += c.SnapStale
+		t.Busy += c.Busy
 		t.Crashes += c.Crashes
 		t.Recoveries += c.Recoveries
 		t.Deferred += c.Deferred
@@ -223,6 +233,21 @@ func (m *Manager) DumpQueue(item model.ItemID) []string {
 		out = append(out, e.String())
 	}
 	return out
+}
+
+// DepthHighWater returns the deepest any data queue at this site has ever
+// been. With MaxQueueDepth configured it never exceeds that bound — the
+// assertion EXP-12 makes after an overload run.
+func (m *Manager) DepthHighWater() int {
+	high := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		if sh.depthHigh > high {
+			high = sh.depthHigh
+		}
+		sh.mu.Unlock()
+	}
+	return high
 }
 
 // QueueDepth returns the number of resident entries for item (tests).

@@ -21,6 +21,8 @@ type shard struct {
 	mu       sync.Mutex
 	queues   map[model.ItemID]*dataQueue
 	counters Counters
+	// depthHigh is the deepest any of this shard's queues has ever been.
+	depthHigh int
 
 	dirty      bool // journaled writes await a sync
 	flushArmed bool // a group-commit FlushMsg timer is pending for this shard
@@ -118,6 +120,17 @@ func (sh *shard) queue(item model.ItemID) *dataQueue {
 func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
 	q := sh.queue(v.Copy.Item)
 	sh.counters.Requests++
+	if bound := sh.m.opts.MaxQueueDepth; bound > 0 && len(q.entries) >= bound && q.find(v.Txn) == nil {
+		// The queue is full and this transaction is not already resident:
+		// refuse the request rather than queue without bound. The issuer
+		// aborts the attempt and restarts it under backoff — shedding load
+		// at the source instead of diverging here.
+		sh.counters.Busy++
+		ctx.Send(engine.RIAddr(v.Site), model.BusyMsg{
+			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy,
+		})
+		return
+	}
 	if old := q.find(v.Txn); old != nil {
 		// A stale entry from a previous attempt whose abort raced ahead of
 		// us cannot exist under FIFO delivery, but drop defensively.
@@ -141,6 +154,9 @@ func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
 		},
 	}
 	out := q.admit(e, v.TS, v.Interval)
+	if d := len(q.entries); d > sh.depthHigh {
+		sh.depthHigh = d
+	}
 	issuer := engine.RIAddr(v.Site)
 	switch {
 	case out.rejected:

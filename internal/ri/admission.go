@@ -1,0 +1,153 @@
+package ri
+
+// AdmissionOptions configure the issuer's admission controller: the overload
+// defense that sheds new transactions at the front door when the system is
+// past saturation, so goodput plateaus near peak instead of every queue
+// growing without bound.
+//
+// Two gates apply to every new-transaction start, both of which must pass:
+//
+//   - An in-flight window: at most Window() transactions (read-write and
+//     read-only together) may be live at this issuer. The window moves by
+//     AIMD — every commit whose latency is within target grows it additively
+//     (+1/W per commit, one window per "RTT" of commits), every congestion
+//     signal (a BusyMsg NAK from a saturated queue manager, or a commit
+//     slower than TargetLatencyMicros) shrinks it multiplicatively, at most
+//     once per CooldownMicros so one burst of NAKs is one decrease.
+//   - A token bucket on starts: TokensPerSec tokens refill continuously up
+//     to Burst; each admitted transaction spends one. This caps the start
+//     RATE independently of the window (a window only caps concurrency — a
+//     stream of instantly-shed-or-failing transactions would still churn).
+//     Zero disables the bucket.
+//
+// A shed transaction is reported to the collector with OutcomeShed and, in
+// closed-loop mode, immediately frees its driver slot. It never issues a
+// request, so shedding costs no messages.
+type AdmissionOptions struct {
+	// Enabled turns the controller on. The zero value keeps the issuer's
+	// pre-backpressure behaviour: everything submitted is launched.
+	Enabled bool
+	// InitialWindow is the starting in-flight window (default 64).
+	InitialWindow int
+	// MinWindow floors the multiplicative decrease (default 4): even a
+	// saturated site keeps probing with a few transactions, or it could
+	// never discover recovery.
+	MinWindow int
+	// MaxWindow caps the additive increase (default 4096).
+	MaxWindow int
+	// TargetLatencyMicros, when positive, treats a commit slower than this
+	// as a congestion signal (multiplicative decrease). Zero means only
+	// BusyMsg NAKs shrink the window.
+	TargetLatencyMicros int64
+	// TokensPerSec is the token-bucket refill rate for new-transaction
+	// starts; zero disables the rate gate.
+	TokensPerSec float64
+	// Burst is the bucket depth (default: max(16, TokensPerSec/4) — a
+	// quarter second of rate, so short arrival bursts ride through).
+	Burst int
+	// DecreaseFactor is the multiplicative decrease (default 0.7).
+	DecreaseFactor float64
+	// CooldownMicros rate-limits decreases (default 10_000): every NAK of
+	// one congestion episode must not each halve the window.
+	CooldownMicros int64
+}
+
+func (o *AdmissionOptions) fill() {
+	if o.InitialWindow <= 0 {
+		o.InitialWindow = 64
+	}
+	if o.MinWindow <= 0 {
+		o.MinWindow = 4
+	}
+	if o.MaxWindow <= 0 {
+		o.MaxWindow = 4096
+	}
+	if o.MaxWindow < o.MinWindow {
+		o.MaxWindow = o.MinWindow
+	}
+	if o.Burst <= 0 {
+		o.Burst = 16
+		if b := int(o.TokensPerSec / 4); b > o.Burst {
+			o.Burst = b
+		}
+	}
+	if o.DecreaseFactor <= 0 || o.DecreaseFactor >= 1 {
+		o.DecreaseFactor = 0.7
+	}
+	if o.CooldownMicros <= 0 {
+		o.CooldownMicros = 10_000
+	}
+}
+
+// admission is the controller state. It is owned by the issuer and accessed
+// only under the issuer's mutex.
+type admission struct {
+	opts         AdmissionOptions
+	window       float64
+	tokens       float64
+	refillInit   bool // lastRefill is meaningful (engine time may start at 0)
+	lastRefill   int64
+	decreaseInit bool // lastDecrease is meaningful (same zero-time trap)
+	lastDecrease int64
+}
+
+func newAdmission(o AdmissionOptions) *admission {
+	o.fill()
+	return &admission{
+		opts:   o,
+		window: float64(o.InitialWindow),
+		tokens: float64(o.Burst),
+	}
+}
+
+// admit decides one new-transaction start, spending a token when it passes.
+func (a *admission) admit(now int64, inFlight int) bool {
+	if inFlight >= int(a.window) {
+		return false
+	}
+	if a.opts.TokensPerSec > 0 {
+		if !a.refillInit {
+			a.refillInit = true
+			a.lastRefill = now
+		}
+		a.tokens += float64(now-a.lastRefill) / 1e6 * a.opts.TokensPerSec
+		a.lastRefill = now
+		if max := float64(a.opts.Burst); a.tokens > max {
+			a.tokens = max
+		}
+		if a.tokens < 1 {
+			return false
+		}
+		a.tokens--
+	}
+	return true
+}
+
+// onCommit feeds one committed transaction's latency into AIMD.
+func (a *admission) onCommit(now, latencyMicros int64) {
+	if a.opts.TargetLatencyMicros > 0 && latencyMicros > a.opts.TargetLatencyMicros {
+		a.decrease(now)
+		return
+	}
+	a.window += 1 / a.window
+	if max := float64(a.opts.MaxWindow); a.window > max {
+		a.window = max
+	}
+}
+
+// onBusy feeds one BusyMsg NAK into AIMD.
+func (a *admission) onBusy(now int64) { a.decrease(now) }
+
+func (a *admission) decrease(now int64) {
+	// The first congestion signal always counts — engine time may start at
+	// 0, and a zero-valued lastDecrease must not read as "just decreased".
+	if a.decreaseInit && now-a.lastDecrease < a.opts.CooldownMicros {
+		return
+	}
+	a.decreaseInit = true
+	a.lastDecrease = now
+	a.window *= a.opts.DecreaseFactor
+	if min := float64(a.opts.MinWindow); a.window < min {
+		a.window = min
+	}
+}

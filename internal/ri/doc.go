@@ -15,4 +15,18 @@
 // read-write transactions carry a single CommitMicros stamp per transaction
 // (taken when the release round is sent), which is what the version chains
 // — and therefore the snapshots — are ordered by.
+//
+// Overload defense: restarts back off exponentially (RestartDelayMicros
+// doubling per failed attempt up to RestartDelayCapMicros, ±50% jitter —
+// a flat delay re-collides every loser of a conflict round at the same rate
+// forever), and an optional admission controller (Options.Admission) gates
+// every new-transaction start behind a token bucket and an AIMD in-flight
+// window. The window grows additively on in-target commits and shrinks
+// multiplicatively on congestion signals — a commit over the latency
+// target, or a model.BusyMsg NAK from a saturated queue manager. Refused
+// arrivals are shed: reported with OutcomeShed, never launched, and (in
+// closed-loop mode) their driver slot freed immediately. A BusyMsg for a
+// launched read-write attempt aborts and restarts it under the backoff; a
+// read-only snapshot transaction is shed outright (the fast path has no
+// retry machinery by design).
 package ri

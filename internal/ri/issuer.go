@@ -16,9 +16,15 @@ type Options struct {
 	// PAIntervalMicros is the default back-off interval INT_i attached to PA
 	// transactions (§3.4).
 	PAIntervalMicros model.Timestamp
-	// RestartDelayMicros is the mean delay before a rejected or victimized
-	// transaction attempt is retried (randomized ±50%).
+	// RestartDelayMicros is the base delay before a rejected, victimized, or
+	// busy-NAK'd transaction attempt is retried (randomized ±50%). The delay
+	// doubles with every failed attempt up to RestartDelayCapMicros: a flat
+	// delay re-collides every loser of a conflict at the same rate forever
+	// (the restart storm), while exponential backoff spreads them out.
 	RestartDelayMicros int64
+	// RestartDelayCapMicros caps the exponential restart backoff; 0 selects
+	// 32× RestartDelayMicros. The ±50% jitter applies after the cap.
+	RestartDelayCapMicros int64
 	// MaxAttempts caps restarts; 0 means unlimited. When the cap is hit the
 	// transaction is dropped (reported as its last failure outcome).
 	MaxAttempts int
@@ -45,6 +51,11 @@ type Options struct {
 	// transactions that queue and lock like everyone else (the EXP-10
 	// baseline and an operational escape hatch).
 	DisableROFastPath bool
+	// Admission configures the admission controller: token-bucket + AIMD
+	// in-flight window gating on new-transaction starts, the front-door
+	// defense that sheds offered load beyond capacity instead of queueing
+	// it. Disabled by default.
+	Admission AdmissionOptions
 	// QMShards is the number of queue-manager shards per data site; every
 	// per-item message is addressed to the shard mailbox its item hashes to
 	// (engine.QMShardAddr + model.ShardOfItem). Must match qm.Options.Shards
@@ -179,6 +190,9 @@ type Issuer struct {
 	// (test oracle for the timestamp-order invariant).
 	finalTS map[model.TxnID]model.Timestamp
 
+	// adm is the admission controller (nil when Options.Admission is off).
+	adm *admission
+
 	// Stats (monotone counters).
 	submitted   uint64
 	committed   uint64
@@ -187,6 +201,8 @@ type Issuer struct {
 	rejects     uint64
 	victims     uint64
 	dropped     uint64
+	shed        uint64 // arrivals refused by the admission controller
+	busyNAKs    uint64 // BusyMsg NAKs received from saturated queue managers
 	rebackoffs  uint64 // PA back-offs received after finalization (must stay 0)
 }
 
@@ -202,7 +218,7 @@ func New(site model.SiteID, catalog *storage.Catalog, recorder *history.Recorder
 	if opts.SnapshotStalenessMicros <= 0 {
 		opts.SnapshotStalenessMicros = DefaultOptions().SnapshotStalenessMicros
 	}
-	return &Issuer{
+	iss := &Issuer{
 		site:     site,
 		catalog:  catalog,
 		recorder: recorder,
@@ -212,24 +228,39 @@ func New(site model.SiteID, catalog *storage.Catalog, recorder *history.Recorder
 		roActive: map[model.TxnID]*roState{},
 		finalTS:  map[model.TxnID]model.Timestamp{},
 	}
+	if opts.Admission.Enabled {
+		iss.adm = newAdmission(opts.Admission)
+	}
+	return iss
 }
 
 // Stats is a snapshot of issuer counters.
 type Stats struct {
 	Submitted, Committed, ROCommitted, ROStale, Rejects, Victims, Dropped, ReBackoffs uint64
-	Active                                                                            int
+	// Shed counts arrivals refused by the admission controller; BusyNAKs
+	// counts BusyMsg congestion NAKs received from saturated queue managers.
+	Shed, BusyNAKs uint64
+	Active         int
+	// Window is the admission controller's current in-flight window (0 when
+	// admission control is disabled).
+	Window float64
 }
 
 // Snapshot returns current counters; safe for concurrent use.
 func (ri *Issuer) Snapshot() Stats {
 	ri.mu.Lock()
 	defer ri.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Submitted: ri.submitted, Committed: ri.committed, ROCommitted: ri.roCommitted,
 		ROStale: ri.roStale,
 		Rejects: ri.rejects, Victims: ri.victims, Dropped: ri.dropped, ReBackoffs: ri.rebackoffs,
+		Shed: ri.shed, BusyNAKs: ri.busyNAKs,
 		Active: len(ri.active) + len(ri.roActive),
 	}
+	if ri.adm != nil {
+		s.Window = ri.adm.window
+	}
+	return s
 }
 
 // ActiveTxn describes one in-flight transaction (observability/debugging).
@@ -334,6 +365,8 @@ func (ri *Issuer) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 		ri.onBackoff(ctx, v)
 	case model.VictimMsg:
 		ri.onVictim(ctx, v)
+	case model.BusyMsg:
+		ri.onBusy(ctx, v)
 	case model.ComputeDoneMsg:
 		ri.onComputeDone(ctx, v)
 	case model.RestartMsg:
@@ -373,6 +406,28 @@ func (ri *Issuer) onSubmit(ctx engine.Context, t *model.Txn) {
 		t.Protocol = model.PA
 	}
 	ri.submitted++
+	if ri.adm != nil {
+		now := ctx.NowMicros()
+		if !ri.adm.admit(now, len(ri.active)+len(ri.roActive)) {
+			// Shed at the front door: no request is ever issued, the
+			// collector records the refusal, and (in closed-loop mode) the
+			// driver slot frees immediately.
+			ri.shed++
+			ctx.Send(engine.CollectorAddr(), model.TxnDoneMsg{
+				Txn:                t.ID,
+				Protocol:           t.Protocol,
+				Outcome:            model.OutcomeShed,
+				ArrivalMicros:      now,
+				DoneMicros:         now,
+				FirstArrivalMicros: now,
+				Size:               t.Size(),
+				Reads:              t.NumReads(),
+				Writes:             t.NumWrites(),
+			})
+			ri.finished(ctx, t.ID)
+			return
+		}
+	}
 	if t.Protocol == model.ROSnapshot {
 		ri.launchRO(ctx, t)
 		return
@@ -452,6 +507,9 @@ func (ri *Issuer) onSnapReply(ctx engine.Context, v model.SnapReadReplyMsg) {
 func (ri *Issuer) finishRO(ctx engine.Context, s *roState) {
 	ri.committed++
 	ri.roCommitted++
+	if ri.adm != nil {
+		ri.adm.onCommit(ctx.NowMicros(), ctx.NowMicros()-s.arrival)
+	}
 	if ri.recorder != nil {
 		ri.recorder.Committed(s.txn.ID, model.ROSnapshot)
 	}
@@ -697,6 +755,52 @@ func (ri *Issuer) onVictim(ctx engine.Context, v model.VictimMsg) {
 	ri.scheduleRestart(ctx, s)
 }
 
+// onBusy handles a congestion NAK from a saturated queue manager: the
+// request never entered a queue. Read-write attempts abort and restart under
+// exponential backoff; read-only snapshot transactions are shed outright
+// (the fast path has no restart machinery by design — the client retries).
+// Either way the admission window shrinks: BusyMsg is the remote half of the
+// AIMD feedback loop.
+func (ri *Issuer) onBusy(ctx engine.Context, v model.BusyMsg) {
+	now := ctx.NowMicros()
+	if ri.adm != nil {
+		ri.adm.onBusy(now)
+	}
+	if ro := ri.roActive[v.Txn]; ro != nil && ro.pending[v.Copy] {
+		ri.busyNAKs++
+		delete(ri.roActive, v.Txn)
+		ctx.Send(engine.CollectorAddr(), model.TxnDoneMsg{
+			Txn:                v.Txn,
+			Protocol:           model.ROSnapshot,
+			Outcome:            model.OutcomeBusy,
+			ArrivalMicros:      ro.arrival,
+			DoneMicros:         now,
+			FirstArrivalMicros: ro.arrival,
+			Attempts:           1,
+			Size:               ro.txn.Size(),
+			Reads:              ro.txn.NumReads(),
+			Messages:           ro.messages,
+		})
+		ri.finished(ctx, v.Txn)
+		return
+	}
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil {
+		return
+	}
+	if s.phase == phaseComputing || s.phase == phaseAwaitNormal {
+		return // already executing; a NAK cannot reach here (defensive)
+	}
+	ri.busyNAKs++
+	var kind model.OpKind
+	if r := s.reqs[v.Copy]; r != nil {
+		kind = r.kind
+	}
+	ri.reportAttempt(ctx, s, model.OutcomeBusy, kind)
+	ri.abortAttempt(ctx, s, v.Copy)
+	ri.scheduleRestart(ctx, s)
+}
+
 // abortAttempt withdraws every outstanding request except skip (the copy
 // that rejected us holds no entry).
 func (ri *Issuer) abortAttempt(ctx engine.Context, s *txnState, skip model.CopyID) {
@@ -710,6 +814,35 @@ func (ri *Issuer) abortAttempt(ctx engine.Context, s *txnState, skip model.CopyI
 	}
 }
 
+// defaultRestartCapFactor sizes the exponential-backoff cap when
+// RestartDelayCapMicros is unset: 32× the base delay (5 doublings).
+const defaultRestartCapFactor = 32
+
+// rawRestartDelay returns the pre-jitter restart delay after `attempts`
+// failed attempts: exponential from RestartDelayMicros, capped. A flat delay
+// is the restart-storm bug — under contention every loser of a round returns
+// after the same mean delay and the round re-collides indefinitely; doubling
+// per failure spreads the retries over an ever-wider horizon until the
+// conflict drains.
+func (ri *Issuer) rawRestartDelay(attempts int) int64 {
+	base := ri.opts.RestartDelayMicros
+	if base <= 0 {
+		return 0
+	}
+	cap := ri.opts.RestartDelayCapMicros
+	if cap <= 0 {
+		cap = defaultRestartCapFactor * base
+	}
+	delay := base
+	for i := 1; i < attempts && delay < cap; i++ {
+		delay *= 2
+	}
+	if delay > cap {
+		delay = cap
+	}
+	return delay
+}
+
 func (ri *Issuer) scheduleRestart(ctx engine.Context, s *txnState) {
 	if ri.opts.MaxAttempts > 0 && s.attempts >= ri.opts.MaxAttempts {
 		ri.dropped++
@@ -718,9 +851,9 @@ func (ri *Issuer) scheduleRestart(ctx engine.Context, s *txnState) {
 		return
 	}
 	s.attempt++
-	delay := ri.opts.RestartDelayMicros
+	delay := ri.rawRestartDelay(s.attempts)
 	if delay > 0 {
-		delay = delay/2 + ctx.Rand().Int63n(delay)
+		delay = delay/2 + ctx.Rand().Int63n(delay) // ±50% jitter, kept from the flat scheme
 	}
 	ctx.SetTimer(delay, model.RestartMsg{Txn: s.txn.ID, Attempt: s.attempt})
 }
@@ -822,6 +955,9 @@ func (ri *Issuer) releaseAll(ctx engine.Context, s *txnState, toSemi bool) {
 // semi-converted T/O transaction "is considered executed" at conversion).
 func (ri *Issuer) markExecuted(ctx engine.Context, s *txnState) {
 	ri.committed++
+	if ri.adm != nil {
+		ri.adm.onCommit(ctx.NowMicros(), ctx.NowMicros()-s.firstArrival)
+	}
 	if ri.recorder != nil {
 		ri.recorder.Committed(s.txn.ID, s.txn.Protocol)
 	}
@@ -836,6 +972,9 @@ func (ri *Issuer) finish(ctx engine.Context, s *txnState) {
 	if s.phase != phaseAwaitNormal {
 		// Not already reported by markExecuted.
 		ri.committed++
+		if ri.adm != nil {
+			ri.adm.onCommit(ctx.NowMicros(), ctx.NowMicros()-s.firstArrival)
+		}
 		if ri.recorder != nil {
 			ri.recorder.Committed(s.txn.ID, s.txn.Protocol)
 		}

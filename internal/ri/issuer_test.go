@@ -15,6 +15,7 @@ type fakeCtx struct {
 	now    int64
 	sent   []engine.Envelope
 	timers []engine.Envelope
+	delays []int64 // SetTimer delays, parallel to timers
 	rng    *rand.Rand
 }
 
@@ -28,6 +29,7 @@ func (c *fakeCtx) Send(to engine.Addr, msg model.Message) {
 }
 func (c *fakeCtx) SetTimer(d int64, msg model.Message) {
 	c.timers = append(c.timers, engine.Envelope{To: c.Self(), Msg: msg})
+	c.delays = append(c.delays, d)
 }
 
 func take[M model.Message](c *fakeCtx) []M {
@@ -48,6 +50,7 @@ func take[M model.Message](c *fakeCtx) []M {
 func fireTimers(ri *Issuer, c *fakeCtx) {
 	timers := c.timers
 	c.timers = nil
+	c.delays = nil
 	for _, e := range timers {
 		ri.OnMessage(c, e.To, e.Msg)
 	}

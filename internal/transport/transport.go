@@ -142,9 +142,28 @@ type Node struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	// sendQueueCap bounds each peer outbox (0 = unbounded): when an enqueue
+	// would exceed it, the OLDEST queued sheddable envelope is dropped to
+	// make room. Oldest-first is the right policy for this protocol: a stale
+	// request is re-sent by its issuer's restart machinery anyway, while the
+	// newest traffic is most likely to still matter. Only sheddable messages
+	// (model.Sheddable — new-work openers) are ever evicted, mirroring the
+	// engine's mailbox policy: dropping a release or grant to a live-but-slow
+	// peer would strand its locks forever, so completer traffic rides past
+	// the cap (it is protocol-bounded by the in-flight work the openers
+	// admitted). The cap counts only the outbox — a batch the writer has
+	// already taken (and may be retrying across a reconnect) is in flight,
+	// not queued, so a reconnect cannot double-shrink the budget or lose
+	// accounting.
+	sendQueueCap int
+
 	// Batching observability (tests, diagnostics).
 	sentEnvelopes atomic.Uint64
 	flushes       atomic.Uint64
+	// droppedSends counts envelopes discarded by the send-queue cap;
+	// queueHigh is the deepest any peer outbox has ever been.
+	droppedSends atomic.Uint64
+	queueHigh    atomic.Int64
 }
 
 // peerSender owns the outbox and the single writer goroutine for one peer.
@@ -206,6 +225,28 @@ func (n *Node) SetBatching(flushBytes int, delay time.Duration) {
 // syscalls across that many envelopes.
 func (n *Node) BatchStats() (envelopes, flushes uint64) {
 	return n.sentEnvelopes.Load(), n.flushes.Load()
+}
+
+// SetSendQueueCap bounds every peer outbox to cap envelopes; an enqueue at
+// the cap drops the oldest queued sheddable envelope to make room (counted
+// in QueueStats; completion traffic is never evicted and may ride past the
+// cap). Zero (the default) keeps outboxes unbounded. Call before traffic
+// flows.
+func (n *Node) SetSendQueueCap(cap int) {
+	n.mu.Lock()
+	n.sendQueueCap = cap
+	n.mu.Unlock()
+}
+
+// QueueStats reports (envelopes dropped by the send-queue cap, deepest any
+// peer outbox has ever been). With a cap configured, sheddable traffic can
+// never push the high-water mark past it — including while a writer is
+// stuck dialing a dead peer or retrying a batch across a reconnect, the
+// exact regimes where unbounded outboxes used to melt the node; only
+// protocol-completion messages (never evicted by design) can exceed it, by
+// the protocol-bounded amount of work in flight.
+func (n *Node) QueueStats() (dropped uint64, highWater int) {
+	return n.droppedSends.Load(), int(n.queueHigh.Load())
 }
 
 // Addr returns the bound listen address (tests pass ":0").
@@ -281,11 +322,32 @@ func (n *Node) forward(env engine.Envelope) {
 		n.wg.Add(1)
 		go ps.run()
 	}
+	cap := n.sendQueueCap
 	n.mu.Unlock()
 
 	ps.mu.Lock()
 	if !ps.closed {
+		if cap > 0 && len(ps.queue) >= cap {
+			// Evict the oldest SHEDDABLE envelope (in place, so the backing
+			// array is reused). If the backlog is all completers, grow past
+			// the cap instead — the bound is hard for openers, soft for
+			// completion traffic whose loss would wedge the protocol.
+			for i := range ps.queue {
+				if _, shed := ps.queue[i].Msg.(model.Sheddable); shed {
+					copy(ps.queue[i:], ps.queue[i+1:])
+					ps.queue = ps.queue[:len(ps.queue)-1]
+					n.droppedSends.Add(1)
+					break
+				}
+			}
+		}
 		ps.queue = append(ps.queue, env)
+		for d := int64(len(ps.queue)); ; {
+			prev := n.queueHigh.Load()
+			if d <= prev || n.queueHigh.CompareAndSwap(prev, d) {
+				break
+			}
+		}
 		ps.cond.Signal()
 	}
 	ps.mu.Unlock()

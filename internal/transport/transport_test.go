@@ -266,6 +266,163 @@ func TestBatchCoalesces(t *testing.T) {
 	}
 }
 
+// TestSendQueueCapDropsOldest: while a peer's writer is busy (a long linger
+// stands in for a stuck dial or a slow peer), the outbox must stay at its
+// cap by discarding the OLDEST envelopes, and the survivors must be the
+// newest ones, delivered in order.
+func TestSendQueueCapDropsOldest(t *testing.T) {
+	assign := func(a engine.Addr) string { return fmt.Sprintf("site%d", a.ID) }
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+
+	nodeB, err := NewNode(rtB, "site1", "127.0.0.1:0", Topology{Peers: map[string]string{}, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	nodeA, err := NewNode(rtA, "site0", "", Topology{
+		Peers: map[string]string{"site1": nodeB.Addr()}, Assign: assign,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	const cap = 16
+	const total = 200
+	nodeA.SetSendQueueCap(cap)
+	// The writer lingers long enough for the whole burst to hit the outbox
+	// while it sleeps; only the first (taken) envelope and the newest `cap`
+	// can survive.
+	nodeA.SetBatching(0, 300*time.Millisecond)
+
+	recv := &recorder{done: make(chan struct{}), want: cap + 1}
+	rtB.Register(engine.QMAddr(1), recv)
+	send := func(i int) {
+		nodeA.forward(engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: uint64(i)}, TS: model.Timestamp(i)},
+		})
+	}
+	// First envelope alone, and a beat for the writer to take it and enter
+	// its linger — then the burst lands entirely in the capped outbox.
+	send(0)
+	time.Sleep(50 * time.Millisecond)
+	for i := 1; i < total; i++ {
+		send(i)
+	}
+	select {
+	case <-recv.done:
+	case <-time.After(10 * time.Second):
+		recv.mu.Lock()
+		n := len(recv.got)
+		recv.mu.Unlock()
+		t.Fatalf("timed out: got %d/%d", n, cap+1)
+	}
+	// Give any stragglers a beat, then check nothing beyond cap+1 arrived.
+	time.Sleep(100 * time.Millisecond)
+	recv.mu.Lock()
+	defer recv.mu.Unlock()
+	if len(recv.got) != cap+1 {
+		t.Fatalf("delivered %d envelopes, want %d (cap + the one the writer already held)", len(recv.got), cap+1)
+	}
+	// Envelope 0 was taken by the writer before the cap engaged; the rest
+	// must be the NEWEST cap envelopes, in order.
+	if first := recv.got[0].(model.RequestMsg); first.Txn.Seq != 0 {
+		t.Fatalf("first delivered = %+v, want seq 0", first)
+	}
+	for i := 1; i < len(recv.got); i++ {
+		want := uint64(total - cap + i - 1)
+		if got := recv.got[i].(model.RequestMsg).Txn.Seq; got != want {
+			t.Fatalf("survivor %d has seq %d, want %d (drop-oldest violated)", i, got, want)
+		}
+	}
+	dropped, high := nodeA.QueueStats()
+	if want := uint64(total - 1 - cap); dropped != want {
+		t.Fatalf("dropped = %d, want %d", dropped, want)
+	}
+	if high > cap {
+		t.Fatalf("queue high-water %d exceeded cap %d", high, cap)
+	}
+}
+
+// TestSendQueueCapSparesCompleters: the cap must never evict
+// protocol-completion traffic — a dropped release to a live-but-slow peer
+// would strand its locks forever. Requests interleaved with releases are
+// evicted; the releases all arrive, even past the cap.
+func TestSendQueueCapSparesCompleters(t *testing.T) {
+	assign := func(a engine.Addr) string { return fmt.Sprintf("site%d", a.ID) }
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+
+	nodeB, err := NewNode(rtB, "site1", "127.0.0.1:0", Topology{Peers: map[string]string{}, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	nodeA, err := NewNode(rtA, "site0", "", Topology{
+		Peers: map[string]string{"site1": nodeB.Addr()}, Assign: assign,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	const cap = 8
+	const releases = 40
+	nodeA.SetSendQueueCap(cap)
+	nodeA.SetBatching(0, 300*time.Millisecond)
+
+	recv := &recorder{done: make(chan struct{}), want: 1 << 30}
+	rtB.Register(engine.QMAddr(1), recv)
+
+	// Prime the writer with one envelope, then burst releases (completers,
+	// never evicted) interleaved with twice as many requests (sheddable).
+	nodeA.forward(engine.Envelope{
+		From: engine.RIAddr(0), To: engine.QMAddr(1),
+		Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: 9999}},
+	})
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < releases; i++ {
+		nodeA.forward(engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.ReleaseMsg{Txn: model.TxnID{Site: 0, Seq: uint64(i)}},
+		})
+		for j := 0; j < 2; j++ {
+			nodeA.forward(engine.Envelope{
+				From: engine.RIAddr(0), To: engine.QMAddr(1),
+				Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: uint64(1000 + i*2 + j)}},
+			})
+		}
+	}
+	// Every release must arrive, however many requests were evicted.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		recv.mu.Lock()
+		got := 0
+		for _, m := range recv.got {
+			if _, ok := m.(model.ReleaseMsg); ok {
+				got++
+			}
+		}
+		recv.mu.Unlock()
+		if got == releases {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("releases delivered = %d, want %d (completers must never be evicted)", got, releases)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dropped, _ := nodeA.QueueStats(); dropped == 0 {
+		t.Fatal("no requests were evicted; the cap never engaged and the test proved nothing")
+	}
+}
+
 // TestSendDuringReconnect is the regression test for the retired-connection
 // interleaving hazard: while a sender hammers envelopes, the receiving node
 // is torn down and rebuilt on the same address. A retired connection's
@@ -273,7 +430,12 @@ func TestBatchCoalesces(t *testing.T) {
 // stream — every envelope that arrives (on either incarnation) must decode
 // intact; losses are allowed (the peer was down), corruption is not. Run
 // under -race this also hammers the writer/dialer/close interleavings.
+//
+// The sender also runs with a send-queue cap: the cap must hold across the
+// bounce — the outage is exactly when an unbounded outbox would balloon —
+// without breaking redelivery to the replacement incarnation.
 func TestSendDuringReconnect(t *testing.T) {
+	const sendCap = 256
 	assign := func(a engine.Addr) string { return fmt.Sprintf("site%d", a.ID) }
 	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
 	defer rtA.Shutdown()
@@ -295,6 +457,7 @@ func TestSendDuringReconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nodeA.Close()
+	nodeA.SetSendQueueCap(sendCap)
 
 	// Hammer from several goroutines through the node's uplink while the
 	// receiver bounces; they keep sending until the replacement has provably
@@ -403,5 +566,13 @@ func TestSendDuringReconnect(t *testing.T) {
 	if n2 == 0 {
 		t.Fatal("replacement node received nothing; reconnect path unexercised")
 	}
-	t.Logf("reconnect hammer: %d envelopes before bounce, %d after", n1, n2)
+	// The cap must have held throughout — including while the peer was down
+	// and the writer was redialing, the window where the outbox grows
+	// fastest. Drop accounting keeps meaning across the reconnect.
+	dropped, high := nodeA.QueueStats()
+	if high > sendCap {
+		t.Fatalf("send-queue high-water %d exceeded cap %d across the bounce", high, sendCap)
+	}
+	t.Logf("reconnect hammer: %d envelopes before bounce, %d after, %d dropped at the cap (high %d)",
+		n1, n2, dropped, high)
 }

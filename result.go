@@ -128,6 +128,44 @@ func (r Result) SnapshotReads() (served, inexact uint64) {
 	return qt.SnapReads, qt.SnapStale
 }
 
+// OverloadStats reports what the backpressure machinery did in one run.
+type OverloadStats struct {
+	// Shed counts arrivals the admission controllers refused at submission
+	// (never launched, no messages sent).
+	Shed uint64
+	// BusyNAKs counts BusyMsg congestion NAKs the issuers received from
+	// saturated queue managers (each aborted one attempt).
+	BusyNAKs uint64
+	// BusySent counts requests the queue managers refused at a full data
+	// queue (≥ BusyNAKs delivered; the difference is NAKs for already-stale
+	// attempts).
+	BusySent uint64
+	// MaxQueueDepth is the deepest per-item data queue observed anywhere;
+	// with Config.MaxQueueDepth configured it never exceeds that bound.
+	MaxQueueDepth int
+}
+
+// Overload returns the run's backpressure/admission-control statistics (all
+// zero when the knobs are off and the run never saturated).
+func (r Result) Overload() OverloadStats {
+	qt := r.cl.QMTotals()
+	rt := r.cl.RITotals()
+	return OverloadStats{
+		Shed:          rt.Shed,
+		BusyNAKs:      rt.BusyNAKs,
+		BusySent:      qt.Busy,
+		MaxQueueDepth: r.cl.DepthHighWater(),
+	}
+}
+
+// Offered returns the number of transactions submitted to the issuers —
+// committed + shed + still-unfinished. Goodput is Committed()/time; the gap
+// between offered and committed under overload is the load the system shed
+// instead of melting.
+func (r Result) Offered() uint64 {
+	return r.cl.RITotals().Submitted
+}
+
 // Decisions returns how many transactions the dynamic selector routed to
 // each protocol (zero-valued without DynamicSelection).
 func (r Result) Decisions() (twoPL, to, pa uint64) {

@@ -75,9 +75,11 @@ type Config struct {
 	// independent shards (hash of item → shard), each with its own queue
 	// table, lock state, and WAL group-commit batch, so conflict-free
 	// operations at one site execute in parallel on multi-core hardware
-	// (default 1). Sharding never changes what commits — only which mailbox
-	// serves an item — so any Shards value yields the same serializable
-	// executions; EXP-11 measures the wall-clock scaling.
+	// (default 1, maximum 256 — engine addresses carry the shard index in
+	// one byte, and New returns an error rather than misroute above it).
+	// Sharding never changes what commits — only which mailbox serves an
+	// item — so any Shards value yields the same serializable executions;
+	// EXP-11 measures the wall-clock scaling.
 	Shards int
 	// InitialValue seeds every item (default 0).
 	InitialValue int64
@@ -96,9 +98,15 @@ type Config struct {
 	// PAInterval is the back-off interval INT attached to PA transactions
 	// (default 2ms).
 	PAInterval time.Duration
-	// RestartDelay is the mean delay before retrying a rejected or
-	// victimized transaction (default 10ms).
+	// RestartDelay is the base delay before retrying a rejected, victimized,
+	// or busy-NAK'd transaction (default 10ms). The delay doubles with every
+	// failed attempt (±50% jitter throughout) up to RestartDelayCap.
 	RestartDelay time.Duration
+	// RestartDelayCap bounds the exponential restart backoff (default 32×
+	// RestartDelay). A flat restart delay is a restart storm under
+	// contention: every loser of a conflict round retries at the same rate
+	// and the round re-collides forever.
+	RestartDelayCap time.Duration
 	// SemiLocks selects the §4.2 semi-lock enforcement; disabling it falls
 	// back to the paper's simpler lock-everything unification (default on).
 	DisableSemiLocks bool
@@ -127,6 +135,27 @@ type Config struct {
 	// changing their concurrency control method). PA cannot be rejected, so
 	// escalation bounds restart storms.
 	EscalateRestartsToPA bool
+
+	// MaxQueueDepth bounds every per-item data queue at every queue manager:
+	// a request arriving at a full queue is refused with a BusyMsg NAK (the
+	// issuer aborts the attempt and retries under backoff) instead of
+	// queueing without bound. 0 (the default) keeps queues unbounded — the
+	// paper's failure-free, overload-free model.
+	MaxQueueDepth int
+	// Admission enables per-site admission control: a token bucket plus an
+	// AIMD in-flight window gate every new-transaction start, shedding
+	// arrivals beyond capacity (reported per-protocol as Shed) so goodput
+	// plateaus near peak instead of latency and memory diverging. EXP-12
+	// measures the effect.
+	Admission bool
+	// AdmissionWindow is the initial in-flight window per site (default 64).
+	AdmissionWindow int
+	// AdmissionRate, when positive, caps new-transaction starts per site at
+	// this many per second (the token bucket; burst = max(16, rate/4)).
+	AdmissionRate float64
+	// AdmissionTargetLatency, when positive, also treats commits slower than
+	// this as congestion (multiplicative window decrease).
+	AdmissionTargetLatency time.Duration
 
 	// Durability attaches a write-ahead log + snapshots to every site
 	// (deterministic in-memory media) and enables CrashSite/RecoverSite
@@ -227,7 +256,10 @@ type Cluster struct {
 	ran   bool
 }
 
-// New builds a cluster.
+// New builds a cluster. Shards above 256 are rejected (by the cluster
+// layer's validation, surfaced here): engine addresses carry the shard index
+// in one byte, so a larger count would silently alias shard mailboxes and
+// misroute traffic.
 func New(cfg Config) (*Cluster, error) {
 	cfg.fill()
 	var dyn *selector.Dynamic
@@ -263,14 +295,22 @@ func New(cfg Config) (*Cluster, error) {
 		QM: qm.Options{
 			DisableSemiLocks:  cfg.DisableSemiLocks,
 			StatsPeriodMicros: 100_000,
+			MaxQueueDepth:     cfg.MaxQueueDepth,
 		},
 		RI: ri.Options{
 			PAIntervalMicros:        model.Timestamp(cfg.PAInterval.Microseconds()),
 			RestartDelayMicros:      cfg.RestartDelay.Microseconds(),
+			RestartDelayCapMicros:   cfg.RestartDelayCap.Microseconds(),
 			DefaultComputeMicros:    1000,
 			SwitchOnRestart:         escalation(cfg.EscalateRestartsToPA),
 			SnapshotStalenessMicros: cfg.SnapshotStaleness.Microseconds(),
 			DisableROFastPath:       cfg.DisableReadOnlyFastPath,
+			Admission: ri.AdmissionOptions{
+				Enabled:             cfg.Admission,
+				InitialWindow:       cfg.AdmissionWindow,
+				TokensPerSec:        cfg.AdmissionRate,
+				TargetLatencyMicros: cfg.AdmissionTargetLatency.Microseconds(),
+			},
 		},
 		Detector: deadlock.Options{
 			PeriodMicros:  cfg.DeadlockPeriod.Microseconds(),

@@ -451,3 +451,53 @@ func TestFacadeCrashRecovery(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeShardsOver256Rejected: the shard index travels in one byte, so
+// a shard count the address space cannot represent must be an error at the
+// facade, not a silent misroute.
+func TestFacadeShardsOver256Rejected(t *testing.T) {
+	if _, err := New(Config{Sites: 2, Items: 16, Shards: 300}); err == nil {
+		t.Fatal("Shards=300 accepted")
+	}
+	if _, err := New(Config{Sites: 2, Items: 16, Shards: 256}); err != nil {
+		t.Fatalf("Shards=256 rejected: %v", err)
+	}
+}
+
+// TestFacadeAdmissionControlSheds: with the overload knobs on, a far-over-
+// capacity open-loop workload commits a bounded-latency subset, sheds the
+// rest, keeps every data queue inside its bound, and stays serializable.
+func TestFacadeAdmissionControlSheds(t *testing.T) {
+	c, err := New(Config{
+		Sites: 3, Items: 12, Seed: 4,
+		Admission:       true,
+		AdmissionWindow: 16,
+		MaxQueueDepth:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 400, Duration: 2 * time.Second, Size: 3, Mix: Mix{PA: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatalf("not serializable: %v", res.ConflictCycle())
+	}
+	ov := res.Overload()
+	if ov.Shed == 0 {
+		t.Fatal("admission shed nothing at 400 txn/s/site")
+	}
+	if ov.MaxQueueDepth > 8 {
+		t.Fatalf("data queue depth %d exceeded the configured bound 8", ov.MaxQueueDepth)
+	}
+	if res.Committed() == 0 {
+		t.Fatal("admission shed everything")
+	}
+	if res.Offered() != res.Committed()+ov.Shed+uint64(res.Unfinished()) {
+		t.Fatalf("offered %d != committed %d + shed %d + unfinished %d",
+			res.Offered(), res.Committed(), ov.Shed, res.Unfinished())
+	}
+}
