@@ -135,16 +135,20 @@ func (c *Config) Validate() error {
 	if c.RI.PAIntervalMicros == 0 && c.RI.RestartDelayMicros == 0 &&
 		c.RI.DefaultComputeMicros == 0 && c.RI.MaxAttempts == 0 &&
 		c.RI.SwitchOnRestart == nil {
-		// All the protocol-timing knobs are unset: fill the defaults, but
-		// keep the backpressure configuration — a caller enabling only
-		// admission control (or only a backoff cap) must not silently lose
-		// it to the reset (RestartDelayMicros=0 would recreate the
-		// zero-delay restart storm the backoff exists to prevent).
-		adm := c.RI.Admission
-		cap := c.RI.RestartDelayCapMicros
-		c.RI = ri.DefaultOptions()
-		c.RI.Admission = adm
-		c.RI.RestartDelayCapMicros = cap
+		// All the protocol-timing knobs are unset: fill their defaults
+		// field by field. Every other Options field — Admission, the backoff
+		// cap, DisableROFastPath, QMShards, an explicitly chosen snapshot
+		// staleness — keeps whatever the caller set: a wholesale Options
+		// replacement here would silently clobber any non-timing knob
+		// configured on its own (and every future Options field would have
+		// to remember to be spared from it).
+		def := ri.DefaultOptions()
+		c.RI.PAIntervalMicros = def.PAIntervalMicros
+		c.RI.RestartDelayMicros = def.RestartDelayMicros
+		c.RI.DefaultComputeMicros = def.DefaultComputeMicros
+		if c.RI.SnapshotStalenessMicros == 0 {
+			c.RI.SnapshotStalenessMicros = def.SnapshotStalenessMicros
+		}
 	}
 	if c.Detector == (deadlock.Options{}) {
 		c.Detector = deadlock.DefaultOptions()

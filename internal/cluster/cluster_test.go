@@ -158,6 +158,48 @@ func TestShardsOver256Rejected(t *testing.T) {
 	}
 }
 
+// TestValidatePreservesNonTimingRIOptions: leaving every protocol-timing
+// knob unset fills the timing defaults, but an RI option configured on its
+// own — admission control, a backoff cap, the RO fast-path toggle, an
+// explicit snapshot staleness — must survive the reset (regression: the
+// defaults pass used to replace the whole Options struct and hand-preserve
+// a hardcoded subset of fields).
+func TestValidatePreservesNonTimingRIOptions(t *testing.T) {
+	cfg := base(1)
+	cfg.RI.Admission.Enabled = true
+	cfg.RI.Admission.InitialWindow = 16
+	cfg.RI.RestartDelayCapMicros = 123_000
+	cfg.RI.DisableROFastPath = true
+	cfg.RI.SnapshotStalenessMicros = 77_000
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.RI.Admission.Enabled || cfg.RI.Admission.InitialWindow != 16 {
+		t.Fatalf("Admission clobbered by the timing-defaults reset: %+v", cfg.RI.Admission)
+	}
+	if cfg.RI.RestartDelayCapMicros != 123_000 {
+		t.Fatalf("RestartDelayCapMicros = %d, want 123000", cfg.RI.RestartDelayCapMicros)
+	}
+	if !cfg.RI.DisableROFastPath {
+		t.Fatal("DisableROFastPath clobbered by the timing-defaults reset")
+	}
+	if cfg.RI.SnapshotStalenessMicros != 77_000 {
+		t.Fatalf("SnapshotStalenessMicros = %d, want the explicit 77000", cfg.RI.SnapshotStalenessMicros)
+	}
+	// The timing defaults themselves must still be filled.
+	if cfg.RI.RestartDelayMicros == 0 || cfg.RI.PAIntervalMicros == 0 || cfg.RI.DefaultComputeMicros == 0 {
+		t.Fatalf("timing defaults not filled: %+v", cfg.RI)
+	}
+	// And an unset staleness still gets the default.
+	cfg2 := base(2)
+	if err := cfg2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.RI.SnapshotStalenessMicros == 0 {
+		t.Fatal("default SnapshotStalenessMicros not filled when unset")
+	}
+}
+
 // TestOverloadShedsAndBoundsQueues: a cluster with the backpressure knobs on
 // survives 10x-capacity open-loop arrivals with every data queue inside its
 // bound, a busy-NAK/shed trail proving the machinery engaged, and the

@@ -34,8 +34,12 @@ const overloadQueueBound = 32
 
 // overloadSLOMicros is the latency budget goodput is counted against: a
 // commit slower than this served nobody, however eventually the virtual-time
-// drain completed it. ~20× the unloaded mean system time.
-const overloadSLOMicros = 400_000
+// drain completed it. ~25× the unloaded mean system time, placed exactly on
+// a log₂ histogram bucket edge (2^19 µs = 524ms) so CountAtMost needs no
+// within-bucket interpolation and the CI gate counts commits strictly
+// faster than the edge exactly — an off-edge SLO is counted to
+// bucket-fraction resolution.
+const overloadSLOMicros = 524_288
 
 // OverloadPoint is one offered-load multiple of the sweep, run twice:
 // defended (admission control + bounded queues) and undefended (both off).

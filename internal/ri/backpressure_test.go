@@ -166,8 +166,11 @@ func TestBusyNAKAbortsRestartsAndShrinksWindow(t *testing.T) {
 	iss.OnMessage(c, engine.QMAddr(0), model.BusyMsg{
 		Txn: reqs[0].Txn, Attempt: reqs[0].Attempt, Copy: reqs[0].Copy,
 	})
-	if aborts := take[model.AbortMsg](c); len(aborts) != 1 {
-		t.Fatalf("aborts = %d, want 1 (the other copy withdrawn)", len(aborts))
+	if aborts := take[model.AbortMsg](c); len(aborts) != 2 {
+		// Both copies are withdrawn, including the NAK'd one: a transport-
+		// synthesized NAK cannot know whether its request reached the queue
+		// manager, and an abort for a never-queued entry is a QM no-op.
+		t.Fatalf("aborts = %d, want 2 (every copy withdrawn)", len(aborts))
 	}
 	dones := take[model.TxnDoneMsg](c)
 	if len(dones) != 1 || dones[0].Outcome != model.OutcomeBusy {
@@ -189,12 +192,20 @@ func TestBusyNAKAbortsRestartsAndShrinksWindow(t *testing.T) {
 	if len(retry) != 2 || retry[0].Attempt != 1 {
 		t.Fatalf("retry = %+v", retry)
 	}
-	// A stale NAK for the aborted attempt is ignored.
+	// A stale NAK for the aborted attempt is ignored — including by the
+	// admission controller: well past the AIMD cooldown, a phantom NAK
+	// (duplicated by a transport batch retry) must not shrink the window
+	// for an attempt that no longer exists.
+	c.now = 2_000_000
+	windowBefore := iss.Snapshot().Window
 	iss.OnMessage(c, engine.QMAddr(0), model.BusyMsg{
 		Txn: reqs[0].Txn, Attempt: 0, Copy: reqs[0].Copy,
 	})
 	if aborts := take[model.AbortMsg](c); len(aborts) != 0 {
 		t.Fatal("stale NAK aborted the new attempt")
+	}
+	if w := iss.Snapshot().Window; w != windowBefore {
+		t.Fatalf("stale NAK moved the admission window: %v -> %v", windowBefore, w)
 	}
 }
 

@@ -751,22 +751,27 @@ func (ri *Issuer) onVictim(ctx engine.Context, v model.VictimMsg) {
 	}
 	ri.victims++
 	ri.reportAttempt(ctx, s, model.OutcomeDeadlockVictim, model.OpRead)
-	ri.abortAttempt(ctx, s, model.CopyID{Item: -1})
+	ri.abortAttempt(ctx, s, withdrawNone)
 	ri.scheduleRestart(ctx, s)
 }
 
-// onBusy handles a congestion NAK from a saturated queue manager: the
-// request never entered a queue. Read-write attempts abort and restart under
-// exponential backoff; read-only snapshot transactions are shed outright
-// (the fast path has no restart machinery by design — the client retries).
-// Either way the admission window shrinks: BusyMsg is the remote half of the
-// AIMD feedback loop.
+// onBusy handles a congestion NAK: the request was refused — by a saturated
+// queue manager (full mailbox or data queue), or by the local transport
+// (send-queue eviction or a batch dropped on an unreachable peer). Read-
+// write attempts abort and restart under exponential backoff; read-only
+// snapshot transactions are shed outright (the fast path has no restart
+// machinery by design — the client retries). Either way the admission
+// window shrinks: BusyMsg is the remote half of the AIMD feedback loop. The
+// window decrease is applied only after the NAK proves to target a live
+// attempt — reconnect-retried batches and dropped-batch NAKs can duplicate
+// BusyMsgs for attempts already aborted and restarted, and a phantom NAK
+// must not cut the window for traffic that no longer exists.
 func (ri *Issuer) onBusy(ctx engine.Context, v model.BusyMsg) {
 	now := ctx.NowMicros()
-	if ri.adm != nil {
-		ri.adm.onBusy(now)
-	}
 	if ro := ri.roActive[v.Txn]; ro != nil && ro.pending[v.Copy] {
+		if ri.adm != nil {
+			ri.adm.onBusy(now)
+		}
 		ri.busyNAKs++
 		delete(ri.roActive, v.Txn)
 		ctx.Send(engine.CollectorAddr(), model.TxnDoneMsg{
@@ -791,18 +796,32 @@ func (ri *Issuer) onBusy(ctx engine.Context, v model.BusyMsg) {
 	if s.phase == phaseComputing || s.phase == phaseAwaitNormal {
 		return // already executing; a NAK cannot reach here (defensive)
 	}
+	if ri.adm != nil {
+		ri.adm.onBusy(now)
+	}
 	ri.busyNAKs++
 	var kind model.OpKind
 	if r := s.reqs[v.Copy]; r != nil {
 		kind = r.kind
 	}
 	ri.reportAttempt(ctx, s, model.OutcomeBusy, kind)
-	ri.abortAttempt(ctx, s, v.Copy)
+	// Withdraw EVERY request, including the NAK'd copy: a transport-
+	// synthesized NAK (eviction, dropped batch) cannot know whether the
+	// request reached the queue manager — a partially-received batch may
+	// have left a resident entry that nothing else would ever retire if
+	// this was the transaction's final attempt (MaxAttempts). A genuine QM
+	// NAK queued nothing, and the QM treats an abort for an entry it never
+	// held as a no-op, so the extra message is harmless there.
+	ri.abortAttempt(ctx, s, withdrawNone)
 	ri.scheduleRestart(ctx, s)
 }
 
+// withdrawNone is abortAttempt's skip sentinel meaning "withdraw every
+// copy": Item -1 can never name a real copy (item ids are non-negative).
+var withdrawNone = model.CopyID{Item: -1}
+
 // abortAttempt withdraws every outstanding request except skip (the copy
-// that rejected us holds no entry).
+// that rejected us holds no entry); pass withdrawNone to withdraw all.
 func (ri *Issuer) abortAttempt(ctx engine.Context, s *txnState, skip model.CopyID) {
 	for _, r := range s.order {
 		if r.copyID == skip {

@@ -144,9 +144,13 @@ type Node struct {
 
 	// sendQueueCap bounds each peer outbox (0 = unbounded): when an enqueue
 	// would exceed it, the OLDEST queued sheddable envelope is dropped to
-	// make room. Oldest-first is the right policy for this protocol: a stale
-	// request is re-sent by its issuer's restart machinery anyway, while the
-	// newest traffic is most likely to still matter. Only sheddable messages
+	// make room and its BusyMsg NAK is injected back to the local sender —
+	// the same refusal the engine delivers for a full mailbox, so the
+	// issuer's attempt aborts (releasing its requests elsewhere) instead of
+	// stranding in negotiation. Oldest-first is the right policy for this
+	// protocol: a stale request is re-sent by its issuer's restart machinery
+	// anyway, while the newest traffic is most likely to still matter. Only
+	// sheddable messages
 	// (model.Sheddable — new-work openers) are ever evicted, mirroring the
 	// engine's mailbox policy: dropping a release or grant to a live-but-slow
 	// peer would strand its locks forever, so completer traffic rides past
@@ -160,7 +164,8 @@ type Node struct {
 	// Batching observability (tests, diagnostics).
 	sentEnvelopes atomic.Uint64
 	flushes       atomic.Uint64
-	// droppedSends counts envelopes discarded by the send-queue cap;
+	// droppedSends counts every envelope the transport discarded — cap
+	// evictions plus whole batches dropped on an unreachable peer;
 	// queueHigh is the deepest any peer outbox has ever been.
 	droppedSends atomic.Uint64
 	queueHigh    atomic.Int64
@@ -180,6 +185,13 @@ type peerSender struct {
 	cond   *sync.Cond
 	queue  []engine.Envelope
 	closed bool
+	// shedHint is the index where the eviction scan for the oldest sheddable
+	// envelope resumes. Everything before it is known non-sheddable: completers
+	// are never evicted and only leave the queue when the writer takes the
+	// whole backlog (which resets the hint), so the hint only moves forward
+	// between takes and eviction is O(1) amortized instead of an O(n) scan per
+	// enqueue at the cap.
+	shedHint int
 }
 
 // NewNode wires rt's uplink into the topology and starts listening on
@@ -229,8 +241,10 @@ func (n *Node) BatchStats() (envelopes, flushes uint64) {
 
 // SetSendQueueCap bounds every peer outbox to cap envelopes; an enqueue at
 // the cap drops the oldest queued sheddable envelope to make room (counted
-// in QueueStats; completion traffic is never evicted and may ride past the
-// cap). Zero (the default) keeps outboxes unbounded. Call before traffic
+// in QueueStats) and NAKs it back to the local sender with its BusyMsg, so
+// the issuing attempt aborts instead of waiting forever on a reply that
+// will never come. Completion traffic is never evicted and may ride past
+// the cap. Zero (the default) keeps outboxes unbounded. Call before traffic
 // flows.
 func (n *Node) SetSendQueueCap(cap int) {
 	n.mu.Lock()
@@ -238,9 +252,10 @@ func (n *Node) SetSendQueueCap(cap int) {
 	n.mu.Unlock()
 }
 
-// QueueStats reports (envelopes dropped by the send-queue cap, deepest any
-// peer outbox has ever been). With a cap configured, sheddable traffic can
-// never push the high-water mark past it — including while a writer is
+// QueueStats reports (envelopes the transport discarded — send-queue-cap
+// evictions plus batches dropped on an unreachable peer — and the deepest
+// any peer outbox has ever been). With a cap configured, sheddable traffic
+// can never push the high-water mark past it — including while a writer is
 // stuck dialing a dead peer or retrying a batch across a reconnect, the
 // exact regimes where unbounded outboxes used to melt the node; only
 // protocol-completion messages (never evicted by design) can exceed it, by
@@ -326,19 +341,27 @@ func (n *Node) forward(env engine.Envelope) {
 	n.mu.Unlock()
 
 	ps.mu.Lock()
+	var nak engine.Envelope
+	haveNak := false
 	if !ps.closed {
 		if cap > 0 && len(ps.queue) >= cap {
 			// Evict the oldest SHEDDABLE envelope (in place, so the backing
-			// array is reused). If the backlog is all completers, grow past
-			// the cap instead — the bound is hard for openers, soft for
-			// completion traffic whose loss would wedge the protocol.
-			for i := range ps.queue {
-				if _, shed := ps.queue[i].Msg.(model.Sheddable); shed {
+			// array is reused), resuming the scan at shedHint — everything
+			// before it is completers, which never leave except by a whole-
+			// queue take. If the backlog is all completers, grow past the cap
+			// instead — the bound is hard for openers, soft for completion
+			// traffic whose loss would wedge the protocol.
+			for i := ps.shedHint; i < len(ps.queue); i++ {
+				if b, ok := busyNAK(ps.queue[i]); ok {
+					nak = b
+					haveNak = true
 					copy(ps.queue[i:], ps.queue[i+1:])
 					ps.queue = ps.queue[:len(ps.queue)-1]
 					n.droppedSends.Add(1)
+					ps.shedHint = i
 					break
 				}
+				ps.shedHint = i + 1
 			}
 		}
 		ps.queue = append(ps.queue, env)
@@ -351,6 +374,15 @@ func (n *Node) forward(env engine.Envelope) {
 		ps.cond.Signal()
 	}
 	ps.mu.Unlock()
+	if haveNak {
+		// NAK the evicted envelope back to its (local) sender, exactly as the
+		// engine NAKs a sheddable refused at a full mailbox (Runtime.nak):
+		// silence here would strand the issuer's attempt in negotiation
+		// forever — its already-admitted requests at other sites would hold
+		// queue entries with no wait-cycle for the deadlock detector to break.
+		// The BusyMsg is not itself sheddable, so Inject always delivers it.
+		n.rt.Inject(nak)
+	}
 }
 
 // take blocks until the outbox is non-empty (or the sender is closed) and
@@ -366,6 +398,7 @@ func (ps *peerSender) take() ([]engine.Envelope, bool) {
 	}
 	batch := ps.queue
 	ps.queue = nil
+	ps.shedHint = 0
 	return batch, true
 }
 
@@ -376,6 +409,7 @@ func (ps *peerSender) tryTake() []engine.Envelope {
 	defer ps.mu.Unlock()
 	batch := ps.queue
 	ps.queue = nil
+	ps.shedHint = 0
 	return batch
 }
 
@@ -392,10 +426,16 @@ type peerConn struct {
 // since the dial) is retried once on a fresh dial: without retransmission in
 // the protocol, a single lost request would leave its transaction hung
 // holding locks for the rest of the run. A peer that is genuinely down still
-// drops the batch — the protocol tolerates that as a crashed site. A batch
-// that was partially received before its connection died is re-sent whole,
-// so a reconnect may duplicate envelopes; the protocol's attempt tagging
-// absorbs duplicates (queue managers drop stale re-requests defensively).
+// drops the batch — the protocol tolerates that as a crashed site — but the
+// batch's sheddable envelopes are NAK'd back to their local senders first
+// (nakBatch): a silently dropped RequestMsg would strand its attempt in
+// negotiation forever, the same wedge the send-queue cap's eviction NAK
+// closes. A batch that was partially received before its connection died is
+// re-sent whole, so a reconnect may duplicate envelopes; the protocol's
+// attempt tagging absorbs duplicates (queue managers drop stale re-requests
+// defensively, and supersede a resident entry when a newer attempt's request
+// arrives — which also retires any entry a NAK'd-but-partially-delivered
+// request left behind once its restart re-requests the copy).
 func (ps *peerSender) run() {
 	defer ps.n.wg.Done()
 	var pc *peerConn
@@ -420,17 +460,19 @@ func (ps *peerSender) run() {
 			time.Sleep(ps.n.batchDelay)
 			batch = append(batch, ps.tryTake()...)
 		}
+		sent := false
 		for attempt := 0; attempt < 2; attempt++ {
 			if pc == nil {
 				c, err := ps.n.dial(ps.peer)
 				if err != nil {
-					break // unreachable peer: drop the batch
+					break // unreachable peer: drop the batch (NAK'd below)
 				}
 				pc = &peerConn{c: c, bw: bufio.NewWriterSize(c, ps.n.batchBytes)}
 				pc.enc = gob.NewEncoder(pc.bw)
 				pc.bw.WriteByte(WireVersion)
 			}
 			if err := ps.writeBatch(pc, batch); err == nil {
+				sent = true
 				break
 			}
 			// The connection is dead: retire it — along with its encoder and
@@ -438,7 +480,41 @@ func (ps *peerSender) run() {
 			// batch exactly once on a fresh dial.
 			retire()
 		}
+		if !sent {
+			ps.n.droppedSends.Add(uint64(len(batch)))
+			ps.n.nakBatch(batch)
+		}
 	}
+}
+
+// nakBatch answers every sheddable envelope of a dropped batch with its
+// BusyMsg NAK to the local sender, exactly as forward does for a cap
+// eviction: the peer is unreachable (dead dial, or a write that failed twice)
+// and the issuer has no attempt timeout, so silence would strand each
+// dropped request's attempt forever while its admitted requests at other
+// sites hold queue entries. Completers are dropped without a NAK — that is
+// the crashed-site semantics the protocol tolerates, and they have no Busy
+// form. The NAKs are best-effort abort triggers: if a request in a
+// partially-received batch did reach the peer, the restarted attempt's
+// re-request supersedes the resident entry at the queue manager.
+func (n *Node) nakBatch(batch []engine.Envelope) {
+	for _, env := range batch {
+		if nak, ok := busyNAK(env); ok {
+			n.rt.Inject(nak)
+		}
+	}
+}
+
+// busyNAK inverts a sheddable envelope into its BusyMsg NAK toward the
+// sender (the same inversion engine.Runtime.nak performs for a refused
+// mailbox push); ok is false for non-sheddable messages, which have no Busy
+// form and are never refused.
+func busyNAK(env engine.Envelope) (engine.Envelope, bool) {
+	sh, ok := env.Msg.(model.Sheddable)
+	if !ok {
+		return engine.Envelope{}, false
+	}
+	return engine.Envelope{From: env.To, To: env.From, Msg: sh.Busy()}, true
 }
 
 // writeBatch encodes one batch through the connection's pipelined encoder

@@ -348,6 +348,153 @@ func TestSendQueueCapDropsOldest(t *testing.T) {
 	}
 }
 
+// TestSendQueueCapEvictionNAKs: an envelope evicted by the send-queue cap
+// must not vanish silently — the LOCAL sender receives the evicted message's
+// BusyMsg NAK, exactly as if the remote mailbox had refused it
+// (engine.Runtime.nak), so the issuing attempt aborts and releases its
+// requests at other sites instead of stranding in negotiation forever.
+func TestSendQueueCapEvictionNAKs(t *testing.T) {
+	assign := func(a engine.Addr) string { return fmt.Sprintf("site%d", a.ID) }
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+
+	nodeB, err := NewNode(rtB, "site1", "127.0.0.1:0", Topology{Peers: map[string]string{}, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	nodeA, err := NewNode(rtA, "site0", "", Topology{
+		Peers: map[string]string{"site1": nodeB.Addr()}, Assign: assign,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	const cap = 16
+	const total = 200
+	const evictions = total - 1 - cap // writer holds #0; the newest cap survive
+	nodeA.SetSendQueueCap(cap)
+	nodeA.SetBatching(0, 300*time.Millisecond)
+
+	rtB.Register(engine.QMAddr(1), &recorder{done: make(chan struct{}), want: 1 << 30})
+	// The sender's actor on A receives the NAKs.
+	naks := &recorder{done: make(chan struct{}), want: evictions}
+	rtA.Register(engine.RIAddr(0), naks)
+
+	send := func(i int) {
+		nodeA.forward(engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: uint64(i)}, TS: model.Timestamp(i)},
+		})
+	}
+	send(0)
+	time.Sleep(50 * time.Millisecond)
+	for i := 1; i < total; i++ {
+		send(i)
+	}
+	select {
+	case <-naks.done:
+	case <-time.After(10 * time.Second):
+		naks.mu.Lock()
+		n := len(naks.got)
+		naks.mu.Unlock()
+		t.Fatalf("timed out: %d/%d NAKs delivered to the sender", n, evictions)
+	}
+	naks.mu.Lock()
+	defer naks.mu.Unlock()
+	// Every eviction NAK'd, oldest first, carrying the evicted identity. The
+	// expected count is `evictions`, plus one if the writer had not yet taken
+	// envelope 0 when the burst landed (then 0 was evicted too) — a timing
+	// window the 50ms primer usually, but not provably, closes.
+	dropped, _ := nodeA.QueueStats()
+	if got := uint64(len(naks.got)); got != dropped {
+		t.Fatalf("NAKs delivered = %d, evictions counted = %d (one NAK per eviction)", got, dropped)
+	}
+	if dropped != uint64(evictions) && dropped != uint64(evictions+1) {
+		t.Fatalf("dropped = %d, want %d (or %d if the writer missed envelope 0)",
+			dropped, evictions, evictions+1)
+	}
+	prev := int64(-1)
+	for i, m := range naks.got {
+		busy, ok := m.(model.BusyMsg)
+		if !ok {
+			t.Fatalf("sender received %T, want model.BusyMsg", m)
+		}
+		if seq := int64(busy.Txn.Seq); seq <= prev {
+			t.Fatalf("NAK %d carries seq %d after seq %d (oldest-first eviction violated)", i, seq, prev)
+		} else {
+			prev = seq
+		}
+	}
+	// The newest `cap` envelopes survived: none of them may have been NAK'd.
+	if prev >= int64(total-cap) {
+		t.Fatalf("NAK for seq %d: a surviving (newest-%d) envelope was evicted", prev, cap)
+	}
+}
+
+// TestUnreachablePeerNAKsSheddables: a batch dropped because its peer is
+// unreachable (dead dial) must NAK its sheddable envelopes back to the
+// local sender, just like a cap eviction — a silently dropped RequestMsg
+// strands its attempt forever. Completers in the dropped batch stay silent
+// (crashed-site semantics).
+func TestUnreachablePeerNAKsSheddables(t *testing.T) {
+	assign := func(a engine.Addr) string { return fmt.Sprintf("site%d", a.ID) }
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	defer rtA.Shutdown()
+
+	// A port that refuses connections: listen, note the address, close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	nodeA, err := NewNode(rtA, "site0", "", Topology{
+		Peers: map[string]string{"site1": deadAddr}, Assign: assign,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	naks := &recorder{done: make(chan struct{}), want: 1}
+	rtA.Register(engine.RIAddr(0), naks)
+
+	nodeA.forward(engine.Envelope{
+		From: engine.RIAddr(0), To: engine.QMAddr(1),
+		Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: 7}},
+	})
+	nodeA.forward(engine.Envelope{
+		From: engine.RIAddr(0), To: engine.QMAddr(1),
+		Msg: model.ReleaseMsg{Txn: model.TxnID{Site: 0, Seq: 8}},
+	})
+	select {
+	case <-naks.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no NAK for a request dropped on an unreachable peer")
+	}
+	// Let any (wrong) release NAK trail in before checking.
+	time.Sleep(200 * time.Millisecond)
+	naks.mu.Lock()
+	defer naks.mu.Unlock()
+	if len(naks.got) != 1 {
+		t.Fatalf("sender received %d NAKs, want exactly 1 (only the request is sheddable)", len(naks.got))
+	}
+	busy, ok := naks.got[0].(model.BusyMsg)
+	if !ok || busy.Txn.Seq != 7 {
+		t.Fatalf("NAK = %+v, want BusyMsg for the dropped request (seq 7)", naks.got[0])
+	}
+	// Both dropped envelopes — the NAK'd request and the silent release —
+	// count in the drop stats the operator reads.
+	if dropped, _ := nodeA.QueueStats(); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (both envelopes of the dropped batches)", dropped)
+	}
+}
+
 // TestSendQueueCapSparesCompleters: the cap must never evict
 // protocol-completion traffic — a dropped release to a live-but-slow peer
 // would strand its locks forever. Requests interleaved with releases are

@@ -158,10 +158,14 @@ func (r Result) Overload() OverloadStats {
 	}
 }
 
-// Offered returns the number of transactions submitted to the issuers —
-// committed + shed + still-unfinished. Goodput is Committed()/time; the gap
-// between offered and committed under overload is the load the system shed
-// instead of melting.
+// Offered returns the number of transactions submitted to the issuers.
+// Every offered transaction ends committed, admission-shed, busy-shed (a
+// read-only snapshot NAK'd by a saturated queue manager), dropped at
+// MaxAttempts, or still unfinished at the drain — so offered equals
+// committed + shed + unfinished only when the run has no RO share under
+// overload and no attempt cap. Goodput is Committed()/time; the gap between
+// offered and committed under overload is the load the system shed instead
+// of melting.
 func (r Result) Offered() uint64 {
 	return r.cl.RITotals().Submitted
 }
