@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -90,10 +91,17 @@ func parseBenchOutput(r io.Reader) ([]benchSample, error) {
 	return out, sc.Err()
 }
 
-// checkResult is one gate comparison.
+// checkResult is one delta-table row: a metric comparison (kind empty, what
+// names the metric), a "missing" row (baseline entry absent from the run:
+// fails unless scoped out), or a "new" row (run benchmark absent from the
+// baseline: informational, so freshly added benchmarks are visible in the
+// log before their baseline lands). kind is a separate field so a metric
+// that happens to be named "missing" or "new" cannot collide with the row
+// types.
 type checkResult struct {
 	name   string
-	what   string // which number was compared
+	kind   string // "" (metric comparison), "missing", or "new"
+	what   string // metric key, or "ns/op"
 	base   float64
 	got    float64
 	change float64 // relative change, >0 improvement for metrics
@@ -118,7 +126,7 @@ func runCheck(base baselineFile, samples []benchSample, tolerance float64, gateN
 		if !ok {
 			if require == nil || require.MatchString(b.Name) {
 				out = append(out, checkResult{
-					name: b.Name, what: "missing", failed: true,
+					name: b.Name, kind: "missing", failed: true,
 				})
 			}
 			continue
@@ -143,6 +151,27 @@ func runCheck(base baselineFile, samples []benchSample, tolerance float64, gateN
 			})
 		}
 	}
+	// Samples without a baseline entry print as informational "new" rows:
+	// the full delta table always shows everything the run measured, so CI
+	// logs carry the perf trajectory of fresh benchmarks from day one.
+	known := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		known[b.Name] = true
+	}
+	for _, s := range samples {
+		// parseBenchOutput already dedupes by name; the known-map guard also
+		// keeps this loop one-row-per-benchmark for any direct caller.
+		if !known[s.Name] {
+			known[s.Name] = true
+			out = append(out, checkResult{name: s.Name, kind: "new", got: s.NsPerOp})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].what < out[j].what
+	})
 	if matched == 0 {
 		return out, fmt.Errorf("no benchmark in the output matches any baseline entry")
 	}
@@ -183,19 +212,34 @@ func check(benchFile, basePath string, tolerance float64, gateNs bool, requireEx
 		fmt.Fprintf(os.Stderr, "uccbench: parse %s: %v\n", basePath, err)
 		return 2
 	}
-	results, err := runCheck(base, samples, tolerance, gateNs, require)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "uccbench: check: %v\n", err)
-		return 1
-	}
-	failures := 0
+	results, checkErr := runCheck(base, samples, tolerance, gateNs, require)
+	// The full delta table prints on pass AND fail — including the
+	// zero-matches failure, where the MISS/NEW rows are exactly what reveals
+	// a renamed suite or typo'd -bench regex.
+	// A green gate whose log
+	// shows only "pass" hides the perf trajectory — steady −5% drifts that
+	// never individually trip the tolerance stay invisible until they have
+	// compounded into a regression nobody can bisect.
+	failures, compared, improved, regressed, fresh := 0, 0, 0, 0, 0
 	fmt.Printf("bench gate: %s vs %s (tolerance %.0f%%, ns/op gated: %v)\n",
 		benchFile, basePath, tolerance*100, gateNs)
 	for _, r := range results {
-		if r.what == "missing" {
+		switch r.kind {
+		case "missing":
 			failures++
 			fmt.Printf("  MISS %-45s not in the bench output (renamed? typo'd -bench regex? scope with -require)\n", r.name)
 			continue
+		case "new":
+			fresh++
+			fmt.Printf("  NEW  %-45s %-16s %32.1f ns/op (no baseline entry yet)\n", r.name, "", r.got)
+			continue
+		}
+		compared++
+		switch {
+		case r.change > 0:
+			improved++
+		case r.change < 0:
+			regressed++
 		}
 		verdict := "ok"
 		if r.failed {
@@ -206,6 +250,12 @@ func check(benchFile, basePath string, tolerance float64, gateNs bool, requireEx
 		}
 		fmt.Printf("  %-4s %-45s %-16s base %14.1f  got %14.1f  (%+.1f%%)\n",
 			verdict, r.name, r.what, r.base, r.got, r.change*100)
+	}
+	fmt.Printf("bench gate: %d comparison(s): %d improved, %d regressed, %d new benchmark(s) without baseline\n",
+		compared, improved, regressed, fresh)
+	if checkErr != nil {
+		fmt.Fprintf(os.Stderr, "uccbench: check: %v\n", checkErr)
+		return 1
 	}
 	if failures > 0 {
 		fmt.Printf("bench gate: %d failure(s) (regressions beyond %.0f%% or missing benchmarks)\n", failures, tolerance*100)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -182,7 +185,7 @@ func TestCheckMissingBaselineFailsLoudly(t *testing.T) {
 	var missFailed bool
 	for _, r := range results {
 		if r.name == "BenchmarkRenamedAway" {
-			if !r.failed || r.what != "missing" {
+			if !r.failed || r.kind != "missing" {
 				t.Fatalf("missing baseline not failed: %+v", r)
 			}
 			missFailed = true
@@ -227,9 +230,138 @@ func TestCheckRequireScopesMissing(t *testing.T) {
 	}
 	var sawMiss bool
 	for _, r := range results {
-		sawMiss = sawMiss || (r.failed && r.what == "missing")
+		sawMiss = sawMiss || (r.failed && r.kind == "missing")
 	}
 	if !sawMiss {
 		t.Fatal("in-scope missing benchmark did not fail")
+	}
+}
+
+// TestCheckReportsNewBenchmarks: a run benchmark without a baseline entry
+// appears as an informational "new" row (never a failure) so fresh
+// benchmarks are visible in CI logs before their baseline lands.
+func TestCheckReportsNewBenchmarks(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadPathThroughput", Metrics: map[string]float64{"txn_per_s": 480}},
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRows := map[string]bool{}
+	for _, r := range results {
+		if r.kind == "new" {
+			if r.failed {
+				t.Fatalf("a new benchmark failed the gate: %+v", r)
+			}
+			newRows[r.name] = true
+		}
+	}
+	for _, want := range []string{"BenchmarkCommitGroup16", "BenchmarkReadWriteThroughput/shards=1", "BenchmarkReadWriteThroughput/shards=4"} {
+		if !newRows[want] {
+			t.Fatalf("%s not reported as new; rows: %+v", want, results)
+		}
+	}
+}
+
+// TestCheckResultsSorted: the delta table is sorted by benchmark name so
+// successive CI logs diff cleanly (the perf-trajectory reading the table
+// exists for).
+func TestCheckResultsSorted(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadPathThroughput", Metrics: map[string]float64{"txn_per_s": 480}},
+		{Name: "BenchmarkCommitGroup16", Metrics: map[string]float64{"commits_per_sync": 4.5}},
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].name < results[i-1].name {
+			t.Fatalf("results out of order at %d: %q after %q", i, results[i].name, results[i-1].name)
+		}
+	}
+}
+
+// TestCheckPrintsDeltaTableOnPass: the fix this PR carries — a passing gate
+// must still print every per-benchmark delta, not just the verdict.
+func TestCheckPrintsDeltaTableOnPass(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.out")
+	basePath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(benchPath, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := `{"benchmarks": [
+		{"name": "BenchmarkReadPathThroughput", "ns_per_op": 500000000, "metrics": {"txn_per_s": 480}},
+		{"name": "BenchmarkCommitGroup16", "ns_per_op": 250000, "metrics": {"commits_per_sync": 4.5}}
+	]}`
+	if err := os.WriteFile(basePath, []byte(baseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := check(benchPath, basePath, 0.20, false, "ReadPathThroughput|CommitGroup16")
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("gate failed (exit %d):\n%s", code, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"BenchmarkReadPathThroughput", "txn_per_s",
+		"BenchmarkCommitGroup16", "commits_per_sync",
+		"NEW", "BenchmarkReadWriteThroughput/shards=4",
+		"improved", "bench gate: pass",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("pass output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCheckZeroMatchesStillPrintsTable: when nothing in the output matches
+// the baseline (renamed suite, typo'd -bench regex), the gate fails AND the
+// MISS/NEW rows print — they are exactly what reveals the rename.
+func TestCheckZeroMatchesStillPrintsTable(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.out")
+	basePath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(benchPath, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := `{"benchmarks": [{"name": "BenchmarkRenamedAway", "metrics": {"txn_per_s": 100}}]}`
+	if err := os.WriteFile(basePath, []byte(baseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := check(benchPath, basePath, 0.20, false, "")
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("zero-intersection gate exited %d, want 1", code)
+	}
+	for _, want := range []string{"MISS", "BenchmarkRenamedAway", "NEW", "BenchmarkReadPathThroughput"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("zero-matches output missing %q:\n%s", want, out)
+		}
 	}
 }

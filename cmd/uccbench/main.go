@@ -22,7 +22,12 @@
 //	uccbench -shards-json BENCH_shards.json
 //
 // runs the EXP-11 wall-clock shard sweep and writes it as JSON (the
-// bench-gate job uploads it as an artifact on every PR).
+// bench-gate job uploads it as an artifact on every PR), and:
+//
+//	uccbench -wire-json BENCH_wire.json
+//
+// measures the wire-v3 codec against the legacy gob stream over the mixed
+// message corpus and writes the comparison (same artifact contract).
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 		gateNs     = flag.Bool("gate-ns", false, "also gate ns/op in -check (off by default: wall-clock cost does not transfer across runners)")
 		require    = flag.String("require", "", "regexp of baseline benchmark names that must appear in the -check output; empty requires ALL of them — a baseline entry missing from the run fails loudly instead of being skipped")
 		shardsJSON = flag.String("shards-json", "", "run the EXP-11 shard sweep and write this JSON artifact, then exit")
+		wireJSON   = flag.String("wire-json", "", "run the wire-v3-vs-gob codec comparison and write this JSON artifact, then exit")
 	)
 	flag.Parse()
 
@@ -59,6 +65,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *shardsJSON)
+		return
+	}
+	if *wireJSON != "" {
+		if err := writeWireJSON(*wireJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "uccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *wireJSON)
 		return
 	}
 

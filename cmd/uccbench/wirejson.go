@@ -1,0 +1,57 @@
+// BENCH_wire.json generation: the wire-v3 codec vs gob comparison as a
+// machine-readable artifact, refreshed by the bench-gate CI job on every PR
+// so codec numbers from real runners accumulate next to the code (the same
+// contract as BENCH_shards.json for shard scaling).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ucc/internal/wire"
+)
+
+type wireReport struct {
+	Recorded string     `json:"recorded"`
+	Command  string     `json:"command"`
+	Host     shardsHost `json:"host"`
+	// Report is the measured comparison: per-codec msgs/sec, ns/msg,
+	// allocs/msg, bytes/msg over the mixed-message corpus, plus the
+	// speedup and allocation ratios the acceptance gate holds
+	// (TestWireCodecGate: speedup ≥ 1.5x, alloc ratio ≤ 0.10).
+	Report wire.CodecReport `json:"report"`
+	Note   string           `json:"note"`
+}
+
+// writeWireJSON verifies the codec round-trips its corpus, measures both
+// codecs, and writes the artifact.
+func writeWireJSON(path string) error {
+	if err := wire.Verify(); err != nil {
+		return fmt.Errorf("codec self-check: %w", err)
+	}
+	rep, err := wire.CompareWithGob(300)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(wireReport{
+		Recorded: time.Now().UTC().Format("2006-01-02"),
+		Command:  fmt.Sprintf("go run ./cmd/uccbench -wire-json %s", path),
+		Host: shardsHost{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go: runtime.Version(),
+		},
+		Report: rep,
+		Note: "full encode→decode round trip per envelope over the mixed-message corpus " +
+			"(internal/wire Corpus): wire v3 explicit binary codec vs the legacy encoding/gob " +
+			"stream. msgs/sec is host-bound; bytes/msg is corpus-deterministic; the ratios are " +
+			"what the CI gate (TestWireCodecGate) holds.",
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -193,6 +193,9 @@ func main() {
 	st := issuer.Snapshot()
 	log.Printf("uccnode: site %d backpressure: mailbox NAKs=%d high=%d, send-queue drops=%d high=%d, shed=%d, busy NAKs=%d",
 		*site, ovf, mbHigh, dropped, sqHigh, st.Shed, st.BusyNAKs)
+	ws := node.Wire().Snapshot()
+	log.Printf("uccnode: site %d wire: out %d msgs/%d B (%.1f B/msg), in %d msgs/%d B (%.1f B/msg), conns v3=%d v2-fallback=%d",
+		*site, ws.MsgsOut, ws.BytesOut, ws.BytesPerMsgOut(), ws.MsgsIn, ws.BytesIn, ws.BytesPerMsgIn(), ws.V3Conns, ws.V2Fallbacks)
 	node.Close()
 	rt.Shutdown()
 	if siteLog != nil {

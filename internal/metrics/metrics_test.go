@@ -262,3 +262,25 @@ func TestCountAtMostInterpolates(t *testing.T) {
 		t.Fatalf("bucket-0 cut at 0.5: got %d, want 5", got)
 	}
 }
+
+// TestWireCounters: the codec counters snapshot consistently and derive
+// bytes-per-message correctly (including the zero-traffic case).
+func TestWireCounters(t *testing.T) {
+	var w WireCounters
+	if s := w.Snapshot(); s.BytesPerMsgOut() != 0 || s.BytesPerMsgIn() != 0 {
+		t.Fatalf("zero traffic must derive 0 B/msg, got %+v", s)
+	}
+	w.MsgsOut.Add(4)
+	w.BytesOut.Add(100)
+	w.MsgsIn.Add(2)
+	w.BytesIn.Add(50)
+	w.V3Conns.Add(1)
+	w.V2Fallbacks.Add(3)
+	s := w.Snapshot()
+	if s.MsgsOut != 4 || s.BytesOut != 100 || s.MsgsIn != 2 || s.BytesIn != 50 || s.V3Conns != 1 || s.V2Fallbacks != 3 {
+		t.Fatalf("snapshot lost counts: %+v", s)
+	}
+	if s.BytesPerMsgOut() != 25 || s.BytesPerMsgIn() != 25 {
+		t.Fatalf("B/msg: out=%.1f in=%.1f, want 25 both", s.BytesPerMsgOut(), s.BytesPerMsgIn())
+	}
+}

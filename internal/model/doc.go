@@ -13,7 +13,12 @@
 // model.Protocols deliberately excludes it while model.NumProtocols sizes
 // arrays that account for it.
 //
-// The package is deliberately free of behaviour beyond ordering and
-// formatting so that every other package (simulator, runtime, TCP transport)
-// can share one wire vocabulary.
+// The package is deliberately free of behaviour beyond ordering, formatting,
+// and serialization, so that every other package (simulator, runtime, TCP
+// transport, WAL) can share one wire vocabulary. Serialization is the wire-v3
+// contract (wire.go): a stable one-byte WireTag per message type — never
+// renumbered — with explicit varint field encoders and error-latching
+// decoding (WireReader), reused by internal/wire for envelope framing and by
+// internal/wal for record payloads. Gob registration (RegisterGob) remains
+// for the transport's legacy v2 fallback stream.
 package model

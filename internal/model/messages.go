@@ -6,8 +6,10 @@ import (
 )
 
 // Message is the marker interface for everything exchanged between actors.
-// All concrete messages are gob-encodable structs so the same protocol runs
-// over the in-process engines and the TCP transport.
+// All concrete messages are plain-data structs so the same protocol runs
+// over the in-process engines and the TCP transport; each carries a stable
+// wire tag and explicit binary encoders (wire.go) for the v3 wire format,
+// and remains gob-encodable for the legacy v2 fallback stream.
 type Message interface {
 	isMessage()
 }

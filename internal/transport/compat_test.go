@@ -1,0 +1,493 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+	"ucc/internal/wire"
+)
+
+// The codec-compat matrix: every pairing of a wire-v3 node with a legacy
+// wire-v2 (gob) peer must interoperate, because rolling upgrades run mixed
+// fleets. The legacy side is simulated faithfully by test doubles that speak
+// exactly what the pre-v3 implementation spoke: a version byte 2, then a
+// pipelined gob stream of WireEnvelope values, and a listener that closes
+// any connection whose version byte is not 2 — which is precisely the
+// behavior the v3 dialer's fallback negotiation relies on.
+
+// legacyListener mimics an old node's accept side: version byte must be 2,
+// then gob WireEnvelopes, delivered to got. It never writes — old listeners
+// sent no negotiation ack.
+type legacyListener struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+	got   []engine.Envelope
+	done  chan struct{}
+	want  int
+}
+
+func newLegacyListener(t *testing.T, want int) *legacyListener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &legacyListener{ln: ln, done: make(chan struct{}), want: want}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			l.mu.Lock()
+			l.conns = append(l.conns, c)
+			l.mu.Unlock()
+			go l.serve(c)
+		}
+	}()
+	return l
+}
+
+func (l *legacyListener) serve(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	ver, err := br.ReadByte()
+	if err != nil || ver != WireVersionV2 {
+		return // exactly the old readLoop: unknown era, close the conn
+	}
+	dec := gob.NewDecoder(br)
+	for {
+		var w WireEnvelope
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		l.mu.Lock()
+		l.got = append(l.got, fromWire(w))
+		if len(l.got) == l.want {
+			close(l.done)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// Close kills the listener and every accepted connection — the whole legacy
+// process going away, as a node replacement does.
+func (l *legacyListener) Close() {
+	l.ln.Close()
+	l.mu.Lock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+}
+
+// dialLegacyV2 mimics an old node's writer: version byte 2 raw, then a
+// pipelined gob stream.
+func dialLegacyV2(t *testing.T, addr string) (net.Conn, *gob.Encoder) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte{WireVersionV2}); err != nil {
+		t.Fatal(err)
+	}
+	return c, gob.NewEncoder(c)
+}
+
+func siteAssign(a engine.Addr) string { return fmt.Sprintf("site%d", a.ID) }
+
+func waitRecorder(t *testing.T, r *recorder, what string) {
+	t.Helper()
+	select {
+	case <-r.done:
+	case <-time.After(10 * time.Second):
+		r.mu.Lock()
+		n := len(r.got)
+		r.mu.Unlock()
+		t.Fatalf("%s: timed out with %d/%d messages", what, n, r.want)
+	}
+}
+
+// TestCompatV3ToV3: two current nodes negotiate v3 — no gob anywhere — and
+// the codec counters show framed traffic both ways.
+func TestCompatV3ToV3(t *testing.T) {
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+
+	nodeB, err := NewNode(rtB, "site1", "127.0.0.1:0", Topology{Peers: map[string]string{}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	nodeA, err := NewNode(rtA, "site0", "", Topology{Peers: map[string]string{"site1": nodeB.Addr()}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	const total = 50
+	recv := &recorder{done: make(chan struct{}), want: total}
+	rtB.Register(engine.QMAddr(1), recv)
+	for i := 0; i < total; i++ {
+		nodeA.forward(engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: uint64(i)}, TS: model.Timestamp(i)},
+		})
+	}
+	waitRecorder(t, recv, "v3→v3")
+
+	a, b := nodeA.Wire().Snapshot(), nodeB.Wire().Snapshot()
+	if a.V3Conns == 0 || a.V2Fallbacks != 0 {
+		t.Fatalf("dialer negotiated v3Conns=%d v2Fallbacks=%d, want v3 only", a.V3Conns, a.V2Fallbacks)
+	}
+	if a.MsgsOut != total || b.MsgsIn != total {
+		t.Fatalf("codec counters: out=%d in=%d, want %d both", a.MsgsOut, b.MsgsIn, total)
+	}
+	if a.BytesOut == 0 || b.BytesIn == 0 {
+		t.Fatalf("byte counters stayed zero: out=%d in=%d", a.BytesOut, b.BytesIn)
+	}
+	// The density win is the codec's point: a RequestMsg envelope frame is
+	// ~20 bytes where gob's per-message overhead alone is several times that.
+	if perMsg := a.BytesPerMsgOut(); perMsg > 64 {
+		t.Fatalf("v3 stream averages %.1f B/msg for small requests — suspiciously gob-sized", perMsg)
+	}
+}
+
+// TestCompatV3DialerToV2Listener: a current node sending to an old node must
+// detect the missing ack, fall back to the v2 gob stream, and deliver every
+// message — a rolling upgrade's new→old direction.
+func TestCompatV3DialerToV2Listener(t *testing.T) {
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	defer rtA.Shutdown()
+
+	const total = 40
+	legacy := newLegacyListener(t, total)
+	defer legacy.Close()
+
+	nodeA, err := NewNode(rtA, "site0", "", Topology{Peers: map[string]string{"site1": legacy.ln.Addr().String()}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	for i := 0; i < total; i++ {
+		nodeA.forward(engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.ReleaseMsg{Txn: model.TxnID{Site: 0, Seq: uint64(i)}, HasWrite: true, Value: int64(i), CommitMicros: int64(i) * 10},
+		})
+	}
+	select {
+	case <-legacy.done:
+	case <-time.After(10 * time.Second):
+		legacy.mu.Lock()
+		n := len(legacy.got)
+		legacy.mu.Unlock()
+		t.Fatalf("legacy listener timed out with %d/%d messages", n, total)
+	}
+	legacy.mu.Lock()
+	first := legacy.got[0]
+	legacy.mu.Unlock()
+	if m, ok := first.Msg.(model.ReleaseMsg); !ok || !m.HasWrite {
+		t.Fatalf("legacy side decoded %T %+v, want the ReleaseMsg", first.Msg, first.Msg)
+	}
+	s := nodeA.Wire().Snapshot()
+	if s.V2Fallbacks == 0 {
+		t.Fatalf("no v2 fallback recorded (v3Conns=%d) — what did the legacy peer speak?", s.V3Conns)
+	}
+	if s.V3Conns != 0 {
+		t.Fatalf("v3Conns=%d against a legacy-only peer", s.V3Conns)
+	}
+}
+
+// TestCompatV2DialerToV3Listener: an old node sending to a current node — a
+// rolling upgrade's old→new direction. The v2 gob stream must decode and
+// inject exactly as it did before the upgrade.
+func TestCompatV2DialerToV3Listener(t *testing.T) {
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtB.Shutdown()
+
+	nodeB, err := NewNode(rtB, "site1", "127.0.0.1:0", Topology{Peers: map[string]string{}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	const total = 40
+	recv := &recorder{done: make(chan struct{}), want: total}
+	rtB.Register(engine.QMAddr(1), recv)
+
+	c, enc := dialLegacyV2(t, nodeB.Addr())
+	defer c.Close()
+	for i := 0; i < total; i++ {
+		env := engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: uint64(i)}, Kind: model.OpWrite, TS: model.Timestamp(i)},
+		}
+		if err := enc.Encode(toWire(env)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRecorder(t, recv, "v2→v3")
+	recv.mu.Lock()
+	defer recv.mu.Unlock()
+	for i, m := range recv.got {
+		req, ok := m.(model.RequestMsg)
+		if !ok || req.TS != model.Timestamp(i) {
+			t.Fatalf("message %d decoded as %T %+v, want ordered RequestMsg", i, m, m)
+		}
+	}
+	if in := nodeB.Wire().Snapshot().MsgsIn; in != total {
+		t.Fatalf("v3 listener counted %d inbound msgs over the v2 stream, want %d", in, total)
+	}
+}
+
+// TestCompatRenegotiatesPerDial: version choice is per connection, not per
+// peer — after a fallback conn dies, the next dial re-probes, so a peer that
+// restarts upgraded is spoken to in v3 without the sender restarting.
+func TestCompatRenegotiatesPerDial(t *testing.T) {
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+
+	legacy := newLegacyListener(t, 1)
+	legacyAddr := legacy.ln.Addr().String()
+
+	nodeA, err := NewNode(rtA, "site0", "", Topology{Peers: map[string]string{"site1": legacyAddr}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	nodeA.forward(engine.Envelope{
+		From: engine.RIAddr(0), To: engine.QMAddr(1),
+		Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: 1}},
+	})
+	select {
+	case <-legacy.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("legacy peer never got the first message")
+	}
+	if s := nodeA.Wire().Snapshot(); s.V2Fallbacks == 0 {
+		t.Fatalf("expected a v2 fallback against the legacy peer, got %+v", s)
+	}
+
+	// "Upgrade" the peer: the legacy process goes away and a v3 node takes
+	// over its address.
+	legacy.Close()
+	time.Sleep(50 * time.Millisecond) // let the port release
+	ln, err := net.Listen("tcp", legacyAddr)
+	if err != nil {
+		t.Skipf("could not rebind the legacy address (%v); upgrade half of the matrix skipped", err)
+	}
+	ln.Close()
+	nodeB, err := NewNode(rtB, "site1", legacyAddr, Topology{Peers: map[string]string{}, Assign: siteAssign})
+	if err != nil {
+		t.Skipf("could not rebind the legacy address (%v); upgrade half of the matrix skipped", err)
+	}
+	defer nodeB.Close()
+	recv := &recorder{done: make(chan struct{}), want: 1}
+	rtB.Register(engine.QMAddr(1), recv)
+
+	// The old fallback conn is dead (its listener closed); the writer's
+	// retry dials fresh and must re-probe to v3 against the upgraded peer.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		nodeA.forward(engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: 2}},
+		})
+		select {
+		case <-recv.done:
+		case <-time.After(200 * time.Millisecond):
+			if time.Now().Before(deadline) {
+				continue
+			}
+			t.Fatal("upgraded peer never received a message")
+		}
+		break
+	}
+	if s := nodeA.Wire().Snapshot(); s.V3Conns == 0 {
+		t.Fatalf("sender never renegotiated v3 after the peer upgraded: %+v", s)
+	}
+}
+
+// rogueReq embeds RequestMsg (so it is Sheddable via the promoted Busy) but
+// is a distinct type with no wire tag — an unencodable sheddable envelope.
+type rogueReq struct{ model.RequestMsg }
+
+// TestEncodeFailureNAKsSheddable: a v3 per-envelope encode failure must
+// behave like every other transport drop — BusyMsg NAK'd back to the local
+// sender (silence would strand the attempt in negotiation forever), counted
+// dropped and NOT counted sent — while the stream stays alive for the rest
+// of the batch.
+func TestEncodeFailureNAKsSheddable(t *testing.T) {
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+
+	nodeB, err := NewNode(rtB, "site1", "127.0.0.1:0", Topology{Peers: map[string]string{}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	nodeA, err := NewNode(rtA, "site0", "", Topology{Peers: map[string]string{"site1": nodeB.Addr()}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	nakRecv := &recorder{done: make(chan struct{}), want: 1}
+	rtA.Register(engine.RIAddr(0), nakRecv)
+	okRecv := &recorder{done: make(chan struct{}), want: 1}
+	rtB.Register(engine.QMAddr(1), okRecv)
+
+	txn := model.TxnID{Site: 0, Seq: 9}
+	nodeA.forward(engine.Envelope{
+		From: engine.RIAddr(0), To: engine.QMAddr(1),
+		Msg: rogueReq{model.RequestMsg{Txn: txn, Attempt: 2, Copy: model.CopyID{Item: 3, Site: 1}}},
+	})
+	nodeA.forward(engine.Envelope{
+		From: engine.RIAddr(0), To: engine.QMAddr(1),
+		Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: 10}},
+	})
+
+	waitRecorder(t, okRecv, "good envelope after the encode drop")
+	waitRecorder(t, nakRecv, "NAK for the unencodable envelope")
+	nakRecv.mu.Lock()
+	nak, ok := nakRecv.got[0].(model.BusyMsg)
+	nakRecv.mu.Unlock()
+	if !ok || nak.Txn != txn || nak.Attempt != 2 {
+		t.Fatalf("NAK is %T %+v, want the rogue request's BusyMsg", nakRecv.got[0], nakRecv.got[0])
+	}
+	if dropped, _ := nodeA.QueueStats(); dropped != 1 {
+		t.Fatalf("droppedSends=%d, want 1", dropped)
+	}
+	if s := nodeA.Wire().Snapshot(); s.MsgsOut != 1 {
+		t.Fatalf("MsgsOut=%d counted the dropped envelope as sent", s.MsgsOut)
+	}
+	if envs, _ := nodeA.BatchStats(); envs != 1 {
+		t.Fatalf("BatchStats envelopes=%d counted the dropped envelope as sent", envs)
+	}
+}
+
+// TestUnknownTagFrameSkipped: a v3 frame carrying a message tag from a NEWER
+// build must be skipped — frames are length-prefixed precisely so the stream
+// survives — with the surrounding known frames delivered in order. Severing
+// would drop whole batches and redial-loop a mixed-version v3 fleet during a
+// rolling upgrade.
+func TestUnknownTagFrameSkipped(t *testing.T) {
+	rtB := engine.NewRuntime(engine.FixedLatency{}, 2)
+	defer rtB.Shutdown()
+	nodeB, err := NewNode(rtB, "site1", "127.0.0.1:0", Topology{Peers: map[string]string{}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	recv := &recorder{done: make(chan struct{}), want: 2}
+	rtB.Register(engine.QMAddr(1), recv)
+
+	// Speak v3 by hand: version byte, consume the ack, then three frames —
+	// known, unknown-tag (a future build's message), known.
+	c, err := net.Dial("tcp", nodeB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte{WireVersion}); err != nil {
+		t.Fatal(err)
+	}
+	var ack [1]byte
+	if _, err := c.Read(ack[:]); err != nil || ack[0] != wireAckV3 {
+		t.Fatalf("no v3 ack: %v %x", err, ack)
+	}
+	frame := func(payload []byte) []byte {
+		out := model.AppendUvarint(nil, uint64(len(payload)))
+		return append(out, payload...)
+	}
+	known := func(seq uint64) []byte {
+		p, err := wire.AppendEnvelope(nil, engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: seq}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame(p)
+	}
+	// The future frame: valid addresses, tag 200, arbitrary body.
+	future := frame([]byte{0, 2, 0, 1, 4, 0, 200, 0xde, 0xad, 0xbe, 0xef})
+	var stream []byte
+	stream = append(stream, known(1)...)
+	stream = append(stream, future...)
+	stream = append(stream, known(2)...)
+	if _, err := c.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+	waitRecorder(t, recv, "frames around the unknown tag")
+	recv.mu.Lock()
+	defer recv.mu.Unlock()
+	for i, m := range recv.got {
+		if req, ok := m.(model.RequestMsg); !ok || req.Txn.Seq != uint64(i+1) {
+			t.Fatalf("message %d: %T %+v, want ordered RequestMsg", i, m, m)
+		}
+	}
+	s := nodeB.Wire().Snapshot()
+	if s.UnknownIn != 1 {
+		t.Fatalf("UnknownIn=%d, want 1", s.UnknownIn)
+	}
+	if s.MsgsIn != 2 {
+		t.Fatalf("MsgsIn=%d counted the skipped frame", s.MsgsIn)
+	}
+}
+
+// TestFallbackConnReprobes: a fallback (gob) connection is retired at a
+// batch boundary once reprobeInterval elapses, so the next batch redials and
+// re-negotiates — a v3 peer that merely stalled through one negotiation is
+// not pinned to the legacy codec for the connection's lifetime.
+func TestFallbackConnReprobes(t *testing.T) {
+	oldInterval := reprobeInterval
+	reprobeInterval = time.Millisecond
+	defer func() { reprobeInterval = oldInterval }()
+
+	rtA := engine.NewRuntime(engine.FixedLatency{}, 1)
+	defer rtA.Shutdown()
+	legacy := newLegacyListener(t, 3)
+	defer legacy.Close()
+	nodeA, err := NewNode(rtA, "site0", "", Topology{Peers: map[string]string{"site1": legacy.ln.Addr().String()}, Assign: siteAssign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+
+	for i := 0; i < 3; i++ {
+		nodeA.forward(engine.Envelope{
+			From: engine.RIAddr(0), To: engine.QMAddr(1),
+			Msg: model.RequestMsg{Txn: model.TxnID{Site: 0, Seq: uint64(i)}},
+		})
+		// Space the batches out past the re-probe interval so each lands on
+		// its own writer iteration with the previous conn aged out.
+		time.Sleep(50 * time.Millisecond)
+	}
+	select {
+	case <-legacy.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("legacy peer did not receive all messages")
+	}
+	if s := nodeA.Wire().Snapshot(); s.V2Fallbacks < 2 {
+		t.Fatalf("V2Fallbacks=%d — the fallback conn was never retired for a re-probe", s.V2Fallbacks)
+	}
+}

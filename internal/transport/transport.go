@@ -3,7 +3,9 @@ package transport
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -11,23 +13,63 @@ import (
 	"time"
 
 	"ucc/internal/engine"
+	"ucc/internal/metrics"
 	"ucc/internal/model"
+	"ucc/internal/wire"
 )
 
 func init() { model.RegisterGob() }
 
-// WireVersion is the first byte a dialer writes on a fresh connection, before
-// the gob stream starts. Version 2 introduced batched (pipelined-encoder)
-// framing and shard-qualified addresses; a reader that sees any other value
-// closes the connection instead of feeding misframed bytes to the decoder.
-const WireVersion byte = 2
+// WireVersion is the first byte a dialer writes on a fresh connection.
+// Version 3 is the hand-rolled binary codec (internal/wire): length-prefixed
+// frames of explicitly-encoded envelopes, no reflection, pooled buffers.
+// Version 2 — pipelined gob streams — remains fully supported in both
+// directions for rolling upgrades: a v3 listener speaks gob to a v2 dialer,
+// and a v3 dialer falls back to a v2 gob stream when the peer never
+// acknowledges v3 (see negotiation below). A reader that sees any other
+// version byte closes the connection instead of feeding misframed bytes to a
+// decoder.
+const WireVersion byte = 3
+
+// WireVersionV2 is the legacy gob-stream version byte (protocol era of the
+// batched-wire PR). Spoken, never preferred.
+const WireVersionV2 byte = 2
+
+// wireAckV3 is the single byte a v3-capable listener writes back after
+// reading a v3 version byte. Its absence is how a dialer detects an older
+// peer: a v2 listener reads the unknown version byte and closes the
+// connection, so the dialer's ack read fails immediately and it redials
+// speaking v2. An ack is only ever written for v3 (v2 dialers never read
+// their outbound connections, so writing to them would be wasted but
+// harmless — it still isn't done, to keep the v2 byte stream exactly as the
+// old implementation produced it).
+const wireAckV3 byte = 0xC3
+
+// negotiateTimeout bounds the dialer's wait for the v3 ack. A live v3 peer
+// acks in one RTT and a v2 peer closes in one RTT, so this only fires
+// against a peer that accepted the connection and then stalled — treated as
+// an old peer, which is safe either way: a v3 listener speaks v2 fine.
+var negotiateTimeout = 3 * time.Second
+
+// reprobeInterval bounds how long a fallback (gob) connection may live
+// before the writer voluntarily retires it between batches to re-negotiate.
+// Version choice is normally re-probed per dial, but a long-lived fallback
+// conn under steady traffic never redials — so a v3 peer that merely
+// STALLED through negotiation (startup storm, CPU starvation) would
+// otherwise pin the link to the ~16x-slower legacy codec forever. Old peers
+// pay one extra probe dial per interval, which is noise.
+var reprobeInterval = 5 * time.Minute
 
 // defaultBatchBytes is the mid-batch flush threshold: while draining a large
 // backlog the writer flushes whenever this much is buffered, bounding memory
 // and keeping the pipe busy instead of building one giant frame.
 const defaultBatchBytes = 64 << 10
 
-// WireEnvelope is the on-the-wire form of engine.Envelope.
+// WireEnvelope is the on-the-wire form of engine.Envelope for the legacy v2
+// gob stream. The v3 path encodes engine.Envelope directly through
+// internal/wire and never touches this struct, but its shape (and the gob
+// registrations in model.RegisterGob) must stay byte-compatible with old
+// builds for as long as v2 fallback is supported.
 type WireEnvelope struct {
 	FromKind  uint8
 	FromID    int32
@@ -133,6 +175,10 @@ type Node struct {
 	// this long before flushing, trading latency for bigger coalesced
 	// writes. Zero (the default) flushes as soon as the outbox drains.
 	batchDelay time.Duration
+	// preferVersion is the wire version outbound connections open with
+	// (default WireVersion). Tests and benchmarks set WireVersionV2 to pin a
+	// connection to the legacy gob stream without a legacy peer.
+	preferVersion byte
 
 	mu       sync.Mutex
 	senders  map[string]*peerSender
@@ -164,6 +210,9 @@ type Node struct {
 	// Batching observability (tests, diagnostics).
 	sentEnvelopes atomic.Uint64
 	flushes       atomic.Uint64
+	// wireStats counts codec-level traffic: envelopes/bytes each way and
+	// how outbound connections negotiated (v3 vs v2 fallback).
+	wireStats metrics.WireCounters
 	// droppedSends counts every envelope the transport discarded — cap
 	// evictions plus whole batches dropped on an unreachable peer;
 	// queueHigh is the deepest any peer outbox has ever been.
@@ -203,10 +252,11 @@ func NewNode(rt *engine.Runtime, self, listenAddr string, topo Topology) (*Node,
 	}
 	n := &Node{
 		self: self, topo: topo, rt: rt,
-		batchBytes: defaultBatchBytes,
-		senders:    map[string]*peerSender{},
-		outbound:   map[net.Conn]bool{},
-		inbound:    map[net.Conn]bool{},
+		batchBytes:    defaultBatchBytes,
+		preferVersion: WireVersion,
+		senders:       map[string]*peerSender{},
+		outbound:      map[net.Conn]bool{},
+		inbound:       map[net.Conn]bool{},
 	}
 	rt.SetUplink(n.forward)
 	if listenAddr != "" {
@@ -238,6 +288,10 @@ func (n *Node) SetBatching(flushBytes int, delay time.Duration) {
 func (n *Node) BatchStats() (envelopes, flushes uint64) {
 	return n.sentEnvelopes.Load(), n.flushes.Load()
 }
+
+// Wire exposes the codec-level counters: envelopes and bytes each way, plus
+// how outbound connections negotiated (v3 binary vs v2 gob fallback).
+func (n *Node) Wire() *metrics.WireCounters { return &n.wireStats }
 
 // SetSendQueueCap bounds every peer outbox to cap envelopes; an enqueue at
 // the cap drops the oldest queued sheddable envelope to make room (counted
@@ -292,6 +346,11 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// readLoop serves one inbound connection. The first byte selects the
+// protocol era: v3 acks and reads binary frames; v2 reads the legacy gob
+// stream (an old dialer never learns the listener upgraded — that is the
+// point); anything else is dropped. Both eras feed the same Inject path, so
+// the rest of the node cannot tell which codec a message arrived through.
 func (n *Node) readLoop(c net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -300,19 +359,95 @@ func (n *Node) readLoop(c net.Conn) {
 		delete(n.inbound, c)
 		n.mu.Unlock()
 	}()
-	br := bufio.NewReader(c)
-	ver, err := br.ReadByte()
-	if err != nil || ver != WireVersion {
-		return // wrong protocol era (or a port scanner); drop the conn
+	// The version byte is read raw, before any bufio exists: the v2 branch
+	// must arm its byte counter before the first buffered fill, or a short
+	// stream prefetched alongside the version byte would go uncounted.
+	var vb [1]byte
+	if _, err := io.ReadFull(c, vb[:]); err != nil {
+		return
 	}
-	dec := gob.NewDecoder(br)
-	for {
-		var w WireEnvelope
-		if err := dec.Decode(&w); err != nil {
+	cr := &countingReader{r: c}
+	br := bufio.NewReader(cr)
+	switch vb[0] {
+	case WireVersion:
+		// Ack v3 so the dialer knows not to fall back (an older listener
+		// would have closed the connection instead of answering).
+		if _, err := c.Write([]byte{wireAckV3}); err != nil {
 			return
 		}
-		n.rt.Inject(fromWire(w))
+		rd := wire.NewReader(br)
+		defer rd.Release()
+		for {
+			// BytesIn counts decoded frame bytes — the frame layer, matching
+			// BytesOut on the sending side — not raw socket reads, which
+			// would include read-ahead for frames never decoded.
+			env, frameBytes, err := rd.ReadEnvelope()
+			if errors.Is(err, model.ErrWireUnknownTag) {
+				// A message type appended by a NEWER build: the frame was
+				// fully consumed (length-prefixed for exactly this reason),
+				// so skip it and keep the stream — severing would drop the
+				// whole batch around it and melt a mixed-version v3 fleet
+				// into a redial loop during rolling upgrades. This node
+				// couldn't have processed the message anyway. Skipped frames
+				// count only in UnknownIn — adding their bytes to BytesIn
+				// with no MsgsIn would skew B/msg.
+				n.wireStats.UnknownIn.Add(1)
+				continue
+			}
+			if err != nil {
+				return // EOF, torn frame, or corrupt input: drop the conn
+			}
+			n.wireStats.BytesIn.Add(uint64(frameBytes))
+			n.wireStats.MsgsIn.Add(1)
+			n.rt.Inject(env)
+		}
+	case WireVersionV2:
+		// The legacy gob stream has no frame sizes; count at the socket
+		// layer instead (approximate: includes gob's type dictionaries).
+		cr.n = &n.wireStats.BytesIn
+		dec := gob.NewDecoder(br)
+		for {
+			var w WireEnvelope
+			if err := dec.Decode(&w); err != nil {
+				return
+			}
+			n.wireStats.MsgsIn.Add(1)
+			n.rt.Inject(fromWire(w))
+		}
+	default:
+		return // wrong protocol era (or a port scanner); drop the conn
 	}
+}
+
+// countingReader counts bytes as they leave the kernel for the decoder —
+// while n is nil, reads pass through uncounted (the v3 path counts decoded
+// frames instead; only the read loop's own goroutine ever sets n).
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 && c.n != nil {
+		c.n.Add(uint64(n))
+	}
+	return n, err
+}
+
+// countingWriter counts bytes as the buffered writer flushes them toward the
+// kernel.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 {
+		c.n.Add(uint64(n))
+	}
+	return n, err
 }
 
 // forward routes an envelope produced by the local runtime: local
@@ -415,10 +550,86 @@ func (ps *peerSender) tryTake() []engine.Envelope {
 
 // conn bundles the per-connection encoding state. It is rebuilt from scratch
 // on every (re)dial — see peerSender for why reuse would corrupt the stream.
+// Exactly one of (v3, enc) is non-nil: the codec this connection negotiated.
 type peerConn struct {
 	c   net.Conn
 	bw  *bufio.Writer
-	enc *gob.Encoder
+	v3  *wire.Writer // wire v3 framed binary
+	enc *gob.Encoder // legacy v2 gob fallback
+	// reprobeAt, set only on fallback connections, is when the writer
+	// retires this conn between batches to re-negotiate (see
+	// reprobeInterval). Zero on v3 and pinned-v2 connections.
+	reprobeAt time.Time
+}
+
+// connect dials the peer and negotiates the wire version. The dialer writes
+// its preferred version byte (3) raw on the socket and waits briefly for the
+// listener's ack byte:
+//
+//   - ack arrives  → the peer is v3-capable; speak binary frames.
+//   - the peer closes (or never answers) → it is an older build whose read
+//     loop rejected the unknown version byte; redial and speak the v2 gob
+//     stream it expects. The fallback is re-probed on every dial, so a peer
+//     that restarts upgraded is picked up at the next reconnect.
+//
+// A mistaken fallback (slow ack) is safe: v3 listeners keep the full v2 read
+// path. The close-detection drain goroutine starts only after negotiation —
+// the ack is the one byte a peer ever sends on a dialer's connection, and
+// the negotiation read must be the one to consume it.
+func (ps *peerSender) connect() (*peerConn, error) {
+	n := ps.n
+	fellBack := false
+	if n.preferVersion != WireVersionV2 {
+		c, err := n.dialRaw(ps.peer)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Write([]byte{WireVersion}); err != nil {
+			n.unregister(c)
+			return nil, err
+		}
+		var ack [1]byte
+		c.SetReadDeadline(time.Now().Add(negotiateTimeout))
+		_, ackErr := io.ReadFull(c, ack[:])
+		c.SetReadDeadline(time.Time{})
+		if ackErr == nil && ack[0] == wireAckV3 {
+			n.startDrain(c)
+			// No counting writer: v3 BytesOut is counted per frame on batch
+			// success (writeBatch), matching the receiver's frame-layer
+			// count — socket-layer counting would re-count a batch retried
+			// across a reconnect after a mid-batch flush.
+			bw := bufio.NewWriterSize(c, n.batchBytes)
+			n.wireStats.V3Conns.Add(1)
+			return &peerConn{c: c, bw: bw, v3: wire.NewWriter(bw)}, nil
+		}
+		// No ack: an older peer closed on the v3 byte. Redial speaking v2.
+		n.unregister(c)
+		fellBack = true
+	}
+	c2, err := n.dialRaw(ps.peer)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c2.Write([]byte{WireVersionV2}); err != nil {
+		n.unregister(c2)
+		return nil, err
+	}
+	n.startDrain(c2)
+	// The gob stream has no frames, so v2 bytes are counted at the socket
+	// layer (approximate, and may re-count a retried batch — the stream
+	// being measured is the legacy cost).
+	bw := bufio.NewWriterSize(&countingWriter{w: c2, n: &n.wireStats.BytesOut}, n.batchBytes)
+	pc := &peerConn{c: c2, bw: bw, enc: gob.NewEncoder(bw)}
+	if fellBack {
+		// Only a real failed negotiation counts: a caller that PINNED v2
+		// (preferVersion knob) never fell back, and the counter's meaning —
+		// "old peers still in the fleet" — must survive the knob. Fallback
+		// conns also carry a re-probe deadline so a stalled-but-v3 peer is
+		// not pinned to the legacy codec for the connection's lifetime.
+		n.wireStats.V2Fallbacks.Add(1)
+		pc.reprobeAt = time.Now().Add(reprobeInterval)
+	}
+	return pc, nil
 }
 
 // run is the writer loop: take the backlog, encode it all, flush once.
@@ -441,6 +652,9 @@ func (ps *peerSender) run() {
 	var pc *peerConn
 	retire := func() {
 		if pc != nil {
+			if pc.v3 != nil {
+				pc.v3.Release() // scratch buffer back to the codec pool
+			}
 			pc.c.Close()
 			ps.n.mu.Lock()
 			delete(ps.n.outbound, pc.c)
@@ -463,15 +677,13 @@ func (ps *peerSender) run() {
 		sent := false
 		for attempt := 0; attempt < 2; attempt++ {
 			if pc == nil {
-				c, err := ps.n.dial(ps.peer)
-				if err != nil {
+				var err error
+				if pc, err = ps.connect(); err != nil {
 					break // unreachable peer: drop the batch (NAK'd below)
 				}
-				pc = &peerConn{c: c, bw: bufio.NewWriterSize(c, ps.n.batchBytes)}
-				pc.enc = gob.NewEncoder(pc.bw)
-				pc.bw.WriteByte(WireVersion)
 			}
-			if err := ps.writeBatch(pc, batch); err == nil {
+			var err error
+			if batch, err = ps.writeBatch(pc, batch); err == nil {
 				sent = true
 				break
 			}
@@ -483,6 +695,13 @@ func (ps *peerSender) run() {
 		if !sent {
 			ps.n.droppedSends.Add(uint64(len(batch)))
 			ps.n.nakBatch(batch)
+		}
+		if sent && pc != nil && !pc.reprobeAt.IsZero() && time.Now().After(pc.reprobeAt) {
+			// The fallback conn aged out: retire it at a batch boundary so
+			// the next batch redials and re-negotiates — an upgraded (or
+			// merely recovered) peer gets its v3 stream back without waiting
+			// for an I/O error that steady traffic may never produce.
+			retire()
 		}
 	}
 }
@@ -525,34 +744,70 @@ func busyNAK(env engine.Envelope) (engine.Envelope, bool) {
 // Stats are counted only on success, so a retried batch is not
 // double-counted and the envelopes/flushes ratio keeps meaning "coalescing
 // on the wire" even across reconnects.
-func (ps *peerSender) writeBatch(pc *peerConn, batch []engine.Envelope) error {
+// writeBatch returns the batch with permanently-dropped envelopes removed:
+// an envelope that failed ENCODING is a property of the envelope, not the
+// connection, so it is NAK'd/counted exactly once here and excluded from the
+// slice the caller retries (or terminally NAKs via nakBatch) — otherwise a
+// batch retry would double-count the drop and inject duplicate NAKs for the
+// same attempt. An I/O error, by contrast, returns the (possibly compacted)
+// batch for a whole-batch retry on a fresh connection.
+func (ps *peerSender) writeBatch(pc *peerConn, batch []engine.Envelope) ([]engine.Envelope, error) {
 	flushes := uint64(0)
-	for _, env := range batch {
-		if err := pc.enc.Encode(toWire(env)); err != nil {
-			return err
+	frameBytes := uint64(0)
+	for i := 0; i < len(batch); {
+		env := batch[i]
+		if pc.v3 != nil {
+			nb, err := pc.v3.WriteEnvelope(env)
+			if err != nil {
+				var ee *wire.EncodeError
+				if errors.As(err, &ee) {
+					// Unencodable (no wire tag, oversized frame): drop it and
+					// keep the stream alive — a retry would fail identically
+					// and melt the writer into a redial loop. Like every other
+					// transport drop, a sheddable envelope is NAK'd back to
+					// its local sender; silence would strand the issuer's
+					// attempt in negotiation forever.
+					ps.n.droppedSends.Add(1)
+					if nak, ok := busyNAK(env); ok {
+						ps.n.rt.Inject(nak)
+					}
+					batch = append(batch[:i], batch[i+1:]...)
+					continue
+				}
+				return batch, err
+			}
+			frameBytes += uint64(nb)
+		} else {
+			if err := pc.enc.Encode(toWire(env)); err != nil {
+				return batch, err
+			}
 		}
+		i++
 		if pc.bw.Buffered() >= ps.n.batchBytes {
 			flushes++
 			if err := pc.bw.Flush(); err != nil {
-				return err
+				return batch, err
 			}
 		}
 	}
 	if err := pc.bw.Flush(); err != nil {
-		return err
+		return batch, err
 	}
 	ps.n.sentEnvelopes.Add(uint64(len(batch)))
+	ps.n.wireStats.MsgsOut.Add(uint64(len(batch)))
+	// Frame-layer byte count, success-only like MsgsOut, so a batch retried
+	// across a reconnect is never double-counted and sender/receiver B/msg
+	// agree (the v2 gob path counts at the socket via countingWriter instead).
+	ps.n.wireStats.BytesOut.Add(frameBytes)
 	ps.n.flushes.Add(flushes + 1)
-	return nil
+	return batch, nil
 }
 
-// dial opens a fresh connection to peer and starts the close-detection
-// reader. Outbound connections carry no inbound traffic (each peer sends on
-// its own dials), so a blocked read detects the peer closing — crash or
-// restart — the moment it happens. Without it, writes into a dead connection
-// keep "succeeding" until the kernel surfaces the RST, silently losing every
-// message in between.
-func (n *Node) dial(peer string) (net.Conn, error) {
+// dialRaw opens a fresh connection to peer and registers it for Close()
+// teardown, but starts no reader: the caller negotiates the wire version
+// first (the negotiation read must be the one that consumes the listener's
+// ack byte), then hands the connection to startDrain.
+func (n *Node) dialRaw(peer string) (net.Conn, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -574,10 +829,28 @@ func (n *Node) dial(peer string) (net.Conn, error) {
 		return nil, fmt.Errorf("transport: node closed")
 	}
 	n.outbound[c] = true
-	n.wg.Add(1)
-	go n.drainLoop(c)
 	n.mu.Unlock()
 	return c, nil
+}
+
+// unregister closes and forgets a connection that never reached startDrain
+// (failed negotiation, failed version-byte write).
+func (n *Node) unregister(c net.Conn) {
+	c.Close()
+	n.mu.Lock()
+	delete(n.outbound, c)
+	n.mu.Unlock()
+}
+
+// startDrain attaches the close-detection reader to a negotiated outbound
+// connection. Outbound connections carry no inbound traffic after the
+// negotiation ack (each peer sends on its own dials), so a blocked read
+// detects the peer closing — crash or restart — the moment it happens.
+// Without it, writes into a dead connection keep "succeeding" until the
+// kernel surfaces the RST, silently losing every message in between.
+func (n *Node) startDrain(c net.Conn) {
+	n.wg.Add(1)
+	go n.drainLoop(c)
 }
 
 // drainLoop blocks reading an outbound connection; EOF/RST closes it so the

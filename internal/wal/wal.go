@@ -27,10 +27,23 @@ const (
 	segPrefix  = "wal-"
 	snapPrefix = "snap-"
 
-	// frameHeader is crc32(payload) + uint32 payload length.
+	// frameHeader is crc32(payload) + uint32 payload length word.
 	frameHeader = 8
-	// recordPayload is the fixed encoded size of one Record.
+	// recordPayload is the fixed encoded size of one legacy (pre-wire-v3)
+	// Record payload. Still decoded — media written by an older build must
+	// replay after an in-place upgrade — but never written anymore.
 	recordPayload = 8 + 4 + 4 + 8 + 8 + 8 + 8
+	// varintFlag marks a frame whose payload uses the wire-v3 varint codec
+	// (the same primitives the transport's message encoders use, see
+	// internal/model's wire encoders). The high bit can never appear in a
+	// legacy length word (payloads were 48 bytes), so the two eras are
+	// unambiguous per frame; an old build reading a flagged frame sees an
+	// absurd length and stops replay there, which is the usual
+	// downgrade-loses-the-tail contract.
+	varintFlag = uint32(1) << 31
+	// maxRecordPayload bounds a varint record payload (7 fields × ≤10 bytes
+	// worst case); anything larger is corruption.
+	maxRecordPayload = 70
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -44,21 +57,68 @@ func snapName(appliedSeq uint64) string { return fmt.Sprintf("%s%016x", snapPref
 func isSeg(name string) bool  { return strings.HasPrefix(name, segPrefix) }
 func isSnap(name string) bool { return strings.HasPrefix(name, snapPrefix) }
 
-// appendRecord frames and appends one record: crc32C(payload) | len | payload.
+// appendRecord frames and appends one record:
+// crc32C(lenWord | payload) | varintFlag|len | payload, payload in the
+// shared wire-v3 varint codec. Typical records shrink from the legacy fixed
+// 48 bytes to ~15, which is most of what log replay and group-commit flushes
+// pay. Unlike the legacy frames (whose crc covers only the payload), the
+// varint-era crc also covers the length word: the word now carries the era
+// flag, and an unprotected flag bit flipped on media could otherwise send a
+// frame down the wrong decoder with its payload crc still intact.
 func appendRecord(buf []byte, r Record) []byte {
-	var p [recordPayload]byte
-	binary.LittleEndian.PutUint64(p[0:], r.Seq)
-	binary.LittleEndian.PutUint32(p[8:], uint32(r.Item))
-	binary.LittleEndian.PutUint32(p[12:], uint32(r.Txn.Site))
-	binary.LittleEndian.PutUint64(p[16:], r.Txn.Seq)
-	binary.LittleEndian.PutUint64(p[24:], uint64(r.Value))
-	binary.LittleEndian.PutUint64(p[32:], r.Version)
-	binary.LittleEndian.PutUint64(p[40:], uint64(r.CommitMicros))
+	var scratch [maxRecordPayload]byte
+	p := appendRecordPayload(scratch[:0], r)
 	var h [frameHeader]byte
-	binary.LittleEndian.PutUint32(h[0:], crc32.Checksum(p[:], crcTable))
-	binary.LittleEndian.PutUint32(h[4:], uint32(len(p)))
+	binary.LittleEndian.PutUint32(h[4:], uint32(len(p))|varintFlag)
+	crc := crc32.Update(0, crcTable, h[4:])
+	crc = crc32.Update(crc, crcTable, p)
+	binary.LittleEndian.PutUint32(h[0:], crc)
 	buf = append(buf, h[:]...)
-	return append(buf, p[:]...)
+	return append(buf, p...)
+}
+
+// appendRecordPayload encodes the record fields with the same varint
+// primitives the transport's message codecs use (field order frozen).
+func appendRecordPayload(p []byte, r Record) []byte {
+	p = model.AppendUvarint(p, r.Seq)
+	p = model.AppendVarint(p, int64(r.Item))
+	p = model.AppendVarint(p, int64(r.Txn.Site))
+	p = model.AppendUvarint(p, r.Txn.Seq)
+	p = model.AppendVarint(p, r.Value)
+	p = model.AppendUvarint(p, r.Version)
+	return model.AppendVarint(p, r.CommitMicros)
+}
+
+// decodeRecordPayload decodes a varint payload; ok is false on any
+// truncation, corruption, or trailing bytes (the caller treats that exactly
+// like a checksum failure: the durable history ends here).
+func decodeRecordPayload(p []byte) (Record, bool) {
+	rd := model.NewWireReader(p)
+	var r Record
+	r.Seq = rd.Uvarint()
+	r.Item = model.ItemID(rd.Varint32())
+	r.Txn.Site = model.SiteID(rd.Varint32())
+	r.Txn.Seq = rd.Uvarint()
+	r.Value = rd.Varint()
+	r.Version = rd.Uvarint()
+	r.CommitMicros = rd.Varint()
+	if rd.Err() != nil || rd.Remaining() != 0 {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// decodeLegacyPayload decodes the fixed-width format older builds wrote.
+func decodeLegacyPayload(p []byte) Record {
+	var r Record
+	r.Seq = binary.LittleEndian.Uint64(p[0:])
+	r.Item = model.ItemID(binary.LittleEndian.Uint32(p[8:]))
+	r.Txn.Site = model.SiteID(binary.LittleEndian.Uint32(p[12:]))
+	r.Txn.Seq = binary.LittleEndian.Uint64(p[16:])
+	r.Value = int64(binary.LittleEndian.Uint64(p[24:]))
+	r.Version = binary.LittleEndian.Uint64(p[32:])
+	r.CommitMicros = int64(binary.LittleEndian.Uint64(p[40:]))
+	return r
 }
 
 // decodeRecords yields every intact record at the front of data. It stops —
@@ -71,22 +131,43 @@ func decodeRecords(data []byte, fn func(Record)) (torn int) {
 			return len(data)
 		}
 		crc := binary.LittleEndian.Uint32(data[0:])
-		n := binary.LittleEndian.Uint32(data[4:])
-		if n != recordPayload || len(data) < frameHeader+int(n) {
+		lenWord := binary.LittleEndian.Uint32(data[4:])
+		varint := lenWord&varintFlag != 0
+		n := lenWord &^ varintFlag
+		if varint {
+			if n == 0 || n > maxRecordPayload {
+				return len(data)
+			}
+		} else if n != recordPayload {
+			return len(data)
+		}
+		if len(data) < frameHeader+int(n) {
 			return len(data)
 		}
 		payload := data[frameHeader : frameHeader+int(n)]
-		if crc32.Checksum(payload, crcTable) != crc {
+		// Varint-era frames checksum the length word together with the
+		// payload (data[4:] is contiguous: lenWord then payload); legacy
+		// frames checksum the payload alone. Either way a corrupted era
+		// flag fails the crc of whichever branch it lands in, so a bit flip
+		// can only ever stop replay, never misdecode.
+		var sum uint32
+		if varint {
+			sum = crc32.Checksum(data[4:frameHeader+int(n)], crcTable)
+		} else {
+			sum = crc32.Checksum(payload, crcTable)
+		}
+		if sum != crc {
 			return len(data)
 		}
 		var r Record
-		r.Seq = binary.LittleEndian.Uint64(payload[0:])
-		r.Item = model.ItemID(binary.LittleEndian.Uint32(payload[8:]))
-		r.Txn.Site = model.SiteID(binary.LittleEndian.Uint32(payload[12:]))
-		r.Txn.Seq = binary.LittleEndian.Uint64(payload[16:])
-		r.Value = int64(binary.LittleEndian.Uint64(payload[24:]))
-		r.Version = binary.LittleEndian.Uint64(payload[32:])
-		r.CommitMicros = int64(binary.LittleEndian.Uint64(payload[40:]))
+		if varint {
+			var ok bool
+			if r, ok = decodeRecordPayload(payload); !ok {
+				return len(data)
+			}
+		} else {
+			r = decodeLegacyPayload(payload)
+		}
 		fn(r)
 		data = data[frameHeader+int(n):]
 	}

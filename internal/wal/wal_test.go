@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -87,7 +89,7 @@ func TestLogUnflushedRecordsAreVolatile(t *testing.T) {
 
 func TestLogSegmentRollover(t *testing.T) {
 	media := NewMemMedia()
-	l, _ := NewLog(media, 100, 1) // tiny segments: every flush rolls
+	l, _ := NewLog(media, 30, 1) // tiny segments (~2 varint records each)
 	for i := 1; i <= 9; i++ {
 		l.Append(rec(0, i, int64(i)))
 		if err := l.Flush(); err != nil {
@@ -166,10 +168,16 @@ func TestCorruptRecordStopsReplay(t *testing.T) {
 	seg := l.SegmentName()
 	l.Close()
 
-	// Flip one byte in the middle of record 4's payload.
+	// Flip one byte in the middle of record 4's payload (frames are varint-
+	// sized now, so walk the first three frames to find it).
 	path := filepath.Join(dir, seg)
 	data, _ := os.ReadFile(path)
-	off := 3*(frameHeader+recordPayload) + frameHeader + 20
+	off := 0
+	for i := 0; i < 3; i++ {
+		n := int(binary.LittleEndian.Uint32(data[off+4:]) &^ varintFlag)
+		off += frameHeader + n
+	}
+	off += frameHeader + 2
 	data[off] ^= 0xff
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
@@ -244,5 +252,171 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 	enc[len(enc)-1] ^= 1
 	if _, err := decodeSnapshot(enc); err == nil {
 		t.Fatal("corrupt snapshot decoded without error")
+	}
+}
+
+// appendLegacyRecord writes the fixed-width frame format of pre-wire-v3
+// builds, byte-for-byte (the old appendRecord implementation, kept here as
+// the upgrade-compat oracle).
+func appendLegacyRecord(buf []byte, r Record) []byte {
+	var p [recordPayload]byte
+	binary.LittleEndian.PutUint64(p[0:], r.Seq)
+	binary.LittleEndian.PutUint32(p[8:], uint32(r.Item))
+	binary.LittleEndian.PutUint32(p[12:], uint32(r.Txn.Site))
+	binary.LittleEndian.PutUint64(p[16:], r.Txn.Seq)
+	binary.LittleEndian.PutUint64(p[24:], uint64(r.Value))
+	binary.LittleEndian.PutUint64(p[32:], r.Version)
+	binary.LittleEndian.PutUint64(p[40:], uint64(r.CommitMicros))
+	var h [frameHeader]byte
+	binary.LittleEndian.PutUint32(h[0:], crc32.Checksum(p[:], crcTable))
+	binary.LittleEndian.PutUint32(h[4:], uint32(len(p)))
+	buf = append(buf, h[:]...)
+	return append(buf, p[:]...)
+}
+
+// TestReplayLegacyRecords: a segment written by an older build (fixed-width
+// frames) must replay exactly after an in-place upgrade — the WAL analogue
+// of the transport's v2 fallback.
+func TestReplayLegacyRecords(t *testing.T) {
+	media := NewMemMedia()
+	w, err := media.Create(segName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for i := 1; i <= 10; i++ {
+		buf = appendLegacyRecord(buf, Record{
+			Seq: uint64(i), Item: model.ItemID(i % 3), Txn: model.TxnID{Site: 1, Seq: uint64(i)},
+			Value: int64(-i), Version: uint64(i), CommitMicros: int64(i) * 1000,
+		})
+	}
+	if _, err := w.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	got := replayAll(t, media, 0)
+	if len(got) != 10 {
+		t.Fatalf("replayed %d legacy records, want 10", len(got))
+	}
+	for i, r := range got {
+		want := Record{
+			Seq: uint64(i + 1), Item: model.ItemID((i + 1) % 3), Txn: model.TxnID{Site: 1, Seq: uint64(i + 1)},
+			Value: int64(-(i + 1)), Version: uint64(i + 1), CommitMicros: int64(i+1) * 1000,
+		}
+		if r != want {
+			t.Fatalf("legacy record %d: got %+v want %+v", i, r, want)
+		}
+	}
+}
+
+// TestReplayMixedEraSegments: legacy frames in an old segment followed by
+// varint frames in a newer one — exactly what media looks like after an
+// upgraded node appends to surviving history.
+func TestReplayMixedEraSegments(t *testing.T) {
+	media := NewMemMedia()
+	// Old build wrote segment 1 (legacy frames).
+	w, _ := media.Create(segName(1))
+	var buf []byte
+	for i := 1; i <= 5; i++ {
+		buf = appendLegacyRecord(buf, Record{Seq: uint64(i), Item: 1, Txn: model.TxnID{Site: 1, Seq: uint64(i)}, Value: int64(i)})
+	}
+	w.Write(buf)
+	w.Sync()
+	w.Close()
+
+	// Upgraded build appends segment 2 (varint frames) via the real Log.
+	l, err := NewLog(media, 1<<20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i <= 9; i++ {
+		l.Append(Record{Item: 1, Txn: model.TxnID{Site: 1, Seq: uint64(i)}, Value: int64(i)})
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	got := replayAll(t, media, 0)
+	if len(got) != 9 {
+		t.Fatalf("replayed %d records across eras, want 9", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || r.Value != int64(i+1) {
+			t.Fatalf("record %d: got %+v", i, r)
+		}
+	}
+}
+
+// TestRecordRoundTripExtremes: varint payloads must round-trip the field
+// extremes (negative values, max versions) and reject truncation at every
+// byte.
+func TestRecordRoundTripExtremes(t *testing.T) {
+	recs := []Record{
+		{},
+		{Seq: 1<<64 - 1, Item: -1, Txn: model.TxnID{Site: -1, Seq: 1<<64 - 1}, Value: -1 << 62, Version: 1<<64 - 1, CommitMicros: -1},
+		{Seq: 7, Item: 1<<31 - 1, Txn: model.TxnID{Site: 1<<31 - 1, Seq: 9}, Value: 1<<62 - 1, Version: 3, CommitMicros: 1 << 50},
+	}
+	for i, r := range recs {
+		p := appendRecordPayload(nil, r)
+		if len(p) > maxRecordPayload {
+			t.Fatalf("record %d payload is %d bytes, over maxRecordPayload", i, len(p))
+		}
+		got, ok := decodeRecordPayload(p)
+		if !ok || got != r {
+			t.Fatalf("record %d: round trip got %+v ok=%v, want %+v", i, got, ok, r)
+		}
+		for cut := 0; cut < len(p); cut++ {
+			if _, ok := decodeRecordPayload(p[:cut]); ok {
+				t.Fatalf("record %d: truncated payload (%d/%d bytes) decoded", i, cut, len(p))
+			}
+		}
+		if _, ok := decodeRecordPayload(append(append([]byte{}, p...), 0)); ok {
+			t.Fatalf("record %d: trailing byte accepted", i)
+		}
+	}
+}
+
+// TestFlippedEraFlagStopsReplay: the era flag lives in the length word, so
+// a flipped flag bit must fail the frame's checksum in whichever decode
+// branch it lands — replay stops, never misdecodes.
+func TestFlippedEraFlagStopsReplay(t *testing.T) {
+	flip := func(frame []byte) []byte {
+		out := append([]byte{}, frame...)
+		out[7] ^= 0x80 // bit 31 of the little-endian length word
+		return out
+	}
+	write := func(t *testing.T, media Media, frames []byte) {
+		t.Helper()
+		w, err := media.Create(segName(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(frames); err != nil {
+			t.Fatal(err)
+		}
+		w.Sync()
+		w.Close()
+	}
+	r1 := Record{Seq: 1, Item: 1, Txn: model.TxnID{Site: 1, Seq: 1}, Value: 7}
+
+	// Varint frame with the flag cleared: lands in the legacy branch, whose
+	// payload-only crc cannot match a crc that covered the length word.
+	media := NewMemMedia()
+	write(t, media, flip(appendRecord(nil, r1)))
+	if got := replayAll(t, media, 0); len(got) != 0 {
+		t.Fatalf("flag-stripped varint frame replayed %d records, want 0", len(got))
+	}
+
+	// Legacy frame with the flag set: lands in the varint branch, whose
+	// lenword+payload crc cannot match a payload-only crc.
+	media2 := NewMemMedia()
+	write(t, media2, flip(appendLegacyRecord(nil, r1)))
+	if got := replayAll(t, media2, 0); len(got) != 0 {
+		t.Fatalf("flag-set legacy frame replayed %d records, want 0", len(got))
 	}
 }

