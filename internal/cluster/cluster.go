@@ -314,6 +314,54 @@ func (c *Cluster) AddDriver(site model.SiteID, spec workload.Spec) error {
 	return nil
 }
 
+// AddPhasedDriver attaches a phased workload driver to a site's issuer: the
+// site walks the phase list in order from engine time zero, switching specs
+// at each boundary (see workload.NewPhasedDriver). Phases are open-loop
+// only, so no completion feedback is wired.
+func (c *Cluster) AddPhasedDriver(site model.SiteID, phases []workload.Phase) error {
+	if _, dup := c.Drivers[site]; dup {
+		return fmt.Errorf("cluster: site %d already has a driver", site)
+	}
+	d, err := workload.NewPhasedDriver(site, phases)
+	if err != nil {
+		return err
+	}
+	c.Drivers[site] = d
+	c.Eng.Register(engine.DriverAddr(site), d, c.Cfg.Seed)
+	return nil
+}
+
+// SetLatency swaps the network latency model mid-run (sim only; call between
+// engine steps — the scenario runner applies it at fault points). Messages
+// already in flight keep their scheduled delivery times.
+func (c *Cluster) SetLatency(m engine.LatencyModel) {
+	c.Eng.SetLatency(m)
+}
+
+// SetGroupCommitWindow changes one site's group-commit window mid-run — the
+// slow-disk fault hook (see qm.Manager.SetGroupCommitMicros for the
+// discipline). No-op for an unknown site.
+func (c *Cluster) SetGroupCommitWindow(site model.SiteID, windowMicros int64) {
+	if m, ok := c.Managers[site]; ok {
+		m.SetGroupCommitMicros(windowMicros)
+	}
+}
+
+// ReplicaValues returns the current value of every live physical copy of
+// item, primary first (replica-divergence checks after a run). Copies on
+// sites still crashed are skipped.
+func (c *Cluster) ReplicaValues(item model.ItemID) []int64 {
+	sites := c.Catalog.Replicas(item)
+	out := make([]int64, 0, len(sites))
+	for _, s := range sites {
+		if st := c.Stores[s]; st.Has(item) {
+			v, _ := st.Read(item)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Start posts the initial timer ticks (detector probes, collector estimate
 // broadcasts, QM stats pushes, driver arrivals).
 func (c *Cluster) Start() {
@@ -379,6 +427,13 @@ type Result struct {
 func (c *Cluster) Run(horizonMicros, settleMicros int64) Result {
 	c.Start()
 	c.Eng.RunUntil(horizonMicros + settleMicros)
+	return c.Finish()
+}
+
+// Finish ends a run the caller has been driving manually (Start + RunUntil
+// steps, the scenario harness's phase loop): it stops the periodic actors,
+// drains in-flight work to quiescence, and summarizes. Call once.
+func (c *Cluster) Finish() Result {
 	// Stop periodic work so the event heap can drain.
 	c.Eng.Post(engine.DetectorAddr(), model.StopMsg{})
 	c.Eng.Post(engine.CollectorAddr(), model.StopMsg{})
@@ -475,6 +530,7 @@ func (c *Cluster) RITotals() ri.Stats {
 		t.Dropped += s.Dropped
 		t.Shed += s.Shed
 		t.BusyNAKs += s.BusyNAKs
+		t.ROBusyShed += s.ROBusyShed
 		t.ReBackoffs += s.ReBackoffs
 		t.Active += s.Active
 	}

@@ -70,6 +70,7 @@ func All() []Experiment {
 		{ID: "EXP-10", Title: "Read-only snapshot fast path on/off", Claim: "beyond the paper: on a ≥90%-read mix, serving read-only transactions from bounded version chains at a site-local snapshot timestamp at least doubles committed throughput vs queueing them, with zero restarts and conflict serializability preserved", Run: Exp10},
 		{ID: "EXP-11", Title: "Queue-manager sharding: throughput scaling", Claim: "beyond the paper: partitioning a site's queue manager by item hash scales conflict-free read-write throughput with cores (≥1.5x at 4 shards on 4+ cores), while a hot-shard skew defeats it — and every execution stays conflict serializable", Run: Exp11},
 		{ID: "EXP-12", Title: "Overload: admission control and bounded queues", Claim: "beyond the paper: with every queue bounded and an AIMD admission window shedding arrivals beyond capacity, goodput at 4x saturation stays within 20% of peak and p99 stays bounded, while the undefended system's backlog drags both off a cliff — and every execution, defended or not, stays conflict serializable", Run: Exp12},
+		{ID: "EXP-13", Title: "Scenario harness: phased workloads, fault scripts, invariant checkpoints", Claim: "beyond the paper: the declarative scenario library (YCSB shapes, TPC-C-like mix, diurnal admission crossings, flash crowd, mid-spike crash, slow WAL, degraded link) passes every declared invariant checkpoint on a live cluster", Run: Exp13},
 		{ID: "ABL-1", Title: "Semi-locks vs lock-everything", Claim: "the semi-lock protocol preserves T/O's concurrency; the simpler all-locking unification sacrifices it", Run: Abl1},
 		{ID: "ABL-2", Title: "PA back-off interval sensitivity", Claim: "the INT back-off granularity trades spurious waiting against re-negotiation positioning", Run: Abl2},
 		{ID: "ABL-3", Title: "Deadlock detection period sensitivity", Claim: "2PL's system time under contention is dominated by detection latency", Run: Abl3},

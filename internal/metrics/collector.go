@@ -261,6 +261,49 @@ func (c *Collector) Summarize() Summary {
 	return s
 }
 
+// Delta returns the events recorded between an earlier snapshot of the same
+// run and this one — the per-phase view the scenario harness reports.
+// Counters and histograms subtract exactly (clamped at zero against a
+// mismatched pair); the Welford accumulators (SystemTime, LockedOK,
+// LockedAborted, Messages, AttemptsPerTx) are NOT delta-able — a streaming
+// mean/variance cannot be unwound — so they are zeroed in the delta: phase
+// latency statistics come from SystemTimeH (mean and quantiles at histogram
+// resolution), which subtracts cleanly.
+func (s Summary) Delta(prev Summary) Summary {
+	sub := func(a, b uint64) uint64 {
+		if a > b {
+			return a - b
+		}
+		return 0
+	}
+	var out Summary
+	for i := range s.Protocols {
+		cur, old := s.Protocols[i], prev.Protocols[i]
+		d := ProtoStats{
+			Committed:     sub(cur.Committed, old.Committed),
+			Rejected:      sub(cur.Rejected, old.Rejected),
+			Victims:       sub(cur.Victims, old.Victims),
+			Shed:          sub(cur.Shed, old.Shed),
+			Busy:          sub(cur.Busy, old.Busy),
+			Attempts:      sub(cur.Attempts, old.Attempts),
+			BackoffReads:  sub(cur.BackoffReads, old.BackoffReads),
+			BackoffWrites: sub(cur.BackoffWrites, old.BackoffWrites),
+			ReadReqs:      sub(cur.ReadReqs, old.ReadReqs),
+			WriteReqs:     sub(cur.WriteReqs, old.WriteReqs),
+			ReadRejects:   sub(cur.ReadRejects, old.ReadRejects),
+			WriteRejects:  sub(cur.WriteRejects, old.WriteRejects),
+			SystemTimeH:   cur.SystemTimeH.Sub(old.SystemTimeH),
+		}
+		out.Protocols[i] = d
+	}
+	out.SpanMicros = s.SpanMicros - prev.SpanMicros
+	if out.SpanMicros < 0 {
+		out.SpanMicros = 0
+	}
+	out.K = s.K
+	return out
+}
+
 // TotalCommitted sums commits across protocols.
 func (s Summary) TotalCommitted() uint64 {
 	var n uint64

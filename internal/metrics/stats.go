@@ -109,6 +109,27 @@ func (h *Histogram) Merge(o Histogram) {
 	h.sum += o.sum
 }
 
+// Sub returns the histogram of samples recorded since prev, where prev is an
+// earlier snapshot of the same monotonically growing histogram (bucket-wise
+// subtraction, clamped at zero so a mismatched pair degrades to nonsense
+// counts rather than uint64 wraparound). This is how the scenario harness
+// turns cumulative run histograms into per-phase latency distributions.
+func (h Histogram) Sub(prev Histogram) Histogram {
+	var out Histogram
+	for b := range h.buckets {
+		if h.buckets[b] > prev.buckets[b] {
+			out.buckets[b] = h.buckets[b] - prev.buckets[b]
+		}
+	}
+	if h.count > prev.count {
+		out.count = h.count - prev.count
+	}
+	if h.sum > prev.sum {
+		out.sum = h.sum - prev.sum
+	}
+	return out
+}
+
 // Mean returns the exact sample mean.
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {

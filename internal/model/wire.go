@@ -880,6 +880,30 @@ func AppendMessage(b []byte, m Message) ([]byte, error) {
 		return v.AppendWire(append(b, byte(TagSnapRead))), nil
 	case SnapReadReplyMsg:
 		return v.AppendWire(append(b, byte(TagSnapReadReply))), nil
+	// Pooled pointer forms (DecodeMessagePooled): same bytes as the value
+	// arms above, so a pooled message re-encodes identically.
+	case *RequestMsg:
+		return v.AppendWire(append(b, byte(TagRequest))), nil
+	case *FinalTSMsg:
+		return v.AppendWire(append(b, byte(TagFinalTS))), nil
+	case *ReleaseMsg:
+		return v.AppendWire(append(b, byte(TagRelease))), nil
+	case *AbortMsg:
+		return v.AppendWire(append(b, byte(TagAbort))), nil
+	case *GrantMsg:
+		return v.AppendWire(append(b, byte(TagGrant))), nil
+	case *NormalGrantMsg:
+		return v.AppendWire(append(b, byte(TagNormalGrant))), nil
+	case *RejectMsg:
+		return v.AppendWire(append(b, byte(TagReject))), nil
+	case *BackoffMsg:
+		return v.AppendWire(append(b, byte(TagBackoff))), nil
+	case *BusyMsg:
+		return v.AppendWire(append(b, byte(TagBusy))), nil
+	case *SnapReadMsg:
+		return v.AppendWire(append(b, byte(TagSnapRead))), nil
+	case *SnapReadReplyMsg:
+		return v.AppendWire(append(b, byte(TagSnapReadReply))), nil
 	case WFGReportMsg:
 		return v.AppendWire(append(b, byte(TagWFGReport))), nil
 	case ProbeWFGMsg:

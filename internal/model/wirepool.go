@@ -1,0 +1,150 @@
+package model
+
+import "sync"
+
+// Decode-side struct pooling (opt-in).
+//
+// DecodeMessage returns value-typed messages; storing one in the Message
+// interface boxes it — one small heap allocation per decoded message, the
+// last steady-state allocation on the wire-v3 decode path. For consumers
+// that can bound a message's lifetime (decode → dispatch → done, never
+// retaining it), DecodeMessagePooled removes that allocation: the eleven
+// hot fixed-size protocol types decode into pooled structs returned as
+// pointers, and RecycleMessage puts them back.
+//
+// The contract is strict and deliberately opt-in:
+//
+//   - A pooled message is valid only until RecycleMessage. Callers that
+//     retain messages, forward them to actors, or let them escape must use
+//     DecodeMessage instead (the engine's actor type switches match value
+//     types, not pointers).
+//   - RecycleMessage accepts any Message and ignores everything that is not
+//     a pooled pointer type, so a mixed stream can be recycled blindly.
+//   - Variable-size messages (slices, maps, strings: VictimMsg, WFGReport,
+//     SubmitTxn, QueueStats, Estimate, TxnDone, ...) are NOT pooled — their
+//     backing arrays would pin arbitrary memory in the pool. They fall back
+//     to the plain decoder.
+//
+// AppendMessage accepts both forms (a pooled *RequestMsg encodes byte-for-
+// byte identically to the RequestMsg it holds), so round-trip paths —
+// decode pooled, re-encode, recycle — need no copies.
+
+var (
+	requestPool       = sync.Pool{New: func() any { return new(RequestMsg) }}
+	finalTSPool       = sync.Pool{New: func() any { return new(FinalTSMsg) }}
+	releasePool       = sync.Pool{New: func() any { return new(ReleaseMsg) }}
+	abortPool         = sync.Pool{New: func() any { return new(AbortMsg) }}
+	grantPool         = sync.Pool{New: func() any { return new(GrantMsg) }}
+	normalGrantPool   = sync.Pool{New: func() any { return new(NormalGrantMsg) }}
+	rejectPool        = sync.Pool{New: func() any { return new(RejectMsg) }}
+	backoffPool       = sync.Pool{New: func() any { return new(BackoffMsg) }}
+	busyPool          = sync.Pool{New: func() any { return new(BusyMsg) }}
+	snapReadPool      = sync.Pool{New: func() any { return new(SnapReadMsg) }}
+	snapReadReplyPool = sync.Pool{New: func() any { return new(SnapReadReplyMsg) }}
+)
+
+// DecodeMessagePooled decodes the body for tag from r like DecodeMessage,
+// but returns the hot fixed-size protocol messages as pooled pointers
+// (*RequestMsg, *GrantMsg, ...). Pass every decoded message to
+// RecycleMessage when done with it; see the package comment above for the
+// lifetime contract. Tags outside the pooled set defer to DecodeMessage.
+func DecodeMessagePooled(tag WireTag, r *WireReader) (Message, error) {
+	var m Message
+	switch tag {
+	case TagRequest:
+		v := requestPool.Get().(*RequestMsg)
+		*v = decodeRequest(r)
+		m = v
+	case TagFinalTS:
+		v := finalTSPool.Get().(*FinalTSMsg)
+		*v = decodeFinalTS(r)
+		m = v
+	case TagRelease:
+		v := releasePool.Get().(*ReleaseMsg)
+		*v = decodeRelease(r)
+		m = v
+	case TagAbort:
+		v := abortPool.Get().(*AbortMsg)
+		*v = decodeAbort(r)
+		m = v
+	case TagGrant:
+		v := grantPool.Get().(*GrantMsg)
+		*v = decodeGrant(r)
+		m = v
+	case TagNormalGrant:
+		v := normalGrantPool.Get().(*NormalGrantMsg)
+		*v = decodeNormalGrant(r)
+		m = v
+	case TagReject:
+		v := rejectPool.Get().(*RejectMsg)
+		*v = decodeReject(r)
+		m = v
+	case TagBackoff:
+		v := backoffPool.Get().(*BackoffMsg)
+		*v = decodeBackoff(r)
+		m = v
+	case TagBusy:
+		v := busyPool.Get().(*BusyMsg)
+		*v = decodeBusy(r)
+		m = v
+	case TagSnapRead:
+		v := snapReadPool.Get().(*SnapReadMsg)
+		*v = decodeSnapRead(r)
+		m = v
+	case TagSnapReadReply:
+		v := snapReadReplyPool.Get().(*SnapReadReplyMsg)
+		*v = decodeSnapReadReply(r)
+		m = v
+	default:
+		return DecodeMessage(tag, r)
+	}
+	if err := r.Err(); err != nil {
+		// A failed decode still recycles its struct: the caller gets no
+		// message to return.
+		RecycleMessage(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+// RecycleMessage returns a message obtained from DecodeMessagePooled to its
+// pool. Non-pooled messages (value types, variable-size types, nil) are
+// ignored, so callers can recycle a mixed stream unconditionally. The caller
+// must not touch the message afterwards.
+func RecycleMessage(m Message) {
+	switch v := m.(type) {
+	case *RequestMsg:
+		*v = RequestMsg{}
+		requestPool.Put(v)
+	case *FinalTSMsg:
+		*v = FinalTSMsg{}
+		finalTSPool.Put(v)
+	case *ReleaseMsg:
+		*v = ReleaseMsg{}
+		releasePool.Put(v)
+	case *AbortMsg:
+		*v = AbortMsg{}
+		abortPool.Put(v)
+	case *GrantMsg:
+		*v = GrantMsg{}
+		grantPool.Put(v)
+	case *NormalGrantMsg:
+		*v = NormalGrantMsg{}
+		normalGrantPool.Put(v)
+	case *RejectMsg:
+		*v = RejectMsg{}
+		rejectPool.Put(v)
+	case *BackoffMsg:
+		*v = BackoffMsg{}
+		backoffPool.Put(v)
+	case *BusyMsg:
+		*v = BusyMsg{}
+		busyPool.Put(v)
+	case *SnapReadMsg:
+		*v = SnapReadMsg{}
+		snapReadPool.Put(v)
+	case *SnapReadReplyMsg:
+		*v = SnapReadReplyMsg{}
+		snapReadReplyPool.Put(v)
+	}
+}

@@ -169,6 +169,21 @@ func (m *Manager) SetDurable(d Durable) {
 	m.seq = newCommitSequencer(d.Flush)
 }
 
+// SetGroupCommitMicros changes the group-commit window at runtime — the
+// slow-disk fault hook: a degraded disk is modeled as forced sync batching
+// (a wide window amortizes many writes per sync, at the documented cost of
+// a longer unsynced tail). Shards read the option on every maybeFlush, so
+// the new window governs the next delivery. Simulator-only discipline: call
+// between engine steps (the scenario runner applies it at a phase-boundary
+// fault point); on the real-time runtime shards read the field without
+// synchronization, so it must not change while traffic flows.
+func (m *Manager) SetGroupCommitMicros(window int64) {
+	if window < 0 {
+		window = 0
+	}
+	m.opts.GroupCommitMicros = window
+}
+
 // Down reports whether the site is currently crashed (tests).
 func (m *Manager) Down() bool {
 	sh := m.shards[0]

@@ -203,6 +203,7 @@ type Issuer struct {
 	dropped     uint64
 	shed        uint64 // arrivals refused by the admission controller
 	busyNAKs    uint64 // BusyMsg NAKs received from saturated queue managers
+	roBusyShed  uint64 // read-only snapshot txns shed terminally by a BusyMsg NAK
 	rebackoffs  uint64 // PA back-offs received after finalization (must stay 0)
 }
 
@@ -240,7 +241,14 @@ type Stats struct {
 	// Shed counts arrivals refused by the admission controller; BusyNAKs
 	// counts BusyMsg congestion NAKs received from saturated queue managers.
 	Shed, BusyNAKs uint64
-	Active         int
+	// ROBusyShed counts read-only snapshot transactions shed outright by a
+	// BusyMsg NAK — the fast path has no restart machinery, so a NAK is
+	// terminal for it. A subset of BusyNAKs (which also counts NAKs that
+	// merely aborted one read-write attempt), and a terminal outcome in the
+	// Offered identity: submitted = committed + shed + roBusyShed + dropped
+	// + active.
+	ROBusyShed uint64
+	Active     int
 	// Window is the admission controller's current in-flight window (0 when
 	// admission control is disabled).
 	Window float64
@@ -254,7 +262,7 @@ func (ri *Issuer) Snapshot() Stats {
 		Submitted: ri.submitted, Committed: ri.committed, ROCommitted: ri.roCommitted,
 		ROStale: ri.roStale,
 		Rejects: ri.rejects, Victims: ri.victims, Dropped: ri.dropped, ReBackoffs: ri.rebackoffs,
-		Shed: ri.shed, BusyNAKs: ri.busyNAKs,
+		Shed: ri.shed, BusyNAKs: ri.busyNAKs, ROBusyShed: ri.roBusyShed,
 		Active: len(ri.active) + len(ri.roActive),
 	}
 	if ri.adm != nil {
@@ -773,6 +781,7 @@ func (ri *Issuer) onBusy(ctx engine.Context, v model.BusyMsg) {
 			ri.adm.onBusy(now)
 		}
 		ri.busyNAKs++
+		ri.roBusyShed++
 		delete(ri.roActive, v.Txn)
 		ctx.Send(engine.CollectorAddr(), model.TxnDoneMsg{
 			Txn:                v.Txn,

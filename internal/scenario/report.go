@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ucc/internal/metrics"
+	"ucc/internal/qm"
+	"ucc/internal/ri"
+	"ucc/internal/wal"
+)
+
+// RunRecord is the machine-diffable record of one scenario run: per-phase
+// metric deltas, every fault applied, and every check's verdict. Marshals to
+// stable JSON (the CI smoke job archives these).
+type RunRecord struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	Sites       int    `json:"sites"`
+	Items       int    `json:"items"`
+	Replicas    int    `json:"replicas"`
+	Shards      int    `json:"shards"`
+
+	Phases []PhaseRecord `json:"phases"`
+	Final  FinalRecord   `json:"final"`
+
+	// Passed is true when every phase check and every final check passed.
+	Passed bool `json:"passed"`
+	// Failures flattens every failed check as "phase/check: detail" lines.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// PhaseRecord is one phase's outcome: metric deltas over exactly this
+// phase's events, the faults applied, and the checkpoint verdicts.
+type PhaseRecord struct {
+	Name        string `json:"name"`
+	StartMicros int64  `json:"start_micros"`
+	EndMicros   int64  `json:"end_micros"`
+
+	Committed         uint64  `json:"committed"`
+	Shed              uint64  `json:"shed"`
+	Busy              uint64  `json:"busy"`
+	Rejected          uint64  `json:"rejected"`
+	Victims           uint64  `json:"victims"`
+	ThroughputPerSec  float64 `json:"throughput_per_sec"`
+	MeanLatencyMicros float64 `json:"mean_latency_micros"`
+	P50Micros         float64 `json:"p50_micros"`
+	P99Micros         float64 `json:"p99_micros"`
+	// DepthHighWater is the run-so-far high-water data-queue depth (a
+	// monotone mark, not a per-phase delta).
+	DepthHighWater int `json:"depth_high_water"`
+
+	// RI, QM, and WAL are per-phase deltas of the issuer, queue-manager, and
+	// durability counters (WAL all-zero without Config.Durability; RI.Active
+	// is the instantaneous live count at the boundary, not a delta).
+	RI  ri.Stats    `json:"ri"`
+	QM  qm.Counters `json:"qm"`
+	WAL wal.Stats   `json:"wal"`
+
+	Faults []FaultRecord `json:"faults,omitempty"`
+	Checks []CheckRecord `json:"checks,omitempty"`
+
+	// delta is the phase's full metric delta (histograms included) for
+	// checks; not serialized — the scalar fields above are the record.
+	delta metrics.Summary
+}
+
+// Summary returns the phase's full metric delta (for custom checks).
+func (p *PhaseRecord) Summary() metrics.Summary { return p.delta }
+
+// FaultRecord notes one applied fault at its absolute engine time.
+type FaultRecord struct {
+	Name     string `json:"name"`
+	AtMicros int64  `json:"at_micros"`
+}
+
+// CheckRecord is one checkpoint verdict.
+type CheckRecord struct {
+	Name   string `json:"name"`
+	Passed bool   `json:"passed"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// FinalRecord is the post-drain view of the whole run.
+type FinalRecord struct {
+	Committed         uint64  `json:"committed"`
+	Shed              uint64  `json:"shed"`
+	Busy              uint64  `json:"busy"`
+	ThroughputPerSec  float64 `json:"throughput_per_sec"`
+	MeanLatencyMicros float64 `json:"mean_latency_micros"`
+	Unfinished        int     `json:"unfinished"`
+	Events            uint64  `json:"events"`
+	// Serializable is nil when history recording was off.
+	Serializable *bool         `json:"serializable,omitempty"`
+	Checks       []CheckRecord `json:"checks,omitempty"`
+}
+
+// JSON marshals the record (indented, stable field order).
+func (r *RunRecord) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteText renders the human-readable report.
+func (r *RunRecord) WriteText(w io.Writer) {
+	verdict := "PASS"
+	if !r.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "scenario %s [%s] seed=%d sites=%d items=%d replicas=%d\n",
+		r.Scenario, verdict, r.Seed, r.Sites, r.Items, r.Replicas)
+	if r.Description != "" {
+		fmt.Fprintf(w, "  %s\n", r.Description)
+	}
+	t := metrics.Table{Header: []string{
+		"phase", "span(ms)", "commit", "shed", "busy", "tput/s", "mean(ms)", "p99(ms)", "checks",
+	}}
+	for i := range r.Phases {
+		p := &r.Phases[i]
+		t.AddRow(
+			p.Name,
+			fmt.Sprintf("%d", (p.EndMicros-p.StartMicros)/1000),
+			fmt.Sprintf("%d", p.Committed),
+			fmt.Sprintf("%d", p.Shed),
+			fmt.Sprintf("%d", p.Busy),
+			metrics.F(p.ThroughputPerSec),
+			metrics.F(p.MeanLatencyMicros/1000),
+			metrics.F(p.P99Micros/1000),
+			checkSummary(p.Checks),
+		)
+	}
+	fmt.Fprint(w, t.String())
+	for i := range r.Phases {
+		p := &r.Phases[i]
+		for _, f := range p.Faults {
+			fmt.Fprintf(w, "  fault @%dms [%s] %s\n", f.AtMicros/1000, p.Name, f.Name)
+		}
+	}
+	ser := "off"
+	if r.Final.Serializable != nil {
+		if *r.Final.Serializable {
+			ser = "yes"
+		} else {
+			ser = "NO"
+		}
+	}
+	fmt.Fprintf(w, "  final: committed=%d unfinished=%d serializable=%s checks=%s\n",
+		r.Final.Committed, r.Final.Unfinished, ser, checkSummary(r.Final.Checks))
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "  FAIL %s\n", f)
+	}
+}
+
+func checkSummary(checks []CheckRecord) string {
+	if len(checks) == 0 {
+		return "-"
+	}
+	pass := 0
+	for _, c := range checks {
+		if c.Passed {
+			pass++
+		}
+	}
+	return fmt.Sprintf("%d/%d", pass, len(checks))
+}

@@ -81,6 +81,20 @@ func (e *Engine) Register(addr engine.Addr, a engine.Actor, seed int64) {
 // NowMicros returns the current virtual time.
 func (e *Engine) NowMicros() int64 { return e.now }
 
+// SetLatency replaces the latency model for every send scheduled after this
+// call — the fault hook behind asymmetric-latency and degraded-network
+// scenarios. The engine is single-threaded, so calling between Step/RunUntil
+// invocations is always safe; messages already in flight keep the delay they
+// were scheduled with, exactly as a real link change would leave packets
+// already on the wire untouched. Per-pair FIFO clamping still applies, so a
+// latency drop cannot reorder a pair's messages.
+func (e *Engine) SetLatency(m engine.LatencyModel) {
+	if m == nil {
+		m = engine.FixedLatency{}
+	}
+	e.latency = m
+}
+
 // Post injects a message from the outside world (e.g. the harness submitting
 // the first timer) at the current virtual time.
 func (e *Engine) Post(to engine.Addr, msg model.Message) {

@@ -92,6 +92,39 @@ func DecodeEnvelope(payload []byte) (engine.Envelope, error) {
 	return env, nil
 }
 
+// DecodeEnvelopePooled is DecodeEnvelope with the decode-side struct pool:
+// the hot fixed-size protocol messages come back as pooled pointers
+// (*model.RequestMsg, *model.GrantMsg, ...) instead of boxed values,
+// eliminating the per-message interface allocation. The caller owns the
+// message only until model.RecycleMessage(env.Msg); callers that retain or
+// forward messages must use DecodeEnvelope. Non-pooled message types decode
+// exactly as in DecodeEnvelope and recycle as a no-op, so a mixed stream
+// needs no per-type handling.
+func DecodeEnvelopePooled(payload []byte) (engine.Envelope, error) {
+	r := model.NewWireReader(payload)
+	var env engine.Envelope
+	env.From.Kind = engine.ActorKind(r.Byte())
+	env.From.ID = model.SiteID(r.Varint32())
+	env.From.Shard = r.Byte()
+	env.To.Kind = engine.ActorKind(r.Byte())
+	env.To.ID = model.SiteID(r.Varint32())
+	env.To.Shard = r.Byte()
+	tag := model.WireTag(r.Byte())
+	if err := r.Err(); err != nil {
+		return engine.Envelope{}, err
+	}
+	msg, err := model.DecodeMessagePooled(tag, &r)
+	if err != nil {
+		return engine.Envelope{}, err
+	}
+	if r.Remaining() != 0 {
+		model.RecycleMessage(msg)
+		return engine.Envelope{}, fmt.Errorf("%w: %d", ErrTrailingBytes, r.Remaining())
+	}
+	env.Msg = msg
+	return env, nil
+}
+
 // EncodeEnvelope is the one-shot form: a fresh pooled buffer holding
 // uvarint-length-prefixed frame bytes. The caller returns it with
 // ReleaseFrame when done (tests, seed-corpus generation).
@@ -210,6 +243,35 @@ func (r *Reader) ReadEnvelope() (engine.Envelope, int, error) {
 	env, err := DecodeEnvelope(payload)
 	if err != nil {
 		// Frame fully consumed; the error is per-frame, not per-stream.
+		return engine.Envelope{}, uvarintLen(n) + int(n), err
+	}
+	return env, uvarintLen(n) + int(n), nil
+}
+
+// ReadEnvelopePooled is ReadEnvelope through the decode-side struct pool:
+// identical framing and error contract, but hot fixed-size messages return
+// as pooled pointers. See DecodeEnvelopePooled for the lifetime rules.
+func (r *Reader) ReadEnvelopePooled() (engine.Envelope, int, error) {
+	n, err := readFrameLen(r.br)
+	if err != nil {
+		return engine.Envelope{}, 0, err
+	}
+	if n > MaxFrameBytes {
+		return engine.Envelope{}, 0, ErrFrameTooLarge
+	}
+	if uint64(cap(r.buf)) < n {
+		putBuf(r.buf)
+		r.buf = make([]byte, n)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return engine.Envelope{}, 0, err
+	}
+	env, err := DecodeEnvelopePooled(payload)
+	if err != nil {
 		return engine.Envelope{}, uvarintLen(n) + int(n), err
 	}
 	return env, uvarintLen(n) + int(n), nil

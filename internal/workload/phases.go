@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+// Phase is one segment of a phased workload: the driver runs Spec's arrival
+// process for DurationMicros of engine time, then switches to the next
+// phase's spec at the boundary. Phases are what make workload shape *data*
+// (the scenario harness's diurnal curves, flash-crowd spikes, and mix shifts
+// are all just phase lists) instead of per-experiment driver code.
+type Phase struct {
+	// Name labels the phase in reports ("ramp", "peak", "trough").
+	Name string
+	// DurationMicros is the phase length in engine microseconds. Zero or
+	// negative is a validation error: a zero-length phase is always a
+	// data-entry mistake (its spec would silently never generate anything).
+	DurationMicros int64
+	// Spec is the workload during this phase. Phase specs are open-loop
+	// only: ClosedLoop, HorizonMicros, and MaxTxns are rejected — the phase
+	// boundary is the horizon, and a closed loop has no arrival process to
+	// re-pace at a boundary.
+	Spec Spec
+}
+
+// ValidatePhases validates a phase list for a phased driver.
+func ValidatePhases(phases []Phase) error {
+	if len(phases) == 0 {
+		return fmt.Errorf("workload: phased driver needs at least one phase")
+	}
+	for i := range phases {
+		p := &phases[i]
+		if p.DurationMicros <= 0 {
+			return fmt.Errorf("workload: phase %d (%q) has non-positive duration %d", i, p.Name, p.DurationMicros)
+		}
+		if p.Spec.ClosedLoop != 0 {
+			return fmt.Errorf("workload: phase %d (%q) sets ClosedLoop; phases are open-loop only", i, p.Name)
+		}
+		if p.Spec.HorizonMicros != 0 {
+			return fmt.Errorf("workload: phase %d (%q) sets HorizonMicros; the phase duration is the horizon", i, p.Name)
+		}
+		if p.Spec.MaxTxns != 0 {
+			return fmt.Errorf("workload: phase %d (%q) sets MaxTxns; bound load with ArrivalPerSec and duration", i, p.Name)
+		}
+		if err := p.Spec.Validate(); err != nil {
+			return fmt.Errorf("workload: phase %d (%q): %w", i, p.Name, err)
+		}
+	}
+	return nil
+}
+
+// NewPhasedDriver builds a driver that walks the phase list in order,
+// starting phase 0 at engine time zero. After the last phase ends the
+// driver generates nothing more (the run's settle window drains in-flight
+// work). Phase boundaries preserve the Poisson property: a drawn gap that
+// would cross the boundary is discarded and the arrival process restarts at
+// the boundary with the new phase's rate (exponential gaps are memoryless,
+// so the clamp does not bias inter-arrival times).
+func NewPhasedDriver(site model.SiteID, phases []Phase) (*Driver, error) {
+	if err := ValidatePhases(phases); err != nil {
+		return nil, err
+	}
+	d := &Driver{site: site, spec: phases[0].Spec, phases: phases}
+	d.phaseEnd = phases[0].DurationMicros
+	return d, nil
+}
+
+// Driver tick tags for phased mode: an arrival tick launches a transaction
+// and reschedules; a boundary wake only reschedules (drawing the first gap
+// of the new phase at the new rate).
+const (
+	tickArrival uint64 = 0
+	tickWake    uint64 = 1
+)
+
+// onPhasedTick advances the phase clock and runs one step of the arrival
+// process. Called only when d.phases is non-nil.
+func (d *Driver) onPhasedTick(ctx engine.Context, tick model.TickMsg) {
+	now := ctx.NowMicros()
+	d.advancePhase(now)
+	if d.stopped || d.phaseIdx >= len(d.phases) {
+		return
+	}
+	if tick.Tag == tickArrival {
+		d.launchOne(ctx)
+	}
+	// Schedule the next arrival, clamped at the phase boundary: a gap that
+	// crosses it becomes a wake tick at the boundary, where the new rate
+	// takes over.
+	gap := int64(ctx.Rand().ExpFloat64() * 1e6 / d.spec.ArrivalPerSec)
+	if gap < 1 {
+		gap = 1
+	}
+	if now+gap >= d.phaseEnd {
+		delay := d.phaseEnd - now
+		if delay < 1 {
+			delay = 1
+		}
+		ctx.SetTimer(delay, model.TickMsg{Tag: tickWake})
+		return
+	}
+	ctx.SetTimer(gap, model.TickMsg{Tag: tickArrival})
+}
+
+// advancePhase switches specs while now has reached the current phase's end.
+func (d *Driver) advancePhase(now int64) {
+	for d.phaseIdx < len(d.phases) && now >= d.phaseEnd {
+		d.phaseIdx++
+		if d.phaseIdx >= len(d.phases) {
+			return
+		}
+		d.spec = d.phases[d.phaseIdx].Spec
+		d.phaseEnd += d.phases[d.phaseIdx].DurationMicros
+		// The Zipf sampler is parameterized by the phase's Items/ZipfS;
+		// rebuild it lazily for the new spec.
+		d.zipf = nil
+	}
+}
+
+// PhaseIndex reports which phase the driver is currently in (== len(phases)
+// after the last phase ends). Observability for the scenario runner.
+func (d *Driver) PhaseIndex() int { return d.phaseIdx }

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+)
+
+// TestSpecValidateRejections is the table of explicitly-invalid knob values:
+// each must fail Validate with a message naming the offending knob, never be
+// silently replaced by a default. (Zero values taking defaults is the other
+// half of the contract — TestValidateDefaults.)
+func TestSpecValidateRejections(t *testing.T) {
+	ok := func() Spec { return Spec{ArrivalPerSec: 10, Items: 64} }
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string // substring of the error
+	}{
+		{"zero items", func(s *Spec) { s.Items = 0 }, "Items"},
+		{"negative items", func(s *Spec) { s.Items = -1 }, "Items"},
+		{"negative arrival", func(s *Spec) { s.ArrivalPerSec = -5 }, "ArrivalPerSec"},
+		{"no load source", func(s *Spec) { s.ArrivalPerSec = 0 }, "ArrivalPerSec"},
+		{"negative closed loop", func(s *Spec) { s.ClosedLoop = -1 }, "ClosedLoop"},
+		{"negative horizon", func(s *Spec) { s.HorizonMicros = -1 }, "HorizonMicros"},
+		{"negative max txns", func(s *Spec) { s.MaxTxns = -1 }, "MaxTxns"},
+		{"negative size", func(s *Spec) { s.Size = -4 }, "size"},
+		{"negative size min", func(s *Spec) { s.SizeMin = -1 }, "size"},
+		{"negative size max", func(s *Spec) { s.SizeMax = -1 }, "size"},
+		{"size max below min", func(s *Spec) { s.SizeMin = 8; s.SizeMax = 3 }, "SizeMax"},
+		{"negative compute", func(s *Spec) { s.ComputeMicros = -1 }, "compute"},
+		{"negative ro compute", func(s *Spec) { s.ROComputeMicros = -1 }, "compute"},
+		{"read frac below 0", func(s *Spec) { s.ReadFrac = -0.1 }, "ReadFrac"},
+		{"read frac above 1", func(s *Spec) { s.ReadFrac = 1.1 }, "ReadFrac"},
+		{"negative 2pl share", func(s *Spec) { s.Share2PL = -0.5 }, "share"},
+		{"negative to share", func(s *Spec) { s.ShareTO = -0.5 }, "share"},
+		{"negative pa share", func(s *Spec) { s.SharePA = -0.5 }, "share"},
+		{"negative ro share", func(s *Spec) { s.ShareRO = -0.5 }, "share"},
+		{"negative ro size", func(s *Spec) { s.ROSize = -2 }, "ROSize"},
+		{"negative zipf skew", func(s *Spec) { s.ZipfS = -1 }, "ZipfS"},
+		{"zipf skew in (0,1]", func(s *Spec) { s.ZipfS = 0.9 }, "ZipfS"},
+		{"zipf skew exactly 1", func(s *Spec) { s.ZipfS = 1 }, "ZipfS"},
+		{"negative hot items", func(s *Spec) { s.HotItems = -1 }, "HotItems"},
+		{"hot items >= items", func(s *Spec) { s.Access = AccessHotspot; s.HotItems = 64 }, "HotItems"},
+		{"hot frac below 0", func(s *Spec) { s.HotFrac = -0.2 }, "HotFrac"},
+		{"hot frac above 1", func(s *Spec) { s.HotFrac = 1.5 }, "HotFrac"},
+		{"fixed set empty", func(s *Spec) { s.Access = AccessFixedSet }, "ItemSet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := ok()
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("spec %+v validated; want error mentioning %q", s, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offending knob %q", err, tc.want)
+			}
+		})
+	}
+	// The baseline itself must be valid, or every case above is vacuous.
+	s := ok()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("baseline spec invalid: %v", err)
+	}
+}
+
+// TestValidatePhasesRejections: the phase-list rules — open-loop only, the
+// phase duration is the horizon — plus per-phase spec validation with the
+// phase index and name in the error.
+func TestValidatePhasesRejections(t *testing.T) {
+	okPhase := func() Phase {
+		return Phase{Name: "p", DurationMicros: 1_000_000, Spec: Spec{ArrivalPerSec: 10, Items: 64}}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Phase)
+		want string
+	}{
+		{"zero duration", func(p *Phase) { p.DurationMicros = 0 }, "duration"},
+		{"negative duration", func(p *Phase) { p.DurationMicros = -5 }, "duration"},
+		{"closed loop", func(p *Phase) { p.Spec.ClosedLoop = 4 }, "ClosedLoop"},
+		{"horizon", func(p *Phase) { p.Spec.HorizonMicros = 1 }, "HorizonMicros"},
+		{"max txns", func(p *Phase) { p.Spec.MaxTxns = 10 }, "MaxTxns"},
+		{"invalid inner spec", func(p *Phase) { p.Spec.ReadFrac = 2 }, "ReadFrac"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := okPhase()
+			bad.Name = "peak"
+			tc.mut(&bad)
+			err := ValidatePhases([]Phase{okPhase(), bad})
+			if err == nil {
+				t.Fatalf("phase list validated; want error mentioning %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// The error must locate the bad phase for the scenario author.
+			if !strings.Contains(err.Error(), "phase 1") || !strings.Contains(err.Error(), "peak") {
+				t.Fatalf("error %q does not name phase 1 (%q)", err, "peak")
+			}
+		})
+	}
+	if err := ValidatePhases(nil); err == nil {
+		t.Fatal("empty phase list validated")
+	}
+	if err := ValidatePhases([]Phase{okPhase(), okPhase()}); err != nil {
+		t.Fatalf("valid phase list rejected: %v", err)
+	}
+}
+
+// TestPhasedDriverSwitchesSpecs drives a two-phase list through the fake
+// context and checks the boundary semantics: transactions generated before
+// the boundary use phase 0's spec, after it phase 1's, PhaseIndex tracks the
+// switch, and after the last phase the driver schedules nothing more.
+func TestPhasedDriverSwitchesSpecs(t *testing.T) {
+	phases := []Phase{
+		{Name: "small", DurationMicros: 500_000, Spec: Spec{
+			ArrivalPerSec: 200, Items: 64, Size: 2, SizeMin: 2, SizeMax: 2, ShareTO: 1,
+		}},
+		{Name: "large", DurationMicros: 500_000, Spec: Spec{
+			ArrivalPerSec: 200, Items: 64, Size: 6, SizeMin: 6, SizeMax: 6, SharePA: 1,
+		}},
+	}
+	d, err := NewPhasedDriver(3, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PhaseIndex(); got != 0 {
+		t.Fatalf("PhaseIndex before any tick = %d, want 0", got)
+	}
+
+	ctx := &fakeCtx{rng: rand.New(rand.NewSource(7))}
+	// Each SetTimer advances ctx.now by the scheduled gap, so repeatedly
+	// delivering ticks walks the driver through both phases in virtual time.
+	type stamped struct {
+		at  int64
+		txn *model.Txn
+	}
+	var got []stamped
+	for i := 0; i < 10_000 && len(ctx.timers) == i; i++ {
+		before := len(ctx.sent)
+		at := ctx.now
+		d.OnMessage(ctx, engine.DriverAddr(3), model.TickMsg{Tag: tickArrival})
+		for _, e := range ctx.sent[before:] {
+			if m, ok := e.Msg.(model.SubmitTxnMsg); ok {
+				got = append(got, stamped{at: at, txn: m.Txn})
+			}
+		}
+	}
+	if ctx.now < 1_000_000 {
+		t.Fatalf("driver stopped scheduling at %dµs, before the last phase's end", ctx.now)
+	}
+	if got[0].at != 0 {
+		// The very first tick is posted at time zero by the cluster; in this
+		// harness the first delivery is at now=0 too.
+		t.Fatalf("first arrival at %dµs, want 0", got[0].at)
+	}
+
+	var inSmall, inLarge int
+	for _, s := range got {
+		size := len(s.txn.ReadSet) + len(s.txn.WriteSet)
+		switch {
+		case s.at < 500_000:
+			inSmall++
+			if size != 2 || s.txn.Protocol != model.TO {
+				t.Fatalf("txn at %dµs (phase small): size %d protocol %v, want 2/TO", s.at, size, s.txn.Protocol)
+			}
+		case s.at < 1_000_000:
+			inLarge++
+			if size != 6 || s.txn.Protocol != model.PA {
+				t.Fatalf("txn at %dµs (phase large): size %d protocol %v, want 6/PA", s.at, size, s.txn.Protocol)
+			}
+		default:
+			t.Fatalf("txn generated at %dµs, past the last phase's end", s.at)
+		}
+	}
+	// ~100 arrivals per phase at 200/s over 0.5s; demand a loose half.
+	if inSmall < 50 || inLarge < 50 {
+		t.Fatalf("phase arrival counts small=%d large=%d, want ≥50 each", inSmall, inLarge)
+	}
+	if got := d.PhaseIndex(); got != len(phases) {
+		t.Fatalf("PhaseIndex after the last phase = %d, want %d", got, len(phases))
+	}
+}
+
+// TestPhasedDriverBoundaryWake: a drawn gap that would cross the phase
+// boundary must be clamped to a wake tick AT the boundary (not an arrival),
+// so a low-rate phase cannot smear its last long gap into the next phase and
+// delay the new rate taking over.
+func TestPhasedDriverBoundaryWake(t *testing.T) {
+	phases := []Phase{
+		// ~1 arrival/s against a 100ms phase: the first drawn gap nearly
+		// always crosses the boundary.
+		{Name: "quiet", DurationMicros: 100_000, Spec: Spec{ArrivalPerSec: 1, Items: 8}},
+		{Name: "busy", DurationMicros: 100_000, Spec: Spec{ArrivalPerSec: 2000, Items: 8}},
+	}
+	d, err := NewPhasedDriver(0, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &fakeCtx{rng: rand.New(rand.NewSource(1))}
+	d.OnMessage(ctx, engine.DriverAddr(0), model.TickMsg{Tag: tickArrival})
+	if len(ctx.timers) != 1 || ctx.now != 100_000 {
+		t.Fatalf("first gap not clamped to the boundary: timers=%v now=%d", ctx.timers, ctx.now)
+	}
+	// The boundary wake must reschedule WITHOUT launching (it is a wake, not
+	// an arrival) and the new gap must come from the busy phase's rate.
+	before := len(ctx.sent)
+	d.OnMessage(ctx, engine.DriverAddr(0), model.TickMsg{Tag: tickWake})
+	if launched := len(ctx.sent) - before; launched != 0 {
+		t.Fatalf("boundary wake launched %d transactions, want 0", launched)
+	}
+	if d.PhaseIndex() != 1 {
+		t.Fatalf("PhaseIndex after boundary wake = %d, want 1", d.PhaseIndex())
+	}
+	if gap := ctx.timers[len(ctx.timers)-1]; gap > 10_000 {
+		t.Fatalf("post-boundary gap %dµs looks drawn at the quiet rate, want the 2000/s busy rate", gap)
+	}
+}

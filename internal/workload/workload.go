@@ -95,22 +95,48 @@ type Spec struct {
 	Class string
 }
 
-// Validate fills defaults and checks consistency.
+// Validate fills defaults and checks consistency. Unset (zero) knobs take
+// sane defaults; explicitly invalid knobs — negative shares or sizes, a
+// non-positive Zipf skew, a hot fraction outside (0,1] — fail loudly rather
+// than being silently replaced: a scenario library makes bad knob
+// combinations a data-entry error, and a spec that runs with different
+// numbers than its author wrote is worse than one that refuses to run.
 func (s *Spec) Validate() error {
 	if s.Items <= 0 {
 		return fmt.Errorf("workload: Items must be positive")
 	}
-	if s.ArrivalPerSec <= 0 && s.ClosedLoop <= 0 {
+	if s.ArrivalPerSec < 0 {
+		return fmt.Errorf("workload: ArrivalPerSec is negative (%g)", s.ArrivalPerSec)
+	}
+	if s.ClosedLoop < 0 {
+		return fmt.Errorf("workload: ClosedLoop is negative (%d)", s.ClosedLoop)
+	}
+	if s.ArrivalPerSec == 0 && s.ClosedLoop == 0 {
 		return fmt.Errorf("workload: ArrivalPerSec must be positive (or ClosedLoop set)")
 	}
-	if s.Size <= 0 {
+	if s.HorizonMicros < 0 {
+		return fmt.Errorf("workload: HorizonMicros is negative (%d)", s.HorizonMicros)
+	}
+	if s.MaxTxns < 0 {
+		return fmt.Errorf("workload: MaxTxns is negative (%d)", s.MaxTxns)
+	}
+	if s.Size < 0 || s.SizeMin < 0 || s.SizeMax < 0 {
+		return fmt.Errorf("workload: negative transaction size (Size=%d SizeMin=%d SizeMax=%d)", s.Size, s.SizeMin, s.SizeMax)
+	}
+	if s.ComputeMicros < 0 || s.ROComputeMicros < 0 {
+		return fmt.Errorf("workload: negative compute time (ComputeMicros=%d ROComputeMicros=%d)", s.ComputeMicros, s.ROComputeMicros)
+	}
+	if s.Size == 0 {
 		s.Size = 4
 	}
-	if s.SizeMin <= 0 {
+	if s.SizeMin == 0 {
 		s.SizeMin = 1
 	}
-	if s.SizeMax <= 0 {
+	if s.SizeMax == 0 {
 		s.SizeMax = s.Size * 3
+	}
+	if s.SizeMax < s.SizeMin {
+		return fmt.Errorf("workload: SizeMax %d < SizeMin %d", s.SizeMax, s.SizeMin)
 	}
 	if s.SizeMax > s.Items {
 		s.SizeMax = s.Items
@@ -121,22 +147,45 @@ func (s *Spec) Validate() error {
 	if s.ReadFrac < 0 || s.ReadFrac > 1 {
 		return fmt.Errorf("workload: ReadFrac out of range")
 	}
-	if s.Share2PL+s.ShareTO+s.SharePA+s.ShareRO <= 0 {
+	if s.Share2PL < 0 || s.ShareTO < 0 || s.SharePA < 0 || s.ShareRO < 0 {
+		return fmt.Errorf("workload: negative protocol share (2PL=%g TO=%g PA=%g RO=%g)",
+			s.Share2PL, s.ShareTO, s.SharePA, s.ShareRO)
+	}
+	if s.Share2PL+s.ShareTO+s.SharePA+s.ShareRO == 0 {
 		s.Share2PL = 1
+	}
+	if s.ROSize < 0 {
+		return fmt.Errorf("workload: ROSize is negative (%d)", s.ROSize)
 	}
 	if s.ROSize > s.Items {
 		s.ROSize = s.Items
 	}
-	if s.ZipfS <= 1 {
-		s.ZipfS = 1.2
+	if s.ZipfS < 0 {
+		return fmt.Errorf("workload: ZipfS is negative (%g)", s.ZipfS)
 	}
-	if s.HotItems <= 0 {
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.2
+	} else if s.ZipfS <= 1 {
+		// rand.NewZipf requires s > 1; an explicit skew in (0,1] would
+		// previously run at a silently substituted 1.2.
+		return fmt.Errorf("workload: ZipfS %g is not > 1 (the Zipf sampler requires s > 1)", s.ZipfS)
+	}
+	if s.HotItems < 0 {
+		return fmt.Errorf("workload: HotItems is negative (%d)", s.HotItems)
+	}
+	if s.HotItems == 0 {
 		s.HotItems = s.Items / 10
 		if s.HotItems == 0 {
 			s.HotItems = 1
 		}
 	}
-	if s.HotFrac <= 0 || s.HotFrac > 1 {
+	if s.Access == AccessHotspot && s.HotItems >= s.Items {
+		return fmt.Errorf("workload: HotItems %d must be < Items %d for AccessHotspot", s.HotItems, s.Items)
+	}
+	if s.HotFrac < 0 || s.HotFrac > 1 {
+		return fmt.Errorf("workload: HotFrac %g out of [0,1]", s.HotFrac)
+	}
+	if s.HotFrac == 0 {
 		s.HotFrac = 0.8
 	}
 	if s.Access == AccessFixedSet {
@@ -164,6 +213,12 @@ type Driver struct {
 	count   int
 	stopped bool
 	zipf    *rand.Zipf
+	// Phased mode (NewPhasedDriver): the phase list, the index of the
+	// current phase, and the cumulative engine time at which it ends. nil
+	// phases = the classic single-spec driver.
+	phases   []Phase
+	phaseIdx int
+	phaseEnd int64
 	// Generated counts by protocol, including the ROSnapshot class (for
 	// verification).
 	Generated [model.NumProtocols]uint64
@@ -181,9 +236,11 @@ func NewDriver(site model.SiteID, spec Spec) (*Driver, error) {
 // start the arrival process; in closed-loop mode each TxnFinishedMsg from
 // the site's issuer launches the replacement transaction.
 func (d *Driver) OnMessage(ctx engine.Context, from engine.Addr, msg model.Message) {
-	switch msg.(type) {
+	switch v := msg.(type) {
 	case model.TickMsg:
-		if d.spec.ClosedLoop > 0 {
+		if d.phases != nil {
+			d.onPhasedTick(ctx, v)
+		} else if d.spec.ClosedLoop > 0 {
 			for i := 0; i < d.spec.ClosedLoop; i++ {
 				d.launchOne(ctx)
 			}

@@ -140,6 +140,14 @@ type OverloadStats struct {
 	// queue (≥ BusyNAKs delivered; the difference is NAKs for already-stale
 	// attempts).
 	BusySent uint64
+	// ROBusyShed counts read-only snapshot transactions terminated outright
+	// after a saturated queue manager NAK'd their snapshot read (the fast
+	// path has no lock state to retry under backoff, so a busy NAK sheds the
+	// whole transaction).
+	ROBusyShed uint64
+	// Dropped counts transactions dropped at the Config.MaxAttempts restart
+	// cap (0 without a cap: past-cap transactions retry forever).
+	Dropped uint64
 	// MaxQueueDepth is the deepest per-item data queue observed anywhere;
 	// with Config.MaxQueueDepth configured it never exceeds that bound.
 	MaxQueueDepth int
@@ -154,6 +162,8 @@ func (r Result) Overload() OverloadStats {
 		Shed:          rt.Shed,
 		BusyNAKs:      rt.BusyNAKs,
 		BusySent:      qt.Busy,
+		ROBusyShed:    rt.ROBusyShed,
+		Dropped:       rt.Dropped,
 		MaxQueueDepth: r.cl.DepthHighWater(),
 	}
 }

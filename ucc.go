@@ -156,6 +156,10 @@ type Config struct {
 	// AdmissionTargetLatency, when positive, also treats commits slower than
 	// this as congestion (multiplicative window decrease).
 	AdmissionTargetLatency time.Duration
+	// MaxAttempts caps how many times a rejected, victimized, or busy-NAK'd
+	// transaction is restarted; past the cap it is dropped and counted
+	// (never silently retried forever). 0 = unlimited, the paper's model.
+	MaxAttempts int
 
 	// Durability attaches a write-ahead log + snapshots to every site
 	// (deterministic in-memory media) and enables CrashSite/RecoverSite
@@ -305,6 +309,7 @@ func New(cfg Config) (*Cluster, error) {
 			SwitchOnRestart:         escalation(cfg.EscalateRestartsToPA),
 			SnapshotStalenessMicros: cfg.SnapshotStaleness.Microseconds(),
 			DisableROFastPath:       cfg.DisableReadOnlyFastPath,
+			MaxAttempts:             cfg.MaxAttempts,
 			Admission: ri.AdmissionOptions{
 				Enabled:             cfg.Admission,
 				InitialWindow:       cfg.AdmissionWindow,
@@ -447,15 +452,7 @@ func (c *Cluster) Value(item ItemID) int64 {
 // item, primary first (after Run; replica-divergence checks). Copies on
 // sites still crashed at the end of the run are skipped.
 func (c *Cluster) ReplicaValues(item ItemID) []int64 {
-	sites := c.inner.Catalog.Replicas(item)
-	out := make([]int64, 0, len(sites))
-	for _, s := range sites {
-		if st := c.inner.Stores[s]; st.Has(item) {
-			v, _ := st.Read(item)
-			out = append(out, v)
-		}
-	}
-	return out
+	return c.inner.ReplicaValues(model.ItemID(item))
 }
 
 func engineRIAddr(s model.SiteID) engine.Addr { return engine.RIAddr(s) }

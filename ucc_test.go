@@ -501,3 +501,59 @@ func TestFacadeAdmissionControlSheds(t *testing.T) {
 			res.Offered(), res.Committed(), ov.Shed, res.Unfinished())
 	}
 }
+
+// TestFacadeOfferedIdentityUnderOverload pins the issuer ledger identity
+// Result.Offered documents, with EVERY term live at once: offered =
+// committed + admission-shed + RO-busy-shed + dropped-at-MaxAttempts +
+// unfinished. The workload is built so the interesting terms are provably
+// nonzero — far-over-capacity arrivals against admission control (shed > 0),
+// a tiny hot T/O-heavy item set behind shallow bounded queues so restarts
+// exhaust the attempt cap (dropped > 0) — because an identity test whose
+// terms are all zero pins nothing. A read-only share rides along so the
+// RO-busy-shed path is at least reachable; its count may legitimately be
+// zero (snapshot reads only shed when a saturated queue NAKs them).
+func TestFacadeOfferedIdentityUnderOverload(t *testing.T) {
+	c, err := New(Config{
+		Sites: 3, Items: 8, Seed: 11,
+		Admission:     true,
+		AdmissionRate: 50,
+		MaxQueueDepth: 4,
+		MaxAttempts:   2,
+		RestartDelay:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 300, Duration: 2 * time.Second, Size: 3,
+		Mix:     Mix{TO: 0.8, PA: 0.1, ReadOnly: 0.1},
+		Hotspot: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	ov := res.Overload()
+
+	if ov.Shed == 0 {
+		t.Fatal("admission shed nothing at 300 txn/s/site against a 50/s token bucket")
+	}
+	if ov.Dropped == 0 {
+		t.Fatal("nothing hit the MaxAttempts=2 cap on a 2-item hotspot behind depth-4 queues")
+	}
+	if res.Committed() == 0 {
+		t.Fatal("overload machinery shed everything")
+	}
+	got := res.Committed() + ov.Shed + ov.ROBusyShed + ov.Dropped + uint64(res.Unfinished())
+	if res.Offered() != got {
+		t.Fatalf("offered %d != committed %d + shed %d + roBusyShed %d + dropped %d + unfinished %d = %d",
+			res.Offered(), res.Committed(), ov.Shed, ov.ROBusyShed, ov.Dropped, res.Unfinished(), got)
+	}
+	// The cap drops transactions mid-flight; the run must still drain clean
+	// and serializable (a dropped transaction releases everything it held).
+	if res.Unfinished() != 0 {
+		t.Fatalf("%d transactions leaked past the drain", res.Unfinished())
+	}
+	if !res.Serializable() {
+		t.Fatalf("not serializable under overload + attempt cap: %v", res.ConflictCycle())
+	}
+}
