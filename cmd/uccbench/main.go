@@ -27,7 +27,12 @@
 //	uccbench -wire-json BENCH_wire.json
 //
 // measures the wire-v3 codec against the legacy gob stream over the mixed
-// message corpus and writes the comparison (same artifact contract).
+// message corpus and writes the comparison (same artifact contract), and:
+//
+//	uccbench -quorum-json BENCH_quorum.json
+//
+// runs the EXP-14 quorum kill-one-site sweep at full horizons and writes the
+// per-outage dip/convergence rows (uploaded nightly).
 package main
 
 import (
@@ -53,6 +58,7 @@ func main() {
 		require    = flag.String("require", "", "regexp of baseline benchmark names that must appear in the -check output; empty requires ALL of them — a baseline entry missing from the run fails loudly instead of being skipped")
 		shardsJSON = flag.String("shards-json", "", "run the EXP-11 shard sweep and write this JSON artifact, then exit")
 		wireJSON   = flag.String("wire-json", "", "run the wire-v3-vs-gob codec comparison and write this JSON artifact, then exit")
+		quorumJSON = flag.String("quorum-json", "", "run the EXP-14 quorum failover sweep at full scale and write this JSON artifact, then exit")
 	)
 	flag.Parse()
 
@@ -73,6 +79,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *wireJSON)
+		return
+	}
+	if *quorumJSON != "" {
+		if err := writeQuorumJSON(*quorumJSON, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "uccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *quorumJSON)
 		return
 	}
 

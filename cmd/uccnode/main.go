@@ -40,6 +40,7 @@ import (
 	"ucc/internal/engine"
 	"ucc/internal/model"
 	"ucc/internal/qm"
+	"ucc/internal/repl"
 	"ucc/internal/ri"
 	"ucc/internal/storage"
 	"ucc/internal/transport"
@@ -71,6 +72,12 @@ func main() {
 		admRate   = flag.Float64("admission-rate", 0, "token-bucket cap on new-transaction starts per second (0 = no rate gate)")
 		admTarget = flag.Int64("admission-target-ms", 0, "commit-latency target (ms); commits slower than this shrink the window (0 = busy-NAK signal only)")
 
+		quorumN      = flag.Int("quorum-n", 0, "quorum replication: copies per item (0 with -quorum-w/-r = read-one/write-all; all processes must agree)")
+		quorumW      = flag.Int("quorum-w", 0, "quorum replication: write quorum size (W of N grants commit a write)")
+		quorumR      = flag.Int("quorum-r", 0, "quorum replication: read quorum size (R copies answer a read, highest commit stamp wins)")
+		replPeriodMS = flag.Int64("repl-period-ms", 150, "WAL log-shipping catch-up pull period (ms)")
+		replBatch    = flag.Int("repl-batch", 512, "records per catch-up batch (a cut batch re-pulls immediately)")
+
 		dataDir  = flag.String("data-dir", "", "durability root: write-ahead log + snapshots under <dir>/site<N> (empty = volatile)")
 		gcWindow = flag.Int64("wal-group-commit-us", 0, "group-commit window (µs); 0 (default) syncs each write before exposing it — a nonzero window amortizes syncs but a crash inside it loses writes other sites may have observed")
 		segBytes = flag.Int("wal-segment-bytes", 1<<20, "WAL segment roll threshold")
@@ -93,6 +100,10 @@ func main() {
 		log.Fatalf("uccnode: -shards %d exceeds the maximum of 256 (shard index travels in one byte)", *shards)
 	}
 	topo := siteTopology(peerList, *client)
+	quorum, err := quorumFromFlags(*quorumN, *quorumW, *quorumR, *replicas, *dataDir != "")
+	if err != nil {
+		log.Fatalf("uccnode: %v", err)
+	}
 
 	// Build this site's slice of the system. Latency is the real network;
 	// the runtime adds nothing on top.
@@ -144,6 +155,14 @@ func main() {
 	if siteLog != nil {
 		mgr.SetDurable(siteLog)
 	}
+	if quorum != nil {
+		mgr.SetReplication(repl.NewPuller(repl.Options{
+			Site:         self,
+			Peers:        replPeersFor(catalog, self),
+			PeriodMicros: *replPeriodMS * 1000,
+			BatchRecords: *replBatch,
+		}), siteLog)
+	}
 	// One mailbox goroutine per shard: items hash to shard addresses, so
 	// conflict-free operations on this site's partition execute in parallel.
 	for i := 0; i < mgr.NumShards(); i++ {
@@ -156,6 +175,7 @@ func main() {
 		RestartDelayCapMicros: *restCap,
 		DefaultComputeMicros:  1000,
 		QMShards:              *shards,
+		Quorum:                quorum,
 		Admission: ri.AdmissionOptions{
 			Enabled:             *admission,
 			InitialWindow:       *admWindow,
@@ -175,6 +195,10 @@ func main() {
 	}
 	// Start the QM stats push (reports flow to the client's collector).
 	rt.Inject(engine.Envelope{From: engine.QMAddr(self), To: engine.QMAddr(self), Msg: model.TickMsg{}})
+	if quorum != nil {
+		// Start the catch-up pull chain (tagged tick; re-arms itself).
+		rt.Inject(engine.Envelope{From: engine.QMAddr(self), To: engine.QMAddr(self), Msg: model.TickMsg{Tag: qm.ReplTickTag}})
+	}
 
 	node, err := transport.NewNode(rt, fmt.Sprintf("site%d", *site), *listen, topo)
 	if err != nil {
@@ -196,6 +220,11 @@ func main() {
 	ws := node.Wire().Snapshot()
 	log.Printf("uccnode: site %d wire: out %d msgs/%d B (%.1f B/msg), in %d msgs/%d B (%.1f B/msg), conns v3=%d v2-fallback=%d",
 		*site, ws.MsgsOut, ws.BytesOut, ws.BytesPerMsgOut(), ws.MsgsIn, ws.BytesIn, ws.BytesPerMsgIn(), ws.V3Conns, ws.V2Fallbacks)
+	if quorum != nil {
+		qc := mgr.Snapshot()
+		log.Printf("uccnode: site %d repl: pulls served=%d, applied=%d, dup-skipped=%d, snapshot resets=%d, watermarks=%v",
+			*site, qc.ReplPulls, qc.ReplApplied, qc.ReplSkipped, qc.ReplResets, mgr.ReplWatermarks())
+	}
 	node.Close()
 	rt.Shutdown()
 	if siteLog != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 
+	"ucc/internal/model"
+	"ucc/internal/storage"
 	"ucc/internal/transport"
 )
 
@@ -23,4 +25,58 @@ func parsePeers(csv string, sites int) ([]string, error) {
 // client connects inbound.
 func siteTopology(peers []string, clientAddr string) transport.Topology {
 	return transport.StandardTopology(peers, clientAddr)
+}
+
+// quorumFromFlags validates the -quorum-n/-w/-r triple against the node's
+// replication factor and durability setting. All three zero means quorum
+// mode is off (read-one/write-all); a partial triple is a config error, not
+// a default — every process must agree on the quorum shape, so silence is
+// the only safe fallback.
+func quorumFromFlags(n, w, r, replicas int, durable bool) (*model.Quorum, error) {
+	if n == 0 && w == 0 && r == 0 {
+		return nil, nil
+	}
+	q := &model.Quorum{N: n, W: w, R: r}
+	if err := q.Validate(replicas); err != nil {
+		return nil, err
+	}
+	if !durable {
+		return nil, fmt.Errorf("quorum replication requires -data-dir: a lagging replica catches up by streaming peers' WALs")
+	}
+	return q, nil
+}
+
+// replPeersFor returns the sites this one pulls WAL records from: every
+// other site holding a copy of an item this site also holds (ascending, for
+// a deterministic pull order).
+func replPeersFor(cat *storage.Catalog, self model.SiteID) []model.SiteID {
+	seen := map[model.SiteID]bool{}
+	for item := 0; item < cat.Items(); item++ {
+		reps := cat.Replicas(model.ItemID(item))
+		mine := false
+		for _, s := range reps {
+			if s == self {
+				mine = true
+				break
+			}
+		}
+		if !mine {
+			continue
+		}
+		for _, s := range reps {
+			if s != self {
+				seen[s] = true
+			}
+		}
+	}
+	peers := make([]model.SiteID, 0, len(seen))
+	for s := range seen {
+		peers = append(peers, s)
+	}
+	for i := 1; i < len(peers); i++ {
+		for j := i; j > 0 && peers[j] < peers[j-1]; j-- {
+			peers[j], peers[j-1] = peers[j-1], peers[j]
+		}
+	}
+	return peers
 }

@@ -10,6 +10,7 @@ import (
 	"ucc/internal/metrics"
 	"ucc/internal/model"
 	"ucc/internal/qm"
+	"ucc/internal/repl"
 	"ucc/internal/ri"
 	"ucc/internal/sim"
 	"ucc/internal/storage"
@@ -68,6 +69,19 @@ type Config struct {
 	// volatile sites, the paper's failure-free model). Required for
 	// CrashSite/RecoverSite fault injection.
 	Durability *Durability
+
+	// Quorum switches replica access from read-one/write-all to quorum mode
+	// (model.Quorum: writes commit on any W of N copies, reads consult R and
+	// take the highest commit stamp) and wires the log-shipping catch-up
+	// plane (internal/repl) that converges lagging copies. Requires
+	// Durability — catch-up streams the WAL — and N must equal Replicas.
+	Quorum *model.Quorum
+	// ReplPeriodMicros is the catch-up pull period (default
+	// repl.DefaultPeriodMicros, 150ms). Only meaningful with Quorum.
+	ReplPeriodMicros int64
+	// ReplBatchRecords bounds records per catch-up reply (default
+	// repl.DefaultBatchRecords). Only meaningful with Quorum.
+	ReplBatchRecords int
 }
 
 // Durability configures the per-site WAL (internal/wal).
@@ -125,6 +139,20 @@ func (c *Config) Validate() error {
 		// a clamp here would disagree with the item→shard hash everywhere
 		// else and split one shard's queue table across two mailboxes.
 		return fmt.Errorf("cluster: Shards=%d exceeds 256 (engine addresses carry the shard index in one byte)", c.Shards)
+	}
+	if c.Quorum != nil {
+		if c.Durability == nil {
+			return fmt.Errorf("cluster: Quorum requires Durability — a lagging replica catches up by streaming peers' WALs")
+		}
+		if err := c.Quorum.Validate(c.Replicas); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		if c.ReplPeriodMicros < 0 {
+			return fmt.Errorf("cluster: ReplPeriodMicros must be non-negative (zero selects the default)")
+		}
+		if c.ReplBatchRecords < 0 {
+			return fmt.Errorf("cluster: ReplBatchRecords must be non-negative (zero selects the default)")
+		}
 	}
 	if c.Latency == nil {
 		// Jittered latency: without jitter every queue sees requests in
@@ -235,6 +263,7 @@ func NewSim(cfg Config) (*Cluster, error) {
 	}
 	cfg.QM.Shards = cfg.Shards
 	cfg.RI.QMShards = cfg.Shards
+	cfg.RI.Quorum = cfg.Quorum
 	for _, s := range sites {
 		st := storage.NewStore(s)
 		st.SetChainPolicy(cfg.Chain)
@@ -278,6 +307,20 @@ func NewSim(cfg Config) (*Cluster, error) {
 			eng.Register(engine.QMShardAddr(s, i), mgr, cfg.Seed)
 		}
 	}
+	// Catch-up pullers: every site pulls from each peer it shares at least
+	// one item with (with round-robin placement and Replicas > 1 that is
+	// usually every other site, but the catalog is the source of truth).
+	if cfg.Quorum != nil {
+		peers := replPeers(cl.Catalog, sites)
+		for _, s := range sites {
+			cl.Managers[s].SetReplication(repl.NewPuller(repl.Options{
+				Site:         s,
+				Peers:        peers[s],
+				PeriodMicros: cfg.ReplPeriodMicros,
+				BatchRecords: cfg.ReplBatchRecords,
+			}), cl.WALs[s])
+		}
+	}
 	// Request issuers.
 	for _, s := range sites {
 		iss := ri.New(s, cl.Catalog, cl.Recorder, cfg.RI, cfg.Choose)
@@ -294,6 +337,34 @@ func NewSim(cfg Config) (*Cluster, error) {
 	cl.Collector = metrics.NewCollector(cfg.Collector)
 	eng.Register(engine.CollectorAddr(), cl.Collector, cfg.Seed)
 	return cl, nil
+}
+
+// replPeers maps each site to the ascending list of other sites it shares at
+// least one replicated item with — the set worth pulling WAL records from.
+func replPeers(cat *storage.Catalog, sites []model.SiteID) map[model.SiteID][]model.SiteID {
+	shared := map[model.SiteID]map[model.SiteID]bool{}
+	for _, s := range sites {
+		shared[s] = map[model.SiteID]bool{}
+	}
+	for item := 0; item < cat.Items(); item++ {
+		reps := cat.Replicas(model.ItemID(item))
+		for _, a := range reps {
+			for _, b := range reps {
+				if a != b {
+					shared[a][b] = true
+				}
+			}
+		}
+	}
+	out := map[model.SiteID][]model.SiteID{}
+	for _, s := range sites {
+		for _, p := range sites { // sites is ascending; keep that order
+			if shared[s][p] {
+				out[s] = append(out[s], p)
+			}
+		}
+	}
+	return out
 }
 
 // AddDriver attaches a workload driver to a site's issuer.
@@ -382,6 +453,13 @@ func (c *Cluster) Start() {
 			}
 		}
 	}
+	if c.Cfg.Quorum != nil {
+		for _, s := range c.sortedSites(len(c.Managers)) {
+			if _, ok := c.Managers[s]; ok {
+				c.Eng.Post(engine.QMAddr(s), model.TickMsg{Tag: qm.ReplTickTag})
+			}
+		}
+	}
 	for _, s := range c.sortedSites(c.Cfg.Sites) {
 		if _, ok := c.Drivers[s]; ok {
 			c.Eng.Post(engine.DriverAddr(s), model.TickMsg{})
@@ -449,6 +527,26 @@ func (c *Cluster) Finish() Result {
 	}
 	c.Eng.Drain(0)
 
+	// Quorum settle: the periodic pull chain stopped with the StopMsgs
+	// above, so writes that committed during the drain never shipped. Run
+	// one-shot pull rounds to a fixpoint (applies stop changing) so the
+	// final store state reflects full convergence — bounded, because each
+	// round can only move watermarks forward and the logs are now quiet.
+	if c.Cfg.Quorum != nil {
+		for round := 0; round < 8; round++ {
+			before := c.QMTotals().ReplApplied
+			for _, s := range c.sortedSites(c.Cfg.Sites) {
+				if _, ok := c.Managers[s]; ok {
+					c.Eng.Post(engine.QMAddr(s), model.TickMsg{Tag: qm.ReplSettleTickTag})
+				}
+			}
+			c.Eng.Drain(0)
+			if c.QMTotals().ReplApplied == before {
+				break
+			}
+		}
+	}
+
 	var res Result
 	res.Summary = c.Collector.Summarize()
 	res.Events = c.Eng.Delivered
@@ -496,8 +594,26 @@ func (c *Cluster) QMTotals() qm.Counters {
 		t.Crashes += s.Crashes
 		t.Recoveries += s.Recoveries
 		t.Deferred += s.Deferred
+		t.ReplPulls += s.ReplPulls
+		t.ReplApplied += s.ReplApplied
+		t.ReplSkipped += s.ReplSkipped
+		t.ReplResets += s.ReplResets
 	}
 	return t
+}
+
+// ReplWatermarks returns each site's per-peer catch-up watermarks (site →
+// peer → highest applied WAL sequence); empty when quorum replication is
+// off. The convergence probe: after a settle window, a recovered site's
+// watermark for every peer must have caught up to that peer's durable log.
+func (c *Cluster) ReplWatermarks() map[model.SiteID]map[model.SiteID]uint64 {
+	out := map[model.SiteID]map[model.SiteID]uint64{}
+	for s, m := range c.Managers {
+		if w := m.ReplWatermarks(); w != nil {
+			out[s] = w
+		}
+	}
+	return out
 }
 
 // WALTotals sums durability counters across sites (zero when durability is
@@ -532,6 +648,7 @@ func (c *Cluster) RITotals() ri.Stats {
 		t.BusyNAKs += s.BusyNAKs
 		t.ROBusyShed += s.ROBusyShed
 		t.ReBackoffs += s.ReBackoffs
+		t.QuorumExcluded += s.QuorumExcluded
 		t.Active += s.Active
 	}
 	return t

@@ -46,6 +46,10 @@ type Stats struct {
 	TransientCycles uint64 // cycles that disappeared before persisting
 	No2PLCycles     uint64 // persistent-candidate cycles without a 2PL member
 	Victims         uint64
+	// PartialRounds counts rounds analyzed without every site's report — a
+	// crashed or partitioned site defers its probe, and deadlocks among the
+	// live sites must still be broken during the outage.
+	PartialRounds uint64
 }
 
 // Detector is the coordinator actor.
@@ -118,6 +122,18 @@ func (d *Detector) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mes
 func (d *Detector) probe(ctx engine.Context) {
 	if d.opts.PeriodMicros <= 0 || (d.drainMode && d.idle) {
 		return
+	}
+	if d.round > 0 && len(d.expect) > 0 && len(d.edges) > 0 {
+		// The round timed out with sites still silent — a crashed site
+		// defers its probe until recovery. Analyze the partial graph from
+		// the sites that did answer instead of never analyzing: a 2PL
+		// deadlock among live sites must still be broken mid-outage (under
+		// quorum replication the live sites keep committing, so a frozen
+		// detector would turn one dead site into an unbounded 2PL stall).
+		// Edges at the silent site are invisible, which can only delay a
+		// cycle spanning it, never misidentify one among the reporters.
+		d.stats.PartialRounds++
+		d.analyze(ctx)
 	}
 	d.round++
 	d.stats.Rounds++

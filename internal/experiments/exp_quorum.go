@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ucc/internal/cluster"
+	"ucc/internal/deadlock"
+	"ucc/internal/engine"
+	"ucc/internal/metrics"
+	"ucc/internal/model"
+	"ucc/internal/ri"
+	"ucc/internal/workload"
+)
+
+// Exp14Point is one outage length's measured outcome, exposed for the gate
+// test so the acceptance thresholds read numbers, not rendered table cells.
+type Exp14Point struct {
+	OutageUs      int64 // -1 = no crash (baseline)
+	PreRate       float64
+	OutageRate    float64 // commits/sec while the site was down (pre-crash rate for baseline)
+	Committed     uint64
+	Serializable  bool
+	ReplicasAgree bool
+	ReplApplied   uint64
+	PartialRounds uint64
+	DeadSiteMarks int // peers whose watermark advanced on the recovered site
+}
+
+// QuorumFailoverSweep runs the N=3/W=2/R=2 kill-one-site experiment across
+// outage lengths and returns the raw points. Virtual-time deterministic.
+func QuorumFailoverSweep(cfg RunConfig, outages []int64) []Exp14Point {
+	horizon := int64(6_000_000)
+	crashAt := int64(2_000_000)
+	if cfg.Quick {
+		horizon = 3_000_000
+		crashAt = 1_000_000
+	}
+
+	var points []Exp14Point
+	for _, outage := range outages {
+		cl, err := cluster.NewSim(cluster.Config{
+			Sites:    3,
+			Items:    24,
+			Replicas: 3,
+			Seed:     cfg.Seed,
+			Record:   true,
+			Latency:  engine.UniformLatency{MinMicros: 1_000, MaxMicros: 5_000, LocalMicros: 50},
+			RI: ri.Options{
+				PAIntervalMicros:     2_000,
+				RestartDelayMicros:   20_000,
+				DefaultComputeMicros: 1_000,
+			},
+			Detector:   deadlock.Options{PeriodMicros: 50_000, PersistRounds: 2},
+			Durability: &cluster.Durability{SnapshotEvery: 200},
+			Quorum:     &model.Quorum{N: 3, W: 2, R: 2},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		for i := 0; i < 3; i++ {
+			if err := cl.AddDriver(model.SiteID(i), workload.Spec{
+				ArrivalPerSec: 25,
+				HorizonMicros: horizon,
+				Items:         24,
+				Size:          3,
+				ReadFrac:      0.4,
+				Share2PL:      1, ShareTO: 1, SharePA: 1,
+				ComputeMicros: 1_000,
+			}); err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
+		}
+
+		recoverAt := crashAt + outage
+		if outage >= 0 {
+			cl.CrashSite(1, crashAt)
+			cl.RecoverSite(1, recoverAt)
+		}
+
+		// Windowed commit counts: the dip is a rate comparison between the
+		// pre-crash window and the outage window, not an end-of-run total.
+		cl.Start()
+		cl.Eng.RunUntil(crashAt)
+		preCrash := cl.RITotals().Committed
+		var during uint64
+		outageWindow := outage
+		if outage > 0 {
+			cl.Eng.RunUntil(recoverAt)
+			during = cl.RITotals().Committed - preCrash
+		} else {
+			// Baseline (or zero-length outage): measure the same-width window
+			// so the rates stay comparable.
+			outageWindow = crashAt
+			cl.Eng.RunUntil(2 * crashAt)
+			during = cl.RITotals().Committed - preCrash
+		}
+		cl.Eng.RunUntil(horizon)
+		res := cl.Finish()
+
+		agree := true
+		for item := 0; item < 24 && agree; item++ {
+			vals := cl.ReplicaValues(model.ItemID(item))
+			if len(vals) != 3 {
+				agree = false
+			}
+			for i := 1; i < len(vals); i++ {
+				if vals[i] != vals[0] {
+					agree = false
+				}
+			}
+		}
+		marks := 0
+		if outage >= 0 {
+			for _, seq := range cl.ReplWatermarks()[1] {
+				if seq > 0 {
+					marks++
+				}
+			}
+		}
+		points = append(points, Exp14Point{
+			OutageUs:      outage,
+			PreRate:       float64(preCrash) / (float64(crashAt) / 1e6),
+			OutageRate:    float64(during) / (float64(outageWindow) / 1e6),
+			Committed:     res.Summary.TotalCommitted(),
+			Serializable:  res.Serializability != nil && res.Serializability.Serializable,
+			ReplicasAgree: agree,
+			ReplApplied:   cl.QMTotals().ReplApplied,
+			PartialRounds: cl.Detector.Snapshot().PartialRounds,
+			DeadSiteMarks: marks,
+		})
+	}
+	return points
+}
+
+// Exp14 measures quorum replication under a dead site, beyond the paper's
+// write-all failure-free model: with per-partition Quorum{3,2,2}, killing one
+// of three full replicas mid-run must leave the surviving pair forming every
+// read and write quorum — committed throughput dips but never stalls — and
+// after recovery the dead site converges by streaming its peers' WALs, not by
+// replaying writes it never accepted.
+func Exp14(cfg RunConfig) Result {
+	outages := []int64{-1, 200_000, 500_000, 1_000_000, 2_000_000}
+	if cfg.Quick {
+		outages = []int64{-1, 500_000, 1_000_000}
+	}
+	points := QuorumFailoverSweep(cfg, outages)
+
+	dipTable := &metrics.Table{Header: []string{
+		"outage (ms)", "pre-crash txn/s", "outage txn/s", "retained", "committed", "serializable", "replicas agree",
+	}}
+	catchupTable := &metrics.Table{Header: []string{
+		"outage (ms)", "shipped recs applied", "detector partial rounds", "dead-site marks advanced",
+	}}
+	var notes []string
+	for _, p := range points {
+		label := "none"
+		if p.OutageUs >= 0 {
+			label = fmt.Sprintf("%.0f", float64(p.OutageUs)/1000)
+		}
+		retained := "-"
+		if p.PreRate > 0 {
+			retained = fmt.Sprintf("%.0f%%", 100*p.OutageRate/p.PreRate)
+		}
+		dipTable.AddRow(label,
+			metrics.F(p.PreRate), metrics.F(p.OutageRate), retained,
+			fmt.Sprint(p.Committed), yesNo(p.Serializable), yesNo(p.ReplicasAgree))
+		catchupTable.AddRow(label,
+			fmt.Sprint(p.ReplApplied), fmt.Sprint(p.PartialRounds), fmt.Sprint(p.DeadSiteMarks))
+		if !p.Serializable || !p.ReplicasAgree {
+			notes = append(notes, fmt.Sprintf("VIOLATION at outage %s ms", label))
+		}
+	}
+
+	notes = append(notes,
+		"outage 'none' is the all-up quorum baseline; its outage column is the same-width second window",
+		"retained = outage-window rate / pre-crash rate: the bounded-dip claim is that this never goes to zero",
+		"shipped recs applied counts WAL records replayed through log-shipping catch-up (laggard third copies converge even with all sites up)",
+		"detector partial rounds: deadlock probe rounds analyzed without the dead site's report — 2PL cycles among survivors are still broken mid-outage")
+	return Result{
+		ID:     "EXP-14",
+		Title:  "Quorum replication survives a dead site",
+		Claim:  "beyond the paper: with per-partition Quorum{N:3,W:2,R:2}, one dead site leaves every quorum formable — committed throughput keeps a bounded dip instead of stalling, every execution stays conflict serializable, and the dead site converges after recovery via WAL log shipping from its peers",
+		Tables: []*metrics.Table{dipTable, catchupTable},
+		Notes:  notes,
+	}
+}

@@ -160,6 +160,40 @@ func TestExp12OverloadGoodput(t *testing.T) {
 	}
 }
 
+// TestExp14QuorumFailover is the acceptance gate for quorum replication
+// with log-shipping catch-up: on every swept outage length, the outage-window
+// commit rate must hold at least 30% of the pre-crash rate (a bounded dip,
+// never a stall), the run must stay conflict serializable, all three copies
+// of every item must agree after recovery + catch-up, and the recovered
+// site's watermarks must have advanced against both peers. Virtual-time
+// deterministic, so the thresholds are seed-stable.
+func TestExp14QuorumFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	points := QuorumFailoverSweep(RunConfig{Quick: true, Seed: 1988}, []int64{-1, 500_000, 1_000_000})
+	for _, p := range points {
+		if !p.Serializable {
+			t.Fatalf("serializability violated at outage %dus", p.OutageUs)
+		}
+		if !p.ReplicasAgree {
+			t.Fatalf("replicas diverged after catch-up at outage %dus", p.OutageUs)
+		}
+		if p.OutageRate < 0.3*p.PreRate {
+			t.Fatalf("outage %dus: commit rate %.0f/s fell below 30%% of pre-crash %.0f/s — quorum did not mask the dead site",
+				p.OutageUs, p.OutageRate, p.PreRate)
+		}
+		if p.ReplApplied == 0 {
+			t.Fatalf("outage %dus: no shipped records applied; the catch-up plane never ran", p.OutageUs)
+		}
+		if p.OutageUs >= 0 && p.DeadSiteMarks != 2 {
+			t.Fatalf("outage %dus: recovered site advanced %d peer watermarks, want 2", p.OutageUs, p.DeadSiteMarks)
+		}
+		t.Logf("outage=%dus pre=%.0f/s during=%.0f/s committed=%d applied=%d partialRounds=%d",
+			p.OutageUs, p.PreRate, p.OutageRate, p.Committed, p.ReplApplied, p.PartialRounds)
+	}
+}
+
 func TestExp5SerializabilityGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep")

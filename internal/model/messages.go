@@ -114,6 +114,13 @@ type GrantMsg struct {
 	TS      Timestamp
 	Value   int64
 	Version uint64
+	// CommitMicros is the commit stamp of the version backing Value. Under
+	// quorum replication the per-copy version ordinals diverge (a copy that
+	// missed a write assigns latest+1 to the next write it does see), so the
+	// issuer compares grants from different copies by commit stamp — the
+	// quantity that is monotone with serialization order when write quorums
+	// intersect — and reads the value of the freshest one.
+	CommitMicros int64
 }
 
 // NormalGrantMsg tells the RI that a previously pre-scheduled lock has become
@@ -395,6 +402,51 @@ type FlushMsg struct {
 	Shard int32
 }
 
+// ---------------------------------------------------------------------------
+// Replication catch-up plane (internal/repl)
+// ---------------------------------------------------------------------------
+
+// ReplPullMsg asks a peer queue manager for the WAL records the sender has
+// not yet applied: every durable record with Seq > AfterSeq from the peer's
+// own log. Sent periodically by every site in a quorum-replicated cluster —
+// the anti-entropy loop that lets a recovering or lagging replica catch up
+// on writes it missed while down or excluded from a write quorum.
+type ReplPullMsg struct {
+	// From is the pulling site (reply address).
+	From SiteID
+	// AfterSeq is the sender's catch-up watermark for this peer: the highest
+	// peer-log sequence number it has already applied.
+	AfterSeq uint64
+}
+
+// ReplRecordsMsg answers a ReplPullMsg with a batch of WAL record frames.
+// Frames carries the records in the WAL's own framed varint codec (crc32C +
+// era-flagged length word + varint payload, see internal/wal) — the stream a
+// peer ships is byte-identical to what it would replay from its own media,
+// so one decoder hardens both paths. The receiver replays each record
+// through its store's stamp-gated apply, which makes duplicate, overlapping,
+// and out-of-order shipments idempotent.
+type ReplRecordsMsg struct {
+	// From is the serving site.
+	From SiteID
+	// Frames is the framed record batch (possibly empty: the puller is
+	// already caught up).
+	Frames []byte
+	// NextAfterSeq is the watermark the puller should advance to after
+	// applying the batch (the last record's sequence number, or the
+	// snapshot's applied sequence on a Reset).
+	NextAfterSeq uint64
+	// Reset reports that the puller's watermark pointed below the serving
+	// site's oldest retained log record (truncated by a snapshot): Frames
+	// instead carries one synthetic record per copy imaging the snapshot's
+	// latest versions, and the puller must re-pull from NextAfterSeq for the
+	// incremental tail.
+	Reset bool
+	// More reports that the batch was cut at the size bound and the puller
+	// should pull again immediately rather than wait for its next tick.
+	More bool
+}
+
 func (RequestMsg) isMessage()       {}
 func (FinalTSMsg) isMessage()       {}
 func (SnapReadMsg) isMessage()      {}
@@ -419,6 +471,8 @@ func (StopMsg) isMessage()          {}
 func (CrashMsg) isMessage()         {}
 func (RecoverMsg) isMessage()       {}
 func (FlushMsg) isMessage()         {}
+func (ReplPullMsg) isMessage()      {}
+func (ReplRecordsMsg) isMessage()   {}
 
 // RegisterGob registers all message types with encoding/gob for the TCP
 // transport. Safe to call multiple times.
@@ -449,6 +503,8 @@ func RegisterGob() {
 	gob.Register(SnapReadMsg{})
 	gob.Register(SnapReadReplyMsg{})
 	gob.Register(TxnFinishedMsg{})
+	gob.Register(ReplPullMsg{})
+	gob.Register(ReplRecordsMsg{})
 	gob.Register(&Txn{})
 }
 

@@ -1,0 +1,40 @@
+package model
+
+import "fmt"
+
+// Quorum configures per-partition quorum replication: every item is stored
+// at N copies, a write commits once any W of them have granted, and a read
+// consults any R (the issuer takes the value with the highest commit stamp).
+// Overlap makes it sound: W+R > N puts the freshest committed write in every
+// read quorum, and 2W > N makes any two write quorums share a copy, so the
+// commit stamps of conflicting writes are strictly ordered through it — the
+// property the log-shipping catch-up plane's stamp-gated apply relies on.
+type Quorum struct {
+	N int // copies per item; must equal the cluster's replication factor
+	W int // write quorum
+	R int // read quorum
+}
+
+// Validate rejects configurations that break the overlap properties or the
+// catalog layout (replicas is the cluster's replication factor).
+func (q Quorum) Validate(replicas int) error {
+	if q.N <= 0 || q.W <= 0 || q.R <= 0 {
+		return fmt.Errorf("quorum: N, W, R must all be positive (got N=%d W=%d R=%d)", q.N, q.W, q.R)
+	}
+	if q.W > q.N {
+		return fmt.Errorf("quorum: write quorum W=%d exceeds N=%d copies", q.W, q.N)
+	}
+	if q.R > q.N {
+		return fmt.Errorf("quorum: read quorum R=%d exceeds N=%d copies", q.R, q.N)
+	}
+	if q.W+q.R <= q.N {
+		return fmt.Errorf("quorum: W+R=%d must exceed N=%d or read and write quorums may not intersect", q.W+q.R, q.N)
+	}
+	if 2*q.W <= q.N {
+		return fmt.Errorf("quorum: 2W=%d must exceed N=%d or two write quorums may not intersect", 2*q.W, q.N)
+	}
+	if q.N != replicas {
+		return fmt.Errorf("quorum: N=%d must equal the replication factor %d (every copy of an item is a quorum member)", q.N, replicas)
+	}
+	return nil
+}

@@ -52,6 +52,12 @@ const (
 	TagCrash         WireTag = 24
 	TagRecover       WireTag = 25
 	TagFlush         WireTag = 26
+	TagReplPull      WireTag = 27
+	TagReplRecords   WireTag = 28
+
+	// TagLast is the highest assigned tag (corpus-coverage loops range over
+	// TagRequest..TagLast). Update when appending a tag.
+	TagLast = TagReplRecords
 )
 
 // MessageTag returns the wire tag of a message; ok is false for message types
@@ -242,6 +248,19 @@ func (r *WireReader) String() string {
 	s := string(r.b[:n])
 	r.b = r.b[n:]
 	return s
+}
+
+// Bytes decodes a length-prefixed byte slice (zero length decodes to nil, the
+// same value a nil slice encodes from, so the encoding stays canonical).
+func (r *WireReader) Bytes() []byte {
+	n := r.Count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[:n])
+	r.b = r.b[n:]
+	return out
 }
 
 // Count decodes a uvarint element count and validates it against the bytes
@@ -458,7 +477,8 @@ func (m GrantMsg) AppendWire(b []byte) []byte {
 	b = AppendWireBool(b, m.PreScheduled)
 	b = AppendVarint(b, int64(m.TS))
 	b = AppendVarint(b, m.Value)
-	return AppendUvarint(b, m.Version)
+	b = AppendUvarint(b, m.Version)
+	return AppendVarint(b, m.CommitMicros)
 }
 
 func decodeGrant(r *WireReader) (m GrantMsg) {
@@ -468,6 +488,7 @@ func decodeGrant(r *WireReader) (m GrantMsg) {
 	m.TS = Timestamp(r.Varint())
 	m.Value = r.Varint()
 	m.Version = r.Uvarint()
+	m.CommitMicros = r.Varint()
 	return m
 }
 
@@ -844,6 +865,39 @@ func decodeFlush(r *WireReader) (m FlushMsg) {
 	return m
 }
 
+// AppendWire encodes the message body (no tag) onto b.
+func (m ReplPullMsg) AppendWire(b []byte) []byte {
+	b = AppendVarint(b, int64(m.From))
+	return AppendUvarint(b, m.AfterSeq)
+}
+
+func decodeReplPull(r *WireReader) (m ReplPullMsg) {
+	m.From = SiteID(r.Varint32())
+	m.AfterSeq = r.Uvarint()
+	return m
+}
+
+// AppendWire encodes the message body (no tag) onto b. Frames is opaque here:
+// the record framing (and its own per-record checksums) is internal/wal's
+// codec, carried length-prefixed like any byte string.
+func (m ReplRecordsMsg) AppendWire(b []byte) []byte {
+	b = AppendVarint(b, int64(m.From))
+	b = AppendUvarint(b, uint64(len(m.Frames)))
+	b = append(b, m.Frames...)
+	b = AppendUvarint(b, m.NextAfterSeq)
+	b = AppendWireBool(b, m.Reset)
+	return AppendWireBool(b, m.More)
+}
+
+func decodeReplRecords(r *WireReader) (m ReplRecordsMsg) {
+	m.From = SiteID(r.Varint32())
+	m.Frames = r.Bytes()
+	m.NextAfterSeq = r.Uvarint()
+	m.Reset = r.Bool()
+	m.More = r.Bool()
+	return m
+}
+
 // ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
@@ -932,6 +986,10 @@ func AppendMessage(b []byte, m Message) ([]byte, error) {
 		return v.AppendWire(append(b, byte(TagRecover))), nil
 	case FlushMsg:
 		return v.AppendWire(append(b, byte(TagFlush))), nil
+	case ReplPullMsg:
+		return v.AppendWire(append(b, byte(TagReplPull))), nil
+	case ReplRecordsMsg:
+		return v.AppendWire(append(b, byte(TagReplRecords))), nil
 	default:
 		return b, fmt.Errorf("model: message %T has no wire encoder", m)
 	}
@@ -996,6 +1054,10 @@ func DecodeMessage(tag WireTag, r *WireReader) (Message, error) {
 		m = RecoverMsg{}
 	case TagFlush:
 		m = decodeFlush(r)
+	case TagReplPull:
+		m = decodeReplPull(r)
+	case TagReplRecords:
+		m = decodeReplRecords(r)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrWireUnknownTag, tag)
 	}

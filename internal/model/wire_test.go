@@ -111,6 +111,8 @@ func TestMessageTagsStable(t *testing.T) {
 		24: CrashMsg{},
 		25: RecoverMsg{},
 		26: FlushMsg{},
+		27: ReplPullMsg{},
+		28: ReplRecordsMsg{},
 	}
 	for tag, msg := range want {
 		got, ok := MessageTag(msg)

@@ -7,6 +7,7 @@ import (
 	"ucc/internal/engine"
 	"ucc/internal/history"
 	"ucc/internal/model"
+	"ucc/internal/repl"
 	"ucc/internal/storage"
 )
 
@@ -73,6 +74,13 @@ type Counters struct {
 	Crashes    uint64 // injected site crashes
 	Recoveries uint64 // completed crash recoveries
 	Deferred   uint64 // messages queued while the site was down
+
+	// Log-shipping catch-up (internal/repl; zero unless quorum replication
+	// is configured).
+	ReplPulls   uint64 // pulls served to peers from this site's durable log
+	ReplApplied uint64 // shipped records this site installed during catch-up
+	ReplSkipped uint64 // shipped records skipped as stale or duplicate (idempotence)
+	ReplResets  uint64 // snapshot-image resets taken because a peer truncated its log
 }
 
 // Durable is the durability subsystem a manager drives (internal/wal's
@@ -113,6 +121,14 @@ type Manager struct {
 	ctlMu        sync.Mutex
 	statsStopped bool
 	pendingTick  bool // a stats tick arrived during an outage
+
+	// Log-shipping catch-up plane (internal/repl), set once via
+	// SetReplication before traffic flows; nil puller = no quorum catch-up.
+	// The puller tracks per-peer watermarks, replSrc serves peers' pulls
+	// from this site's durable log. Both are guarded by ctlMu.
+	puller      *repl.Puller
+	replSrc     repl.Source
+	replStopped bool
 }
 
 // pendingMsg is a message that arrived at a shard while the site was down;
@@ -216,6 +232,10 @@ func (m *Manager) Snapshot() Counters {
 		t.Crashes += c.Crashes
 		t.Recoveries += c.Recoveries
 		t.Deferred += c.Deferred
+		t.ReplPulls += c.ReplPulls
+		t.ReplApplied += c.ReplApplied
+		t.ReplSkipped += c.ReplSkipped
+		t.ReplResets += c.ReplResets
 	}
 	if m.seq != nil {
 		t.Commits, t.WALSyncs = m.seq.stats()
@@ -303,7 +323,18 @@ func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 	case model.ProbeWFGMsg:
 		m.onProbe(ctx, from, v)
 	case model.TickMsg:
-		m.onStatsTick(ctx)
+		switch v.Tag {
+		case ReplTickTag:
+			m.onReplTick(ctx)
+		case ReplSettleTickTag:
+			m.onReplSettle(ctx)
+		default:
+			m.onStatsTick(ctx)
+		}
+	case model.ReplPullMsg:
+		m.onReplPull(ctx, v)
+	case model.ReplRecordsMsg:
+		m.onReplRecords(ctx, v)
 	case model.CrashMsg:
 		m.onCrash()
 	case model.RecoverMsg:
@@ -354,6 +385,13 @@ func (m *Manager) onCrash() {
 	}
 	m.store.Wipe()
 	m.dur.Crash()
+	if m.puller != nil {
+		// Shipped records applied since the last sync are lost with the rest
+		// of the volatile tail: zero the watermarks so every peer's log is
+		// offered again from the start (or from its snapshot image, via the
+		// Reset path). Stamp-gating makes the re-shipment idempotent.
+		m.puller.ResetAll()
+	}
 	m.shards[0].counters.Crashes++
 }
 
@@ -433,6 +471,7 @@ func (m *Manager) statsTickLocked(ctx engine.Context) {
 func (m *Manager) onStop() {
 	m.ctlMu.Lock()
 	m.statsStopped = true // stop re-arming the stats timer
+	m.replStopped = true  // stop re-arming the pull timer
 	m.ctlMu.Unlock()
 }
 

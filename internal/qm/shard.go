@@ -302,7 +302,7 @@ func (sh *shard) dispatch(ctx engine.Context, q *dataQueue) {
 			sh.m.recorder.Implemented(q.copyID, hd.txn, model.OpRead)
 			hd.readRecorded = true
 		}
-		value, version := sh.m.store.Read(q.copyID.Item)
+		ver := sh.m.store.Latest(q.copyID.Item)
 		ctx.Send(engine.RIAddr(hd.prec.Site), model.GrantMsg{
 			Txn:          hd.txn,
 			Attempt:      hd.attempt,
@@ -310,8 +310,9 @@ func (sh *shard) dispatch(ctx engine.Context, q *dataQueue) {
 			Lock:         d.lock,
 			PreScheduled: d.preSched,
 			TS:           hd.prec.TS,
-			Value:        value,
-			Version:      version,
+			Value:        ver.Value,
+			Version:      ver.Version,
+			CommitMicros: ver.CommitMicros,
 		})
 	}
 	for _, e := range q.promotable() {

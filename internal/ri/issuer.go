@@ -62,6 +62,14 @@ type Options struct {
 	// cluster-wide. Zero or one addresses the site's single shard-0 mailbox,
 	// the pre-sharding behaviour.
 	QMShards int
+	// Quorum switches replica access from the default read-primary/write-all
+	// to quorum mode: reads are requested at every copy and proceed on any R
+	// grants (the issuer keeps the value with the highest commit stamp),
+	// writes proceed on any W of N, and a copy that NAKs busy is excluded
+	// from the attempt's quorum instead of aborting the whole attempt — the
+	// attempt only restarts (as overload, through the admission controller's
+	// backoff) when an item drops below quorum. Nil keeps write-all.
+	Quorum *model.Quorum
 }
 
 // DefaultOptions returns sensible defaults for simulation-scale runs.
@@ -101,6 +109,14 @@ type copyReq struct {
 	// responded is true once this copy sent grant/backoff (PA negotiation).
 	responded bool
 	value     int64
+	// commitMicros is the commit stamp of the granted value. Quorum mode
+	// compares grants from different copies of an item by stamp — per-copy
+	// version ordinals diverge under quorum writes, stamps do not.
+	commitMicros int64
+	// excluded drops this copy from the attempt's quorum (busy NAK, or a
+	// straggler back-off after PA finalization): its request was withdrawn
+	// and its responses no longer count toward any gate.
+	excluded bool
 }
 
 // txnState is the issuer-side state of one in-flight transaction.
@@ -131,27 +147,63 @@ type txnState struct {
 	preSchedAny   bool
 }
 
-func (s *txnState) allGranted() bool {
+func predGranted(r *copyReq) bool   { return r.granted }
+func predResponded(r *copyReq) bool { return r.responded }
+func predNormal(r *copyReq) bool    { return r.normal }
+
+// gate evaluates an attempt-progress condition. In write-all mode every
+// request must satisfy pred. In quorum mode each item group needs pred on at
+// least its quorum — W of the item's copies for writes, R for reads — among
+// the copies not excluded from the attempt; the group's need is counted even
+// when every copy is excluded, so a fully-excluded item can never pass
+// vacuously.
+func (ri *Issuer) gate(s *txnState, pred func(*copyReq) bool) bool {
+	if ri.opts.Quorum == nil {
+		for _, r := range s.reqs {
+			if !pred(r) {
+				return false
+			}
+		}
+		return true
+	}
+	needs := map[model.ItemID]int{}
+	got := map[model.ItemID]int{}
 	for _, r := range s.reqs {
-		if !r.granted {
+		needs[r.copyID.Item] = ri.quorumNeed(r.kind)
+		if !r.excluded && pred(r) {
+			got[r.copyID.Item]++
+		}
+	}
+	for item, need := range needs {
+		if got[item] < need {
 			return false
 		}
 	}
 	return true
 }
 
-func (s *txnState) allResponded() bool {
-	for _, r := range s.reqs {
-		if !r.responded {
-			return false
-		}
+// quorumNeed returns the per-item grant quorum for a request kind.
+func (ri *Issuer) quorumNeed(kind model.OpKind) int {
+	if kind == model.OpWrite {
+		return ri.opts.Quorum.W
 	}
-	return true
+	return ri.opts.Quorum.R
 }
 
-func (s *txnState) allNormal() bool {
+// quorumSatisfiable reports whether every item group can still reach its
+// quorum among the copies not yet excluded. False means the attempt is
+// blocked below quorum and must restart as overload.
+func (ri *Issuer) quorumSatisfiable(s *txnState) bool {
+	needs := map[model.ItemID]int{}
+	left := map[model.ItemID]int{}
 	for _, r := range s.reqs {
-		if !r.normal {
+		needs[r.copyID.Item] = ri.quorumNeed(r.kind)
+		if !r.excluded {
+			left[r.copyID.Item]++
+		}
+	}
+	for item, need := range needs {
+		if left[item] < need {
 			return false
 		}
 	}
@@ -205,6 +257,9 @@ type Issuer struct {
 	busyNAKs    uint64 // BusyMsg NAKs received from saturated queue managers
 	roBusyShed  uint64 // read-only snapshot txns shed terminally by a BusyMsg NAK
 	rebackoffs  uint64 // PA back-offs received after finalization (must stay 0)
+	// quorumExcluded counts copies dropped from an attempt's quorum (busy
+	// NAKs and post-finalize stragglers); zero outside quorum mode.
+	quorumExcluded uint64
 }
 
 // New creates an issuer for site. recorder may be nil; choose may be nil to
@@ -248,7 +303,10 @@ type Stats struct {
 	// Offered identity: submitted = committed + shed + roBusyShed + dropped
 	// + active.
 	ROBusyShed uint64
-	Active     int
+	// QuorumExcluded counts copies dropped from an attempt's quorum (busy
+	// NAKs and post-finalize stragglers); zero outside quorum mode.
+	QuorumExcluded uint64
+	Active         int
 	// Window is the admission controller's current in-flight window (0 when
 	// admission control is disabled).
 	Window float64
@@ -263,7 +321,8 @@ func (ri *Issuer) Snapshot() Stats {
 		ROStale: ri.roStale,
 		Rejects: ri.rejects, Victims: ri.victims, Dropped: ri.dropped, ReBackoffs: ri.rebackoffs,
 		Shed: ri.shed, BusyNAKs: ri.busyNAKs, ROBusyShed: ri.roBusyShed,
-		Active: len(ri.active) + len(ri.roActive),
+		QuorumExcluded: ri.quorumExcluded,
+		Active:         len(ri.active) + len(ri.roActive),
 	}
 	if ri.adm != nil {
 		s.Window = ri.adm.window
@@ -570,6 +629,15 @@ func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
 	}
 	s.order = s.order[:0]
 	for _, item := range t.ReadSet {
+		if ri.opts.Quorum != nil {
+			// Quorum reads go to every copy and proceed on any R grants: the
+			// read must intersect every write quorum, and any single copy —
+			// the primary included — may be dead or lagging.
+			for _, site := range ri.catalog.Replicas(item) {
+				add(item, site, model.OpRead)
+			}
+			continue
+		}
 		add(item, ri.catalog.Primary(item), model.OpRead)
 	}
 	for _, item := range t.WriteSet {
@@ -622,7 +690,7 @@ func (ri *Issuer) onGrant(ctx engine.Context, v model.GrantMsg) {
 		return // stale provisional grant, revoked at the QM
 	}
 	r := s.reqs[v.Copy]
-	if r == nil || (r.granted && r.normal) {
+	if r == nil || r.excluded || (r.granted && r.normal) {
 		return
 	}
 	if s.firstGrant == 0 {
@@ -633,6 +701,7 @@ func (ri *Issuer) onGrant(ctx engine.Context, v model.GrantMsg) {
 	r.preSched = v.PreScheduled
 	r.normal = !v.PreScheduled
 	r.value = v.Value
+	r.commitMicros = v.CommitMicros
 	if v.PreScheduled {
 		s.preSchedAny = true
 	}
@@ -644,10 +713,10 @@ func (ri *Issuer) onNormalGrant(ctx engine.Context, v model.NormalGrantMsg) {
 	if s == nil {
 		return
 	}
-	if r := s.reqs[v.Copy]; r != nil {
+	if r := s.reqs[v.Copy]; r != nil && !r.excluded {
 		r.normal = true
 	}
-	if s.phase == phaseAwaitNormal && s.allNormal() {
+	if s.phase == phaseAwaitNormal && ri.gate(s, predNormal) {
 		ri.releaseAll(ctx, s, false)
 		ri.finish(ctx, s)
 	}
@@ -660,16 +729,16 @@ func (ri *Issuer) advance(ctx engine.Context, s *txnState) {
 		if s.txn.Protocol == model.PA && s.anyBackoff {
 			// §3.4 step 1(c)-(e): wait for grant-or-backoff from every
 			// queue, then agree on TS' = max TS'_ij and broadcast it.
-			if s.allResponded() && !s.finalized {
+			if ri.gate(s, predResponded) && !s.finalized {
 				ri.finalizePA(ctx, s)
 			}
 			return
 		}
-		if s.allGranted() {
+		if ri.gate(s, predGranted) {
 			ri.startCompute(ctx, s)
 		}
 	case phaseAwaitGrants:
-		if s.allGranted() {
+		if ri.gate(s, predGranted) {
 			ri.startCompute(ctx, s)
 		}
 	}
@@ -688,6 +757,9 @@ func (ri *Issuer) finalizePA(ctx engine.Context, s *txnState) {
 		ri.clock = final
 	}
 	for _, r := range s.order {
+		if r.excluded {
+			continue // withdrawn from the quorum; its entry is already gone
+		}
 		r.granted = false
 		r.normal = false
 		r.preSched = false
@@ -704,10 +776,28 @@ func (ri *Issuer) onBackoff(ctx engine.Context, v model.BackoffMsg) {
 		return
 	}
 	r := s.reqs[v.Copy]
-	if r == nil {
+	if r == nil || r.excluded {
 		return
 	}
 	if s.finalized {
+		if ri.opts.Quorum != nil {
+			// Quorum finalization waits for W responses, not N, so a
+			// straggler backing off at the provisional timestamp after the
+			// agreed one was broadcast is expected, not a Lemma 1 violation.
+			// The straggler leaves the quorum; only dropping an item below
+			// quorum restarts the attempt (overload semantics, like a busy
+			// NAK).
+			ri.excludeCopy(ctx, s, r)
+			if !ri.quorumSatisfiable(s) {
+				if ri.adm != nil {
+					ri.adm.onBusy(ctx.NowMicros())
+				}
+				ri.reportAttempt(ctx, s, model.OutcomeBusy, r.kind)
+				ri.abortAttempt(ctx, s, withdrawNone)
+				ri.scheduleRestart(ctx, s)
+			}
+			return
+		}
 		// Lemma 1 guarantees at most one back-off per transaction; count
 		// any violation (tests assert zero) but recover by re-finalizing.
 		ri.rebackoffs++
@@ -809,6 +899,21 @@ func (ri *Issuer) onBusy(ctx engine.Context, v model.BusyMsg) {
 		ri.adm.onBusy(now)
 	}
 	ri.busyNAKs++
+	if ri.opts.Quorum != nil {
+		r := s.reqs[v.Copy]
+		if r == nil || r.excluded {
+			return // duplicate NAK for a copy already withdrawn
+		}
+		ri.excludeCopy(ctx, s, r)
+		if ri.quorumSatisfiable(s) {
+			// The quorum absorbs one busy copy: the attempt keeps waiting on
+			// the remaining members instead of restarting. The admission
+			// window still shrank above — congestion at any member is real
+			// AIMD feedback even when this attempt survives it.
+			return
+		}
+		// Below quorum: fall through to the overload restart.
+	}
 	var kind model.OpKind
 	if r := s.reqs[v.Copy]; r != nil {
 		kind = r.kind
@@ -823,6 +928,18 @@ func (ri *Issuer) onBusy(ctx engine.Context, v model.BusyMsg) {
 	// held as a no-op, so the extra message is harmless there.
 	ri.abortAttempt(ctx, s, withdrawNone)
 	ri.scheduleRestart(ctx, s)
+}
+
+// excludeCopy drops one copy from the attempt's quorum and withdraws its
+// request: any entry it holds is retired so it cannot block other
+// transactions, and none of its past or future responses count toward a
+// gate. The copy converges later via log shipping.
+func (ri *Issuer) excludeCopy(ctx engine.Context, s *txnState, r *copyReq) {
+	r.excluded = true
+	ri.quorumExcluded++
+	ri.send(ctx, s, ri.qmAddr(r.copyID), model.AbortMsg{
+		Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID,
+	})
 }
 
 // withdrawNone is abortAttempt's skip sentinel meaning "withdraw every
@@ -921,7 +1038,7 @@ func (ri *Issuer) onComputeDone(ctx engine.Context, v model.ComputeDoneMsg) {
 		// §4.2 rule 4: convert all locks to semi-locks; the transaction is
 		// executed now, but releases wait for one normal grant per item.
 		ri.releaseAll(ctx, s, true)
-		if s.allNormal() {
+		if ri.gate(s, predNormal) {
 			ri.releaseAll(ctx, s, false)
 			ri.finish(ctx, s)
 			return
@@ -938,6 +1055,24 @@ func (ri *Issuer) onComputeDone(ctx engine.Context, v model.ComputeDoneMsg) {
 // collected pre-images (default: pre-image + 1).
 func (ri *Issuer) writeValue(s *txnState, item model.ItemID) int64 {
 	pre := func(it model.ItemID) int64 {
+		if ri.opts.Quorum != nil {
+			// The freshest granted copy wins: quorum intersection guarantees
+			// at least one member of any R- or W-sized grant set carries the
+			// newest committed write, and the commit stamp identifies it.
+			var best *copyReq
+			for _, r := range s.order {
+				if r.copyID.Item != it || r.excluded || !r.granted {
+					continue
+				}
+				if best == nil || r.commitMicros > best.commitMicros {
+					best = r
+				}
+			}
+			if best != nil {
+				return best.value
+			}
+			return 0
+		}
 		// Prefer the primary copy's value.
 		if r, ok := s.reqs[model.CopyID{Item: it, Site: ri.catalog.Primary(it)}]; ok {
 			return r.value
@@ -967,6 +1102,24 @@ func (ri *Issuer) releaseAll(ctx engine.Context, s *txnState, toSemi bool) {
 	converted := s.phase == phaseAwaitNormal || (s.txn.Protocol == model.TO && s.preSchedAny && !toSemi)
 	commit := ctx.NowMicros()
 	for _, r := range s.order {
+		if ri.opts.Quorum != nil {
+			if s.reqs[r.copyID] != r {
+				continue // superseded by the write request for the same copy
+			}
+			if r.excluded {
+				continue // already withdrawn from the quorum
+			}
+			if !r.granted {
+				// Outside the quorum that carried the commit: withdraw the
+				// pending request instead of releasing a grant that never
+				// came. The copy converges through log shipping, never
+				// through a write it did not accept.
+				ri.send(ctx, s, ri.qmAddr(r.copyID), model.AbortMsg{
+					Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID,
+				})
+				continue
+			}
+		}
 		msg := model.ReleaseMsg{
 			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID, ToSemi: toSemi,
 			CommitMicros: commit,

@@ -1,0 +1,220 @@
+package ri
+
+import (
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/history"
+	"ucc/internal/model"
+	"ucc/internal/storage"
+)
+
+// quorumIssuer builds an issuer over a 3-site, fully-replicated catalog in
+// N=3/W=2/R=2 quorum mode.
+func quorumIssuer() (*Issuer, *fakeCtx) {
+	cat := storage.NewCatalog(8, []model.SiteID{0, 1, 2}, 3)
+	iss := New(0, cat, history.NewRecorder(), Options{
+		PAIntervalMicros:     10,
+		RestartDelayMicros:   100,
+		DefaultComputeMicros: 50,
+		Quorum:               &model.Quorum{N: 3, W: 2, R: 2},
+	}, nil)
+	return iss, newCtx()
+}
+
+func grantAll(iss *Issuer, c *fakeCtx, reqs []model.RequestMsg) {
+	for _, r := range reqs {
+		lock := model.RL
+		if r.Kind == model.OpWrite {
+			lock = model.WL
+		}
+		grant(iss, c, r, lock, false)
+	}
+}
+
+// TestQuorumReadFansToAllReplicas: quorum reads go to every copy (any R
+// grants win), where write-all mode reads the primary alone.
+func TestQuorumReadFansToAllReplicas(t *testing.T) {
+	iss, c := quorumIssuer()
+	submit(iss, c, model.TwoPL, []model.ItemID{0}, []model.ItemID{1})
+	reqs := take[model.RequestMsg](c)
+	var reads, writes int
+	for _, r := range reqs {
+		if r.Kind == model.OpRead {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	if reads != 3 || writes != 3 {
+		t.Fatalf("reads=%d writes=%d, want 3/3 under N=3 quorum", reads, writes)
+	}
+}
+
+// TestQuorumCommitsOnWGrants: W grants per item are enough — the straggler
+// copy never answers, the transaction still commits, and release withdraws
+// the straggler with an abort (it converges via log shipping, not via a
+// write it did not accept).
+func TestQuorumCommitsOnWGrants(t *testing.T) {
+	iss, c := quorumIssuer()
+	submit(iss, c, model.TwoPL, nil, []model.ItemID{1})
+	reqs := take[model.RequestMsg](c)
+	if len(reqs) != 3 {
+		t.Fatalf("requests = %d want 3", len(reqs))
+	}
+	grantAll(iss, c, reqs[:2]) // sites of first two copies grant; third silent
+	fireTimers(iss, c)         // compute done
+	rels := take[model.ReleaseMsg](c)
+	if len(rels) != 2 {
+		t.Fatalf("releases = %d want 2 (granted copies only)", len(rels))
+	}
+	aborts := take[model.AbortMsg](c)
+	if len(aborts) != 1 || aborts[0].Copy != reqs[2].Copy {
+		t.Fatalf("aborts = %+v, want exactly the silent straggler withdrawn", aborts)
+	}
+	dones := take[model.TxnDoneMsg](c)
+	if len(dones) != 1 || dones[0].Outcome != model.OutcomeCommitted {
+		t.Fatalf("done = %+v", dones)
+	}
+	if s := iss.Snapshot(); s.Active != 0 || s.Committed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestQuorumGrantNAKRaceEitherOrder is the ordering race the quorum gate
+// must absorb: the W-th ack and a busy NAK from the remaining copy arrive in
+// both orders. Either way the attempt commits without a restart and the
+// straggler copy is withdrawn with exactly one abort — immediately when the
+// NAK lands first, at release time when the W-th ack already moved the
+// attempt into compute (a NAK for an attempt past its commit gate is moot).
+func TestQuorumGrantNAKRaceEitherOrder(t *testing.T) {
+	for _, order := range []string{"grants-then-nak", "nak-then-grants"} {
+		t.Run(order, func(t *testing.T) {
+			iss, c := quorumIssuer()
+			submit(iss, c, model.TwoPL, nil, []model.ItemID{2})
+			reqs := take[model.RequestMsg](c)
+			if len(reqs) != 3 {
+				t.Fatalf("requests = %d", len(reqs))
+			}
+			nak := model.BusyMsg{Txn: reqs[2].Txn, Attempt: reqs[2].Attempt, Copy: reqs[2].Copy}
+			if order == "grants-then-nak" {
+				grantAll(iss, c, reqs[:2])
+				iss.OnMessage(c, engine.QMAddr(reqs[2].Copy.Site), nak)
+			} else {
+				iss.OnMessage(c, engine.QMAddr(reqs[2].Copy.Site), nak)
+				grantAll(iss, c, reqs[:2])
+			}
+			preRelease := take[model.AbortMsg](c)
+			fireTimers(iss, c) // compute done
+			atRelease := take[model.AbortMsg](c)
+			if got := len(preRelease) + len(atRelease); got != 1 {
+				t.Fatalf("aborts = %d (%+v / %+v), want exactly one withdrawal",
+					got, preRelease, atRelease)
+			}
+			all := append(preRelease, atRelease...)
+			if all[0].Copy != reqs[2].Copy {
+				t.Fatalf("withdrew %+v, want the NAK'd copy %+v", all[0].Copy, reqs[2].Copy)
+			}
+			if rels := take[model.ReleaseMsg](c); len(rels) != 2 {
+				t.Fatalf("releases = %d want 2", len(rels))
+			}
+			dones := take[model.TxnDoneMsg](c)
+			if len(dones) != 1 || dones[0].Outcome != model.OutcomeCommitted {
+				t.Fatalf("done = %+v (quorum must absorb a single NAK, not restart)", dones)
+			}
+			s := iss.Snapshot()
+			if s.Committed != 1 || s.ReBackoffs != 0 {
+				t.Fatalf("stats = %+v, want 1 committed / 0 re-backoffs", s)
+			}
+			if order == "nak-then-grants" {
+				if s.BusyNAKs != 1 || s.QuorumExcluded != 1 {
+					t.Fatalf("stats = %+v, want 1 NAK / 1 excluded", s)
+				}
+				// A duplicate NAK for the already-excluded copy is a no-op.
+				iss.OnMessage(c, engine.QMAddr(reqs[2].Copy.Site), nak)
+				if aborts := take[model.AbortMsg](c); len(aborts) != 0 {
+					t.Fatal("duplicate NAK re-aborted an excluded copy")
+				}
+			}
+		})
+	}
+}
+
+// TestQuorumBelowQuorumRestarts: losing enough copies that W is out of reach
+// is overload, not progress — the attempt aborts everywhere, reports Busy,
+// and schedules a backed-off restart.
+func TestQuorumBelowQuorumRestarts(t *testing.T) {
+	iss, c := quorumIssuer()
+	submit(iss, c, model.TwoPL, nil, []model.ItemID{3})
+	reqs := take[model.RequestMsg](c)
+	nak := func(i int) {
+		iss.OnMessage(c, engine.QMAddr(reqs[i].Copy.Site),
+			model.BusyMsg{Txn: reqs[i].Txn, Attempt: reqs[i].Attempt, Copy: reqs[i].Copy})
+	}
+	nak(0) // one down: still satisfiable (2 of 3 left, W=2) — absorbed
+	if dones := take[model.TxnDoneMsg](c); len(dones) != 0 {
+		t.Fatalf("first NAK already terminal: %+v", dones)
+	}
+	nak(1) // two down: W unreachable — overload path
+	dones := take[model.TxnDoneMsg](c)
+	if len(dones) != 1 || dones[0].Outcome != model.OutcomeBusy {
+		t.Fatalf("done = %+v, want Busy", dones)
+	}
+	if len(c.timers) != 1 {
+		t.Fatalf("restart timers = %d, want 1", len(c.timers))
+	}
+	s := iss.Snapshot()
+	if s.BusyNAKs != 2 || s.QuorumExcluded < 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The retry relaunches against all three copies with a bumped attempt.
+	fireTimers(iss, c)
+	retry := take[model.RequestMsg](c)
+	if len(retry) != 3 || retry[0].Attempt != 1 {
+		t.Fatalf("retry = %+v", retry)
+	}
+}
+
+// TestQuorumWritePicksHighestStampPreImage: when the granted W copies carry
+// diverged pre-images (one is a laggard the catch-up plane has not reached
+// yet), a read-modify-write must build on the newest stamp — the 2W>N
+// overlap guarantees at least one granted copy holds the latest committed
+// version.
+func TestQuorumWritePicksHighestStampPreImage(t *testing.T) {
+	iss, c := quorumIssuer()
+	tx := model.NewTxn(model.TxnID{Site: 0, Seq: 5}, model.TwoPL, nil, []model.ItemID{5}, 50)
+	tx.Specs = []model.WriteSpec{{Item: 5, UseSource: true, Source: 5, AddConst: 1}}
+	iss.OnMessage(c, engine.DriverAddr(0), model.SubmitTxnMsg{Txn: tx})
+	reqs := take[model.RequestMsg](c)
+	if len(reqs) != 3 {
+		t.Fatalf("fanout %d, want 3", len(reqs))
+	}
+	// Grant two copies with diverged pre-images: the laggard (value 11,
+	// stamp 100) and the fresh copy (value 77, stamp 900).
+	stamps := []struct {
+		value int64
+		at    int64
+	}{{11, 100}, {77, 900}}
+	for i, r := range reqs[:2] {
+		iss.OnMessage(c, engine.QMAddr(r.Copy.Site), model.GrantMsg{
+			Txn: r.Txn, Attempt: r.Attempt, Copy: r.Copy,
+			Lock: model.WL, TS: r.TS,
+			Value: stamps[i].value, CommitMicros: stamps[i].at,
+		})
+	}
+	fireTimers(iss, c) // compute done
+	rels := take[model.ReleaseMsg](c)
+	var wrote *int64
+	for _, r := range rels {
+		if r.HasWrite {
+			v := r.Value
+			wrote = &v
+		}
+	}
+	if wrote == nil {
+		t.Fatalf("no write release: %+v", rels)
+	}
+	if *wrote != 78 {
+		t.Fatalf("wrote %d, want 78 (pre-image 77 from the highest-stamp grant, +1)", *wrote)
+	}
+}

@@ -25,7 +25,9 @@
 // YCSB A/B/C, a TPC-C-like heterogeneous mix, a diurnal curve that crosses
 // the admission-control threshold twice, a flash-crowd hotspot spike, a
 // site crash in mid-spike with recovery, a slow-disk WAL window excursion,
-// and an asymmetric degraded link. cmd/uccscenario is the CLI
-// (-list, -run <name>, -all, -json, -seed); Smoke returns the fast pair CI
-// runs on every PR.
+// an asymmetric degraded link, a quorum failover (N=3/W=2/R=2 loses a site
+// mid-run and keeps committing), and a replica catch-up grind (a long
+// outage under heavy writes that log shipping must converge). cmd/uccscenario
+// is the CLI (-list, -run <name>, -all, -json, -seed); Smoke returns the
+// fast trio CI runs on every PR.
 package scenario

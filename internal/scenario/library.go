@@ -5,6 +5,7 @@ import (
 
 	"ucc/internal/cluster"
 	"ucc/internal/engine"
+	"ucc/internal/model"
 	"ucc/internal/ri"
 	"ucc/internal/workload"
 )
@@ -31,6 +32,8 @@ func Library() []Scenario {
 		crashMidSpike(),
 		slowDiskWAL(),
 		degradedLink(),
+		quorumFailover(),
+		replicaCatchup(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -46,12 +49,14 @@ func ByName(name string) (Scenario, bool) {
 	return Scenario{}, false
 }
 
-// Smoke returns the fast pair CI runs on every PR: one fault-free overload
-// scenario and one crash-and-recover scenario.
+// Smoke returns the fast set CI runs on every PR: one fault-free overload
+// scenario, one write-all crash-and-recover scenario, and one quorum
+// failover scenario.
 func Smoke() []Scenario {
 	a, _ := ByName("flash-crowd")
 	b, _ := ByName("crash-mid-spike")
-	return []Scenario{a, b}
+	c, _ := ByName("quorum-failover")
+	return []Scenario{a, b, c}
 }
 
 // ycsbA is the YCSB-A shape: update-heavy (50/50 read/write), Zipf-skewed
@@ -301,6 +306,100 @@ func crashMidSpike() Scenario {
 			ReplicasAgree(),
 			OfferedAccounted(),
 			TotalCommittedAtLeast(300),
+		},
+	}
+}
+
+// quorumFailover is the tentpole failover story as a declarative scenario: a
+// 3-site, 3-way-replicated quorum cluster (N=3, W=2, R=2) loses a site for a
+// full virtual second in the middle of steady load. The dead-site phase has
+// its own commit floor — the surviving pair forms every quorum, so the dip
+// must stay bounded, not stall — and the finals require serializability,
+// full replica convergence (the dead site catches up via WAL log shipping),
+// and the offered-load accounting identity.
+func quorumFailover() Scenario {
+	spec := workload.Spec{
+		ArrivalPerSec: 25, Items: 24, Size: 3, ReadFrac: 0.5,
+		Share2PL: 1, ShareTO: 1, SharePA: 1, ComputeMicros: 1_000,
+	}
+	cfg := cluster.Config{
+		Sites: 3, Items: 24, Replicas: 3, Seed: 1, Latency: baseLatency,
+		Durability: &cluster.Durability{},
+		Quorum:     &model.Quorum{N: 3, W: 2, R: 2},
+	}
+	return Scenario{
+		Name:        "quorum-failover",
+		Description: "N=3/W=2/R=2 quorum loses a site for 1s mid-run; commits continue on the surviving pair, dead site converges via log shipping",
+		Cluster:     cfg,
+		// The settle window must cover several 150ms pull periods so the
+		// recovered site's final catch-up batches land before the checks.
+		SettleMicros: 10_000_000,
+		Phases: []Phase{
+			{Name: "steady", DurationMicros: 2_000_000, Workload: flat(spec), Checks: []Check{
+				MinCommitted(100),
+			}},
+			{Name: "dead-site", DurationMicros: 2_000_000, Workload: flat(spec), Faults: []Fault{
+				CrashSite(1, 100_000),
+			}, Checks: []Check{
+				MinCommitted(60),
+			}},
+			{Name: "recovered", DurationMicros: 2_000_000, Workload: flat(spec), Faults: []Fault{
+				RecoverSite(1, 100_000),
+			}, Checks: []Check{
+				MinCommitted(80),
+			}},
+		},
+		Final: []Check{
+			Serializable(),
+			NoUnfinished(),
+			ReplicasAgree(),
+			OfferedAccounted(),
+			TotalCommittedAtLeast(300),
+		},
+	}
+}
+
+// replicaCatchup stresses the catch-up plane rather than the failover dip: a
+// long outage under write-heavy load builds a deep replication lag, then the
+// scenario gives the recovered site a quiet cooldown phase in which log
+// shipping must close the whole gap before the final convergence check.
+func replicaCatchup() Scenario {
+	heavy := workload.Spec{
+		ArrivalPerSec: 35, Items: 16, Size: 3, ReadFrac: 0.2,
+		Share2PL: 1, ShareTO: 1, SharePA: 1, ComputeMicros: 500,
+	}
+	light := heavy
+	light.ArrivalPerSec = 10
+	cfg := cluster.Config{
+		Sites: 3, Items: 16, Replicas: 3, Seed: 1, Latency: baseLatency,
+		Durability: &cluster.Durability{},
+		Quorum:     &model.Quorum{N: 3, W: 2, R: 2},
+	}
+	return Scenario{
+		Name:         "replica-catchup",
+		Description:  "write-heavy load through a 2.5s outage builds deep lag; the recovered site must close the gap by log shipping alone",
+		Cluster:      cfg,
+		SettleMicros: 10_000_000,
+		Phases: []Phase{
+			{Name: "warm", DurationMicros: 1_000_000, Workload: flat(heavy), Checks: []Check{
+				MinCommitted(50),
+			}},
+			{Name: "lag-building", DurationMicros: 3_000_000, Workload: flat(heavy), Faults: []Fault{
+				CrashSite(2, 500_000),
+			}, Checks: []Check{
+				MinCommitted(100),
+			}},
+			{Name: "cooldown", DurationMicros: 2_000_000, Workload: flat(light), Faults: []Fault{
+				RecoverSite(2, 100_000),
+			}, Checks: []Check{
+				MinCommitted(30),
+			}},
+		},
+		Final: []Check{
+			Serializable(),
+			NoUnfinished(),
+			ReplicasAgree(),
+			OfferedAccounted(),
 		},
 	}
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -245,5 +246,32 @@ func TestFaultClamping(t *testing.T) {
 	fr := rec.Phases[0].Faults
 	if len(fr) != 1 || fr[0].AtMicros > sc.Phases[0].DurationMicros {
 		t.Fatalf("fault record not clamped into the phase: %+v", fr)
+	}
+}
+
+// TestQuorumScenariosAcrossSeeds runs the two quorum scenarios across the
+// seed battery: the failover and catch-up stories must hold under every
+// arrival pattern, not just the library default.
+func TestQuorumScenariosAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short")
+	}
+	for _, name := range []string{"quorum-failover", "replica-catchup"} {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Fatalf("scenario %q missing", name)
+		}
+		for _, seed := range []int64{1, 2, 3, 7, 42, 1988} {
+			sc, seed := sc, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				rec, err := Run(sc, Options{Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rec.Passed {
+					t.Fatalf("seed %d failed:\n%s", seed, strings.Join(rec.Failures, "\n"))
+				}
+			})
+		}
 	}
 }

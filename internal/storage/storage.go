@@ -178,6 +178,13 @@ func (s *Store) Read(item model.ItemID) (value int64, version uint64) {
 	return v.Value, v.Version
 }
 
+// Latest returns the newest committed version of item's copy in full — the
+// grant path under quorum replication, where the issuer needs the commit
+// stamp alongside value and version to compare grants across copies.
+func (s *Store) Latest(item model.ItemID) Version {
+	return *s.mustGet(item).latest()
+}
+
 // ReadAt returns the newest version of item's copy whose commit stamp is
 // ≤ atMicros — the snapshot read path. exact is false when every retained
 // version is newer than atMicros (the chain was GC'd past the snapshot); the
@@ -341,6 +348,46 @@ func (s *Store) Apply(item model.ItemID, txn model.TxnID, value int64, version u
 		Value: value, Version: version, Writer: txn, CommitMicros: commitMicros,
 	})
 	s.prune(c, commitMicros)
+}
+
+// ApplyShipped installs a write shipped from a peer replica's WAL during
+// catch-up (internal/repl). Unlike Apply — the local-recovery redo, which
+// reinstates this site's own records verbatim — a shipped record's version
+// ordinal is meaningless here: per-copy ordinals diverge under quorum
+// replication (a copy that missed a write assigns latest+1 to the next write
+// it does see), so the shipment is gated on the commit stamp instead. The
+// record applies only when strictly newer than the chain's newest stamp,
+// which makes duplicate, overlapping, and re-shipped batches idempotent;
+// conflicting writers' stamps are strictly ordered because intersecting
+// write quorums (2W > N) serialize their releases through a shared copy. The
+// write is assigned the local chain's next ordinal and journaled like Write
+// — catch-up progress must itself survive a later crash of this site. Caller
+// is the owning queue-manager shard (under its lock); the snapshot barrier
+// is shared read-side exactly as in Write.
+//
+// Returns false when the record was skipped: unknown item (the peer ships
+// its whole log; unshared items are filtered here) or a stale/duplicate
+// stamp.
+func (s *Store) ApplyShipped(item model.ItemID, txn model.TxnID, value int64, commitMicros int64) bool {
+	c := s.copies[item]
+	if c == nil {
+		return false
+	}
+	s.barrier.RLock()
+	latest := c.latest()
+	if commitMicros <= latest.CommitMicros {
+		s.barrier.RUnlock()
+		return false
+	}
+	next := Version{Value: value, Version: latest.Version + 1, Writer: txn, CommitMicros: commitMicros}
+	c.versions = append(c.versions, next)
+	s.prune(c, commitMicros)
+	s.barrier.RUnlock()
+	// Outside the barrier — see the Store comment (same ordering as Write).
+	if s.journal != nil {
+		s.journal.RecordWrite(item, txn, value, next.Version, commitMicros)
+	}
+	return true
 }
 
 func (s *Store) mustGet(item model.ItemID) *copyState {

@@ -262,6 +262,82 @@ func (s *SiteLog) recoverLocked() error {
 	return pruneBefore(s.media, lastSeq, s.log.SegmentName())
 }
 
+// errBatchFull stops a RecordsSince replay once the batch bound is reached
+// (internal flow control, swallowed before returning).
+var errBatchFull = fmt.Errorf("wal: records-since batch full")
+
+// RecordsSince serves a log-shipping pull (internal/repl): up to max durable
+// records with Seq > afterSeq, re-framed with the record codec so the batch
+// is byte-identical to the segment bytes they were read from. next is the
+// last sequence number included (afterSeq when none); more reports the batch
+// was cut at the bound. gap reports that afterSeq lies below the newest
+// snapshot's applied sequence — those records were truncated away, and the
+// puller must be reset from SnapshotRecords instead. Only synced records are
+// served: the buffered tail is not yet durable here, so it must not advance a
+// peer's watermark (it ships after its flush).
+func (s *SiteLog) RecordsSince(afterSeq uint64, max int) (frames []byte, next uint64, more, gap bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil, afterSeq, false, false, fmt.Errorf("wal: records-since on crashed site log")
+	}
+	if afterSeq < s.lastSnapSeq {
+		return nil, afterSeq, false, true, nil
+	}
+	if max <= 0 {
+		max = 512
+	}
+	count := 0
+	next = afterSeq
+	_, err = Replay(s.media, afterSeq, func(r Record) error {
+		if count >= max {
+			more = true
+			return errBatchFull
+		}
+		frames = AppendRecordFrame(frames, r)
+		next = r.Seq
+		count++
+		return nil
+	})
+	if err == errBatchFull {
+		err = nil
+	}
+	if err != nil {
+		return nil, afterSeq, false, false, err
+	}
+	return frames, next, more, false, nil
+}
+
+// SnapshotRecords serves the reset path of a log-shipping pull: one
+// synthetic record per copy imaging the newest durable snapshot's latest
+// versions (framed like RecordsSince), plus the snapshot's applied sequence
+// — the watermark from which the incremental tail continues. Synthetic
+// records carry Seq 0: the receiver's apply is stamp-gated, not
+// sequence-gated, so the only sequence that matters is the returned
+// watermark.
+func (s *SiteLog) SnapshotRecords() (frames []byte, appliedSeq uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil, 0, fmt.Errorf("wal: snapshot-records on crashed site log")
+	}
+	snap, ok, err := newestSnapshot(s.media)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("wal: no valid snapshot on media at site %d", s.store.Site())
+	}
+	for _, cc := range snap.Chains {
+		v := cc.Versions[len(cc.Versions)-1]
+		frames = AppendRecordFrame(frames, Record{
+			Item: cc.ID.Item, Txn: v.Writer, Value: v.Value,
+			Version: v.Version, CommitMicros: v.CommitMicros,
+		})
+	}
+	return frames, snap.AppliedSeq, nil
+}
+
 // GroupStats returns the group committer's cumulative (commits, syncs);
 // zeros when GroupCommit is off.
 func (s *SiteLog) GroupStats() (commits, syncs uint64) {

@@ -174,6 +174,21 @@ func decodeRecords(data []byte, fn func(Record)) (torn int) {
 	return 0
 }
 
+// AppendRecordFrame frames one record onto buf in the varint-era frame
+// format — exported for log shipping (internal/repl): a catch-up batch on
+// the wire is byte-identical to the segment bytes it came from, so one
+// decoder (DecodeRecordFrames) hardens both the local-replay and the
+// shipped-stream paths.
+func AppendRecordFrame(buf []byte, r Record) []byte { return appendRecord(buf, r) }
+
+// DecodeRecordFrames yields every intact record at the front of data and
+// returns the number of trailing bytes dropped at the first torn or corrupt
+// frame — the log-shipping counterpart of replaying a segment (same framing,
+// same stop-at-damage contract). Exported for internal/repl.
+func DecodeRecordFrames(data []byte, fn func(Record)) (torn int) {
+	return decodeRecords(data, fn)
+}
+
 // Log is the append side of a segmented write-ahead log. Append buffers
 // records in memory; Flush writes the buffer to the current segment and
 // syncs it (one sync no matter how many records were appended — the unit of

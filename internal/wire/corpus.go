@@ -35,7 +35,7 @@ func Corpus() []engine.Envelope {
 
 	// Hot path: the request→grant→release cycle dominates wire traffic.
 	add(ri, qm, 8, model.RequestMsg{Txn: txn, Attempt: 3, Protocol: model.PA, Kind: model.OpWrite, Copy: cp, TS: 123456789, Interval: 250, Site: 1})
-	add(qm, ri, 8, model.GrantMsg{Txn: txn, Attempt: 3, Copy: cp, Lock: model.WL, TS: 123456789, Value: -987654321, Version: 17})
+	add(qm, ri, 8, model.GrantMsg{Txn: txn, Attempt: 3, Copy: cp, Lock: model.WL, TS: 123456789, Value: -987654321, Version: 17, CommitMicros: 1 << 38})
 	add(ri, qm, 8, model.ReleaseMsg{Txn: txn, Attempt: 3, Copy: cp, HasWrite: true, Value: 5, CommitMicros: 1 << 40})
 	add(ri, qm, 3, model.SnapReadMsg{Txn: txn, Attempt: 0, Copy: cp, SnapMicros: 1 << 41, Site: 1})
 	add(qm, ri, 3, model.SnapReadReplyMsg{Txn: txn, Attempt: 0, Copy: cp, Value: 11, Version: 9, CommitMicros: 1 << 39, Exact: true})
@@ -65,6 +65,12 @@ func Corpus() []engine.Envelope {
 	add(col, qm, 1, model.CrashMsg{})
 	add(col, qm, 1, model.RecoverMsg{})
 	add(qm, qm, 1, model.FlushMsg{Shard: 3})
+
+	// Replication catch-up plane: the pull and a small framed record batch
+	// (the frame bytes are opaque to this codec — internal/wal's framing —
+	// so any deterministic byte string exercises the length-prefixed path).
+	add(qm, qm, 1, model.ReplPullMsg{From: 3, AfterSeq: 1 << 20})
+	add(qm, qm, 1, model.ReplRecordsMsg{From: 2, Frames: []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03}, NextAfterSeq: 1<<20 + 64, More: true})
 	return out
 }
 

@@ -52,7 +52,7 @@ func TestSeedCorpusCommitted(t *testing.T) {
 	if err != nil {
 		t.Fatalf("seed corpus missing (run WIRE_WRITE_CORPUS=1 go test -run TestWriteSeedCorpus ./internal/wire): %v", err)
 	}
-	want := int(model.TagFlush-model.TagRequest) + 1
+	want := int(model.TagLast-model.TagRequest) + 1
 	if len(entries) < want {
 		t.Fatalf("seed corpus has %d entries, want ≥ %d (one per wire tag)", len(entries), want)
 	}

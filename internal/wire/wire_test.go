@@ -51,7 +51,7 @@ func TestCorpusCoversEveryTag(t *testing.T) {
 		}
 		seen[tag] = true
 	}
-	for tag := model.TagRequest; tag <= model.TagFlush; tag++ {
+	for tag := model.TagRequest; tag <= model.TagLast; tag++ {
 		if !seen[tag] {
 			t.Errorf("no corpus envelope carries tag %d", tag)
 		}

@@ -165,6 +165,17 @@ type Config struct {
 	// (deterministic in-memory media) and enables CrashSite/RecoverSite
 	// fault injection. Default off — the paper's failure-free model.
 	Durability bool
+	// QuorumN/W/R, when all set, switch replicated items from
+	// read-one/write-all to quorum replication: writes commit on any W of N
+	// grants, reads consult R copies and adopt the highest commit stamp, and
+	// copies outside a write's quorum converge through WAL log shipping from
+	// their peers. Requires Durability (the catch-up plane streams the WAL)
+	// and N == Replicas; W+R > N and 2W > N are enforced. A single dead
+	// site of a 3-way quorum is masked: commits continue on the surviving
+	// pair and the dead site catches up after recovery.
+	QuorumN, QuorumW, QuorumR int
+	// ReplPullPeriod is the catch-up pull period (default 150ms).
+	ReplPullPeriod time.Duration
 	// GroupCommitWindow, with Durability, defers WAL syncs by up to this
 	// window so concurrently committing transactions share one sync. Leave
 	// it 0 (sync at every commit batch) when also injecting CrashSite: a
@@ -282,15 +293,21 @@ func New(cfg Config) (*Cluster, error) {
 			GroupCommitMicros: cfg.GroupCommitWindow.Microseconds(),
 		}
 	}
+	var quorum *model.Quorum
+	if cfg.QuorumN != 0 || cfg.QuorumW != 0 || cfg.QuorumR != 0 {
+		quorum = &model.Quorum{N: cfg.QuorumN, W: cfg.QuorumW, R: cfg.QuorumR}
+	}
 	inner, err := cluster.NewSim(cluster.Config{
-		Sites:        cfg.Sites,
-		Items:        cfg.Items,
-		Replicas:     cfg.Replicas,
-		Shards:       cfg.Shards,
-		InitialValue: cfg.InitialValue,
-		Seed:         cfg.Seed,
-		Record:       true,
-		Durability:   durability,
+		Sites:            cfg.Sites,
+		Items:            cfg.Items,
+		Replicas:         cfg.Replicas,
+		Shards:           cfg.Shards,
+		InitialValue:     cfg.InitialValue,
+		Seed:             cfg.Seed,
+		Record:           true,
+		Durability:       durability,
+		Quorum:           quorum,
+		ReplPeriodMicros: cfg.ReplPullPeriod.Microseconds(),
 		Latency: engine.UniformLatency{
 			MinMicros:   cfg.NetDelayMin.Microseconds(),
 			MaxMicros:   cfg.NetDelayMax.Microseconds(),

@@ -557,3 +557,59 @@ func TestFacadeOfferedIdentityUnderOverload(t *testing.T) {
 		t.Fatalf("not serializable under overload + attempt cap: %v", res.ConflictCycle())
 	}
 }
+
+// TestFacadeQuorumFailover drives the quorum + catch-up stack through the
+// public facade: a 3-way quorum cluster loses a site mid-run, keeps
+// committing, and converges every replica after the site recovers.
+func TestFacadeQuorumFailover(t *testing.T) {
+	c, err := New(Config{
+		Sites: 3, Items: 16, Replicas: 3, Seed: 9,
+		Durability: true,
+		QuorumN:    3, QuorumW: 2, QuorumR: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 20, Duration: 3 * time.Second, ReadFrac: 0.4, Mix: Mix{TwoPL: 1, TO: 1, PA: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashSite(1, time.Second)
+	c.RecoverSite(1, 2*time.Second)
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatalf("not serializable: %v", res.ConflictCycle())
+	}
+	if res.Unfinished() != 0 {
+		t.Fatalf("%d unfinished", res.Unfinished())
+	}
+	for item := 0; item < 16; item++ {
+		vals := c.ReplicaValues(ItemID(item))
+		if len(vals) != 3 {
+			t.Fatalf("item %d: %d live copies, want 3", item, len(vals))
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[0] {
+				t.Fatalf("item %d replicas diverged after failover: %v", item, vals)
+			}
+		}
+	}
+}
+
+// TestFacadeQuorumRejectsBadShape: facade-level quorum knobs surface the
+// validation errors instead of silently running write-all.
+func TestFacadeQuorumRejectsBadShape(t *testing.T) {
+	bad := []Config{
+		{Sites: 3, Replicas: 3, Durability: true, QuorumN: 3, QuorumW: 1, QuorumR: 2}, // W+R ≤ N
+		{Sites: 3, Replicas: 3, Durability: true, QuorumN: 3, QuorumW: 4, QuorumR: 2}, // W > N
+		{Sites: 3, Replicas: 2, Durability: true, QuorumN: 3, QuorumW: 2, QuorumR: 2}, // N ≠ replicas
+		{Sites: 3, Replicas: 3, QuorumN: 3, QuorumW: 2, QuorumR: 2},                   // no durability
+		{Sites: 3, Replicas: 3, Durability: true, QuorumN: 3},                         // partial triple
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
