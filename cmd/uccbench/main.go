@@ -32,7 +32,12 @@
 //	uccbench -quorum-json BENCH_quorum.json
 //
 // runs the EXP-14 quorum kill-one-site sweep at full horizons and writes the
-// per-outage dip/convergence rows (uploaded nightly).
+// per-outage dip/convergence rows (uploaded nightly), and:
+//
+//	uccbench -rebalance-json BENCH_rebalance.json
+//
+// runs the EXP-15 online-rebalance sweep at full horizons and writes the
+// per-fraction move-window dip rows (uploaded nightly).
 package main
 
 import (
@@ -59,6 +64,7 @@ func main() {
 		shardsJSON = flag.String("shards-json", "", "run the EXP-11 shard sweep and write this JSON artifact, then exit")
 		wireJSON   = flag.String("wire-json", "", "run the wire-v3-vs-gob codec comparison and write this JSON artifact, then exit")
 		quorumJSON = flag.String("quorum-json", "", "run the EXP-14 quorum failover sweep at full scale and write this JSON artifact, then exit")
+		rebalJSON  = flag.String("rebalance-json", "", "run the EXP-15 online-rebalance sweep at full scale and write this JSON artifact, then exit")
 	)
 	flag.Parse()
 
@@ -87,6 +93,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *quorumJSON)
+		return
+	}
+	if *rebalJSON != "" {
+		if err := writeRebalanceJSON(*rebalJSON, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "uccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *rebalJSON)
 		return
 	}
 

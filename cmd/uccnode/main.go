@@ -35,10 +35,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"ucc/internal/deadlock"
 	"ucc/internal/engine"
 	"ucc/internal/model"
+	"ucc/internal/placement"
 	"ucc/internal/qm"
 	"ucc/internal/repl"
 	"ucc/internal/ri"
@@ -49,19 +51,20 @@ import (
 
 func main() {
 	var (
-		site     = flag.Int("site", 0, "this node's site id (0-based)")
-		sites    = flag.Int("sites", 3, "total number of sites")
-		items    = flag.Int("items", 64, "number of logical data items")
-		replicas = flag.Int("replicas", 1, "physical copies per item")
-		shards   = flag.Int("shards", 1, "queue-manager shards per site (item-hash partitioned; all processes must agree)")
-		initial  = flag.Int64("initial", 100, "initial value of every item")
-		listen   = flag.String("listen", ":7700", "TCP listen address")
-		peers    = flag.String("peers", "", "comma-separated site TCP addresses, index = site id")
-		client   = flag.String("client", "", "client peer TCP address (collector/driver host); may be empty until a client connects inbound")
-		detector = flag.Int64("detector-period-ms", 50, "deadlock detection period (site 0 only)")
-		paInt    = flag.Int64("pa-interval-us", 2000, "PA back-off interval INT (µs)")
-		restart  = flag.Int64("restart-delay-us", 10000, "base restart delay after rejection/victim/busy (µs); doubles per failed attempt")
-		restCap  = flag.Int64("restart-delay-cap-us", 0, "exponential restart backoff cap (µs); 0 = 32× the base delay")
+		site      = flag.Int("site", 0, "this node's site id (0-based)")
+		sites     = flag.Int("sites", 3, "total number of sites")
+		items     = flag.Int("items", 64, "number of logical data items")
+		replicas  = flag.Int("replicas", 1, "physical copies per item")
+		placeFlag = flag.String("placement", "round-robin", "epoch-0 placement policy: round-robin, range, or hash (all processes must agree)")
+		shards    = flag.Int("shards", 1, "queue-manager shards per site (item-hash partitioned; all processes must agree)")
+		initial   = flag.Int64("initial", 100, "initial value of every item")
+		listen    = flag.String("listen", ":7700", "TCP listen address")
+		peers     = flag.String("peers", "", "comma-separated site TCP addresses, index = site id")
+		client    = flag.String("client", "", "client peer TCP address (collector/driver host); may be empty until a client connects inbound")
+		detector  = flag.Int64("detector-period-ms", 50, "deadlock detection period (site 0 only)")
+		paInt     = flag.Int64("pa-interval-us", 2000, "PA back-off interval INT (µs)")
+		restart   = flag.Int64("restart-delay-us", 10000, "base restart delay after rejection/victim/busy (µs); doubles per failed attempt")
+		restCap   = flag.Int64("restart-delay-cap-us", 0, "exponential restart backoff cap (µs); 0 = 32× the base delay")
 
 		mailboxDepth = flag.Int("mailbox-depth", 8192, "actor mailbox bound: requests to a full QM-shard mailbox are NAK'd busy (0 = unbounded)")
 		queueDepth   = flag.Int("queue-depth", 1024, "per-item data queue bound: requests beyond it are NAK'd busy (0 = unbounded)")
@@ -82,6 +85,10 @@ func main() {
 		gcWindow = flag.Int64("wal-group-commit-us", 0, "group-commit window (µs); 0 (default) syncs each write before exposing it — a nonzero window amortizes syncs but a crash inside it loses writes other sites may have observed")
 		segBytes = flag.Int("wal-segment-bytes", 1<<20, "WAL segment roll threshold")
 		snapN    = flag.Uint64("wal-snapshot-every", 10000, "snapshot + truncate the WAL after this many journaled writes (0 = never)")
+
+		moveAfter = flag.Duration("move-after", 0, "publish an online rebalance this long after startup: -move-items become primaried at -move-to (run on ONE node only — the epoch bump must have a single author)")
+		moveItems = flag.String("move-items", "", "comma-separated item ids to move with -move-after")
+		moveTo    = flag.Int("move-to", -1, "destination site id for -move-after/-move-items")
 	)
 	flag.Parse()
 
@@ -104,6 +111,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("uccnode: %v", err)
 	}
+	policy, err := placementFromFlag(*placeFlag)
+	if err != nil {
+		log.Fatalf("uccnode: %v", err)
+	}
 
 	// Build this site's slice of the system. Latency is the real network;
 	// the runtime adds nothing on top.
@@ -116,11 +127,11 @@ func main() {
 	for i := range siteIDs {
 		siteIDs[i] = model.SiteID(i)
 	}
-	catalog := storage.NewCatalog(*items, siteIDs, *replicas)
+	pmap := placement.Build(policy, *items, siteIDs, *replicas)
 	self := model.SiteID(*site)
 
 	store := storage.NewStore(self)
-	for _, item := range catalog.CopiesAt(self) {
+	for _, item := range pmap.CopiesAt(self) {
 		store.Create(item, *initial)
 	}
 
@@ -151,14 +162,16 @@ func main() {
 	if siteLog != nil {
 		qmOpts.GroupCommitMicros = *gcWindow
 	}
+	qmOpts.InitialValue = *initial
 	mgr := qm.New(self, store, nil, qmOpts)
 	if siteLog != nil {
 		mgr.SetDurable(siteLog)
 	}
+	mgr.SetPartitionMap(pmap)
 	if quorum != nil {
 		mgr.SetReplication(repl.NewPuller(repl.Options{
 			Site:         self,
-			Peers:        replPeersFor(catalog, self),
+			Peers:        replPeersFor(pmap, self),
 			PeriodMicros: *replPeriodMS * 1000,
 			BatchRecords: *replBatch,
 		}), siteLog)
@@ -169,7 +182,7 @@ func main() {
 		rt.Register(engine.QMShardAddr(self, i), mgr)
 	}
 
-	issuer := ri.New(self, catalog, nil, ri.Options{
+	issuer := ri.New(self, pmap, nil, ri.Options{
 		PAIntervalMicros:      model.Timestamp(*paInt),
 		RestartDelayMicros:    *restart,
 		RestartDelayCapMicros: *restCap,
@@ -205,8 +218,35 @@ func main() {
 		log.Fatalf("uccnode: %v", err)
 	}
 	node.SetSendQueueCap(*sendCap)
-	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas, %d qm shards, durability=%v, admission=%v)",
-		*site, node.Addr(), store.Len(), *sites, *replicas, mgr.NumShards(), siteLog != nil, *admission)
+	log.Printf("uccnode: site %d up on %s (%d items stored, %d sites, %d replicas, placement=%s, %d qm shards, durability=%v, admission=%v)",
+		*site, node.Addr(), store.Len(), *sites, *replicas, policy, mgr.NumShards(), siteLog != nil, *admission)
+
+	if *moveAfter > 0 {
+		moved, err := parseItems(*moveItems)
+		if err != nil {
+			log.Fatalf("uccnode: -move-items: %v", err)
+		}
+		if len(moved) == 0 || *moveTo < 0 || *moveTo >= *sites {
+			log.Fatalf("uccnode: -move-after requires -move-items and a -move-to in [0,%d)", *sites)
+		}
+		next, err := placement.PlanMove(pmap, moved, model.SiteID(*moveTo))
+		if err != nil {
+			log.Fatalf("uccnode: plan move: %v", err)
+		}
+		time.AfterFunc(*moveAfter, func() {
+			log.Printf("uccnode: site %d publishing epoch %d: %d items -> site %d", *site, next.Epoch, len(moved), *moveTo)
+			// Install order mirrors the simulated controller: queue managers
+			// first (owners flip and start transfers), then issuers (routers
+			// re-aim). Post, not Inject: remote queue managers and issuers
+			// are reached through the transport uplink.
+			for _, s := range siteIDs {
+				rt.Post(engine.Envelope{From: engine.QMAddr(self), To: engine.QMAddr(s), Msg: model.MapInstallMsg{Map: *next}})
+			}
+			for _, s := range siteIDs {
+				rt.Post(engine.Envelope{From: engine.QMAddr(self), To: engine.RIAddr(s), Msg: model.MapUpdateMsg{Map: *next}})
+			}
+		})
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -225,6 +265,10 @@ func main() {
 		log.Printf("uccnode: site %d repl: pulls served=%d, applied=%d, dup-skipped=%d, snapshot resets=%d, watermarks=%v",
 			*site, qc.ReplPulls, qc.ReplApplied, qc.ReplSkipped, qc.ReplResets, mgr.ReplWatermarks())
 	}
+	qc := mgr.Snapshot()
+	log.Printf("uccnode: site %d placement: epoch=%d, map installs=%d, items gained=%d, wrong-epoch NAKs sent=%d, transfer pulls=%d applied=%d bytes=%d; issuer wrong-epoch NAKs=%d, map updates=%d",
+		*site, mgr.CurrentMap().Epoch, qc.MapInstalls, qc.ItemsGained, qc.WrongEpoch,
+		qc.TransferPulls, qc.TransferApplied, qc.TransferBytes, st.WrongEpochNAKs, st.MapUpdates)
 	node.Close()
 	rt.Shutdown()
 	if siteLog != nil {

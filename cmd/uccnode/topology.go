@@ -2,9 +2,11 @@ package main
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"ucc/internal/model"
-	"ucc/internal/storage"
+	"ucc/internal/placement"
 	"ucc/internal/transport"
 )
 
@@ -46,13 +48,40 @@ func quorumFromFlags(n, w, r, replicas int, durable bool) (*model.Quorum, error)
 	return q, nil
 }
 
+// placementFromFlag validates -placement the same way cluster.Config and
+// ucc.Config do — every process must derive the identical epoch-0 map, so an
+// unknown policy is fatal, never silently defaulted.
+func placementFromFlag(s string) (placement.Policy, error) {
+	p, err := placement.ParsePolicy(s)
+	if err != nil {
+		return "", fmt.Errorf("-placement: %w", err)
+	}
+	return p, nil
+}
+
+// parseItems parses a comma-separated item-id list (for -move-items).
+func parseItems(csv string) ([]model.ItemID, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []model.ItemID
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad item id %q", part)
+		}
+		out = append(out, model.ItemID(n))
+	}
+	return out, nil
+}
+
 // replPeersFor returns the sites this one pulls WAL records from: every
 // other site holding a copy of an item this site also holds (ascending, for
 // a deterministic pull order).
-func replPeersFor(cat *storage.Catalog, self model.SiteID) []model.SiteID {
+func replPeersFor(pm *model.PartitionMap, self model.SiteID) []model.SiteID {
 	seen := map[model.SiteID]bool{}
-	for item := 0; item < cat.Items(); item++ {
-		reps := cat.Replicas(model.ItemID(item))
+	for item := 0; item < pm.Items(); item++ {
+		reps := pm.Replicas(model.ItemID(item))
 		mine := false
 		for _, s := range reps {
 			if s == self {

@@ -5,7 +5,7 @@ import (
 
 	"ucc/internal/engine"
 	"ucc/internal/model"
-	"ucc/internal/storage"
+	"ucc/internal/placement"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -102,20 +102,71 @@ func TestQuorumFromFlags(t *testing.T) {
 	}
 }
 
+func TestPlacementFromFlag(t *testing.T) {
+	cases := []struct {
+		name    string
+		flag    string
+		want    placement.Policy
+		wantErr bool
+	}{
+		{"empty defaults to round-robin", "", placement.RoundRobin, false},
+		{"round-robin", "round-robin", placement.RoundRobin, false},
+		{"range", "range", placement.Range, false},
+		{"hash", "hash", placement.Hash, false},
+		{"unknown policy", "zigzag", "", true},
+		{"case sensitive", "Range", "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := placementFromFlag(tc.flag)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("accepted -placement=%q", tc.flag)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("policy = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseItems(t *testing.T) {
+	items, err := parseItems(" 3, 1,8 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || items[0] != 3 || items[1] != 1 || items[2] != 8 {
+		t.Fatalf("items = %v, want [3 1 8]", items)
+	}
+	if got, err := parseItems(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"a", "-1", "1,,2", "1,x"} {
+		if _, err := parseItems(bad); err == nil {
+			t.Errorf("parseItems(%q) accepted bad input", bad)
+		}
+	}
+}
+
 func TestReplPeersFor(t *testing.T) {
 	sites := []model.SiteID{0, 1, 2, 3}
 	// Full replication: everyone pulls from everyone else.
-	full := storage.NewCatalog(8, sites, 4)
+	full := placement.Build(placement.RoundRobin, 8, sites, 4)
 	if got := replPeersFor(full, 1); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
 		t.Fatalf("full replication peers = %v, want [0 2 3]", got)
 	}
 	// Single copy: no shared items, no peers, quorum pull plane idle.
-	single := storage.NewCatalog(8, sites, 1)
+	single := placement.Build(placement.RoundRobin, 8, sites, 1)
 	if got := replPeersFor(single, 0); len(got) != 0 {
-		t.Fatalf("unreplicated catalog has peers: %v", got)
+		t.Fatalf("unreplicated map has peers: %v", got)
 	}
 	// Partial replication: peers are exactly the sites sharing an item.
-	partial := storage.NewCatalog(8, sites, 2)
+	partial := placement.Build(placement.RoundRobin, 8, sites, 2)
 	for _, self := range sites {
 		peers := replPeersFor(partial, self)
 		seen := map[model.SiteID]bool{}

@@ -9,6 +9,7 @@ import (
 	"ucc/internal/history"
 	"ucc/internal/metrics"
 	"ucc/internal/model"
+	"ucc/internal/placement"
 	"ucc/internal/qm"
 	"ucc/internal/repl"
 	"ucc/internal/ri"
@@ -39,6 +40,14 @@ type Config struct {
 	Shards int
 	// InitialValue seeds every item's copies.
 	InitialValue int64
+	// Placement selects the epoch-0 layout policy (round-robin, range, or
+	// hash; empty = round-robin, the historical layout). See
+	// placement.Build.
+	Placement placement.Policy
+	// DataSites bounds the initial placement to sites 0..DataSites-1; the
+	// remaining sites start empty (standby) and join via Cluster.AddSite.
+	// Zero places data on every site.
+	DataSites int
 
 	// Latency is the network model (default: fixed 2ms remote).
 	Latency engine.LatencyModel
@@ -128,6 +137,15 @@ func (c *Config) Validate() error {
 	if c.Replicas > c.Sites {
 		c.Replicas = c.Sites
 	}
+	if err := c.Placement.Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if c.DataSites < 0 || c.DataSites > c.Sites {
+		return fmt.Errorf("cluster: DataSites=%d out of range [0, Sites=%d]", c.DataSites, c.Sites)
+	}
+	if c.DataSites > 0 && c.Replicas > c.DataSites {
+		c.Replicas = c.DataSites
+	}
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
@@ -216,10 +234,20 @@ func (c *Config) Validate() error {
 type Cluster struct {
 	Cfg       Config
 	Eng       *sim.Engine
-	Catalog   *storage.Catalog
 	Recorder  *history.Recorder
 	Collector *metrics.Collector
 	Detector  *deadlock.Detector
+
+	// pmap is the cluster controller's authoritative versioned partition
+	// map. It advances only through the publish methods (MoveItems, AddSite,
+	// DrainSite, RebalanceHot), which plan a new epoch with the pure
+	// planners in internal/placement and broadcast it to every queue
+	// manager and issuer. Read it through CurrentMap.
+	pmap *model.PartitionMap
+	// epochsPublished / itemsMoved count placement changes published by
+	// this controller (RebalanceStats).
+	epochsPublished uint64
+	itemsMoved      uint64
 
 	Managers map[model.SiteID]*qm.Manager
 	Issuers  map[model.SiteID]*ri.Issuer
@@ -255,19 +283,24 @@ func NewSim(cfg Config) (*Cluster, error) {
 	for i := range sites {
 		sites[i] = model.SiteID(i)
 	}
-	cl.Catalog = storage.NewCatalog(cfg.Items, sites, cfg.Replicas)
+	dataSites := sites
+	if cfg.DataSites > 0 {
+		dataSites = sites[:cfg.DataSites]
+	}
+	cl.pmap = placement.Build(cfg.Placement, cfg.Items, dataSites, cfg.Replicas)
 
 	// Stores + queue managers (+ per-site durability when configured).
 	if cfg.Durability != nil {
 		cfg.QM.GroupCommitMicros = cfg.Durability.GroupCommitMicros
 	}
 	cfg.QM.Shards = cfg.Shards
+	cfg.QM.InitialValue = cfg.InitialValue
 	cfg.RI.QMShards = cfg.Shards
 	cfg.RI.Quorum = cfg.Quorum
 	for _, s := range sites {
 		st := storage.NewStore(s)
 		st.SetChainPolicy(cfg.Chain)
-		for _, item := range cl.Catalog.CopiesAt(s) {
+		for _, item := range cl.pmap.CopiesAt(s) {
 			st.Create(item, cfg.InitialValue)
 		}
 		cl.Stores[s] = st
@@ -296,6 +329,7 @@ func NewSim(cfg Config) (*Cluster, error) {
 		if sl := cl.WALs[s]; sl != nil {
 			mgr.SetDurable(sl)
 		}
+		mgr.SetPartitionMap(cl.pmap)
 		cl.Managers[s] = mgr
 		// One registration per shard: issuers address per-item traffic to
 		// the shard mailbox its item hashes to (QMShardAddr), and the
@@ -309,9 +343,11 @@ func NewSim(cfg Config) (*Cluster, error) {
 	}
 	// Catch-up pullers: every site pulls from each peer it shares at least
 	// one item with (with round-robin placement and Replicas > 1 that is
-	// usually every other site, but the catalog is the source of truth).
+	// usually every other site, but the partition map is the source of
+	// truth — and the managers re-derive the peer sets themselves whenever
+	// a later epoch is installed).
 	if cfg.Quorum != nil {
-		peers := replPeers(cl.Catalog, sites)
+		peers := replPeers(cl.pmap, sites)
 		for _, s := range sites {
 			cl.Managers[s].SetReplication(repl.NewPuller(repl.Options{
 				Site:         s,
@@ -323,7 +359,7 @@ func NewSim(cfg Config) (*Cluster, error) {
 	}
 	// Request issuers.
 	for _, s := range sites {
-		iss := ri.New(s, cl.Catalog, cl.Recorder, cfg.RI, cfg.Choose)
+		iss := ri.New(s, cl.pmap, cl.Recorder, cfg.RI, cfg.Choose)
 		cl.Issuers[s] = iss
 		eng.Register(engine.RIAddr(s), iss, cfg.Seed)
 	}
@@ -341,13 +377,13 @@ func NewSim(cfg Config) (*Cluster, error) {
 
 // replPeers maps each site to the ascending list of other sites it shares at
 // least one replicated item with — the set worth pulling WAL records from.
-func replPeers(cat *storage.Catalog, sites []model.SiteID) map[model.SiteID][]model.SiteID {
+func replPeers(pm *model.PartitionMap, sites []model.SiteID) map[model.SiteID][]model.SiteID {
 	shared := map[model.SiteID]map[model.SiteID]bool{}
 	for _, s := range sites {
 		shared[s] = map[model.SiteID]bool{}
 	}
-	for item := 0; item < cat.Items(); item++ {
-		reps := cat.Replicas(model.ItemID(item))
+	for item := 0; item < pm.Items(); item++ {
+		reps := pm.Replicas(model.ItemID(item))
 		for _, a := range reps {
 			for _, b := range reps {
 				if a != b {
@@ -419,10 +455,13 @@ func (c *Cluster) SetGroupCommitWindow(site model.SiteID, windowMicros int64) {
 }
 
 // ReplicaValues returns the current value of every live physical copy of
-// item, primary first (replica-divergence checks after a run). Copies on
-// sites still crashed are skipped.
+// item, primary first (replica-divergence checks after a run). Copies are
+// resolved against the cluster's CURRENT partition map — after a rebalance
+// the old owners are no longer copies and their leftover state (already
+// released or mid-deletion) must not count as divergence. Copies on sites
+// still crashed are skipped.
 func (c *Cluster) ReplicaValues(item model.ItemID) []int64 {
-	sites := c.Catalog.Replicas(item)
+	sites := c.pmap.Replicas(item)
 	out := make([]int64, 0, len(sites))
 	for _, s := range sites {
 		if st := c.Stores[s]; st.Has(item) {
@@ -431,6 +470,114 @@ func (c *Cluster) ReplicaValues(item model.ItemID) []int64 {
 		}
 	}
 	return out
+}
+
+// CurrentMap returns the controller's current partition map. Callers must
+// treat it as immutable — publish methods replace it wholesale.
+func (c *Cluster) CurrentMap() *model.PartitionMap { return c.pmap }
+
+// RebalanceStats reports the placement changes published by this controller.
+type RebalanceStats struct {
+	// EpochsPublished counts partition-map epochs broadcast (AddSite,
+	// DrainSite, MoveItems, RebalanceHot each publish one).
+	EpochsPublished uint64
+	// ItemsMoved counts items whose primary changed across those epochs.
+	ItemsMoved uint64
+}
+
+// Rebalance returns the controller-side placement counters.
+func (c *Cluster) Rebalance() RebalanceStats {
+	return RebalanceStats{EpochsPublished: c.epochsPublished, ItemsMoved: c.itemsMoved}
+}
+
+// publish adopts next as the authoritative map and schedules its broadcast
+// atMicros into the virtual future: a MapInstallMsg to every queue manager
+// (shard-0 control address) and a MapUpdateMsg to every issuer, in sorted
+// site order for seed stability. Counters track primaries that changed.
+func (c *Cluster) publish(atMicros int64, next *model.PartitionMap) {
+	for item := 0; item < next.Items() && item < c.pmap.Items(); item++ {
+		if next.Primary(model.ItemID(item)) != c.pmap.Primary(model.ItemID(item)) {
+			c.itemsMoved++
+		}
+	}
+	c.pmap = next
+	c.epochsPublished++
+	for _, s := range c.sortedSites(c.Cfg.Sites) {
+		c.Eng.PostAfter(atMicros, engine.QMAddr(s), model.MapInstallMsg{Map: *next})
+	}
+	for _, s := range c.sortedSites(c.Cfg.Sites) {
+		c.Eng.PostAfter(atMicros, engine.RIAddr(s), model.MapUpdateMsg{Map: *next})
+	}
+}
+
+// MoveItems publishes an epoch that makes dst the primary for items
+// (snapshot-transferring their state from the old owners); items already
+// primaried at dst are left alone. Like CrashSite, call between engine
+// steps — atMicros is relative to current virtual time.
+func (c *Cluster) MoveItems(atMicros int64, items []model.ItemID, dst model.SiteID) error {
+	next, err := placement.PlanMove(c.pmap, items, dst)
+	if err != nil {
+		return err
+	}
+	c.publish(atMicros, next)
+	return nil
+}
+
+// AddSite publishes an epoch that brings site into the active set, seeding
+// it with its share of items via snapshot transfer. The site must already
+// exist in the cluster (Config.Sites covers it; use Config.DataSites to
+// start it empty).
+func (c *Cluster) AddSite(atMicros int64, site model.SiteID) error {
+	if int(site) < 0 || int(site) >= c.Cfg.Sites {
+		return fmt.Errorf("cluster: AddSite: site %d outside configured sites [0,%d)", site, c.Cfg.Sites)
+	}
+	next, err := placement.PlanAdd(c.pmap, site)
+	if err != nil {
+		return err
+	}
+	c.publish(atMicros, next)
+	return nil
+}
+
+// DrainSite publishes an epoch with site removed from every assignment:
+// surviving copies are promoted and replacement copies are seeded on other
+// active sites via snapshot transfer. The site's actors stay registered —
+// they just stop owning data.
+func (c *Cluster) DrainSite(atMicros int64, site model.SiteID) error {
+	next, err := placement.PlanDrain(c.pmap, site)
+	if err != nil {
+		return err
+	}
+	c.publish(atMicros, next)
+	return nil
+}
+
+// RebalanceHot moves the hottest fraction of items — by grant counts
+// aggregated across every queue manager — to dst, or to the least-loaded
+// active site when dst is negative. Returns the moved items (empty when
+// there is no load to act on). Call between engine steps.
+func (c *Cluster) RebalanceHot(atMicros int64, frac float64, dst model.SiteID) ([]model.ItemID, error) {
+	counts := map[model.ItemID]uint64{}
+	for _, s := range c.sortedSites(c.Cfg.Sites) {
+		m, ok := c.Managers[s]
+		if !ok {
+			continue
+		}
+		for item, n := range m.GrantCounts() {
+			counts[item] += n
+		}
+	}
+	items, pick := placement.PlanHotMoves(counts, c.pmap, frac)
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if dst < 0 {
+		dst = pick
+	}
+	if err := c.MoveItems(atMicros, items, dst); err != nil {
+		return nil, err
+	}
+	return items, nil
 }
 
 // Start posts the initial timer ticks (detector probes, collector estimate
@@ -527,6 +674,20 @@ func (c *Cluster) Finish() Result {
 	}
 	c.Eng.Drain(0)
 
+	// Transfer settle: the transfer retry tick chain stopped with the
+	// StopMsgs above, so a rebalance published late in the run may still
+	// have sessions mid-stream. Pump one-shot transfer ticks until no
+	// manager reports pending sessions (bounded — each round either
+	// completes pulls or hits a drained old owner whose next round serves).
+	for round := 0; round < 32 && c.transfersPending(); round++ {
+		for _, s := range c.sortedSites(c.Cfg.Sites) {
+			if _, ok := c.Managers[s]; ok {
+				c.Eng.Post(engine.QMAddr(s), model.TickMsg{Tag: qm.TransferTickTag})
+			}
+		}
+		c.Eng.Drain(0)
+	}
+
 	// Quorum settle: the periodic pull chain stopped with the StopMsgs
 	// above, so writes that committed during the drain never shipped. Run
 	// one-shot pull rounds to a fixpoint (applies stop changing) so the
@@ -558,6 +719,17 @@ func (c *Cluster) Finish() Result {
 		res.Serializability = &r
 	}
 	return res
+}
+
+// transfersPending reports whether any queue manager still has an open
+// snapshot-transfer session.
+func (c *Cluster) transfersPending() bool {
+	for _, s := range c.sortedSites(c.Cfg.Sites) {
+		if m, ok := c.Managers[s]; ok && m.TransfersPending() {
+			return true
+		}
+	}
+	return false
 }
 
 // sortedSites returns site ids 0..n-1 (deterministic iteration order for
@@ -598,6 +770,12 @@ func (c *Cluster) QMTotals() qm.Counters {
 		t.ReplApplied += s.ReplApplied
 		t.ReplSkipped += s.ReplSkipped
 		t.ReplResets += s.ReplResets
+		t.WrongEpoch += s.WrongEpoch
+		t.MapInstalls += s.MapInstalls
+		t.ItemsGained += s.ItemsGained
+		t.TransferPulls += s.TransferPulls
+		t.TransferApplied += s.TransferApplied
+		t.TransferBytes += s.TransferBytes
 	}
 	return t
 }
@@ -649,6 +827,8 @@ func (c *Cluster) RITotals() ri.Stats {
 		t.ROBusyShed += s.ROBusyShed
 		t.ReBackoffs += s.ReBackoffs
 		t.QuorumExcluded += s.QuorumExcluded
+		t.WrongEpochNAKs += s.WrongEpochNAKs
+		t.MapUpdates += s.MapUpdates
 		t.Active += s.Active
 	}
 	return t

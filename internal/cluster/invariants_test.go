@@ -144,7 +144,7 @@ func TestReplicatedWriteAll(t *testing.T) {
 	checkRun(t, "rowa", res, 100)
 	for item := 0; item < cfg.Items; item++ {
 		var vals []int64
-		for _, site := range cl.Catalog.Replicas(model.ItemID(item)) {
+		for _, site := range cl.CurrentMap().Replicas(model.ItemID(item)) {
 			v, _ := cl.Stores[site].Read(model.ItemID(item))
 			vals = append(vals, v)
 		}

@@ -76,7 +76,7 @@ func TestCrashRecoveryMidRun(t *testing.T) {
 	// surviving replicas once the run quiesces.
 	for item := 0; item < cfg.Items; item++ {
 		var vals []int64
-		for _, site := range cl.Catalog.Replicas(model.ItemID(item)) {
+		for _, site := range cl.CurrentMap().Replicas(model.ItemID(item)) {
 			v, _ := cl.Stores[site].Read(model.ItemID(item))
 			vals = append(vals, v)
 		}
@@ -186,7 +186,7 @@ func TestSnapshotReadsSurviveCrash(t *testing.T) {
 	// The recovered site's chains must be multi-version again (replayed
 	// records extend the restored chains), not collapsed to latest values.
 	deep := 0
-	for _, item := range cl.Catalog.CopiesAt(1) {
+	for _, item := range cl.CurrentMap().CopiesAt(1) {
 		if cl.Stores[1].ChainLen(item) > 1 {
 			deep++
 		}
@@ -289,7 +289,7 @@ func TestShardedCrashRecoveryMidLoad(t *testing.T) {
 	// surviving replicas once the run quiesces.
 	for item := 0; item < cfg.Items; item++ {
 		var vals []int64
-		for _, site := range cl.Catalog.Replicas(model.ItemID(item)) {
+		for _, site := range cl.CurrentMap().Replicas(model.ItemID(item)) {
 			v, _ := cl.Stores[site].Read(model.ItemID(item))
 			vals = append(vals, v)
 		}

@@ -269,13 +269,35 @@ func (r *Runtime) Register(addr Addr, a Actor) {
 
 // Inject delivers an envelope that arrived from a remote node straight into
 // the destination mailbox (no further latency is applied: the wire already
-// provided it).
+// provided it). An envelope addressed to an actor not registered here is
+// dropped — inbound wire traffic for another site must not loop back out.
 func (r *Runtime) Inject(env Envelope) {
 	r.mu.Lock()
 	mb := r.actors[env.To]
 	r.mu.Unlock()
 	if mb != nil && !mb.push(env) {
 		r.nak(env)
+	}
+}
+
+// Post routes a locally originated envelope like an actor send, minus
+// latency: a registered actor gets it in its mailbox (full mailbox → busy
+// NAK), anything else forwards through the uplink to its site. Use this —
+// not Inject — to originate traffic that may target remote actors (e.g. a
+// node publishing a partition-map epoch to its peers).
+func (r *Runtime) Post(env Envelope) {
+	r.mu.Lock()
+	mb := r.actors[env.To]
+	uplink := r.uplink
+	r.mu.Unlock()
+	if mb != nil {
+		if !mb.push(env) {
+			r.nak(env)
+		}
+		return
+	}
+	if uplink != nil {
+		uplink(env)
 	}
 }
 

@@ -111,6 +111,36 @@ func TestRuntimeUplinkForUnknownActors(t *testing.T) {
 	}
 }
 
+// TestRuntimePostRoutesRemote: Post delivers to a local mailbox like Inject
+// but forwards a remote destination through the uplink instead of dropping
+// it — the path a node publishing a partition-map epoch to its peers relies
+// on (an Injected MapInstallMsg to a remote QM used to vanish silently).
+func TestRuntimePostRoutesRemote(t *testing.T) {
+	rt := NewRuntime(FixedLatency{}, 1)
+	defer rt.Shutdown()
+	got := make(chan Envelope, 1)
+	rt.SetUplink(func(e Envelope) { got <- e })
+	recv := &collect{done: make(chan struct{}), want: 1}
+	rt.Register(QMAddr(0), recv)
+
+	rt.Post(Envelope{From: QMAddr(0), To: QMAddr(0), Msg: model.TickMsg{}})
+	select {
+	case <-recv.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Post never delivered to the local actor")
+	}
+
+	rt.Post(Envelope{From: QMAddr(0), To: QMAddr(9), Msg: model.TickMsg{}})
+	select {
+	case e := <-got:
+		if e.To != QMAddr(9) {
+			t.Fatalf("uplinked to %v, want QM 9", e.To)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Post to a remote actor never reached the uplink")
+	}
+}
+
 func TestRuntimeShutdownStopsDelivery(t *testing.T) {
 	rt := NewRuntime(FixedLatency{}, 1)
 	recv := &collect{done: make(chan struct{}), want: 1}

@@ -69,7 +69,7 @@ func Exp9(cfg RunConfig) Result {
 
 	replicasConverged := func(cl *cluster.Cluster) bool {
 		for item := 0; item < 24; item++ {
-			sites := cl.Catalog.Replicas(model.ItemID(item))
+			sites := cl.CurrentMap().Replicas(model.ItemID(item))
 			v0, _ := cl.Stores[sites[0]].Read(model.ItemID(item))
 			for _, s := range sites[1:] {
 				if v, _ := cl.Stores[s].Read(model.ItemID(item)); v != v0 {

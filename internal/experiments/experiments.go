@@ -72,6 +72,7 @@ func All() []Experiment {
 		{ID: "EXP-12", Title: "Overload: admission control and bounded queues", Claim: "beyond the paper: with every queue bounded and an AIMD admission window shedding arrivals beyond capacity, goodput at 4x saturation stays within 20% of peak and p99 stays bounded, while the undefended system's backlog drags both off a cliff — and every execution, defended or not, stays conflict serializable", Run: Exp12},
 		{ID: "EXP-13", Title: "Scenario harness: phased workloads, fault scripts, invariant checkpoints", Claim: "beyond the paper: the declarative scenario library (YCSB shapes, TPC-C-like mix, diurnal admission crossings, flash crowd, mid-spike crash, slow WAL, degraded link) passes every declared invariant checkpoint on a live cluster", Run: Exp13},
 		{ID: "EXP-14", Title: "Quorum replication survives a dead site", Claim: "beyond the paper: with per-partition Quorum{N:3,W:2,R:2}, one dead site leaves every quorum formable — committed throughput keeps a bounded dip instead of stalling, every execution stays conflict serializable, and the dead site converges after recovery via WAL log shipping from its peers", Run: Exp14},
+		{ID: "EXP-15", Title: "Online rebalance: the hot set changes owner under load", Claim: "beyond the paper: a versioned partition map lets a quarter to half of the items — the hot set included — move to a new owner mid-run; commits keep flowing through the flip (bounded dip, never a stall), every execution stays conflict serializable, and replicas agree under the new map after snapshot transfer", Run: Exp15},
 		{ID: "ABL-1", Title: "Semi-locks vs lock-everything", Claim: "the semi-lock protocol preserves T/O's concurrency; the simpler all-locking unification sacrifices it", Run: Abl1},
 		{ID: "ABL-2", Title: "PA back-off interval sensitivity", Claim: "the INT back-off granularity trades spurious waiting against re-negotiation positioning", Run: Abl2},
 		{ID: "ABL-3", Title: "Deadlock detection period sensitivity", Claim: "2PL's system time under contention is dominated by detection latency", Run: Abl3},

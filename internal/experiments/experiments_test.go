@@ -194,6 +194,42 @@ func TestExp14QuorumFailover(t *testing.T) {
 	}
 }
 
+// TestExp15RebalanceDip is the acceptance gate for online rebalance over the
+// versioned partition map: while a quarter of the items — the whole hot set —
+// change owner mid-run, the move-window commit rate must hold at least 50% of
+// the steady (pre-move) rate, the run must stay conflict serializable, the
+// replicas of every item must agree under the FINAL map, and the snapshot
+// transfer plane must actually have streamed records into the gained copies.
+// Virtual-time deterministic, so the thresholds are seed-stable.
+func TestExp15RebalanceDip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	points := RebalanceSweep(RunConfig{Quick: true, Seed: 1988}, []float64{0, 0.25})
+	for _, p := range points {
+		if !p.Serializable {
+			t.Fatalf("serializability violated at moved frac %.2f", p.Frac)
+		}
+		if !p.ReplicasAgree {
+			t.Fatalf("replicas diverged under the final map at moved frac %.2f", p.Frac)
+		}
+		if p.Frac > 0 {
+			if p.MoveRate < 0.5*p.PreRate {
+				t.Fatalf("moved frac %.2f: move-window rate %.0f/s fell below 50%% of steady %.0f/s — the rebalance stalled traffic",
+					p.Frac, p.MoveRate, p.PreRate)
+			}
+			if p.MapInstalls == 0 {
+				t.Fatalf("moved frac %.2f: no map installs; the epoch was never published", p.Frac)
+			}
+			if p.TransferRecs == 0 {
+				t.Fatalf("moved frac %.2f: no transfer records applied; the gained copies were never filled", p.Frac)
+			}
+		}
+		t.Logf("frac=%.2f moved=%d pre=%.0f/s move=%.0f/s post=%.0f/s naks=%d installs=%d transferRecs=%d",
+			p.Frac, p.MovedItems, p.PreRate, p.MoveRate, p.PostRate, p.WrongEpoch, p.MapInstalls, p.TransferRecs)
+	}
+}
+
 func TestExp5SerializabilityGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep")

@@ -39,6 +39,10 @@ type RequestMsg struct {
 	Interval Timestamp
 	// Site is the issuing user site (precedence tie-break coordinate).
 	Site SiteID
+	// Epoch is the partition-map epoch the issuer routed this request by.
+	// A queue manager that no longer owns the copy (or never did) answers
+	// with WrongEpochMsg carrying its current map instead of processing.
+	Epoch uint64
 }
 
 // FinalTSMsg is PA step 1(e): after collecting back-offs the RI broadcasts
@@ -226,6 +230,9 @@ type SnapReadMsg struct {
 	SnapMicros int64
 	// Site is the issuing user site (reply address).
 	Site SiteID
+	// Epoch is the partition-map epoch the issuer routed by (see
+	// RequestMsg.Epoch).
+	Epoch uint64
 }
 
 // SnapReadReplyMsg answers a SnapReadMsg with the selected version.
@@ -447,32 +454,113 @@ type ReplRecordsMsg struct {
 	More bool
 }
 
-func (RequestMsg) isMessage()       {}
-func (FinalTSMsg) isMessage()       {}
-func (SnapReadMsg) isMessage()      {}
-func (SnapReadReplyMsg) isMessage() {}
-func (ReleaseMsg) isMessage()       {}
-func (AbortMsg) isMessage()         {}
-func (GrantMsg) isMessage()         {}
-func (NormalGrantMsg) isMessage()   {}
-func (RejectMsg) isMessage()        {}
-func (BackoffMsg) isMessage()       {}
-func (VictimMsg) isMessage()        {}
-func (BusyMsg) isMessage()          {}
-func (TxnFinishedMsg) isMessage()   {}
-func (WFGReportMsg) isMessage()     {}
-func (ProbeWFGMsg) isMessage()      {}
-func (SubmitTxnMsg) isMessage()     {}
-func (TxnDoneMsg) isMessage()       {}
-func (TickMsg) isMessage()          {}
-func (ComputeDoneMsg) isMessage()   {}
-func (RestartMsg) isMessage()       {}
-func (StopMsg) isMessage()          {}
-func (CrashMsg) isMessage()         {}
-func (RecoverMsg) isMessage()       {}
-func (FlushMsg) isMessage()         {}
-func (ReplPullMsg) isMessage()      {}
-func (ReplRecordsMsg) isMessage()   {}
+// ---------------------------------------------------------------------------
+// Versioned placement / online rebalance plane
+// ---------------------------------------------------------------------------
+
+// WrongEpochMsg NAKs a request (or a completion addressed to a queue that no
+// longer exists here) whose routing disagreed with the receiver's installed
+// partition map: the issuer routed by a stale epoch, or raced an ownership
+// flip. It carries the receiver's current map so one round trip both refuses
+// the operation and repairs the sender's routing state; the issuer installs
+// the map if newer, aborts the attempt, and restarts it against the new
+// owners. Never sheddable — it is itself a refusal.
+type WrongEpochMsg struct {
+	Txn     TxnID
+	Attempt Attempt
+	Copy    CopyID
+	// Map is the refusing site's installed partition map.
+	Map PartitionMap
+}
+
+// MapInstallMsg installs a new partition map at a queue manager. The manager
+// ignores maps at or below its installed epoch; a newer map triggers the
+// ownership transition — lost items stop admitting new work and drain,
+// gained items are created pending and filled by snapshot transfer from the
+// old owner.
+type MapInstallMsg struct {
+	Map PartitionMap
+}
+
+// MapUpdateMsg installs a new partition map at a request issuer, which routes
+// all subsequent attempts by it. Issuers also learn new maps lazily from
+// WrongEpochMsg; the explicit update just avoids one wasted attempt per
+// issuer per epoch.
+type MapUpdateMsg struct {
+	Map PartitionMap
+}
+
+// TransferPullMsg asks the old owner of a set of items for their state after
+// an ownership flip: the new owner pulls a snapshot image plus WAL tail,
+// reusing the catch-up record stream (internal/repl). AfterSeq is the
+// puller's watermark into the serving site's log, exactly as in ReplPullMsg.
+type TransferPullMsg struct {
+	// From is the pulling site (reply address).
+	From SiteID
+	// Epoch is the map epoch that created this transfer; the server answers
+	// NotReady until it has installed that epoch and drained the items it
+	// lost under it.
+	Epoch uint64
+	// AfterSeq is the puller's watermark into the serving site's log.
+	AfterSeq uint64
+}
+
+// TransferRecordsMsg answers a TransferPullMsg with a batch of WAL record
+// frames (same framed codec as ReplRecordsMsg — the snapshot-transfer plane
+// is the catch-up plane pointed at a rebalance).
+type TransferRecordsMsg struct {
+	// From is the serving site.
+	From SiteID
+	// Epoch echoes the pull's epoch.
+	Epoch uint64
+	// Frames is the framed record batch.
+	Frames []byte
+	// NextAfterSeq is the watermark to advance to after applying the batch.
+	NextAfterSeq uint64
+	// Reset reports a snapshot image (see ReplRecordsMsg.Reset).
+	Reset bool
+	// More reports the batch was cut at the size bound; pull again now.
+	More bool
+	// NotReady reports the server has not yet installed Epoch or still has
+	// in-flight transactions draining on the items it lost; the puller
+	// retries on its transfer tick.
+	NotReady bool
+	// Done reports the server's log had nothing further: the transfer is
+	// complete and the puller may open the items for traffic.
+	Done bool
+}
+
+func (RequestMsg) isMessage()         {}
+func (FinalTSMsg) isMessage()         {}
+func (SnapReadMsg) isMessage()        {}
+func (SnapReadReplyMsg) isMessage()   {}
+func (ReleaseMsg) isMessage()         {}
+func (AbortMsg) isMessage()           {}
+func (GrantMsg) isMessage()           {}
+func (NormalGrantMsg) isMessage()     {}
+func (RejectMsg) isMessage()          {}
+func (BackoffMsg) isMessage()         {}
+func (VictimMsg) isMessage()          {}
+func (BusyMsg) isMessage()            {}
+func (TxnFinishedMsg) isMessage()     {}
+func (WFGReportMsg) isMessage()       {}
+func (ProbeWFGMsg) isMessage()        {}
+func (SubmitTxnMsg) isMessage()       {}
+func (TxnDoneMsg) isMessage()         {}
+func (TickMsg) isMessage()            {}
+func (ComputeDoneMsg) isMessage()     {}
+func (RestartMsg) isMessage()         {}
+func (StopMsg) isMessage()            {}
+func (CrashMsg) isMessage()           {}
+func (RecoverMsg) isMessage()         {}
+func (FlushMsg) isMessage()           {}
+func (ReplPullMsg) isMessage()        {}
+func (ReplRecordsMsg) isMessage()     {}
+func (WrongEpochMsg) isMessage()      {}
+func (MapInstallMsg) isMessage()      {}
+func (MapUpdateMsg) isMessage()       {}
+func (TransferPullMsg) isMessage()    {}
+func (TransferRecordsMsg) isMessage() {}
 
 // RegisterGob registers all message types with encoding/gob for the TCP
 // transport. Safe to call multiple times.
@@ -505,6 +593,11 @@ func RegisterGob() {
 	gob.Register(TxnFinishedMsg{})
 	gob.Register(ReplPullMsg{})
 	gob.Register(ReplRecordsMsg{})
+	gob.Register(WrongEpochMsg{})
+	gob.Register(MapInstallMsg{})
+	gob.Register(MapUpdateMsg{})
+	gob.Register(TransferPullMsg{})
+	gob.Register(TransferRecordsMsg{})
 	gob.Register(&Txn{})
 }
 

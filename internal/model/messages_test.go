@@ -34,6 +34,11 @@ func TestGobRoundTripAllMessages(t *testing.T) {
 		ComputeDoneMsg{Txn: txn, Attempt: 3},
 		RestartMsg{Txn: txn, Attempt: 4},
 		StopMsg{},
+		WrongEpochMsg{Txn: txn, Attempt: 1, Copy: c, Map: PartitionMap{Epoch: 3, Assignments: [][]SiteID{{1, 0}, {2}}}},
+		MapInstallMsg{Map: PartitionMap{Epoch: 4, Assignments: [][]SiteID{{0}, {1}}}},
+		MapUpdateMsg{Map: PartitionMap{Epoch: 5, Assignments: [][]SiteID{{2, 1}}}},
+		TransferPullMsg{From: 2, Epoch: 4, AfterSeq: 17},
+		TransferRecordsMsg{From: 1, Epoch: 4, Frames: []byte{1, 2, 3}, NextAfterSeq: 20, More: true},
 	}
 	for _, msg := range msgs {
 		var buf bytes.Buffer
@@ -70,6 +75,22 @@ func TestGobRoundTripAllMessages(t *testing.T) {
 		case VictimMsg:
 			if len(got.Cycle) != 2 {
 				t.Fatalf("VictimMsg mangled: %+v", got)
+			}
+		case WrongEpochMsg:
+			if got.Map.Epoch != 3 || got.Map.Primary(0) != 1 {
+				t.Fatalf("WrongEpochMsg mangled: %+v", got)
+			}
+		case MapInstallMsg:
+			if got.Map.Epoch != 4 || got.Map.Items() != 2 {
+				t.Fatalf("MapInstallMsg mangled: %+v", got)
+			}
+		case MapUpdateMsg:
+			if got.Map.Epoch != 5 || got.Map.Primary(0) != 2 {
+				t.Fatalf("MapUpdateMsg mangled: %+v", got)
+			}
+		case TransferRecordsMsg:
+			if !bytes.Equal(got.Frames, []byte{1, 2, 3}) || got.NextAfterSeq != 20 || !got.More {
+				t.Fatalf("TransferRecordsMsg mangled: %+v", got)
 			}
 		}
 	}

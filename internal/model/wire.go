@@ -55,9 +55,15 @@ const (
 	TagReplPull      WireTag = 27
 	TagReplRecords   WireTag = 28
 
+	TagWrongEpoch      WireTag = 29
+	TagMapInstall      WireTag = 30
+	TagMapUpdate       WireTag = 31
+	TagTransferPull    WireTag = 32
+	TagTransferRecords WireTag = 33
+
 	// TagLast is the highest assigned tag (corpus-coverage loops range over
 	// TagRequest..TagLast). Update when appending a tag.
-	TagLast = TagReplRecords
+	TagLast = TagTransferRecords
 )
 
 // MessageTag returns the wire tag of a message; ok is false for message types
@@ -417,7 +423,8 @@ func (m RequestMsg) AppendWire(b []byte) []byte {
 	b = append(b, byte(m.Protocol), byte(m.Kind))
 	b = AppendVarint(b, int64(m.TS))
 	b = AppendVarint(b, int64(m.Interval))
-	return AppendVarint(b, int64(m.Site))
+	b = AppendVarint(b, int64(m.Site))
+	return AppendUvarint(b, m.Epoch)
 }
 
 func decodeRequest(r *WireReader) (m RequestMsg) {
@@ -427,6 +434,7 @@ func decodeRequest(r *WireReader) (m RequestMsg) {
 	m.TS = Timestamp(r.Varint())
 	m.Interval = Timestamp(r.Varint())
 	m.Site = SiteID(r.Varint32())
+	m.Epoch = r.Uvarint()
 	return m
 }
 
@@ -565,13 +573,15 @@ func decodeVictim(r *WireReader) (m VictimMsg) {
 func (m SnapReadMsg) AppendWire(b []byte) []byte {
 	b = appendHdr(b, m.Txn, m.Attempt, m.Copy)
 	b = AppendVarint(b, m.SnapMicros)
-	return AppendVarint(b, int64(m.Site))
+	b = AppendVarint(b, int64(m.Site))
+	return AppendUvarint(b, m.Epoch)
 }
 
 func decodeSnapRead(r *WireReader) (m SnapReadMsg) {
 	m.Txn, m.Attempt, m.Copy = r.hdr()
 	m.SnapMicros = r.Varint()
 	m.Site = SiteID(r.Varint32())
+	m.Epoch = r.Uvarint()
 	return m
 }
 
@@ -898,6 +908,110 @@ func decodeReplRecords(r *WireReader) (m ReplRecordsMsg) {
 	return m
 }
 
+// appendPartitionMap encodes a partition map: epoch, item count, then each
+// item's copy list (count + sites, primary first — the order is semantic, so
+// no sorting here).
+func appendPartitionMap(b []byte, pm PartitionMap) []byte {
+	b = AppendUvarint(b, pm.Epoch)
+	b = AppendUvarint(b, uint64(len(pm.Assignments)))
+	for _, reps := range pm.Assignments {
+		b = AppendUvarint(b, uint64(len(reps)))
+		for _, s := range reps {
+			b = AppendVarint(b, int64(s))
+		}
+	}
+	return b
+}
+
+func (r *WireReader) partitionMap() (pm PartitionMap) {
+	pm.Epoch = r.Uvarint()
+	n := r.Count(1)
+	if r.err != nil || n == 0 {
+		return pm
+	}
+	pm.Assignments = make([][]SiteID, n)
+	for i := range pm.Assignments {
+		k := r.Count(1)
+		if r.err != nil {
+			return pm
+		}
+		reps := make([]SiteID, k)
+		for j := range reps {
+			reps[j] = SiteID(r.Varint32())
+		}
+		pm.Assignments[i] = reps
+	}
+	return pm
+}
+
+// AppendWire encodes the message body (no tag) onto b.
+func (m WrongEpochMsg) AppendWire(b []byte) []byte {
+	b = appendHdr(b, m.Txn, m.Attempt, m.Copy)
+	return appendPartitionMap(b, m.Map)
+}
+
+func decodeWrongEpoch(r *WireReader) (m WrongEpochMsg) {
+	m.Txn, m.Attempt, m.Copy = r.hdr()
+	m.Map = r.partitionMap()
+	return m
+}
+
+// AppendWire encodes the message body (no tag) onto b.
+func (m MapInstallMsg) AppendWire(b []byte) []byte { return appendPartitionMap(b, m.Map) }
+
+func decodeMapInstall(r *WireReader) (m MapInstallMsg) {
+	m.Map = r.partitionMap()
+	return m
+}
+
+// AppendWire encodes the message body (no tag) onto b.
+func (m MapUpdateMsg) AppendWire(b []byte) []byte { return appendPartitionMap(b, m.Map) }
+
+func decodeMapUpdate(r *WireReader) (m MapUpdateMsg) {
+	m.Map = r.partitionMap()
+	return m
+}
+
+// AppendWire encodes the message body (no tag) onto b.
+func (m TransferPullMsg) AppendWire(b []byte) []byte {
+	b = AppendVarint(b, int64(m.From))
+	b = AppendUvarint(b, m.Epoch)
+	return AppendUvarint(b, m.AfterSeq)
+}
+
+func decodeTransferPull(r *WireReader) (m TransferPullMsg) {
+	m.From = SiteID(r.Varint32())
+	m.Epoch = r.Uvarint()
+	m.AfterSeq = r.Uvarint()
+	return m
+}
+
+// AppendWire encodes the message body (no tag) onto b (Frames is the WAL's
+// framed codec, opaque here — see ReplRecordsMsg).
+func (m TransferRecordsMsg) AppendWire(b []byte) []byte {
+	b = AppendVarint(b, int64(m.From))
+	b = AppendUvarint(b, m.Epoch)
+	b = AppendUvarint(b, uint64(len(m.Frames)))
+	b = append(b, m.Frames...)
+	b = AppendUvarint(b, m.NextAfterSeq)
+	b = AppendWireBool(b, m.Reset)
+	b = AppendWireBool(b, m.More)
+	b = AppendWireBool(b, m.NotReady)
+	return AppendWireBool(b, m.Done)
+}
+
+func decodeTransferRecords(r *WireReader) (m TransferRecordsMsg) {
+	m.From = SiteID(r.Varint32())
+	m.Epoch = r.Uvarint()
+	m.Frames = r.Bytes()
+	m.NextAfterSeq = r.Uvarint()
+	m.Reset = r.Bool()
+	m.More = r.Bool()
+	m.NotReady = r.Bool()
+	m.Done = r.Bool()
+	return m
+}
+
 // ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
@@ -990,6 +1104,16 @@ func AppendMessage(b []byte, m Message) ([]byte, error) {
 		return v.AppendWire(append(b, byte(TagReplPull))), nil
 	case ReplRecordsMsg:
 		return v.AppendWire(append(b, byte(TagReplRecords))), nil
+	case WrongEpochMsg:
+		return v.AppendWire(append(b, byte(TagWrongEpoch))), nil
+	case MapInstallMsg:
+		return v.AppendWire(append(b, byte(TagMapInstall))), nil
+	case MapUpdateMsg:
+		return v.AppendWire(append(b, byte(TagMapUpdate))), nil
+	case TransferPullMsg:
+		return v.AppendWire(append(b, byte(TagTransferPull))), nil
+	case TransferRecordsMsg:
+		return v.AppendWire(append(b, byte(TagTransferRecords))), nil
 	default:
 		return b, fmt.Errorf("model: message %T has no wire encoder", m)
 	}
@@ -1058,6 +1182,16 @@ func DecodeMessage(tag WireTag, r *WireReader) (Message, error) {
 		m = decodeReplPull(r)
 	case TagReplRecords:
 		m = decodeReplRecords(r)
+	case TagWrongEpoch:
+		m = decodeWrongEpoch(r)
+	case TagMapInstall:
+		m = decodeMapInstall(r)
+	case TagMapUpdate:
+		m = decodeMapUpdate(r)
+	case TagTransferPull:
+		m = decodeTransferPull(r)
+	case TagTransferRecords:
+		m = decodeTransferRecords(r)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrWireUnknownTag, tag)
 	}

@@ -113,6 +113,11 @@ func TestMessageTagsStable(t *testing.T) {
 		26: FlushMsg{},
 		27: ReplPullMsg{},
 		28: ReplRecordsMsg{},
+		29: WrongEpochMsg{},
+		30: MapInstallMsg{},
+		31: MapUpdateMsg{},
+		32: TransferPullMsg{},
+		33: TransferRecordsMsg{},
 	}
 	for tag, msg := range want {
 		got, ok := MessageTag(msg)

@@ -3,6 +3,7 @@ package qm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ucc/internal/engine"
 	"ucc/internal/history"
@@ -47,6 +48,10 @@ type Options struct {
 	// already have been observed elsewhere. Each shard defers its own batch;
 	// the per-site commit sequencer coalesces the expiring windows.
 	GroupCommitMicros int64
+	// InitialValue seeds copies this site gains at a map install before
+	// their transfer stream arrives (matching cluster.Config.InitialValue,
+	// so an item the old owner never wrote transfers as a no-op).
+	InitialValue int64
 }
 
 // DefaultOptions returns the production configuration.
@@ -81,6 +86,14 @@ type Counters struct {
 	ReplApplied uint64 // shipped records this site installed during catch-up
 	ReplSkipped uint64 // shipped records skipped as stale or duplicate (idempotence)
 	ReplResets  uint64 // snapshot-image resets taken because a peer truncated its log
+
+	// Versioned placement / online rebalance.
+	WrongEpoch      uint64 // operations NAK'd because the installed map disowns the copy
+	MapInstalls     uint64 // newer partition maps installed
+	ItemsGained     uint64 // copies created at map installs (awaiting or skipping transfer)
+	TransferPulls   uint64 // transfer pulls served to new owners
+	TransferApplied uint64 // transfer records installed (stamp-gated, like ReplApplied)
+	TransferBytes   uint64 // transfer frame bytes received
 }
 
 // Durable is the durability subsystem a manager drives (internal/wal's
@@ -129,6 +142,15 @@ type Manager struct {
 	puller      *repl.Puller
 	replSrc     repl.Source
 	replStopped bool
+
+	// Versioned placement. pmap is read lock-free on the request fast path
+	// (atomic pointer; nil = legacy mode, ownership is queue existence) and
+	// replaced only inside onMapInstall's site-wide critical section. The
+	// transfer sessions and their retry timer are control-plane state under
+	// ctlMu like the puller.
+	pmap              atomic.Pointer[model.PartitionMap]
+	sessions          []*transferSession
+	transferTickArmed bool
 }
 
 // pendingMsg is a message that arrived at a shard while the site was down;
@@ -154,9 +176,11 @@ func New(site model.SiteID, store *storage.Store, recorder *history.Recorder, op
 	m.shards = make([]*shard, opts.Shards)
 	for i := range m.shards {
 		m.shards[i] = &shard{
-			m:      m,
-			idx:    i,
-			queues: map[model.ItemID]*dataQueue{},
+			m:        m,
+			idx:      i,
+			queues:   map[model.ItemID]*dataQueue{},
+			pending:  map[model.ItemID]bool{},
+			retiring: map[model.ItemID]bool{},
 		}
 	}
 	for _, item := range store.Items() {
@@ -236,6 +260,12 @@ func (m *Manager) Snapshot() Counters {
 		t.ReplApplied += c.ReplApplied
 		t.ReplSkipped += c.ReplSkipped
 		t.ReplResets += c.ReplResets
+		t.WrongEpoch += c.WrongEpoch
+		t.MapInstalls += c.MapInstalls
+		t.ItemsGained += c.ItemsGained
+		t.TransferPulls += c.TransferPulls
+		t.TransferApplied += c.TransferApplied
+		t.TransferBytes += c.TransferBytes
 	}
 	if m.seq != nil {
 		t.Commits, t.WALSyncs = m.seq.stats()
@@ -328,6 +358,8 @@ func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 			m.onReplTick(ctx)
 		case ReplSettleTickTag:
 			m.onReplSettle(ctx)
+		case TransferTickTag:
+			m.onTransferTick(ctx)
 		default:
 			m.onStatsTick(ctx)
 		}
@@ -335,6 +367,12 @@ func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 		m.onReplPull(ctx, v)
 	case model.ReplRecordsMsg:
 		m.onReplRecords(ctx, v)
+	case model.MapInstallMsg:
+		m.onMapInstall(ctx, v)
+	case model.TransferPullMsg:
+		m.onTransferPull(ctx, v)
+	case model.TransferRecordsMsg:
+		m.onTransferRecords(ctx, v)
 	case model.CrashMsg:
 		m.onCrash()
 	case model.RecoverMsg:
@@ -391,6 +429,14 @@ func (m *Manager) onCrash() {
 		// offered again from the start (or from its snapshot image, via the
 		// Reset path). Stamp-gating makes the re-shipment idempotent.
 		m.puller.ResetAll()
+	}
+	for _, s := range m.sessions {
+		// Transfer records applied but not yet synced are gone with the rest
+		// of the volatile state; re-pull each incomplete session from the
+		// start after recovery (stamp-gating absorbs the overlap).
+		if !s.done {
+			s.afterSeq = 0
+		}
 	}
 	m.shards[0].counters.Crashes++
 }

@@ -1,0 +1,232 @@
+package qm
+
+import (
+	"testing"
+
+	"ucc/internal/engine"
+	"ucc/internal/model"
+	"ucc/internal/storage"
+	"ucc/internal/wal"
+)
+
+// pmapManager builds a single-site manager whose store holds exactly the
+// given items (the site's copies under the initial map), volatile, no
+// recorder.
+func pmapManager(items ...model.ItemID) *Manager {
+	st := storage.NewStore(0)
+	for _, it := range items {
+		st.Create(it, 100)
+	}
+	return New(0, st, nil, Options{InitialValue: 100})
+}
+
+// TestRequestWrongEpochNAK pins the request-path refusal: a request routed to
+// a site the installed map says does not own the copy is answered with a
+// WrongEpochMsg carrying that map — even though (as here) a legacy queue for
+// the item still exists.
+func TestRequestWrongEpochNAK(t *testing.T) {
+	m, _ := testManager(4, true)
+	m.SetPartitionMap(&model.PartitionMap{
+		Epoch:       1,
+		Assignments: [][]model.SiteID{{0}, {0}, {1}, {1}},
+	})
+	ctx := newFakeCtx()
+
+	// Owned item: normal grant, no NAK.
+	m.OnMessage(ctx, engine.RIAddr(1), req(1, model.TwoPL, model.OpRead, 0, model.NoTimestamp))
+	if g := take[model.GrantMsg](ctx); len(g) != 1 {
+		t.Fatalf("owned item: grants=%d want 1", len(g))
+	}
+
+	// Disowned item: NAK with the installed map attached, nothing granted.
+	m.OnMessage(ctx, engine.RIAddr(1), req(2, model.TwoPL, model.OpWrite, 2, model.NoTimestamp))
+	naks := take[model.WrongEpochMsg](ctx)
+	if len(naks) != 1 {
+		t.Fatalf("naks=%d want 1", len(naks))
+	}
+	if naks[0].Map.Epoch != 1 || naks[0].Map.Primary(2) != 1 {
+		t.Fatalf("NAK map = %+v, want the installed epoch-1 map", naks[0].Map)
+	}
+	if g := take[model.GrantMsg](ctx); len(g) != 0 {
+		t.Fatalf("disowned item granted: %+v", g)
+	}
+	if c := m.Snapshot(); c.WrongEpoch != 1 {
+		t.Fatalf("WrongEpoch counter = %d want 1", c.WrongEpoch)
+	}
+}
+
+// TestSnapReadWrongEpochNAK pins the same refusal on the read-only snapshot
+// path.
+func TestSnapReadWrongEpochNAK(t *testing.T) {
+	m, _ := testManager(2, true)
+	m.SetPartitionMap(&model.PartitionMap{
+		Epoch:       3,
+		Assignments: [][]model.SiteID{{0}, {1}},
+	})
+	ctx := newFakeCtx()
+	m.OnMessage(ctx, engine.RIAddr(1), model.SnapReadMsg{
+		Txn:  model.TxnID{Site: 1, Seq: 7},
+		Copy: model.CopyID{Item: 1, Site: 0},
+		Site: 1,
+	})
+	naks := take[model.WrongEpochMsg](ctx)
+	if len(naks) != 1 || naks[0].Map.Epoch != 3 {
+		t.Fatalf("naks=%+v want one with the epoch-3 map", naks)
+	}
+}
+
+// TestCompleterWrongEpochNAK pins the completer-path refusal: after an
+// ownership flip drains an item away, a Release or Abort for it (from a
+// transaction that straddled the flip) gets the wrong-epoch NAK instead of
+// silently vanishing or panicking.
+func TestCompleterWrongEpochNAK(t *testing.T) {
+	m := pmapManager(0, 1)
+	m.SetPartitionMap(&model.PartitionMap{
+		Epoch:       1,
+		Assignments: [][]model.SiteID{{0}, {0}},
+	})
+	ctx := newFakeCtx()
+
+	// Epoch 2 moves item 1 to site 1; its queue is empty, so it deletes
+	// immediately.
+	m.OnMessage(ctx, ctx.self, model.MapInstallMsg{Map: model.PartitionMap{
+		Epoch:       2,
+		Assignments: [][]model.SiteID{{0}, {1}},
+	}})
+	if c := m.Snapshot(); c.MapInstalls != 1 {
+		t.Fatalf("MapInstalls = %d want 1", c.MapInstalls)
+	}
+
+	m.OnMessage(ctx, engine.RIAddr(1), release(9, 1, true, 42))
+	naks := take[model.WrongEpochMsg](ctx)
+	if len(naks) != 1 || naks[0].Map.Epoch != 2 {
+		t.Fatalf("release naks=%+v want one with the epoch-2 map", naks)
+	}
+
+	m.OnMessage(ctx, engine.RIAddr(1), model.AbortMsg{
+		Txn:  model.TxnID{Site: 1, Seq: 10},
+		Copy: model.CopyID{Item: 1, Site: 0},
+	})
+	naks = take[model.WrongEpochMsg](ctx)
+	if len(naks) != 1 || naks[0].Map.Epoch != 2 {
+		t.Fatalf("abort naks=%+v want one with the epoch-2 map", naks)
+	}
+	if c := m.Snapshot(); c.WrongEpoch != 2 {
+		t.Fatalf("WrongEpoch counter = %d want 2", c.WrongEpoch)
+	}
+}
+
+// TestMapInstallGainSealsUntilTransfer walks the gaining side of a flip: the
+// gained item is created sealed (requests get Busy, not a grant and not a
+// NAK — the routing is correct, the state is in flight), a transfer pull goes
+// to the old primary, and the item opens with the transferred value once the
+// session completes.
+func TestMapInstallGainSealsUntilTransfer(t *testing.T) {
+	m := pmapManager(0)
+	m.SetPartitionMap(&model.PartitionMap{
+		Epoch:       1,
+		Assignments: [][]model.SiteID{{0}, {1}},
+	})
+	ctx := newFakeCtx()
+
+	m.OnMessage(ctx, ctx.self, model.MapInstallMsg{Map: model.PartitionMap{
+		Epoch:       2,
+		Assignments: [][]model.SiteID{{0}, {0}},
+	}})
+	pulls := take[model.TransferPullMsg](ctx)
+	if len(pulls) != 1 || pulls[0].Epoch != 2 || pulls[0].From != 0 {
+		t.Fatalf("pulls=%+v want one for epoch 2 from site 0", pulls)
+	}
+	if c := m.Snapshot(); c.ItemsGained != 1 {
+		t.Fatalf("ItemsGained = %d want 1", c.ItemsGained)
+	}
+	if !m.TransfersPending() {
+		t.Fatal("TransfersPending() = false during transfer")
+	}
+
+	// Sealed: correct routing, so Busy rather than WrongEpoch.
+	m.OnMessage(ctx, engine.RIAddr(1), req(1, model.TwoPL, model.OpRead, 1, model.NoTimestamp))
+	if b := take[model.BusyMsg](ctx); len(b) != 1 {
+		t.Fatalf("busy=%d want 1 while transfer pending", len(b))
+	}
+	if n := take[model.WrongEpochMsg](ctx); len(n) != 0 {
+		t.Fatalf("unexpected NAK on a gained item: %+v", n)
+	}
+
+	// The old owner's answer: one record for item 1 at commit stamp 5, done.
+	frames := wal.AppendRecordFrame(nil, wal.Record{
+		Item: 1, Txn: model.TxnID{Site: 1, Seq: 3}, Value: 777, Version: 1, CommitMicros: 5,
+	})
+	m.OnMessage(ctx, ctx.self, model.TransferRecordsMsg{
+		From: 1, Epoch: 2, Frames: frames, NextAfterSeq: 4, Done: true,
+	})
+	if m.TransfersPending() {
+		t.Fatal("TransfersPending() = true after Done")
+	}
+	if c := m.Snapshot(); c.TransferApplied != 1 || c.TransferBytes == 0 {
+		t.Fatalf("transfer counters = %+v want 1 applied, >0 bytes", c)
+	}
+
+	m.OnMessage(ctx, engine.RIAddr(1), req(2, model.TwoPL, model.OpRead, 1, model.NoTimestamp))
+	grants := take[model.GrantMsg](ctx)
+	if len(grants) != 1 || grants[0].Value != 777 {
+		t.Fatalf("grants=%+v want one with the transferred value 777", grants)
+	}
+}
+
+// TestTransferPullNotReadyWhileDraining pins the handoff discipline that
+// makes the flip atomic per item: the losing site refuses to serve transfer
+// state while a transaction granted under the old epoch is still resident,
+// and serves it once the item drains.
+func TestTransferPullNotReadyWhileDraining(t *testing.T) {
+	m := pmapManager(0)
+	m.SetPartitionMap(&model.PartitionMap{
+		Epoch:       1,
+		Assignments: [][]model.SiteID{{0}},
+	})
+	ctx := newFakeCtx()
+
+	// Resident transaction under epoch 1.
+	m.OnMessage(ctx, engine.RIAddr(1), req(1, model.TwoPL, model.OpWrite, 0, model.NoTimestamp))
+	if g := take[model.GrantMsg](ctx); len(g) != 1 {
+		t.Fatalf("setup grant missing")
+	}
+
+	// Epoch 2 moves item 0 away; the resident keeps it retiring.
+	m.OnMessage(ctx, ctx.self, model.MapInstallMsg{Map: model.PartitionMap{
+		Epoch:       2,
+		Assignments: [][]model.SiteID{{1}},
+	}})
+	m.OnMessage(ctx, ctx.self, model.TransferPullMsg{From: 1, Epoch: 2})
+	recs := take[model.TransferRecordsMsg](ctx)
+	if len(recs) != 1 || !recs[0].NotReady {
+		t.Fatalf("recs=%+v want one NotReady while draining", recs)
+	}
+
+	// New openers are refused with the NAK even mid-retirement.
+	m.OnMessage(ctx, engine.RIAddr(1), req(2, model.TwoPL, model.OpRead, 0, model.NoTimestamp))
+	if n := take[model.WrongEpochMsg](ctx); len(n) != 1 {
+		t.Fatalf("naks=%d want 1 for a new opener on a retiring item", len(n))
+	}
+
+	// The resident releases; the queue drains and retires.
+	m.OnMessage(ctx, engine.RIAddr(1), release(1, 0, true, 555))
+	m.OnMessage(ctx, ctx.self, model.TransferPullMsg{From: 1, Epoch: 2})
+	recs = take[model.TransferRecordsMsg](ctx)
+	if len(recs) != 1 || recs[0].NotReady {
+		t.Fatalf("recs=%+v want a served batch after drain", recs)
+	}
+	if len(recs[0].Frames) == 0 || !recs[0].Reset {
+		t.Fatalf("recs=%+v want a non-empty Reset snapshot batch", recs[0])
+	}
+
+	// The follow-up pull for the tail: volatile sites have none, so Done.
+	m.OnMessage(ctx, ctx.self, model.TransferPullMsg{From: 1, Epoch: 2, AfterSeq: recs[0].NextAfterSeq})
+	recs = take[model.TransferRecordsMsg](ctx)
+	if len(recs) != 1 || !recs[0].Done {
+		t.Fatalf("recs=%+v want a Done tail batch", recs)
+	}
+	if c := m.Snapshot(); c.TransferPulls != 2 {
+		t.Fatalf("TransferPulls = %d want 2", c.TransferPulls)
+	}
+}

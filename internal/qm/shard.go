@@ -24,6 +24,15 @@ type shard struct {
 	// depthHigh is the deepest any of this shard's queues has ever been.
 	depthHigh int
 
+	// Versioned-placement transition state. pending seals items this site
+	// gained at a map install until their snapshot transfer completes (new
+	// openers get a busy NAK — the state is not here yet); retiring marks
+	// items it lost whose queues still hold in-flight transactions (new
+	// openers get the wrong-epoch NAK, residents drain to completion, and
+	// the emptied queue deletes).
+	pending  map[model.ItemID]bool
+	retiring map[model.ItemID]bool
+
 	dirty      bool // journaled writes await a sync
 	flushArmed bool // a group-commit FlushMsg timer is pending for this shard
 	down       bool // site crashed: messages defer until recovery
@@ -118,8 +127,23 @@ func (sh *shard) queue(item model.ItemID) *dataQueue {
 }
 
 func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
-	q := sh.queue(v.Copy.Item)
 	sh.counters.Requests++
+	if !sh.owns(v.Copy.Item) {
+		// The issuer routed by a stale map (or raced an ownership flip, if
+		// the item is mid-retirement here — new openers are refused either
+		// way; only residents drain). The NAK carries the installed map.
+		sh.wrongEpoch(ctx, v.Site, v.Txn, v.Attempt, v.Copy)
+		return
+	}
+	if sh.pending[v.Copy.Item] {
+		// Gained but not yet transferred: the authoritative state is still in
+		// flight from the old owner. Busy is the right refusal — the routing
+		// was correct, the issuer just needs to retry under backoff.
+		sh.counters.Busy++
+		ctx.Send(engine.RIAddr(v.Site), model.BusyMsg{Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy})
+		return
+	}
+	q := sh.queue(v.Copy.Item)
 	if bound := sh.m.opts.MaxQueueDepth; bound > 0 && len(q.entries) >= bound && q.find(v.Txn) == nil {
 		// The queue is full and this transaction is not already resident:
 		// refuse the request rather than queue without bound. The issuer
@@ -174,7 +198,14 @@ func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
 }
 
 func (sh *shard) onFinalTS(ctx engine.Context, v model.FinalTSMsg) {
-	q := sh.queue(v.Copy.Item)
+	q := sh.queues[v.Copy.Item]
+	if q == nil {
+		// The item moved away and its queue drained (or never lived here):
+		// the completer path's wrong-epoch NAK, so a transaction straddling
+		// an ownership flip learns its attempt died instead of hanging.
+		sh.wrongEpoch(ctx, v.Txn.Site, v.Txn, v.Attempt, v.Copy)
+		return
+	}
 	e := q.find(v.Txn)
 	if e == nil || e.attempt != v.Attempt {
 		return // attempt was aborted; stale message
@@ -186,7 +217,11 @@ func (sh *shard) onFinalTS(ctx engine.Context, v model.FinalTSMsg) {
 }
 
 func (sh *shard) onRelease(ctx engine.Context, v model.ReleaseMsg) {
-	q := sh.queue(v.Copy.Item)
+	q := sh.queues[v.Copy.Item]
+	if q == nil {
+		sh.wrongEpoch(ctx, v.Txn.Site, v.Txn, v.Attempt, v.Copy) // see onFinalTS
+		return
+	}
 	e := q.find(v.Txn)
 	if e == nil || e.attempt != v.Attempt || !e.granted {
 		return
@@ -217,6 +252,7 @@ func (sh *shard) onRelease(ctx engine.Context, v model.ReleaseMsg) {
 	sh.counters.Releases++
 	sh.maybeFlush(ctx) // before dispatch exposes the write (see above)
 	sh.dispatch(ctx, q)
+	sh.maybeRetire(v.Copy.Item, q)
 }
 
 // onSnapRead serves a read-only snapshot read directly from the store's
@@ -225,6 +261,18 @@ func (sh *shard) onRelease(ctx engine.Context, v model.ReleaseMsg) {
 // the history log at the position of the version it observed, so the
 // serializability checker sees the true dataflow order.
 func (sh *shard) onSnapRead(ctx engine.Context, v model.SnapReadMsg) {
+	if !sh.owns(v.Copy.Item) {
+		sh.wrongEpoch(ctx, v.Site, v.Txn, v.Attempt, v.Copy) // see onRequest
+		return
+	}
+	if sh.pending[v.Copy.Item] {
+		// Sealed mid-transfer: the version chain here is still the fresh
+		// initial copy, not the moved history — refuse rather than serve a
+		// stale snapshot.
+		sh.counters.Busy++
+		ctx.Send(engine.RIAddr(v.Site), model.BusyMsg{Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy})
+		return
+	}
 	sh.counters.SnapReads++
 	ver, exact := sh.m.store.ReadAt(v.Copy.Item, v.SnapMicros)
 	if !exact {
@@ -261,7 +309,11 @@ func (sh *shard) implement(e *entry, v model.ReleaseMsg) {
 }
 
 func (sh *shard) onAbort(ctx engine.Context, v model.AbortMsg) {
-	q := sh.queue(v.Copy.Item)
+	q := sh.queues[v.Copy.Item]
+	if q == nil {
+		sh.wrongEpoch(ctx, v.Txn.Site, v.Txn, v.Attempt, v.Copy) // see onFinalTS
+		return
+	}
 	e := q.find(v.Txn)
 	if e == nil || e.attempt != v.Attempt {
 		return
@@ -274,6 +326,7 @@ func (sh *shard) onAbort(ctx engine.Context, v model.AbortMsg) {
 	q.remove(e)
 	sh.counters.Aborts++
 	sh.dispatch(ctx, q)
+	sh.maybeRetire(v.Copy.Item, q)
 }
 
 // dispatch grants every grantable head in sequence and then promotes

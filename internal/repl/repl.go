@@ -95,6 +95,20 @@ func (p *Puller) Advance(peer model.SiteID, seq uint64) {
 	p.marks[peer] = seq
 }
 
+// SetPeers replaces the pull-target set (a rebalance changed which sites
+// this one shares items with). Watermarks of kept peers are preserved — the
+// records already applied from them stay applied — and new peers start from
+// zero, streaming from the start or hitting the Reset path like any fresh
+// peer. Same locking discipline as everything else here: the owning manager
+// serializes the call under its control mutex.
+func (p *Puller) SetPeers(peers []model.SiteID) {
+	next := make(map[model.SiteID]uint64, len(peers))
+	for _, peer := range peers {
+		next[peer] = p.marks[peer]
+	}
+	p.marks = next
+}
+
 // ResetAll zeroes every watermark. Called on a local crash: shipped records
 // applied since the last sync are lost with the rest of the volatile tail,
 // so everything must be offered again — stamp-gating makes the re-shipment

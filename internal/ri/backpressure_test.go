@@ -5,12 +5,12 @@ import (
 
 	"ucc/internal/engine"
 	"ucc/internal/model"
-	"ucc/internal/storage"
+	"ucc/internal/placement"
 )
 
 func admissionIssuer(opts Options) (*Issuer, *fakeCtx) {
 	siteIDs := []model.SiteID{0, 1}
-	cat := storage.NewCatalog(8, siteIDs, 1)
+	pm := placement.Build(placement.RoundRobin, 8, siteIDs, 1)
 	if opts.PAIntervalMicros == 0 {
 		opts.PAIntervalMicros = 10
 	}
@@ -20,7 +20,7 @@ func admissionIssuer(opts Options) (*Issuer, *fakeCtx) {
 	if opts.DefaultComputeMicros == 0 {
 		opts.DefaultComputeMicros = 50
 	}
-	return New(0, cat, nil, opts, nil), newCtx()
+	return New(0, pm, nil, opts, nil), newCtx()
 }
 
 func submitSeq(iss *Issuer, c *fakeCtx, seq uint64, items ...model.ItemID) {

@@ -8,7 +8,6 @@ import (
 	"ucc/internal/engine"
 	"ucc/internal/history"
 	"ucc/internal/model"
-	"ucc/internal/storage"
 )
 
 // Options configure an issuer.
@@ -223,9 +222,14 @@ type roState struct {
 
 // Issuer is the request-issuer actor for one user site.
 type Issuer struct {
-	mu       sync.Mutex
-	site     model.SiteID
-	catalog  *storage.Catalog
+	mu   sync.Mutex
+	site model.SiteID
+	// pmap is the issuer's current view of the versioned partition map. It
+	// may lag the cluster's: every request carries pmap.Epoch, and a queue
+	// manager that no longer owns the addressed copy answers with a
+	// WrongEpochMsg carrying the newer map, which installs here before the
+	// attempt restarts against the fresh placement.
+	pmap     *model.PartitionMap
 	recorder *history.Recorder
 	opts     Options
 	choose   ChooseFunc
@@ -260,11 +264,19 @@ type Issuer struct {
 	// quorumExcluded counts copies dropped from an attempt's quorum (busy
 	// NAKs and post-finalize stragglers); zero outside quorum mode.
 	quorumExcluded uint64
+	// wrongEpochNAKs counts WrongEpochMsg NAKs — requests that raced a
+	// placement change and reached a queue manager that no longer owns the
+	// copy. mapUpdates counts newer partition maps installed here (from
+	// NAK piggybacks and MapUpdateMsg pushes).
+	wrongEpochNAKs uint64
+	mapUpdates     uint64
 }
 
-// New creates an issuer for site. recorder may be nil; choose may be nil to
-// honour each transaction's preset protocol.
-func New(site model.SiteID, catalog *storage.Catalog, recorder *history.Recorder, opts Options, choose ChooseFunc) *Issuer {
+// New creates an issuer for site routing by pm, its initial view of the
+// versioned partition map (the issuer keeps a private clone and follows
+// later epochs via WrongEpochMsg NAKs and MapUpdateMsg pushes). recorder may
+// be nil; choose may be nil to honour each transaction's preset protocol.
+func New(site model.SiteID, pm *model.PartitionMap, recorder *history.Recorder, opts Options, choose ChooseFunc) *Issuer {
 	if opts.PAIntervalMicros <= 0 {
 		opts.PAIntervalMicros = 1
 	}
@@ -276,7 +288,7 @@ func New(site model.SiteID, catalog *storage.Catalog, recorder *history.Recorder
 	}
 	iss := &Issuer{
 		site:     site,
-		catalog:  catalog,
+		pmap:     pm.Clone(),
 		recorder: recorder,
 		opts:     opts,
 		choose:   choose,
@@ -306,7 +318,11 @@ type Stats struct {
 	// QuorumExcluded counts copies dropped from an attempt's quorum (busy
 	// NAKs and post-finalize stragglers); zero outside quorum mode.
 	QuorumExcluded uint64
-	Active         int
+	// WrongEpochNAKs counts WrongEpochMsg NAKs received for requests that
+	// raced a placement change; MapUpdates counts newer partition maps
+	// installed at this issuer (NAK piggybacks plus MapUpdateMsg pushes).
+	WrongEpochNAKs, MapUpdates uint64
+	Active                     int
 	// Window is the admission controller's current in-flight window (0 when
 	// admission control is disabled).
 	Window float64
@@ -322,7 +338,8 @@ func (ri *Issuer) Snapshot() Stats {
 		Rejects: ri.rejects, Victims: ri.victims, Dropped: ri.dropped, ReBackoffs: ri.rebackoffs,
 		Shed: ri.shed, BusyNAKs: ri.busyNAKs, ROBusyShed: ri.roBusyShed,
 		QuorumExcluded: ri.quorumExcluded,
-		Active:         len(ri.active) + len(ri.roActive),
+		WrongEpochNAKs: ri.wrongEpochNAKs, MapUpdates: ri.mapUpdates,
+		Active: len(ri.active) + len(ri.roActive),
 	}
 	if ri.adm != nil {
 		s.Window = ri.adm.window
@@ -434,6 +451,10 @@ func (ri *Issuer) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 		ri.onVictim(ctx, v)
 	case model.BusyMsg:
 		ri.onBusy(ctx, v)
+	case model.WrongEpochMsg:
+		ri.onWrongEpoch(ctx, v)
+	case model.MapUpdateMsg:
+		ri.onMapUpdate(v)
 	case model.ComputeDoneMsg:
 		ri.onComputeDone(ctx, v)
 	case model.RestartMsg:
@@ -527,7 +548,7 @@ func (ri *Issuer) launchRO(ctx engine.Context, t *model.Txn) {
 	// ReadSet is sorted, so the send order is deterministic (map iteration
 	// would reorder same-timestamp events between runs).
 	for _, item := range t.ReadSet {
-		c := model.CopyID{Item: item, Site: ri.catalog.Primary(item)}
+		c := model.CopyID{Item: item, Site: ri.pmap.Primary(item)}
 		s.pending[c] = true
 		s.messages++
 		ctx.Send(ri.qmAddr(c), model.SnapReadMsg{
@@ -535,6 +556,7 @@ func (ri *Issuer) launchRO(ctx engine.Context, t *model.Txn) {
 			Copy:       c,
 			SnapMicros: snap,
 			Site:       ri.site,
+			Epoch:      ri.pmap.Epoch,
 		})
 	}
 	if len(s.pending) == 0 {
@@ -633,15 +655,15 @@ func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
 			// Quorum reads go to every copy and proceed on any R grants: the
 			// read must intersect every write quorum, and any single copy —
 			// the primary included — may be dead or lagging.
-			for _, site := range ri.catalog.Replicas(item) {
+			for _, site := range ri.pmap.Replicas(item) {
 				add(item, site, model.OpRead)
 			}
 			continue
 		}
-		add(item, ri.catalog.Primary(item), model.OpRead)
+		add(item, ri.pmap.Primary(item), model.OpRead)
 	}
 	for _, item := range t.WriteSet {
-		for _, site := range ri.catalog.Replicas(item) {
+		for _, site := range ri.pmap.Replicas(item) {
 			add(item, site, model.OpWrite)
 		}
 	}
@@ -662,6 +684,7 @@ func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
 			TS:       s.ts,
 			Interval: ri.opts.PAIntervalMicros,
 			Site:     ri.site,
+			Epoch:    ri.pmap.Epoch,
 		})
 	}
 }
@@ -930,6 +953,76 @@ func (ri *Issuer) onBusy(ctx engine.Context, v model.BusyMsg) {
 	ri.scheduleRestart(ctx, s)
 }
 
+// installMap adopts m if it is newer than the issuer's current view. The
+// clone matters: under the simulator every recipient shares one message
+// value, and the issuer must not alias assignment slices with other actors.
+func (ri *Issuer) installMap(m *model.PartitionMap) {
+	if m.Epoch <= ri.pmap.Epoch {
+		return
+	}
+	ri.pmap = m.Clone()
+	ri.mapUpdates++
+}
+
+// onWrongEpoch handles a placement NAK: the request raced a partition-map
+// change and reached a queue manager that no longer owns the addressed copy.
+// The NAK piggybacks the authoritative map, so the issuer installs it and
+// restarts the attempt against the new placement. Unlike a busy NAK this is
+// not congestion feedback — the admission window is left alone: the cluster
+// has capacity, the router was merely stale. Read-only snapshot transactions
+// are shed terminally, exactly as under onBusy — the fast path has no
+// restart machinery, the client retries against the (now corrected) map.
+func (ri *Issuer) onWrongEpoch(ctx engine.Context, v model.WrongEpochMsg) {
+	ri.installMap(&v.Map)
+	now := ctx.NowMicros()
+	if ro := ri.roActive[v.Txn]; ro != nil && ro.pending[v.Copy] {
+		ri.wrongEpochNAKs++
+		delete(ri.roActive, v.Txn)
+		ctx.Send(engine.CollectorAddr(), model.TxnDoneMsg{
+			Txn:                v.Txn,
+			Protocol:           model.ROSnapshot,
+			Outcome:            model.OutcomeBusy,
+			ArrivalMicros:      ro.arrival,
+			DoneMicros:         now,
+			FirstArrivalMicros: ro.arrival,
+			Attempts:           1,
+			Size:               ro.txn.Size(),
+			Reads:              ro.txn.NumReads(),
+			Messages:           ro.messages,
+		})
+		ri.finished(ctx, v.Txn)
+		return
+	}
+	s := ri.stateFor(v.Txn, v.Attempt)
+	if s == nil {
+		return // stale NAK for an attempt already finished or restarted
+	}
+	if s.phase == phaseComputing || s.phase == phaseAwaitNormal {
+		// Every needed grant arrived before the flip: the old owner admitted
+		// this attempt as a resident and will serve its releases through the
+		// drain, so let it finish rather than waste the held locks.
+		return
+	}
+	ri.wrongEpochNAKs++
+	var kind model.OpKind
+	if r := s.reqs[v.Copy]; r != nil {
+		kind = r.kind
+	}
+	ri.reportAttempt(ctx, s, model.OutcomeBusy, kind)
+	// Withdraw every request: entries parked at still-owned copies must not
+	// outlive the attempt, and the old owner treats an abort for an entry it
+	// never held (or already NAK'd) as a no-op.
+	ri.abortAttempt(ctx, s, withdrawNone)
+	ri.scheduleRestart(ctx, s)
+}
+
+// onMapUpdate installs a pushed partition map (the cluster publishes one to
+// every issuer when an epoch is bumped, so routers converge without waiting
+// to trip over a NAK first).
+func (ri *Issuer) onMapUpdate(v model.MapUpdateMsg) {
+	ri.installMap(&v.Map)
+}
+
 // excludeCopy drops one copy from the attempt's quorum and withdraws its
 // request: any entry it holds is retired so it cannot block other
 // transactions, and none of its past or future responses count toward a
@@ -1074,7 +1167,7 @@ func (ri *Issuer) writeValue(s *txnState, item model.ItemID) int64 {
 			return 0
 		}
 		// Prefer the primary copy's value.
-		if r, ok := s.reqs[model.CopyID{Item: it, Site: ri.catalog.Primary(it)}]; ok {
+		if r, ok := s.reqs[model.CopyID{Item: it, Site: ri.pmap.Primary(it)}]; ok {
 			return r.value
 		}
 		for _, r := range s.order {

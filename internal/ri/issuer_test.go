@@ -7,7 +7,7 @@ import (
 	"ucc/internal/engine"
 	"ucc/internal/history"
 	"ucc/internal/model"
-	"ucc/internal/storage"
+	"ucc/internal/placement"
 )
 
 // fakeCtx captures sends and timers so tests can play the QM side.
@@ -61,9 +61,9 @@ func testIssuer(items, sites, replicas int) (*Issuer, *fakeCtx) {
 	for i := range siteIDs {
 		siteIDs[i] = model.SiteID(i)
 	}
-	cat := storage.NewCatalog(items, siteIDs, replicas)
+	pm := placement.Build(placement.RoundRobin, items, siteIDs, replicas)
 	rec := history.NewRecorder()
-	iss := New(0, cat, rec, Options{
+	iss := New(0, pm, rec, Options{
 		PAIntervalMicros:     10,
 		RestartDelayMicros:   100,
 		DefaultComputeMicros: 50,
@@ -333,8 +333,8 @@ func TestVictimIgnoredDuringCompute(t *testing.T) {
 
 func TestMaxAttemptsDrops(t *testing.T) {
 	siteIDs := []model.SiteID{0, 1}
-	cat := storage.NewCatalog(4, siteIDs, 1)
-	iss := New(0, cat, nil, Options{
+	pm := placement.Build(placement.RoundRobin, 4, siteIDs, 1)
+	iss := New(0, pm, nil, Options{
 		PAIntervalMicros: 10, RestartDelayMicros: 10, DefaultComputeMicros: 10,
 		MaxAttempts: 1,
 	}, nil)
@@ -352,8 +352,8 @@ func TestMaxAttemptsDrops(t *testing.T) {
 
 func TestChooseFuncOverridesProtocol(t *testing.T) {
 	siteIDs := []model.SiteID{0}
-	cat := storage.NewCatalog(4, siteIDs, 1)
-	iss := New(0, cat, nil, DefaultOptions(), func(*model.Txn, model.EstimateMsg) model.Protocol {
+	pm := placement.Build(placement.RoundRobin, 4, siteIDs, 1)
+	iss := New(0, pm, nil, DefaultOptions(), func(*model.Txn, model.EstimateMsg) model.Protocol {
 		return model.PA
 	})
 	c := newCtx()
@@ -386,8 +386,8 @@ func TestSwitchOnRestart(t *testing.T) {
 	// §6(4): a transaction may change its protocol when it restarts — here a
 	// rejected T/O transaction escalates to PA (which cannot be rejected).
 	siteIDs := []model.SiteID{0, 1}
-	cat := storage.NewCatalog(4, siteIDs, 1)
-	iss := New(0, cat, nil, Options{
+	pm := placement.Build(placement.RoundRobin, 4, siteIDs, 1)
+	iss := New(0, pm, nil, Options{
 		PAIntervalMicros: 10, RestartDelayMicros: 10, DefaultComputeMicros: 10,
 		SwitchOnRestart: func(cur model.Protocol, attempts int) model.Protocol {
 			if cur == model.TO && attempts >= 1 {

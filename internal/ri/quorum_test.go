@@ -6,14 +6,14 @@ import (
 	"ucc/internal/engine"
 	"ucc/internal/history"
 	"ucc/internal/model"
-	"ucc/internal/storage"
+	"ucc/internal/placement"
 )
 
 // quorumIssuer builds an issuer over a 3-site, fully-replicated catalog in
 // N=3/W=2/R=2 quorum mode.
 func quorumIssuer() (*Issuer, *fakeCtx) {
-	cat := storage.NewCatalog(8, []model.SiteID{0, 1, 2}, 3)
-	iss := New(0, cat, history.NewRecorder(), Options{
+	pm := placement.Build(placement.RoundRobin, 8, []model.SiteID{0, 1, 2}, 3)
+	iss := New(0, pm, history.NewRecorder(), Options{
 		PAIntervalMicros:     10,
 		RestartDelayMicros:   100,
 		DefaultComputeMicros: 50,

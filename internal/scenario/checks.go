@@ -272,8 +272,11 @@ func TotalCommittedAtLeast(n uint64) Check {
 
 // ReplicasAgree asserts every item's live physical copies hold the same
 // value and that every copy is live — after recovery, replicas must have
-// converged and no site may still be down. Meaningful only after the drain
-// (in-flight write-all updates would trip it mid-run).
+// converged and no site may still be down. Copies are counted against the
+// cluster's FINAL partition map, not the static config: a rebalance mid-run
+// may have changed which sites hold an item (the degree is preserved, but
+// the old owner's leftover state is not a copy any more). Meaningful only
+// after the drain (in-flight write-all updates would trip it mid-run).
 func ReplicasAgree() Check {
 	return Check{
 		Name: "replicas-agree",
@@ -281,11 +284,12 @@ func ReplicasAgree() Check {
 			if _, err := c.final(); err != nil {
 				return err
 			}
-			cfg := c.Cluster.Cfg
-			for i := 0; i < cfg.Items; i++ {
+			pm := c.Cluster.CurrentMap()
+			for i := 0; i < c.Cluster.Cfg.Items; i++ {
+				want := len(pm.Replicas(model.ItemID(i)))
 				vals := c.Cluster.ReplicaValues(model.ItemID(i))
-				if len(vals) != cfg.Replicas {
-					return fmt.Errorf("item %d: %d of %d copies live (a site is still crashed)", i, len(vals), cfg.Replicas)
+				if len(vals) != want {
+					return fmt.Errorf("item %d: %d of %d copies live (a site is still crashed)", i, len(vals), want)
 				}
 				for _, v := range vals[1:] {
 					if v != vals[0] {

@@ -75,6 +75,68 @@ func SlowWALAll(atMicros, windowMicros int64) Fault {
 	}
 }
 
+// MoveItems is a fault that publishes a new partition-map epoch atMicros into
+// the phase, re-homing items so dst is their primary: the online-rebalance
+// intervention. In-flight transactions drain at the old owners while the new
+// owner fills by snapshot transfer; traffic routed by the stale map gets the
+// wrong-epoch NAK and restarts against the new one.
+func MoveItems(atMicros int64, items []model.ItemID, dst model.SiteID) Fault {
+	return Fault{
+		Name:     fmt.Sprintf("move-%d-items-to-site-%d", len(items), dst),
+		AtMicros: atMicros,
+		Apply: func(cl *cluster.Cluster) {
+			// The runner advanced the engine to the fault instant; offset 0
+			// publishes at the current virtual time.
+			if err := cl.MoveItems(0, items, dst); err != nil {
+				panic(fmt.Sprintf("scenario: move fault: %v", err))
+			}
+		},
+	}
+}
+
+// AddSite is a fault that brings a standby site (empty under the epoch-0
+// layout, see cluster.Config.DataSites) into the active placement atMicros
+// into the phase.
+func AddSite(site model.SiteID, atMicros int64) Fault {
+	return Fault{
+		Name:     fmt.Sprintf("add-site-%d", site),
+		AtMicros: atMicros,
+		Apply: func(cl *cluster.Cluster) {
+			if err := cl.AddSite(0, site); err != nil {
+				panic(fmt.Sprintf("scenario: add-site fault: %v", err))
+			}
+		},
+	}
+}
+
+// DrainSite is a fault that evacuates a site from the active placement
+// atMicros into the phase: its copies re-home to the surviving sites.
+func DrainSite(site model.SiteID, atMicros int64) Fault {
+	return Fault{
+		Name:     fmt.Sprintf("drain-site-%d", site),
+		AtMicros: atMicros,
+		Apply: func(cl *cluster.Cluster) {
+			if err := cl.DrainSite(0, site); err != nil {
+				panic(fmt.Sprintf("scenario: drain-site fault: %v", err))
+			}
+		},
+	}
+}
+
+// RebalanceHot is a fault that moves the hottest frac of items — ranked by
+// observed grant counts — to the least-loaded site atMicros into the phase.
+func RebalanceHot(atMicros int64, frac float64) Fault {
+	return Fault{
+		Name:     fmt.Sprintf("rebalance-hot-%.0f%%", frac*100),
+		AtMicros: atMicros,
+		Apply: func(cl *cluster.Cluster) {
+			if _, err := cl.RebalanceHot(0, frac, -1); err != nil {
+				panic(fmt.Sprintf("scenario: hot-rebalance fault: %v", err))
+			}
+		},
+	}
+}
+
 // DegradeLink is a fault that swaps the cluster's latency model atMicros
 // into the phase for one where every message into or out of site pays an
 // extra asymmetric delay on top of base (messages in flight keep their

@@ -34,6 +34,7 @@ func Library() []Scenario {
 		degradedLink(),
 		quorumFailover(),
 		replicaCatchup(),
+		liveRebalance(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -50,13 +51,14 @@ func ByName(name string) (Scenario, bool) {
 }
 
 // Smoke returns the fast set CI runs on every PR: one fault-free overload
-// scenario, one write-all crash-and-recover scenario, and one quorum
-// failover scenario.
+// scenario, one write-all crash-and-recover scenario, one quorum failover
+// scenario, and one online-rebalance scenario.
 func Smoke() []Scenario {
 	a, _ := ByName("flash-crowd")
 	b, _ := ByName("crash-mid-spike")
 	c, _ := ByName("quorum-failover")
-	return []Scenario{a, b, c}
+	d, _ := ByName("live-rebalance")
+	return []Scenario{a, b, c, d}
 }
 
 // ycsbA is the YCSB-A shape: update-heavy (50/50 read/write), Zipf-skewed
@@ -346,6 +348,56 @@ func quorumFailover() Scenario {
 			{Name: "recovered", DurationMicros: 2_000_000, Workload: flat(spec), Faults: []Fault{
 				RecoverSite(1, 100_000),
 			}, Checks: []Check{
+				MinCommitted(80),
+			}},
+		},
+		Final: []Check{
+			Serializable(),
+			NoUnfinished(),
+			ReplicasAgree(),
+			OfferedAccounted(),
+			TotalCommittedAtLeast(300),
+		},
+	}
+}
+
+// liveRebalance is the versioned-placement tentpole as a declarative
+// scenario: a replicated cluster under a hotspot workload moves a quarter of
+// its items — the entire hot set included — to one site in the middle of
+// steady load. Commits must keep flowing in the move phase (the refusal
+// window while the transferred state is in flight is the only allowed dip),
+// the post-move phase must recover, and the finals require serializability
+// (no transaction committed twice or half-applied across the flip) plus
+// replica agreement resolved against the FINAL map.
+func liveRebalance() Scenario {
+	spec := workload.Spec{
+		ArrivalPerSec: 25, Items: 24, Size: 3, ReadFrac: 0.5,
+		Share2PL: 1, ShareTO: 1, SharePA: 1, ComputeMicros: 1_000,
+		Access: workload.AccessHotspot, HotItems: 6, HotFrac: 0.7,
+	}
+	cfg := cluster.Config{
+		Sites: 3, Items: 24, Replicas: 2, Seed: 1, Latency: baseLatency,
+		Durability: &cluster.Durability{},
+	}
+	// A quarter of the items, covering the whole hot set (items 0..5).
+	moved := []model.ItemID{0, 1, 2, 3, 4, 5}
+	return Scenario{
+		Name:        "live-rebalance",
+		Description: "25% of items (incl. the hot set) move to one site mid-run; commits continue, serializability and replica agreement survive the flip",
+		Cluster:     cfg,
+		// The settle window covers the transfer retry period several times
+		// over, so late sessions finish before the finals.
+		SettleMicros: 10_000_000,
+		Phases: []Phase{
+			{Name: "steady", DurationMicros: 2_000_000, Workload: flat(spec), Checks: []Check{
+				MinCommitted(100),
+			}},
+			{Name: "move", DurationMicros: 2_000_000, Workload: flat(spec), Faults: []Fault{
+				MoveItems(500_000, moved, 2),
+			}, Checks: []Check{
+				MinCommitted(60),
+			}},
+			{Name: "after", DurationMicros: 2_000_000, Workload: flat(spec), Checks: []Check{
 				MinCommitted(80),
 			}},
 		},

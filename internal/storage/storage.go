@@ -398,14 +398,20 @@ func (s *Store) mustGet(item model.ItemID) *copyState {
 	return c
 }
 
-// Catalog maps logical items to the sites holding their physical copies —
-// the system's (static) directory, built once at cluster start.
+// Catalog is a frozen epoch-0 view of a partition map, kept for back-compat
+// with callers that predate versioned placement. Live components route by
+// model.PartitionMap (built and evolved by internal/placement); a Catalog
+// can never change epoch, so it is only suitable where the placement is
+// known to be static for the component's lifetime (storage-level tests,
+// single-map tools).
 type Catalog struct {
-	sites map[model.ItemID][]model.SiteID
+	pm *model.PartitionMap
 }
 
-// NewCatalog builds a catalog placing each of items 0..items-1 on
-// replicas consecutive data sites chosen round-robin from dataSites.
+// NewCatalog builds the frozen round-robin placement: each of items 0..
+// items-1 on replicas consecutive data sites, item i's r-th copy at
+// dataSites[(i+r) mod len(dataSites)] — the same layout
+// placement.Build(placement.RoundRobin, ...) produces at epoch 0.
 func NewCatalog(items int, dataSites []model.SiteID, replicas int) *Catalog {
 	if replicas < 1 {
 		replicas = 1
@@ -413,44 +419,29 @@ func NewCatalog(items int, dataSites []model.SiteID, replicas int) *Catalog {
 	if replicas > len(dataSites) {
 		replicas = len(dataSites)
 	}
-	c := &Catalog{sites: map[model.ItemID][]model.SiteID{}}
+	pm := &model.PartitionMap{Assignments: make([][]model.SiteID, items)}
 	for i := 0; i < items; i++ {
-		var at []model.SiteID
+		at := make([]model.SiteID, replicas)
 		for r := 0; r < replicas; r++ {
-			at = append(at, dataSites[(i+r)%len(dataSites)])
+			at[r] = dataSites[(i+r)%len(dataSites)]
 		}
-		c.sites[model.ItemID(i)] = at
+		pm.Assignments[i] = at
 	}
-	return c
+	return &Catalog{pm: pm}
 }
 
+// Map returns the underlying epoch-0 partition map.
+func (c *Catalog) Map() *model.PartitionMap { return c.pm }
+
 // Replicas returns the sites holding copies of item (primary first).
-func (c *Catalog) Replicas(item model.ItemID) []model.SiteID {
-	s := c.sites[item]
-	if len(s) == 0 {
-		panic(fmt.Sprintf("storage: no replicas for %v", item))
-	}
-	return s
-}
+func (c *Catalog) Replicas(item model.ItemID) []model.SiteID { return c.pm.Replicas(item) }
 
 // Primary returns the first replica site for item; read-one/write-all reads
 // go here (deterministically, so simulations are reproducible).
-func (c *Catalog) Primary(item model.ItemID) model.SiteID { return c.sites[item][0] }
+func (c *Catalog) Primary(item model.ItemID) model.SiteID { return c.pm.Primary(item) }
 
 // Items returns the number of logical items.
-func (c *Catalog) Items() int { return len(c.sites) }
+func (c *Catalog) Items() int { return c.pm.Items() }
 
 // CopiesAt returns the items that have a copy at the given site.
-func (c *Catalog) CopiesAt(site model.SiteID) []model.ItemID {
-	var out []model.ItemID
-	for it, sites := range c.sites {
-		for _, s := range sites {
-			if s == site {
-				out = append(out, it)
-				break
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (c *Catalog) CopiesAt(site model.SiteID) []model.ItemID { return c.pm.CopiesAt(site) }

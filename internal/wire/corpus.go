@@ -71,6 +71,14 @@ func Corpus() []engine.Envelope {
 	// so any deterministic byte string exercises the length-prefixed path).
 	add(qm, qm, 1, model.ReplPullMsg{From: 3, AfterSeq: 1 << 20})
 	add(qm, qm, 1, model.ReplRecordsMsg{From: 2, Frames: []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03}, NextAfterSeq: 1<<20 + 64, More: true})
+
+	// Versioned placement / online rebalance plane.
+	pm := model.PartitionMap{Epoch: 9, Assignments: [][]model.SiteID{{2, 0}, {1, 2}, {0, 1}, {2}}}
+	add(qm, ri, 1, model.WrongEpochMsg{Txn: txn, Attempt: 2, Copy: cp, Map: pm})
+	add(col, qm, 1, model.MapInstallMsg{Map: pm})
+	add(col, ri, 1, model.MapUpdateMsg{Map: pm})
+	add(qm, qm, 1, model.TransferPullMsg{From: 3, Epoch: 9, AfterSeq: 1 << 18})
+	add(qm, qm, 1, model.TransferRecordsMsg{From: 2, Epoch: 9, Frames: []byte{0x05, 0x06, 0x07}, NextAfterSeq: 1<<18 + 12, More: true, Done: false})
 	return out
 }
 

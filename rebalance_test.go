@@ -1,0 +1,78 @@
+package ucc
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFacadePlacementValidation: the facade rejects unknown placement
+// policies and out-of-range DataSites at construction, and accepts every
+// documented policy name (empty included — it means round-robin).
+func TestFacadePlacementValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+	}{
+		{"default", Config{Sites: 3, Items: 8}, ""},
+		{"round-robin", Config{Sites: 3, Items: 8, Placement: "round-robin"}, ""},
+		{"range", Config{Sites: 3, Items: 8, Placement: "range"}, ""},
+		{"hash", Config{Sites: 3, Items: 8, Placement: "hash"}, ""},
+		{"unknown policy", Config{Sites: 3, Items: 8, Placement: "zigzag"}, "unknown policy"},
+		{"data sites out of range", Config{Sites: 3, Items: 8, DataSites: 7}, "DataSites"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFacadeOnlineRebalance moves items mid-run through the public API and
+// reads the run's placement statistics off the Result: the move must publish
+// one epoch, reach the issuers, and leave a serializable execution whose
+// values are still readable through the facade (which resolves them against
+// the final map).
+func TestFacadeOnlineRebalance(t *testing.T) {
+	c, err := New(Config{Sites: 3, Items: 12, Seed: 2, Placement: "range"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Workload(Workload{
+		Rate: 30, Duration: 2 * time.Second, Mix: Mix{TwoPL: 1, TO: 1, PA: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MoveItems([]ItemID{0, 1, 2}, 2, 900*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if !res.Serializable() {
+		t.Fatalf("not serializable across the move: %v", res.ConflictCycle())
+	}
+	if res.Unfinished() != 0 {
+		t.Fatalf("unfinished: %d", res.Unfinished())
+	}
+	ps := res.Placement()
+	if ps.EpochsPublished != 1 {
+		t.Fatalf("EpochsPublished = %d, want 1", ps.EpochsPublished)
+	}
+	if ps.ItemsMoved == 0 {
+		t.Fatal("ItemsMoved = 0, want > 0")
+	}
+	if ps.MapUpdates == 0 {
+		t.Fatal("MapUpdates = 0 — issuers never learned the new map")
+	}
+	// Reading a moved item resolves against the final map.
+	_ = c.Value(0)
+}

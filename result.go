@@ -168,6 +168,46 @@ func (r Result) Overload() OverloadStats {
 	}
 }
 
+// PlacementStats reports what the versioned-placement machinery did in one
+// run (all zero when the placement never changed).
+type PlacementStats struct {
+	// EpochsPublished counts partition-map epochs broadcast by the
+	// controller (each AddSite/DrainSite/MoveItems publishes one).
+	EpochsPublished uint64
+	// ItemsMoved counts items whose primary owner changed across those
+	// epochs.
+	ItemsMoved uint64
+	// WrongEpochNAKs counts requests that raced a placement change into a
+	// queue manager that no longer owned the copy; each NAK carried the new
+	// map back to the stale issuer and the attempt restarted correctly.
+	WrongEpochNAKs uint64
+	// MapUpdates counts newer partition maps installed at issuers (pushes
+	// plus NAK piggybacks).
+	MapUpdates uint64
+	// TransferPulls / TransferApplied / TransferBytes measure the snapshot
+	// transfer plane that seeded new owners: pull requests served, records
+	// installed, and frame bytes shipped.
+	TransferPulls   uint64
+	TransferApplied uint64
+	TransferBytes   uint64
+}
+
+// Placement returns the run's versioned-placement statistics.
+func (r Result) Placement() PlacementStats {
+	qt := r.cl.QMTotals()
+	rt := r.cl.RITotals()
+	rb := r.cl.Rebalance()
+	return PlacementStats{
+		EpochsPublished: rb.EpochsPublished,
+		ItemsMoved:      rb.ItemsMoved,
+		WrongEpochNAKs:  rt.WrongEpochNAKs,
+		MapUpdates:      rt.MapUpdates,
+		TransferPulls:   qt.TransferPulls,
+		TransferApplied: qt.TransferApplied,
+		TransferBytes:   qt.TransferBytes,
+	}
+}
+
 // Offered returns the number of transactions submitted to the issuers.
 // Every offered transaction ends committed, admission-shed, busy-shed (a
 // read-only snapshot NAK'd by a saturated queue manager), dropped at

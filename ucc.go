@@ -33,6 +33,7 @@ import (
 	"ucc/internal/engine"
 	"ucc/internal/metrics"
 	"ucc/internal/model"
+	"ucc/internal/placement"
 	"ucc/internal/qm"
 	"ucc/internal/ri"
 	"ucc/internal/selector"
@@ -68,9 +69,19 @@ type Config struct {
 	Sites int
 	// Items is the number of logical data items (default 64).
 	Items int
-	// Replicas is the number of physical copies per item, placed
-	// round-robin and accessed read-one/write-all (default 1).
+	// Replicas is the number of physical copies per item, accessed
+	// read-one/write-all (default 1).
 	Replicas int
+	// Placement selects the epoch-0 layout policy: "round-robin" (the
+	// default, the historical layout), "range" (contiguous balanced
+	// splits), or "hash" (FNV of the item id). Items can move afterwards:
+	// AddSite, DrainSite, and MoveItems publish new partition-map epochs
+	// and rebalance online.
+	Placement string
+	// DataSites restricts the initial placement to sites 0..DataSites-1,
+	// leaving the rest standby (join them later with AddSite). 0 places
+	// data everywhere.
+	DataSites int
 	// Shards partitions each site's queue manager into this many
 	// independent shards (hash of item → shard), each with its own queue
 	// table, lock state, and WAL group-commit batch, so conflict-free
@@ -277,6 +288,10 @@ type Cluster struct {
 // misroute traffic.
 func New(cfg Config) (*Cluster, error) {
 	cfg.fill()
+	policy, err := placement.ParsePolicy(cfg.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("ucc: %w", err)
+	}
 	var dyn *selector.Dynamic
 	var choose ri.ChooseFunc
 	if cfg.DynamicSelection {
@@ -301,6 +316,8 @@ func New(cfg Config) (*Cluster, error) {
 		Sites:            cfg.Sites,
 		Items:            cfg.Items,
 		Replicas:         cfg.Replicas,
+		Placement:        policy,
+		DataSites:        cfg.DataSites,
 		Shards:           cfg.Shards,
 		InitialValue:     cfg.InitialValue,
 		Seed:             cfg.Seed,
@@ -421,6 +438,31 @@ func (c *Cluster) RecoverSite(site int, at time.Duration) {
 	c.inner.RecoverSite(model.SiteID(site), at.Microseconds())
 }
 
+// MoveItems schedules an online rebalance `at` into the simulated run: a new
+// partition-map epoch making `to` the primary owner of items is published to
+// every site, the old owners drain their in-flight transactions and
+// snapshot-transfer the item state, and stale routers are corrected by
+// wrong-epoch NAKs carrying the new map. Call before Run.
+func (c *Cluster) MoveItems(items []ItemID, to int, at time.Duration) error {
+	return c.inner.MoveItems(at.Microseconds(), items, model.SiteID(to))
+}
+
+// AddSite schedules site's entry into the active placement `at` into the
+// simulated run: a new epoch assigns it a share of items, seeded by snapshot
+// transfer from the current owners. Pair with Config.DataSites to start the
+// site empty. Call before Run.
+func (c *Cluster) AddSite(site int, at time.Duration) error {
+	return c.inner.AddSite(at.Microseconds(), model.SiteID(site))
+}
+
+// DrainSite schedules site's removal from the active placement `at` into the
+// simulated run: surviving copies are promoted, replacement copies are
+// seeded elsewhere, and the site keeps serving until each item's in-flight
+// transactions drain. Call before Run.
+func (c *Cluster) DrainSite(site int, at time.Duration) error {
+	return c.inner.DrainSite(at.Microseconds(), model.SiteID(site))
+}
+
 // SubmitAt injects a transaction that arrives `at` into the simulated run
 // (Submit arrives at time zero; staggering arrivals gives meaningful system
 // times).
@@ -452,11 +494,12 @@ func (c *Cluster) Run() Result {
 	return Result{inner: res, cl: c.inner, dyn: c.dyn}
 }
 
-// Value returns the current value of an item's primary copy (after Run).
-// If the primary site is still crashed (CrashSite without RecoverSite), the
-// first surviving replica answers instead.
+// Value returns the current value of an item's primary copy (after Run),
+// resolved against the cluster's current partition map — after a rebalance
+// that is the new owner. If the primary site is still crashed (CrashSite
+// without RecoverSite), the first surviving replica answers instead.
 func (c *Cluster) Value(item ItemID) int64 {
-	for _, s := range c.inner.Catalog.Replicas(item) {
+	for _, s := range c.inner.CurrentMap().Replicas(item) {
 		if st := c.inner.Stores[s]; st.Has(item) {
 			v, _ := st.Read(item)
 			return v

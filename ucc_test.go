@@ -234,7 +234,7 @@ func TestFacadeReplicaConsistency(t *testing.T) {
 	}
 	for item := 0; item < 16; item++ {
 		var vals []int64
-		for _, site := range c.inner.Catalog.Replicas(model.ItemID(item)) {
+		for _, site := range c.inner.CurrentMap().Replicas(model.ItemID(item)) {
 			v, _ := c.inner.Stores[site].Read(model.ItemID(item))
 			vals = append(vals, v)
 		}
@@ -441,7 +441,7 @@ func TestFacadeCrashRecovery(t *testing.T) {
 	}
 	// Replicas converge after recovery.
 	for item := 0; item < 24; item++ {
-		sites := c.inner.Catalog.Replicas(model.ItemID(item))
+		sites := c.inner.CurrentMap().Replicas(model.ItemID(item))
 		v0, _ := c.inner.Stores[sites[0]].Read(model.ItemID(item))
 		for _, s := range sites[1:] {
 			v, _ := c.inner.Stores[s].Read(model.ItemID(item))
