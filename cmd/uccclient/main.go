@@ -76,7 +76,7 @@ func main() {
 	node.SetSendQueueCap(*sendCap)
 	log.Printf("uccclient: driving %d sites at %.0f txn/s/site for %s", len(peerList), *rate, *duration)
 	for i := range peerList {
-		rt.Inject(engine.Envelope{
+		rt.Post(engine.Envelope{
 			From: engine.DriverAddr(model.SiteID(i)),
 			To:   engine.DriverAddr(model.SiteID(i)),
 			Msg:  model.TickMsg{},

@@ -1,0 +1,23 @@
+// Package badmod is a deliberately invariant-violating module: the
+// cmd/ucclint smoke test asserts the multichecker exits nonzero over it
+// with findings from every analyzer.
+package badmod
+
+import (
+	"badmod/internal/engine"
+	"badmod/internal/model"
+)
+
+var retained model.Message
+
+// Kick injects an envelope that may be addressed to a remote actor.
+func Kick(rt *engine.Runtime) {
+	rt.Inject(engine.Envelope{To: "remote"})
+}
+
+// Retain stores a pooled message into a package-level variable.
+func Retain() {
+	m, _ := model.DecodeMessagePooled(1)
+	retained = m
+	model.RecycleMessage(m)
+}

@@ -1,0 +1,14 @@
+// Package engine is badmod's stand-in for ucc/internal/engine.
+package engine
+
+// Envelope is an addressed message.
+type Envelope struct{ To string }
+
+// Runtime is the actor runtime.
+type Runtime struct{}
+
+// Inject is mailbox-only local delivery.
+func (r *Runtime) Inject(env Envelope) {}
+
+// Post delivers locally or forwards remotely.
+func (r *Runtime) Post(env Envelope) {}

@@ -1,0 +1,24 @@
+// Package qm is badmod's stand-in for the queue manager, with a
+// second-shard-lock violation for lockorder.
+package qm
+
+import "sync"
+
+type shard struct {
+	mu    sync.Mutex
+	depth int
+}
+
+// Manager owns the shards.
+type Manager struct {
+	shards []*shard
+}
+
+// Drain acquires a second shard lock while holding the first.
+func (m *Manager) Drain() {
+	m.shards[0].mu.Lock()
+	m.shards[1].mu.Lock()
+	m.shards[1].depth = 0
+	m.shards[1].mu.Unlock()
+	m.shards[0].mu.Unlock()
+}

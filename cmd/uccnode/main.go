@@ -204,13 +204,13 @@ func main() {
 			PersistRounds: 2,
 		})
 		rt.Register(engine.DetectorAddr(), det)
-		rt.Inject(engine.Envelope{From: engine.DetectorAddr(), To: engine.DetectorAddr(), Msg: model.TickMsg{}})
+		rt.Post(engine.Envelope{From: engine.DetectorAddr(), To: engine.DetectorAddr(), Msg: model.TickMsg{}})
 	}
 	// Start the QM stats push (reports flow to the client's collector).
-	rt.Inject(engine.Envelope{From: engine.QMAddr(self), To: engine.QMAddr(self), Msg: model.TickMsg{}})
+	rt.Post(engine.Envelope{From: engine.QMAddr(self), To: engine.QMAddr(self), Msg: model.TickMsg{}})
 	if quorum != nil {
 		// Start the catch-up pull chain (tagged tick; re-arms itself).
-		rt.Inject(engine.Envelope{From: engine.QMAddr(self), To: engine.QMAddr(self), Msg: model.TickMsg{Tag: qm.ReplTickTag}})
+		rt.Post(engine.Envelope{From: engine.QMAddr(self), To: engine.QMAddr(self), Msg: model.TickMsg{Tag: qm.ReplTickTag}})
 	}
 
 	node, err := transport.NewNode(rt, fmt.Sprintf("site%d", *site), *listen, topo)

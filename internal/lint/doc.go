@@ -1,0 +1,61 @@
+// Package lint is a self-contained static-analysis framework plus the
+// domain analyzers that machine-check this codebase's cross-cutting
+// invariants. It deliberately mirrors the golang.org/x/tools/go/analysis
+// API surface — Analyzer, Pass, Diagnostic, SuggestedFix — but is built on
+// the standard library alone, because this module carries no third-party
+// dependencies: packages are loaded with `go list -export` and typechecked
+// against gc export data (load.go), and cmd/ucclint speaks the
+// `go vet -vettool` unitchecker protocol by hand (unitchecker.go).
+//
+// # The analyzer catalogue
+//
+// Each analyzer lives in its own subpackage and pins one invariant that
+// the type system cannot express:
+//
+//   - wiretag: every model.Message implementation has a pinned WireTag in
+//     the AppendMessage encode switch, a matching DecodeMessage case, and
+//     a committed fuzz-corpus seed file; TagLast tracks the highest tag.
+//   - postnotinject: engine.Runtime.Inject outside internal/engine is
+//     flagged with a suggested fix to Post — Inject silently drops
+//     envelopes for actors not registered locally (the bug class PR 8
+//     caught only during end-to-end TCP verification).
+//   - sheddable: no completer/withdraw/release message type may implement
+//     model.Sheddable; shedding completion traffic strands locks forever
+//     (the PR 4 deadlock-freedom argument). New openers opt in with a
+//     "//ucclint:sheddable" marker stating the shed-safety argument.
+//   - poolsafe: values from DecodeMessagePooled/DecodeEnvelopePooled are
+//     valid only until RecycleMessage — no stores that outlive the frame,
+//     channel sends, goroutine captures, appends, or use-after-recycle.
+//   - lockorder: per-item code paths hold at most one shard lock at a
+//     time; the all-shard crash/recovery critical section is allow-listed
+//     in place with its index-order argument.
+//
+// # Running the suite
+//
+//	make lint                                   # build + run over ./...
+//	go run ./cmd/ucclint ./...                  # the same, directly
+//	go vet -vettool=$(pwd)/bin/ucclint ./...    # incremental, via the go command
+//
+// # Suppressions
+//
+// A finding that is correct-but-intended is silenced in place, never
+// globally, with a comment on the flagged line or the line above:
+//
+//	//ucclint:allow lockorder -- index-order acquisition under the sequencer drain
+//
+// The "-- reason" tail is mandatory by convention: the reviewer reads it,
+// the analyzer only parses the name list. Test files are never analyzed —
+// tests legitimately stage invariant violations.
+//
+// # Adding an analyzer
+//
+// Create internal/lint/<name>/<name>.go declaring a package-level
+// `var Analyzer = &lint.Analyzer{...}` whose Run inspects one Pass.
+// Match well-known packages by import-path suffix (lint.PathHasSuffix)
+// rather than the full module path, so fixture modules exercise the same
+// code. Add fixture packages under <name>/testdata/src/<importpath>/ with
+// `// want "regexp"` expectations, a test calling linttest.Run, and a
+// violation in cmd/ucclint/testdata/badmod so the smoke test proves the
+// multichecker surfaces it. Finally, register the analyzer in
+// cmd/ucclint/main.go and document it here and in docs/ARCHITECTURE.md.
+package lint

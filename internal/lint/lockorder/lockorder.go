@@ -1,0 +1,231 @@
+// Package lockorder pins the queue manager's shard locking discipline:
+// per-item code paths hold at most ONE shard lock at a time. Shards are
+// independently lockable precisely so that conflict-free traffic runs in
+// parallel; a handler that acquires a second shard's mutex while holding
+// one creates a lock-order cycle with any other such handler running the
+// opposite order — the classic ABBA deadlock, which the repl.Apply
+// replay and the storage barrier were both designed to avoid (catch-up
+// replays records under one shard lock at a time, releasing between
+// items).
+//
+// The one legitimate exception is the site-wide critical section used by
+// crash/recovery and map installs (Manager.lockAll), which acquires every
+// shard lock in index order under the commit sequencer's drain; it is
+// allow-listed in place with a //ucclint:allow lockorder comment stating
+// that argument.
+//
+// Detection is intra-procedural: within one function body (function
+// literals are separate bodies — a callback runs per invocation), a
+// Lock() on a mutex field of a shard struct while another shard mutex is
+// held is a diagnostic, as is a Lock() inside a loop whose body does not
+// release it (that is "acquire one lock per iteration" — the lockAll
+// shape). A mutex counts as a shard lock when it is a field of a struct
+// type named "shard" or ending in "Shard".
+package lockorder
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+
+	"ucc/internal/lint"
+)
+
+// Analyzer flags second shard-lock acquisitions.
+var Analyzer = &lint.Analyzer{
+	Name: "lockorder",
+	Doc: "never acquire a second shard lock while holding one (ABBA deadlock with the opposite " +
+		"order); the all-shard crash/recovery critical section is allow-listed in place",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// Every function body — declarations and literals — is analyzed as
+		// its own scope: lock state does not flow into callbacks.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					s := &scanner{pass: pass}
+					s.block(v.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				s := &scanner{pass: pass}
+				s.block(v.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type scanner struct {
+	pass *lint.Pass
+}
+
+// shardLockCall classifies a statement's expression as Lock/Unlock on a
+// shard mutex and returns the lock's identity (the rendered receiver
+// expression, e.g. "sh.mu" or "m.shards[0].mu").
+func (s *scanner) shardLockCall(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	if op != "Lock" && op != "Unlock" {
+		return "", "", false
+	}
+	// Receiver must be a field selector whose base is a shard struct.
+	field, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	baseType := s.pass.TypesInfo.Types[field.X].Type
+	if baseType == nil {
+		return "", "", false
+	}
+	if p, isPtr := baseType.(*types.Pointer); isPtr {
+		baseType = p.Elem()
+	}
+	named, isNamed := baseType.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	name := named.Obj().Name()
+	if name != "shard" && !strings.HasSuffix(name, "Shard") {
+		return "", "", false
+	}
+	var sb strings.Builder
+	printer.Fprint(&sb, s.pass.Fset, sel.X)
+	return sb.String(), op, true
+}
+
+// block scans statements in order, tracking held shard locks. It mutates
+// held and returns nothing; callers pass copies across branches.
+func (s *scanner) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch v := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, op, ok := s.shardLockCall(v.X); ok {
+				switch op {
+				case "Lock":
+					s.acquire(v, key, held)
+				case "Unlock":
+					delete(held, key)
+				}
+			}
+		case *ast.DeferStmt:
+			// defer X.mu.Unlock() releases at function exit: the lock stays
+			// held for the remainder of this scan, which is the point.
+			continue
+		case *ast.IfStmt:
+			thenHeld := copySet(held)
+			s.block(v.Body.List, thenHeld)
+			if v.Else != nil {
+				elseHeld := copySet(held)
+				switch e := v.Else.(type) {
+				case *ast.BlockStmt:
+					s.block(e.List, elseHeld)
+				case *ast.IfStmt:
+					s.block([]ast.Stmt{e}, elseHeld)
+				}
+				mergeInto(held, elseHeld)
+			}
+			mergeInto(held, thenHeld)
+		case *ast.ForStmt:
+			s.loop(v.Body, held)
+		case *ast.RangeStmt:
+			s.loop(v.Body, held)
+		case *ast.BlockStmt:
+			s.block(v.List, held)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch cc := n.(type) {
+				case *ast.CaseClause:
+					inner := copySet(held)
+					s.block(cc.Body, inner)
+					mergeInto(held, inner)
+					return false
+				case *ast.CommClause:
+					inner := copySet(held)
+					s.block(cc.Body, inner)
+					mergeInto(held, inner)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// loop scans a loop body: a shard lock acquired inside the body and still
+// held at the body's end accumulates one lock per iteration.
+func (s *scanner) loop(body *ast.BlockStmt, held map[string]bool) {
+	entry := copySet(held)
+	inner := copySet(held)
+	s.lockInLoop(body, entry, inner)
+	mergeInto(held, inner)
+}
+
+// lockInLoop is block() plus the per-iteration accumulation check.
+func (s *scanner) lockInLoop(body *ast.BlockStmt, entry, held map[string]bool) {
+	var acquiredPos []ast.Stmt
+	for _, stmt := range body.List {
+		if v, ok := stmt.(*ast.ExprStmt); ok {
+			if key, op, ok := s.shardLockCall(v.X); ok && op == "Lock" && !entry[key] {
+				acquiredPos = append(acquiredPos, stmt)
+			}
+		}
+	}
+	s.block(body.List, held)
+	for k := range held {
+		if !entry[k] {
+			// Still held at end of one abstract iteration: the next
+			// iteration acquires another shard's lock on top.
+			for _, stmt := range acquiredPos {
+				s.pass.Reportf(stmt.Pos(),
+					"shard lock acquired inside a loop and held past the iteration: this "+
+						"accumulates one shard lock per iteration (the all-shard critical section "+
+						"must be allow-listed with its ordering argument)")
+			}
+			return
+		}
+	}
+}
+
+// acquire reports a second acquisition and records the new hold.
+func (s *scanner) acquire(at ast.Stmt, key string, held map[string]bool) {
+	if len(held) > 0 {
+		others := make([]string, 0, len(held))
+		for k := range held {
+			others = append(others, k)
+		}
+		s.pass.Reportf(at.Pos(),
+			"second shard lock %s acquired while holding %s: shard locks are one-at-a-time "+
+				"(ABBA deadlock with any path locking the opposite order); release the first lock, "+
+				"or route through the allow-listed all-shard critical section", key, strings.Join(others, ", "))
+	}
+	held[key] = true
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeInto(dst, src map[string]bool) {
+	for k, v := range src {
+		if v {
+			dst[k] = v
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ucc/internal/lint/linttest"
+	"ucc/internal/lint/lockorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata", "lk")
+}

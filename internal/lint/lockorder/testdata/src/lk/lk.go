@@ -1,0 +1,105 @@
+// Package lk exercises the lockorder analyzer: pairwise and deferred
+// single-lock use is clean, a second shard lock while holding one is
+// flagged, the lockAll accumulation shape is flagged (and suppressible),
+// and function literals are independent lock scopes.
+package lk
+
+type mutex struct{}
+
+func (*mutex) Lock()   {}
+func (*mutex) Unlock() {}
+
+type shard struct {
+	mu mutex
+}
+
+type manager struct {
+	shards []*shard
+}
+
+// other is not a shard type; its mutex is out of scope for the analyzer.
+type other struct {
+	mu mutex
+}
+
+func okPair(sh *shard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+func okDefer(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+}
+
+func okPerIteration(m *manager) {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.mu.Unlock()
+	}
+}
+
+func okBranches(a, b *shard, cold bool) {
+	if cold {
+		a.mu.Lock()
+		a.mu.Unlock()
+	} else {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func okNonShard(a *shard, o *other) {
+	a.mu.Lock()
+	o.mu.Lock() // not a shard mutex: no finding
+	o.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func second(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `second shard lock`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func secondUnderDefer(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `second shard lock b\.mu acquired while holding a\.mu`
+	b.mu.Unlock()
+}
+
+func secondByIndex(m *manager) {
+	m.shards[0].mu.Lock()
+	m.shards[1].mu.Lock() // want `second shard lock`
+	m.shards[1].mu.Unlock()
+	m.shards[0].mu.Unlock()
+}
+
+func lockAll(m *manager) {
+	for _, sh := range m.shards {
+		sh.mu.Lock() // want `acquired inside a loop`
+	}
+}
+
+func lockAllAllowed(m *manager) {
+	for _, sh := range m.shards {
+		//ucclint:allow lockorder -- index-order acquisition under the sequencer drain
+		sh.mu.Lock()
+	}
+}
+
+// callbackScope: the literal is a separate body — lock state does not
+// flow in, and its own pairwise use is clean.
+func callbackScope(m *manager) {
+	m.shards[0].mu.Lock()
+	fn := func(sh *shard) {
+		sh.mu.Lock()
+		sh.mu.Unlock()
+	}
+	m.shards[0].mu.Unlock()
+	fn(m.shards[1])
+}

@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"ucc/internal/lint/linttest"
+	"ucc/internal/lint/poolsafe"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, poolsafe.Analyzer, "testdata", "ps/internal/model", "ps/consumer")
+}

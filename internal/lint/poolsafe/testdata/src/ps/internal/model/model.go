@@ -1,0 +1,22 @@
+// Package model is a miniature stand-in for ucc/internal/model's pooled
+// decode surface; the analyzer recognises it by import-path suffix.
+package model
+
+// Message mirrors the real sealed message interface.
+type Message interface{ isMessage() }
+
+// WireTag identifies a message type on the wire.
+type WireTag byte
+
+// RequestMsg is a pooled hot type.
+type RequestMsg struct{ Item string }
+
+func (*RequestMsg) isMessage() {}
+
+// DecodeMessagePooled mirrors the real pool-backed decoder.
+func DecodeMessagePooled(tag WireTag) (Message, error) {
+	return &RequestMsg{}, nil
+}
+
+// RecycleMessage mirrors the real pool return.
+func RecycleMessage(m Message) {}

@@ -1,0 +1,87 @@
+// Package postnotinject flags calls to engine.Runtime.Inject outside the
+// engine package itself.
+//
+// Inject is mailbox-only: an envelope addressed to an actor that is not
+// registered on the local runtime is silently dropped. That is exactly the
+// bug class PR 8 caught only during end-to-end TCP verification — the
+// epoch publication loop Injected MapInstall envelopes for remote sites
+// and they never left the authoring node. Runtime.Post is the correct
+// primitive for anything that may be remote: it delivers locally when the
+// actor is registered and otherwise forwards through the transport uplink.
+//
+// The transport package's own delivery paths are legitimate Inject callers
+// (Post would recurse straight back into the transport for a remote
+// address); they carry //ucclint:allow postnotinject comments stating the
+// local-only argument.
+package postnotinject
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ucc/internal/lint"
+)
+
+// Analyzer flags engine.Runtime.Inject calls outside internal/engine.
+var Analyzer = &lint.Analyzer{
+	Name: "postnotinject",
+	Doc: "flag engine.Runtime.Inject outside internal/engine: Inject drops envelopes for " +
+		"unregistered (remote) actors; use Runtime.Post, or state the local-only argument " +
+		"in a //ucclint:allow postnotinject comment",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if lint.PathHasSuffix(pass.Pkg.Path(), "internal/engine") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Inject" {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !isEngineRuntimeMethod(fn) {
+				return true
+			}
+			pass.Report(lint.Diagnostic{
+				Pos: sel.Sel.Pos(),
+				Message: "engine.Runtime.Inject drops envelopes for actors not registered locally; " +
+					"use Runtime.Post so remote addresses travel the transport uplink",
+				SuggestedFixes: []lint.SuggestedFix{{
+					Message: "replace .Inject with .Post",
+					TextEdits: []lint.TextEdit{{
+						Pos:     sel.Sel.Pos(),
+						End:     sel.Sel.End(),
+						NewText: []byte("Post"),
+					}},
+				}},
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// isEngineRuntimeMethod reports whether fn is a method on the Runtime type
+// of a package whose import path ends in internal/engine.
+func isEngineRuntimeMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || !lint.PathHasSuffix(fn.Pkg().Path(), "internal/engine") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Runtime"
+}

@@ -1,0 +1,17 @@
+package postnotinject_test
+
+import (
+	"testing"
+
+	"ucc/internal/lint/linttest"
+	"ucc/internal/lint/postnotinject"
+)
+
+func TestAnalyzer(t *testing.T) {
+	// The engine fixture itself must produce no diagnostics (Inject inside
+	// internal/engine is the implementation, not a caller).
+	linttest.Run(t, postnotinject.Analyzer, "testdata",
+		"fake/internal/engine",
+		"fake/caller",
+	)
+}

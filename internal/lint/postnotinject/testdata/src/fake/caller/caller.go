@@ -1,0 +1,34 @@
+// Package caller exercises the postnotinject analyzer: Inject calls on
+// the engine Runtime outside the engine package are flagged, Post calls
+// and unrelated Inject methods are not, and //ucclint:allow comments
+// suppress the finding.
+package caller
+
+import "fake/internal/engine"
+
+func flagged(rt *engine.Runtime) {
+	rt.Inject(engine.Envelope{To: "remote"}) // want `use Runtime\.Post`
+}
+
+func fine(rt *engine.Runtime) {
+	rt.Post(engine.Envelope{To: "remote"})
+}
+
+// decoy has an Inject method on a type that is not engine.Runtime; calls
+// to it must not be flagged.
+type decoy struct{}
+
+func (decoy) Inject(env engine.Envelope) {}
+
+func notTheRuntime(d decoy) {
+	d.Inject(engine.Envelope{})
+}
+
+func allowListed(rt *engine.Runtime) {
+	//ucclint:allow postnotinject -- self-addressed tick; this actor is always registered locally
+	rt.Inject(engine.Envelope{To: "self"})
+}
+
+func allowListedSameLine(rt *engine.Runtime) {
+	rt.Inject(engine.Envelope{To: "self"}) //ucclint:allow postnotinject -- local driver loop
+}

@@ -1,0 +1,22 @@
+// Package engine is a miniature stand-in for ucc/internal/engine: the
+// analyzer recognises it by import-path suffix, so the fixture exercises
+// the exact matching logic used against the real package.
+package engine
+
+// Envelope mirrors the real addressed-message wrapper.
+type Envelope struct{ To string }
+
+// Runtime mirrors the real actor runtime.
+type Runtime struct{}
+
+// Inject is mailbox-only local delivery.
+func (r *Runtime) Inject(env Envelope) {}
+
+// Post delivers locally or forwards through the transport uplink.
+func (r *Runtime) Post(env Envelope) {}
+
+// tick calls Inject from inside the engine package itself, which is
+// always legitimate.
+func (r *Runtime) tick() {
+	r.Inject(Envelope{To: "self"})
+}

@@ -1,0 +1,12 @@
+package sheddable_test
+
+import (
+	"testing"
+
+	"ucc/internal/lint/linttest"
+	"ucc/internal/lint/sheddable"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, sheddable.Analyzer, "testdata", "shed/internal/model")
+}

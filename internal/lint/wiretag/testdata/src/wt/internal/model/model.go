@@ -1,0 +1,84 @@
+// Package model is a miniature stand-in for ucc/internal/model with a
+// deliberately incomplete wire contract: one clean type, one missing its
+// fuzz seed, one missing its decode case, one missing its encode arm, one
+// whose decode case produces the wrong type, and a stale TagLast.
+package model
+
+// Message mirrors the real sealed message interface.
+type Message interface{ isMessage() }
+
+// WireTag identifies a message type on the wire.
+type WireTag byte
+
+// Wire tags. TagLast is stale on purpose: the highest pinned tag is 4.
+const (
+	TagInvalid  WireTag = 0
+	TagPing     WireTag = 1
+	TagPong     WireTag = 2
+	TagOrphan   WireTag = 3
+	TagMismatch WireTag = 4
+
+	TagLast = TagPong // want `TagLast is 2 but the highest tag pinned in AppendMessage is 4`
+)
+
+// PingMsg has the full contract: encode arm, decode case, and a seed.
+type PingMsg struct{}
+
+func (PingMsg) isMessage() {}
+
+// PongMsg round-trips but has no committed fuzz seed.
+type PongMsg struct{} // want `no fuzz corpus seed`
+
+func (PongMsg) isMessage() {}
+
+// OrphanMsg encodes but can never be decoded, and has no seed either.
+type OrphanMsg struct{} // want `no case for that tag` `no fuzz corpus seed`
+
+func (OrphanMsg) isMessage() {}
+
+// LostMsg implements Message but was never added to the encode switch.
+type LostMsg struct{} // want `no AppendMessage case`
+
+func (LostMsg) isMessage() {}
+
+// MismatchMsg encodes as TagMismatch but that tag decodes into PingMsg.
+type MismatchMsg struct{} // want `decodes that tag into PingMsg`
+
+func (MismatchMsg) isMessage() {}
+
+// notAMessage is ignored: it does not implement Message.
+type notAMessage struct{}
+
+// AppendMessage mirrors the real encode switch.
+func AppendMessage(b []byte, m Message) ([]byte, error) {
+	switch v := m.(type) {
+	case PingMsg:
+		_ = v
+		return append(b, byte(TagPing)), nil
+	case *PingMsg:
+		// Pooled pointer arm: folds into the value type's pin.
+		return append(b, byte(TagPing)), nil
+	case PongMsg:
+		return append(b, byte(TagPong)), nil
+	case OrphanMsg:
+		return append(b, byte(TagOrphan)), nil
+	case MismatchMsg:
+		return append(b, byte(TagMismatch)), nil
+	default:
+		return b, nil
+	}
+}
+
+// DecodeMessage mirrors the real decode switch.
+func DecodeMessage(tag WireTag) (Message, error) {
+	var m Message
+	switch tag {
+	case TagPing:
+		m = PingMsg{}
+	case TagPong:
+		m = PongMsg{}
+	case TagMismatch:
+		m = PingMsg{}
+	}
+	return m, nil
+}

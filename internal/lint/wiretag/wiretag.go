@@ -1,0 +1,265 @@
+// Package wiretag pins the wire contract for message types: every
+// model.Message implementation must have a stable WireTag pinned in the
+// AppendMessage encode switch, a matching DecodeMessage case producing the
+// same type, and a committed fuzz-corpus seed file so FuzzWireRoundTrip
+// exercises it on its very first iteration. A new message type that misses
+// any of these used to surface as a runtime "no wire encoder" error (or a
+// silently unfuzzed codec path) on a multi-node deployment; now it fails
+// go vet.
+//
+// The analyzer also checks that TagLast equals the highest tag pinned in
+// AppendMessage, because the corpus-coverage loops range over
+// TagRequest..TagLast.
+package wiretag
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+
+	"ucc/internal/lint"
+)
+
+// Analyzer checks the model package's wire-contract completeness.
+var Analyzer = &lint.Analyzer{
+	Name: "wiretag",
+	Doc: "every model.Message implementation needs a pinned WireTag in AppendMessage, a " +
+		"matching DecodeMessage case, and a fuzz-corpus seed file (tag-NN-*) under " +
+		"internal/wire/testdata/fuzz/FuzzWireRoundTrip",
+	Run: run,
+}
+
+// seedDirRel locates the fuzz seed corpus relative to the model package
+// directory.
+var seedDirRel = filepath.Join("..", "wire", "testdata", "fuzz", "FuzzWireRoundTrip")
+
+func run(pass *lint.Pass) error {
+	if !lint.PathHasSuffix(pass.Pkg.Path(), "internal/model") {
+		return nil
+	}
+	msgObj := pass.Pkg.Scope().Lookup("Message")
+	tagObj := pass.Pkg.Scope().Lookup("WireTag")
+	if msgObj == nil || tagObj == nil {
+		return nil
+	}
+	msgIface, ok := msgObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	appendFn := findFunc(pass, "AppendMessage")
+	decodeFn := findFunc(pass, "DecodeMessage")
+	if appendFn == nil || decodeFn == nil {
+		return nil
+	}
+
+	enc := encodeArms(pass, appendFn, tagObj.Type())
+	dec := decodeArms(pass, decodeFn, tagObj.Type())
+
+	// Seed corpus: resolved relative to the package directory. When the
+	// tree is not present (sources analyzed outside a checkout) the seed
+	// check is skipped; CI runs from a full checkout.
+	var seeds map[int64]bool
+	if pass.Dir != "" {
+		if entries, err := os.ReadDir(filepath.Join(pass.Dir, seedDirRel)); err == nil {
+			seeds = map[int64]bool{}
+			for _, e := range entries {
+				var n int64
+				if _, err := fmt.Sscanf(e.Name(), "tag-%d-", &n); err == nil {
+					seeds[n] = true
+				}
+			}
+		}
+	}
+
+	maxTag := int64(0)
+	for _, arm := range enc {
+		if arm.value > maxTag {
+			maxTag = arm.value
+		}
+	}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(named, msgIface) && !types.Implements(types.NewPointer(named), msgIface) {
+			continue
+		}
+		arm, ok := enc[tn]
+		if !ok {
+			pass.Reportf(tn.Pos(),
+				"model.Message %s has no AppendMessage case: every message type must pin a WireTag "+
+					"in the encode switch (the transport NAKs and drops messages outside the wire contract)",
+				name)
+			continue
+		}
+		decType, ok := dec[arm.value]
+		switch {
+		case !ok:
+			pass.Reportf(tn.Pos(),
+				"%s encodes as %s but DecodeMessage has no case for that tag: the message cannot "+
+					"round-trip and a peer decoding it gets ErrWireUnknownTag", name, arm.constName)
+		case decType != tn:
+			pass.Reportf(tn.Pos(),
+				"%s encodes as %s but DecodeMessage decodes that tag into %s: the round-trip "+
+					"changes the message type", name, arm.constName, decType.Name())
+		}
+		if seeds != nil && !seeds[arm.value] {
+			pass.Reportf(tn.Pos(),
+				"%s (tag %d) has no fuzz corpus seed: add a tag-%02d-* seed file under %s so "+
+					"FuzzWireRoundTrip covers it from its first iteration",
+				name, arm.value, arm.value, seedDirRel)
+		}
+	}
+
+	// TagLast must track the highest pinned tag.
+	if lastObj, ok := scope.Lookup("TagLast").(*types.Const); ok && maxTag > 0 {
+		if v, exact := constant.Int64Val(constant.ToInt(lastObj.Val())); exact && v != maxTag {
+			pass.Reportf(lastObj.Pos(),
+				"TagLast is %d but the highest tag pinned in AppendMessage is %d: corpus-coverage "+
+					"loops range over TagRequest..TagLast and would miss the new tag", v, maxTag)
+		}
+	}
+	return nil
+}
+
+// findFunc returns the package-level function declaration with the given
+// name, or nil.
+func findFunc(pass *lint.Pass, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// encArm records one encode switch arm: the tag constant's name and value.
+type encArm struct {
+	constName string
+	value     int64
+}
+
+// encodeArms maps message type (by TypeName) → the tag constant pinned in
+// its AppendMessage case. Pointer arms (the pooled re-encode cases) fold
+// into their element type.
+func encodeArms(pass *lint.Pass, fn *ast.FuncDecl, tagType types.Type) map[*types.TypeName]encArm {
+	out := map[*types.TypeName]encArm{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			arm, armOK := tagConstIn(pass, cc.Body, tagType)
+			for _, te := range cc.List {
+				tn := namedTypeName(pass.TypesInfo.Types[te].Type)
+				if tn == nil || !armOK {
+					continue
+				}
+				if prev, dup := out[tn]; !dup || prev.value == 0 {
+					out[tn] = arm
+				}
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// decodeArms maps tag value → the message type its DecodeMessage case
+// produces.
+func decodeArms(pass *lint.Pass, fn *ast.FuncDecl, tagType types.Type) map[int64]*types.TypeName {
+	out := map[int64]*types.TypeName{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			var produced *types.TypeName
+			for _, body := range cc.Body {
+				as, ok := body.(*ast.AssignStmt)
+				if !ok || len(as.Rhs) != 1 {
+					continue
+				}
+				if tn := namedTypeName(pass.TypesInfo.Types[as.Rhs[0]].Type); tn != nil {
+					produced = tn
+				}
+			}
+			if produced == nil {
+				continue
+			}
+			for _, ce := range cc.List {
+				tv := pass.TypesInfo.Types[ce]
+				if tv.Value == nil || !types.Identical(tv.Type, tagType) {
+					continue
+				}
+				if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+					out[v] = produced
+				}
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// tagConstIn finds the WireTag constant referenced inside a case body.
+func tagConstIn(pass *lint.Pass, body []ast.Stmt, tagType types.Type) (encArm, bool) {
+	var arm encArm
+	found := false
+	for _, stmt := range body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || found {
+				return !found
+			}
+			c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+			if !ok || !types.Identical(c.Type(), tagType) {
+				return true
+			}
+			if v, exact := constant.Int64Val(constant.ToInt(c.Val())); exact && v > 0 {
+				arm = encArm{constName: c.Name(), value: v}
+				found = true
+			}
+			return !found
+		})
+	}
+	return arm, found
+}
+
+// namedTypeName unwraps pointers and returns the type's TypeName, or nil
+// for unnamed and interface types.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return nil
+	}
+	return named.Obj()
+}

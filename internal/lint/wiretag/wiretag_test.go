@@ -1,0 +1,12 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"ucc/internal/lint/linttest"
+	"ucc/internal/lint/wiretag"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, wiretag.Analyzer, "testdata", "wt/internal/model")
+}

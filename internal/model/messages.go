@@ -189,12 +189,16 @@ type Sheddable interface {
 
 // Busy implements Sheddable: a refused request NAKs with its identity so the
 // issuer can abort the attempt.
+//
+//ucclint:sheddable -- opener: the NAK aborts the whole attempt and the issuer re-requests; no protocol state is stranded
 func (m RequestMsg) Busy() Message {
 	return BusyMsg{Txn: m.Txn, Attempt: m.Attempt, Copy: m.Copy}
 }
 
 // Busy implements Sheddable for snapshot reads (the read-only fast path
 // sheds the whole transaction — it has no retry machinery by design).
+//
+//ucclint:sheddable -- opener: shedding fails the read-only transaction cleanly; it holds no locks or queue entries
 func (m SnapReadMsg) Busy() Message {
 	return BusyMsg{Txn: m.Txn, Attempt: m.Attempt, Copy: m.Copy}
 }

@@ -389,6 +389,7 @@ func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 // other all-shard holders — per-item handlers only ever hold one).
 func (m *Manager) lockAll() {
 	for _, sh := range m.shards {
+		//ucclint:allow lockorder -- the one all-shard critical section: index-order acquisition prevents cycles, and per-item handlers never hold more than one
 		sh.mu.Lock()
 	}
 }
