@@ -53,6 +53,7 @@ func BenchmarkAbl3DetectionPeriod(b *testing.B)    { benchExperiment(b, "ABL-3")
 // wall-clock second on a mixed workload (the engine's macro speed).
 func BenchmarkClusterThroughput(b *testing.B) {
 	var committed uint64
+	var allocs float64
 	for i := 0; i < b.N; i++ {
 		c, err := New(Config{Sites: 4, Items: 48, Seed: int64(i) + 1})
 		if err != nil {
@@ -70,8 +71,10 @@ func BenchmarkClusterThroughput(b *testing.B) {
 			b.Fatal("non-serializable execution")
 		}
 		committed += res.Committed()
+		allocs += res.AllocsPerCommittedTxn()
 	}
 	b.ReportMetric(float64(committed)/float64(b.N), "txns/op")
+	b.ReportMetric(allocs/float64(b.N), "allocs/committed_txn")
 }
 
 // BenchmarkReadPathThroughput measures the closed-loop read-heavy capacity
@@ -112,15 +115,21 @@ func BenchmarkReadPathThroughput(b *testing.B) {
 func BenchmarkReadWriteThroughput(b *testing.B) {
 	for _, shards := range []int{1, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			var thr float64
+			var thr, allocs float64
 			for i := 0; i < b.N; i++ {
 				res := experiments.ShardThroughput(shards, 4, 3000, false, int64(i)+7)
 				if !res.Serializable {
 					b.Fatal("non-serializable execution")
 				}
 				thr += res.Throughput
+				allocs += res.AllocsPerTxn
 			}
 			b.ReportMetric(thr/float64(b.N), "txn/s")
+			// Heap allocations per committed transaction across the worker
+			// phase — the zero-alloc hot-path scorecard, gated lower-is-better
+			// in BENCH_baseline.json (allocs/op would also count the
+			// serializability checker, which is not hot-path).
+			b.ReportMetric(allocs/float64(b.N), "allocs/committed_txn")
 		})
 	}
 }

@@ -4,7 +4,10 @@
 // artifact into a CI gate.
 //
 // What is gated: the benchmarks' custom metrics (txn/s, txns/op,
-// commits/sync, …) — all throughput-like, higher-is-better numbers. For the
+// commits/sync, …) — throughput-like, higher-is-better numbers by default. A
+// baseline entry can list metric keys under "lower_is_better" (cost metrics
+// like allocs_per_committed_txn) to invert the gate: those fail when the
+// candidate value GROWS beyond tolerance. For the
 // simulator benchmarks they measure virtual-time throughput and are
 // near-deterministic across hardware; for ratio metrics (commits per sync)
 // they are hardware-robust by construction. ns/op is reported for context
@@ -41,6 +44,22 @@ type baselineEntry struct {
 	Name    string             `json:"name"`
 	NsPerOp float64            `json:"ns_per_op"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// LowerIsBetter lists the metric keys (normalized form, e.g.
+	// "allocs_per_committed_txn") whose gate direction is inverted: an
+	// INCREASE beyond tolerance fails, a decrease is an improvement. Metrics
+	// not listed keep the default higher-is-better throughput semantics.
+	LowerIsBetter []string `json:"lower_is_better,omitempty"`
+}
+
+// lowerIsBetter reports whether the entry gates key in the inverted
+// direction.
+func (b baselineEntry) lowerIsBetter(key string) bool {
+	for _, k := range b.LowerIsBetter {
+		if k == key {
+			return true
+		}
+	}
+	return false
 }
 
 // benchLine matches e.g.
@@ -104,8 +123,17 @@ type checkResult struct {
 	what   string // metric key, or "ns/op"
 	base   float64
 	got    float64
-	change float64 // relative change, >0 improvement for metrics
+	change float64 // relative change of the measured value vs the baseline
+	lower  bool    // gate direction: true = an increase is the regression
 	failed bool
+}
+
+// improved reports whether the change moved in the metric's good direction.
+func (r checkResult) improved() bool {
+	if r.change == 0 {
+		return false
+	}
+	return (r.change > 0) != r.lower
 }
 
 // runCheck compares samples against the baseline. A baseline entry missing
@@ -138,9 +166,16 @@ func runCheck(base baselineFile, samples []benchSample, tolerance float64, gateN
 				continue
 			}
 			change := gv/bv - 1
+			lower := b.lowerIsBetter(key)
+			failed := change < -tolerance
+			if lower {
+				// Inverted direction (cost metrics like allocs per committed
+				// txn): growing beyond tolerance is the regression.
+				failed = change > tolerance
+			}
 			out = append(out, checkResult{
 				name: b.Name, what: key, base: bv, got: gv, change: change,
-				failed: change < -tolerance,
+				lower: lower, failed: failed,
 			})
 		}
 		if b.NsPerOp > 0 && s.NsPerOp > 0 {
@@ -236,20 +271,24 @@ func check(benchFile, basePath string, tolerance float64, gateNs bool, requireEx
 		}
 		compared++
 		switch {
-		case r.change > 0:
+		case r.improved():
 			improved++
-		case r.change < 0:
+		case r.change != 0:
 			regressed++
 		}
 		verdict := "ok"
 		if r.failed {
 			verdict = "FAIL"
 			failures++
-		} else if r.change < -tolerance {
+		} else if !r.lower && r.change < -tolerance {
 			verdict = "info" // ns/op drift outside tolerance but not gated
 		}
-		fmt.Printf("  %-4s %-45s %-16s base %14.1f  got %14.1f  (%+.1f%%)\n",
-			verdict, r.name, r.what, r.base, r.got, r.change*100)
+		what := r.what
+		if r.lower {
+			what += " (lower=better)"
+		}
+		fmt.Printf("  %-4s %-45s %-30s base %14.1f  got %14.1f  (%+.1f%%)\n",
+			verdict, r.name, what, r.base, r.got, r.change*100)
 	}
 	fmt.Printf("bench gate: %d comparison(s): %d improved, %d regressed, %d new benchmark(s) without baseline\n",
 		compared, improved, regressed, fresh)

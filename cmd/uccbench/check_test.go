@@ -15,7 +15,7 @@ goarch: amd64
 pkg: ucc
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkReadPathThroughput-4         	       3	 512345678 ns/op	       500.0 txn/s
-BenchmarkReadWriteThroughput/shards=1-4 	       1	1844275177 ns/op	    274599 txn/s
+BenchmarkReadWriteThroughput/shards=1-4 	       1	1844275177 ns/op	         0.38 allocs/committed_txn	    274599 txn/s
 BenchmarkReadWriteThroughput/shards=4-4 	       1	 922137588 ns/op	    549198 txn/s
 BenchmarkCommitGroup16-4              	    2000	    240193 ns/op	         4.706 commits/sync
 PASS
@@ -154,6 +154,119 @@ func TestCheckNsOptIn(t *testing.T) {
 	}
 	if !sawFail {
 		t.Fatal("-gate-ns did not gate a 2.4x ns/op regression")
+	}
+}
+
+// TestCheckLowerIsBetterFailsOnIncrease is the allocs-gate acceptance
+// criterion: a lower_is_better metric that GREW beyond tolerance (a PR that
+// re-introduced per-txn allocations) must fail, even though the same delta
+// would read as an improvement under throughput semantics.
+func TestCheckLowerIsBetterFailsOnIncrease(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadWriteThroughput/shards=1",
+			Metrics:       map[string]float64{"allocs_per_committed_txn": 0.2}, // measured 0.38 → +90%
+			LowerIsBetter: []string{"allocs_per_committed_txn"}},
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for _, r := range results {
+		if r.what == "allocs_per_committed_txn" {
+			if !r.lower {
+				t.Fatalf("direction not inverted: %+v", r)
+			}
+			failed = failed || r.failed
+		}
+	}
+	if !failed {
+		t.Fatalf("+90%% alloc growth passed the 20%% gate: %+v", results)
+	}
+}
+
+// TestCheckLowerIsBetterPassesOnDecrease: shrinking a cost metric is an
+// improvement, never a failure — the exact delta that would fail a
+// throughput metric.
+func TestCheckLowerIsBetterPassesOnDecrease(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadWriteThroughput/shards=1",
+			Metrics:       map[string]float64{"allocs_per_committed_txn": 10}, // measured 0.38 → −96%
+			LowerIsBetter: []string{"allocs_per_committed_txn"}},
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saw bool
+	for _, r := range results {
+		if r.what != "allocs_per_committed_txn" {
+			continue
+		}
+		saw = true
+		if r.failed {
+			t.Fatalf("−96%% alloc drop failed a lower-is-better gate: %+v", r)
+		}
+		if !r.improved() {
+			t.Fatalf("alloc drop not counted as an improvement: %+v", r)
+		}
+	}
+	if !saw {
+		t.Fatalf("allocs_per_committed_txn not compared: %+v", results)
+	}
+}
+
+// TestCheckLowerIsBetterDirectionIsPerEntry: the same metric key in an entry
+// WITHOUT lower_is_better keeps throughput semantics — the direction flag is
+// per-baseline-entry data, not a global metric-name registry.
+func TestCheckLowerIsBetterDirectionIsPerEntry(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkReadWriteThroughput/shards=1",
+			Metrics: map[string]float64{"allocs_per_committed_txn": 10}}, // measured 0.38 → −96%
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFail bool
+	for _, r := range results {
+		if r.what == "allocs_per_committed_txn" {
+			sawFail = sawFail || r.failed
+		}
+	}
+	if !sawFail {
+		t.Fatal("undeclared direction treated a −96% drop as passing under higher-is-better semantics")
+	}
+}
+
+// TestCheckLowerIsBetterMissingFailsUnderRequire: a lower_is_better baseline
+// entry whose benchmark never ran must fail loudly when -require names it —
+// an alloc gate that silently stops running is an alloc gate that silently
+// stopped gating.
+func TestCheckLowerIsBetterMissingFailsUnderRequire(t *testing.T) {
+	base := baselineFile{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkAllocGateRenamedAway",
+			Metrics:       map[string]float64{"allocs_per_committed_txn": 0.4},
+			LowerIsBetter: []string{"allocs_per_committed_txn"}},
+		{Name: "BenchmarkReadPathThroughput",
+			Metrics: map[string]float64{"txn_per_s": 480}},
+	}}
+	results, err := runCheck(base, parsedSamples(t), 0.20, false,
+		regexp.MustCompile("AllocGate|ReadPathThroughput"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missFailed bool
+	for _, r := range results {
+		if r.name == "BenchmarkAllocGateRenamedAway" {
+			if !r.failed || r.kind != "missing" {
+				t.Fatalf("missing alloc-gated benchmark not failed: %+v", r)
+			}
+			missFailed = true
+		}
+	}
+	if !missFailed {
+		t.Fatal("missing alloc-gated benchmark was silently skipped under -require")
 	}
 }
 

@@ -58,8 +58,13 @@ type pairKey struct{ from, to Addr }
 // race when deadlines coincide — Go timers with equal deadlines fire in
 // arbitrary order.)
 type pairQueue struct {
-	mu      sync.Mutex
-	q       []timedEnv
+	mu sync.Mutex
+	q  []timedEnv
+	// head indexes the next undelivered element: draining advances head
+	// instead of re-slicing, so the backing array is reused once the queue
+	// empties rather than re-grown for every burst (the per-delivery append
+	// was a steady-state allocation on the hot path).
+	head    int
 	running bool
 }
 
@@ -84,13 +89,16 @@ func (p *pairQueue) push(te timedEnv) {
 func (p *pairQueue) drain() {
 	for {
 		p.mu.Lock()
-		if len(p.q) == 0 {
+		if p.head == len(p.q) {
+			p.q = p.q[:0]
+			p.head = 0
 			p.running = false
 			p.mu.Unlock()
 			return
 		}
-		te := p.q[0]
-		p.q = p.q[1:]
+		te := p.q[p.head]
+		p.q[p.head] = timedEnv{} // release the envelope for reuse/GC
+		p.head++
 		p.mu.Unlock()
 		if d := time.Until(te.at); d > 0 {
 			time.Sleep(d)
@@ -103,12 +111,18 @@ type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []Envelope
-	done  bool
+	// head indexes the next unpopped element; popping advances it instead of
+	// re-slicing so the backing array is reused across bursts (see pairQueue).
+	head int
+	done bool
 	// bound is the depth at which sheddable messages are refused (0 =
 	// unbounded); high is the deepest the queue has ever been.
 	bound int
 	high  int
 }
+
+// depth returns the number of undelivered messages. Callers hold m.mu.
+func (m *mailbox) depth() int { return len(m.queue) - m.head }
 
 func newMailbox(bound int) *mailbox {
 	m := &mailbox{bound: bound}
@@ -124,15 +138,15 @@ func newMailbox(bound int) *mailbox {
 func (m *mailbox) push(e Envelope) bool {
 	m.mu.Lock()
 	if !m.done {
-		if m.bound > 0 && len(m.queue) >= m.bound {
+		if m.bound > 0 && m.depth() >= m.bound {
 			if _, shed := e.Msg.(model.Sheddable); shed {
 				m.mu.Unlock()
 				return false
 			}
 		}
 		m.queue = append(m.queue, e)
-		if len(m.queue) > m.high {
-			m.high = len(m.queue)
+		if d := m.depth(); d > m.high {
+			m.high = d
 		}
 	}
 	m.mu.Unlock()
@@ -143,14 +157,19 @@ func (m *mailbox) push(e Envelope) bool {
 func (m *mailbox) pop() (Envelope, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.done {
+	for m.depth() == 0 && !m.done {
 		m.cond.Wait()
 	}
 	if m.done {
 		return Envelope{}, false
 	}
-	e := m.queue[0]
-	m.queue = m.queue[1:]
+	e := m.queue[m.head]
+	m.queue[m.head] = Envelope{} // release the message for reuse/GC
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+	}
 	return e, true
 }
 
@@ -230,6 +249,9 @@ func (r *Runtime) nak(env Envelope) {
 		return
 	}
 	back := Envelope{From: env.To, To: env.From, Msg: sh.Busy()}
+	// The refused message dies here: the Busy reply above copied everything
+	// it needs, so a pooled original goes back to its pool now.
+	model.RecycleMessage(env.Msg)
 	r.mu.Lock()
 	mb := r.actors[back.To]
 	uplink := r.uplink
@@ -263,6 +285,10 @@ func (r *Runtime) Register(addr Addr, a Actor) {
 				return
 			}
 			a.OnMessage(ctx, env.From, env.Msg)
+			// Ownership transferred at Send: the delivery layer recycles
+			// pooled messages once the handler returns (handlers that defer
+			// a message past their return copy it via model.UnpoolMessage).
+			model.RecycleMessage(env.Msg)
 		}
 	}()
 }
@@ -297,8 +323,19 @@ func (r *Runtime) Post(env Envelope) {
 		return
 	}
 	if uplink != nil {
-		uplink(env)
+		uplink(unpoolEnv(env))
 	}
+}
+
+// unpoolEnv detaches env from the message pools before it crosses into the
+// transport: the uplink queues envelopes asynchronously (send queues, batch
+// encoding), which outlives the sender's call frame, so a pooled message is
+// copied out to its value form and the original recycled here.
+func unpoolEnv(env Envelope) Envelope {
+	orig := env.Msg
+	env.Msg = model.UnpoolMessage(orig)
+	model.RecycleMessage(orig)
+	return env
 }
 
 // Shutdown stops all actor goroutines. Pending timers fire into closed
@@ -357,7 +394,7 @@ func (r *Runtime) deliverAfter(env Envelope, delay time.Duration) {
 			return
 		}
 		if uplink != nil {
-			uplink(e)
+			uplink(unpoolEnv(e))
 		}
 	}
 	pq.push(timedEnv{at: at, env: env, fire: fire})

@@ -40,6 +40,11 @@ type ShardBenchResult struct {
 	ElapsedSec float64
 	// Throughput is committed transactions per wall-clock second.
 	Throughput float64
+	// AllocsPerTxn is the heap-allocation cost of one committed transaction:
+	// the runtime.MemStats.Mallocs delta across the worker phase divided by
+	// committed transactions. It is the number the bench gate holds a
+	// lower-is-better baseline against — the zero-alloc hot path's scorecard.
+	AllocsPerTxn float64
 	// Serializable is the conflict-graph checker's verdict over the full
 	// recorded history (it must hold at any shard count).
 	Serializable bool
@@ -61,6 +66,18 @@ func (c *shardBenchCtx) Send(to engine.Addr, msg model.Message) {
 	c.sent = append(c.sent, engine.Envelope{From: c.self, To: to, Msg: msg})
 }
 func (c *shardBenchCtx) SetTimer(delayMicros int64, msg model.Message) {}
+
+// recycleSent returns every captured outbound message to its pool and resets
+// the capture buffer. The harness is the delivery layer for the shard's
+// replies, so recycling here is what the runtime mailbox loop does after
+// OnMessage in production.
+func (c *shardBenchCtx) recycleSent() {
+	for i := range c.sent {
+		model.RecycleMessage(c.sent[i].Msg)
+		c.sent[i] = engine.Envelope{}
+	}
+	c.sent = c.sent[:0]
+}
 
 // ShardThroughput measures one site's queue manager under W concurrent
 // issuer workers, each committing txnsPerWorker uniform read-write
@@ -105,6 +122,8 @@ func ShardThroughput(shards, workers, txnsPerWorker int, hotShard bool, seed int
 	}
 
 	var wg sync.WaitGroup
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -144,15 +163,20 @@ func ShardThroughput(shards, workers, txnsPerWorker int, hotShard bool, seed int
 					kinds = append(kinds, kind)
 				}
 				for i, it := range chosen {
-					m.OnMessage(ctx, ctx.self, model.RequestMsg{
+					// Pooled request, recycled once OnMessage returns: the
+					// worker is issuer and delivery layer in one, so it owns
+					// both ends of the Send contract.
+					req := model.PooledRequest(model.RequestMsg{
 						Txn: txn, Protocol: model.PA, Kind: kinds[i],
 						Copy: model.CopyID{Item: it, Site: 0},
 						TS:   ts, Interval: 1, Site: site,
 					})
+					m.OnMessage(ctx, ctx.self, req)
+					model.RecycleMessage(req)
 				}
 				grants := 0
 				for _, env := range ctx.sent {
-					if _, ok := env.Msg.(model.GrantMsg); ok {
+					if _, ok := env.Msg.(*model.GrantMsg); ok {
 						grants++
 					}
 				}
@@ -160,31 +184,36 @@ func ShardThroughput(shards, workers, txnsPerWorker int, hotShard bool, seed int
 					panic(fmt.Sprintf("experiments: worker %d txn %d got %d/%d grants (universes not disjoint?)",
 						w, n, grants, txnSize))
 				}
-				ctx.sent = ctx.sent[:0]
+				ctx.recycleSent()
 				commit := time.Now().UnixMicro()
 				for i, it := range chosen {
-					m.OnMessage(ctx, ctx.self, model.ReleaseMsg{
+					rel := model.PooledRelease(model.ReleaseMsg{
 						Txn: txn, Copy: model.CopyID{Item: it, Site: 0},
 						HasWrite: kinds[i] == model.OpWrite, Value: int64(n),
 						CommitMicros: commit,
 					})
+					m.OnMessage(ctx, ctx.self, rel)
+					model.RecycleMessage(rel)
 				}
-				ctx.sent = ctx.sent[:0]
+				ctx.recycleSent()
 				rec.Committed(txn, model.PA)
 			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	check := rec.Check()
 	total := uint64(workers * txnsPerWorker)
 	return ShardBenchResult{
-		Shards:     shards,
-		Workers:    workers,
-		Txns:       total,
-		ElapsedSec: elapsed,
-		Throughput: float64(total) / elapsed,
+		Shards:       shards,
+		Workers:      workers,
+		Txns:         total,
+		ElapsedSec:   elapsed,
+		Throughput:   float64(total) / elapsed,
+		AllocsPerTxn: float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total),
 		Serializable: check.Serializable &&
 			check.Txns == workers*txnsPerWorker,
 	}

@@ -1,9 +1,12 @@
-// Package poolsafe enforces the decode-side message-pool lifetime
-// contract (internal/model/wirepool.go): a value obtained from
-// DecodeMessagePooled, DecodeEnvelopePooled, or ReadEnvelopePooled is
-// valid only until RecycleMessage, and a recycled value must never be
-// touched again — the pool will hand the same struct to a concurrent
-// decoder and the "retained" message silently mutates.
+// Package poolsafe enforces the message/object-pool lifetime contract
+// (internal/model/wirepool.go and the per-package hot-path pools): a value
+// obtained from a pooled constructor — the decode side
+// (DecodeMessagePooled, DecodeEnvelopePooled, ReadEnvelopePooled), the send
+// side (model.PooledRequest and its ten siblings), or a package-local
+// acquire (qm's acquireEntry, ri's acquireCopyReq) — is valid only until
+// its recycle call (RecycleMessage, recycleEntry, recycleCopyReq), and a
+// recycled value must never be touched again — the pool will hand the same
+// struct to a concurrent caller and the "retained" object silently mutates.
 //
 // The analyzer taints the results of the pooled constructors inside each
 // function and flags the retention vectors that outlive the call frame:
@@ -37,18 +40,64 @@ import (
 // Analyzer flags pooled-message lifetime violations.
 var Analyzer = &lint.Analyzer{
 	Name: "poolsafe",
-	Doc: "values from DecodeMessagePooled/DecodeEnvelopePooled must not be retained past " +
-		"RecycleMessage (no stores through pointers/globals, channel sends, goroutine captures, " +
+	Doc: "values from pooled constructors (DecodeMessagePooled/DecodeEnvelopePooled, the send-side " +
+		"model.PooledX family, qm's acquireEntry, ri's acquireCopyReq) must not be retained past " +
+		"their recycle call (no stores through pointers/globals, channel sends, goroutine captures, " +
 		"or appends), and recycled values must not be re-read",
 	Run: run,
 }
 
 // pooledConstructors names the taint sources; they must be declared in a
-// package whose import path ends in internal/model or internal/wire.
+// package whose import path ends in one of pooledPackages. The decode-side
+// trio returns wire-decoded pooled messages; the PooledX family is the
+// send-side boxing used on the transaction hot path; acquireEntry and
+// acquireCopyReq are the queue-table and attempt-state pools.
 var pooledConstructors = map[string]bool{
 	"DecodeMessagePooled":  true,
 	"DecodeEnvelopePooled": true,
 	"ReadEnvelopePooled":   true,
+
+	"PooledRequest":       true,
+	"PooledFinalTS":       true,
+	"PooledRelease":       true,
+	"PooledAbort":         true,
+	"PooledGrant":         true,
+	"PooledNormalGrant":   true,
+	"PooledReject":        true,
+	"PooledBackoff":       true,
+	"PooledBusy":          true,
+	"PooledSnapRead":      true,
+	"PooledSnapReadReply": true,
+
+	"acquireEntry":   true,
+	"acquireCopyReq": true,
+}
+
+// recycleFuncs names the calls that return a pooled value to its pool; the
+// argument becomes poison for the rest of the path. Each must be declared in
+// a package whose import path ends in one of pooledPackages.
+var recycleFuncs = map[string]bool{
+	"RecycleMessage": true,
+	"recycleEntry":   true,
+	"recycleCopyReq": true,
+}
+
+// pooledPackages are the import-path suffixes that may declare taint sources
+// and recycle calls — the packages owning a hot-path pool.
+var pooledPackages = []string{
+	"internal/model",
+	"internal/wire",
+	"internal/qm",
+	"internal/ri",
+}
+
+func inPooledPackage(path string) bool {
+	for _, suffix := range pooledPackages {
+		if lint.PathHasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 func run(pass *lint.Pass) error {
@@ -100,11 +149,11 @@ func (fn *funcState) isPooledCall(e ast.Expr) bool {
 	if obj == nil || obj.Pkg() == nil {
 		return false
 	}
-	return lint.PathHasSuffix(obj.Pkg().Path(), "internal/model") ||
-		lint.PathHasSuffix(obj.Pkg().Path(), "internal/wire")
+	return inPooledPackage(obj.Pkg().Path())
 }
 
-// isRecycleCall matches model.RecycleMessage(arg) and returns the arg.
+// isRecycleCall matches a recycle call (model.RecycleMessage, qm's
+// recycleEntry, ri's recycleCopyReq) and returns the recycled arg.
 func (fn *funcState) isRecycleCall(e ast.Expr) (ast.Expr, bool) {
 	call, ok := e.(*ast.CallExpr)
 	if !ok || len(call.Args) != 1 {
@@ -119,11 +168,11 @@ func (fn *funcState) isRecycleCall(e ast.Expr) (ast.Expr, bool) {
 	default:
 		return nil, false
 	}
-	if id.Name != "RecycleMessage" {
+	if !recycleFuncs[id.Name] {
 		return nil, false
 	}
 	obj := fn.pass.TypesInfo.Uses[id]
-	if obj == nil || obj.Pkg() == nil || !lint.PathHasSuffix(obj.Pkg().Path(), "internal/model") {
+	if obj == nil || obj.Pkg() == nil || !inPooledPackage(obj.Pkg().Path()) {
 		return nil, false
 	}
 	return call.Args[0], true
@@ -285,7 +334,12 @@ func (fn *funcState) goTainted(g *ast.GoStmt) bool {
 		found := false
 		ast.Inspect(lit.Body, func(n ast.Node) bool {
 			if id, ok := n.(*ast.Ident); ok {
-				if obj := fn.pass.TypesInfo.Uses[id]; obj != nil && fn.tainted[obj] {
+				obj := fn.pass.TypesInfo.Uses[id]
+				// Only variables DECLARED outside the literal are captures; a
+				// pooled value acquired inside the goroutine body is
+				// goroutine-local and its lifetime is that frame's problem.
+				if obj != nil && fn.tainted[obj] &&
+					(obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
 					found = true
 				}
 			}

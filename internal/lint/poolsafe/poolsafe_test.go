@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	linttest.Run(t, poolsafe.Analyzer, "testdata", "ps/internal/model", "ps/consumer")
+	linttest.Run(t, poolsafe.Analyzer, "testdata", "ps/internal/model", "ps/consumer", "ps/internal/qm")
 }

@@ -101,3 +101,50 @@ func allowListed(s *sink) {
 	s.last = m
 	model.RecycleMessage(m)
 }
+
+// --- send-side pooled constructors (model.PooledX family) ---
+
+func send(to int, m model.Message) {}
+
+// okPooledSend is the canonical hot-path shape: box, hand to Send (ownership
+// transfers by call — the delivery layer recycles), never touch again.
+func okPooledSend() {
+	send(1, model.PooledRequest(model.RequestMsg{Item: "a"}))
+	g := model.PooledGrant(model.GrantMsg{Item: "b"})
+	send(2, g)
+}
+
+// okPooledHarness is the bench-harness delivery-layer shape: box, deliver
+// synchronously, recycle.
+func okPooledHarness() {
+	m := model.PooledRequest(model.RequestMsg{Item: "a"})
+	use(m)
+	model.RecycleMessage(m)
+}
+
+func pooledSendFieldEscape(s *sink) {
+	m := model.PooledRequest(model.RequestMsg{Item: "a"})
+	s.last = m // want `stored into s\.last`
+	model.RecycleMessage(m)
+}
+
+func pooledSendChanEscape(ch chan model.Message) {
+	g := model.PooledGrant(model.GrantMsg{Item: "b"})
+	ch <- g // want `sent on a channel`
+}
+
+func pooledSendGoEscape() {
+	m := model.PooledRequest(model.RequestMsg{Item: "a"})
+	go func() { use(m) }() // want `captured by a goroutine`
+}
+
+func pooledSendAppendEscape(buf []model.Message) []model.Message {
+	g := model.PooledGrant(model.GrantMsg{Item: "b"})
+	return append(buf, g) // want `appended to a slice`
+}
+
+func pooledSendUseAfterRecycle() {
+	m := model.PooledRequest(model.RequestMsg{Item: "a"})
+	model.RecycleMessage(m)
+	use(m) // want `used after RecycleMessage`
+}

@@ -13,10 +13,21 @@ type RequestMsg struct{ Item string }
 
 func (*RequestMsg) isMessage() {}
 
+// GrantMsg is a second pooled hot type (the send side's reply shape).
+type GrantMsg struct{ Item string }
+
+func (*GrantMsg) isMessage() {}
+
 // DecodeMessagePooled mirrors the real pool-backed decoder.
 func DecodeMessagePooled(tag WireTag) (Message, error) {
 	return &RequestMsg{}, nil
 }
+
+// PooledRequest mirrors the real send-side boxing constructor.
+func PooledRequest(v RequestMsg) *RequestMsg { return &v }
+
+// PooledGrant mirrors the real send-side boxing constructor.
+func PooledGrant(v GrantMsg) *GrantMsg { return &v }
 
 // RecycleMessage mirrors the real pool return.
 func RecycleMessage(m Message) {}

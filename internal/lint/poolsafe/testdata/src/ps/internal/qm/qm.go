@@ -1,0 +1,58 @@
+// Package qm is a miniature stand-in for ucc/internal/qm's queue-entry pool:
+// a package-local acquire/recycle pair the analyzer recognises by the
+// import-path suffix. The flagged and allowed shapes live in the same
+// package because the pool is unexported, exactly like the real one.
+package qm
+
+// entry mirrors the real queue-table entry.
+type entry struct {
+	item string
+	next *entry
+}
+
+// acquireEntry mirrors the real pool acquire.
+func acquireEntry() *entry { return &entry{} }
+
+// recycleEntry mirrors the real pool return.
+func recycleEntry(e *entry) {}
+
+var table = map[string]*entry{}
+
+func inspect(e *entry) {}
+
+// okQueueLifetime is the real shard shape: acquire, hand to the queue by
+// call (ownership transfer), recycle when the queue removes it.
+func okQueueLifetime() {
+	e := acquireEntry()
+	e.item = "a"
+	inspect(e)
+	recycleEntry(e)
+}
+
+func entryMapEscape() {
+	e := acquireEntry()
+	table[e.item] = e // want `stored into table\[e\.item\]`
+	recycleEntry(e)
+}
+
+func entryLinkEscape(head *entry) {
+	e := acquireEntry()
+	head.next = e // want `stored into head\.next`
+}
+
+func entryUseAfterRecycle() {
+	e := acquireEntry()
+	recycleEntry(e)
+	inspect(e) // want `used after RecycleMessage`
+}
+
+func entryAppendEscape(wait []*entry) []*entry {
+	e := acquireEntry()
+	return append(wait, e) // want `appended to a slice`
+}
+
+func allowListedRetention() {
+	e := acquireEntry()
+	//ucclint:allow poolsafe -- queue residency: recycleEntry runs at remove()
+	table[e.item] = e
+}

@@ -2,32 +2,38 @@ package model
 
 import "sync"
 
-// Decode-side struct pooling (opt-in).
+// Message struct pooling (opt-in).
 //
 // DecodeMessage returns value-typed messages; storing one in the Message
-// interface boxes it — one small heap allocation per decoded message, the
-// last steady-state allocation on the wire-v3 decode path. For consumers
-// that can bound a message's lifetime (decode → dispatch → done, never
-// retaining it), DecodeMessagePooled removes that allocation: the eleven
-// hot fixed-size protocol types decode into pooled structs returned as
-// pointers, and RecycleMessage puts them back.
+// interface boxes it — one small heap allocation per message, the last
+// steady-state allocation on both the wire-v3 decode path and the in-process
+// send path. The eleven hot fixed-size protocol types therefore pool in both
+// directions: DecodeMessagePooled decodes into pooled structs returned as
+// pointers, the PooledRequest/PooledGrant/... constructors wrap a value into
+// a pooled pointer for sending, and RecycleMessage puts either back.
 //
 // The contract is strict and deliberately opt-in:
 //
-//   - A pooled message is valid only until RecycleMessage. Callers that
-//     retain messages, forward them to actors, or let them escape must use
-//     DecodeMessage instead (the engine's actor type switches match value
-//     types, not pointers).
+//   - A pooled message is valid only until RecycleMessage. Ownership
+//     transfers at Send: the delivery layer (engine.Runtime's mailbox loop,
+//     sim.Engine.Step, bench harnesses draining captured envelopes) recycles
+//     after the receiving actor's OnMessage returns. Handlers that must
+//     retain a message past OnMessage copy it out first — UnpoolMessage
+//     returns a value-typed copy safe to hold forever.
+//   - Actor type switches match both forms: the qm and ri dispatch switches
+//     carry pointer cases that deref to the existing value handlers, so a
+//     pooled send costs nothing at the receiver.
 //   - RecycleMessage accepts any Message and ignores everything that is not
 //     a pooled pointer type, so a mixed stream can be recycled blindly.
 //   - Variable-size messages (slices, maps, strings: VictimMsg, WFGReport,
 //     SubmitTxn, QueueStats, Estimate, TxnDone, ...) are NOT pooled — their
 //     backing arrays would pin arbitrary memory in the pool. They fall back
-//     to the plain decoder.
+//     to the plain decoder and plain value sends.
 //
 // AppendMessage accepts both forms (a pooled *RequestMsg encodes byte-for-
 // byte identically to the RequestMsg it holds), so round-trip paths —
-// decode pooled, re-encode, recycle — need no copies.
+// decode pooled, re-encode, recycle — need no copies, and pooled sends
+// cross the transport unchanged.
 
 var (
 	requestPool       = sync.Pool{New: func() any { return new(RequestMsg) }}
@@ -107,10 +113,126 @@ func DecodeMessagePooled(tag WireTag, r *WireReader) (Message, error) {
 	return m, nil
 }
 
-// RecycleMessage returns a message obtained from DecodeMessagePooled to its
-// pool. Non-pooled messages (value types, variable-size types, nil) are
-// ignored, so callers can recycle a mixed stream unconditionally. The caller
-// must not touch the message afterwards.
+// Send-side pooled constructors: each wraps a value into a pooled pointer so
+// storing it in the Message interface costs no allocation. The result obeys
+// the same lifetime contract as DecodeMessagePooled output — ownership
+// transfers to the delivery layer at Send, which recycles it after the
+// receiving actor returns.
+
+// PooledRequest returns v as a pooled *RequestMsg.
+func PooledRequest(v RequestMsg) *RequestMsg {
+	p := requestPool.Get().(*RequestMsg)
+	*p = v
+	return p
+}
+
+// PooledFinalTS returns v as a pooled *FinalTSMsg.
+func PooledFinalTS(v FinalTSMsg) *FinalTSMsg {
+	p := finalTSPool.Get().(*FinalTSMsg)
+	*p = v
+	return p
+}
+
+// PooledRelease returns v as a pooled *ReleaseMsg.
+func PooledRelease(v ReleaseMsg) *ReleaseMsg {
+	p := releasePool.Get().(*ReleaseMsg)
+	*p = v
+	return p
+}
+
+// PooledAbort returns v as a pooled *AbortMsg.
+func PooledAbort(v AbortMsg) *AbortMsg {
+	p := abortPool.Get().(*AbortMsg)
+	*p = v
+	return p
+}
+
+// PooledGrant returns v as a pooled *GrantMsg.
+func PooledGrant(v GrantMsg) *GrantMsg {
+	p := grantPool.Get().(*GrantMsg)
+	*p = v
+	return p
+}
+
+// PooledNormalGrant returns v as a pooled *NormalGrantMsg.
+func PooledNormalGrant(v NormalGrantMsg) *NormalGrantMsg {
+	p := normalGrantPool.Get().(*NormalGrantMsg)
+	*p = v
+	return p
+}
+
+// PooledReject returns v as a pooled *RejectMsg.
+func PooledReject(v RejectMsg) *RejectMsg {
+	p := rejectPool.Get().(*RejectMsg)
+	*p = v
+	return p
+}
+
+// PooledBackoff returns v as a pooled *BackoffMsg.
+func PooledBackoff(v BackoffMsg) *BackoffMsg {
+	p := backoffPool.Get().(*BackoffMsg)
+	*p = v
+	return p
+}
+
+// PooledBusy returns v as a pooled *BusyMsg.
+func PooledBusy(v BusyMsg) *BusyMsg {
+	p := busyPool.Get().(*BusyMsg)
+	*p = v
+	return p
+}
+
+// PooledSnapRead returns v as a pooled *SnapReadMsg.
+func PooledSnapRead(v SnapReadMsg) *SnapReadMsg {
+	p := snapReadPool.Get().(*SnapReadMsg)
+	*p = v
+	return p
+}
+
+// PooledSnapReadReply returns v as a pooled *SnapReadReplyMsg.
+func PooledSnapReadReply(v SnapReadReplyMsg) *SnapReadReplyMsg {
+	p := snapReadReplyPool.Get().(*SnapReadReplyMsg)
+	*p = v
+	return p
+}
+
+// UnpoolMessage returns a retention-safe form of m: pooled pointer types are
+// copied out to their value form, everything else passes through unchanged.
+// It does NOT recycle m — at the points that need this (a handler deferring
+// a message past its own return), the delivery layer still owns the pointer
+// and recycles it when OnMessage returns; recycling here too would double-Put.
+func UnpoolMessage(m Message) Message {
+	switch v := m.(type) {
+	case *RequestMsg:
+		return *v
+	case *FinalTSMsg:
+		return *v
+	case *ReleaseMsg:
+		return *v
+	case *AbortMsg:
+		return *v
+	case *GrantMsg:
+		return *v
+	case *NormalGrantMsg:
+		return *v
+	case *RejectMsg:
+		return *v
+	case *BackoffMsg:
+		return *v
+	case *BusyMsg:
+		return *v
+	case *SnapReadMsg:
+		return *v
+	case *SnapReadReplyMsg:
+		return *v
+	}
+	return m
+}
+
+// RecycleMessage returns a pooled message (from DecodeMessagePooled or a
+// PooledX constructor) to its pool. Non-pooled messages (value types,
+// variable-size types, nil) are ignored, so callers can recycle a mixed
+// stream unconditionally. The caller must not touch the message afterwards.
 func RecycleMessage(m Message) {
 	switch v := m.(type) {
 	case *RequestMsg:

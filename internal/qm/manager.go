@@ -338,13 +338,23 @@ func (m *Manager) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 	switch v := msg.(type) {
 	case model.RequestMsg:
 		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
+	case *model.RequestMsg:
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.FinalTSMsg:
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
+	case *model.FinalTSMsg:
 		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.ReleaseMsg:
 		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
+	case *model.ReleaseMsg:
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.AbortMsg:
 		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
+	case *model.AbortMsg:
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.SnapReadMsg:
+		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
+	case *model.SnapReadMsg:
 		m.shardFor(v.Copy.Item).onMessage(ctx, from, msg)
 	case model.FlushMsg:
 		if int(v.Shard) < len(m.shards) {

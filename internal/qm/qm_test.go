@@ -26,7 +26,11 @@ func (c *fakeCtx) NowMicros() int64  { return c.now }
 func (c *fakeCtx) Self() engine.Addr { return c.self }
 func (c *fakeCtx) Rand() *rand.Rand  { return c.rng }
 func (c *fakeCtx) Send(to engine.Addr, msg model.Message) {
-	c.sent = append(c.sent, engine.Envelope{From: c.self, To: to, Msg: msg})
+	// The fake context is its own delivery layer: capture a value copy so the
+	// take[M] matchers see value forms, and recycle the pooled pointer right
+	// away (ownership transfers at Send; the shard never touches it again).
+	c.sent = append(c.sent, engine.Envelope{From: c.self, To: to, Msg: model.UnpoolMessage(msg)})
+	model.RecycleMessage(msg)
 }
 func (c *fakeCtx) SetTimer(delay int64, msg model.Message) {
 	c.sent = append(c.sent, engine.Envelope{From: c.self, To: c.self, Msg: msg})

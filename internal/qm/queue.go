@@ -3,6 +3,7 @@ package qm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ucc/internal/model"
 )
@@ -38,6 +39,27 @@ type entry struct {
 	// read's SRL is born semi, so per §4.3 the operation is implemented —
 	// and its value taken — at the grant).
 	readRecorded bool
+}
+
+// entryPool recycles queue-table entries: one entry is acquired per admitted
+// request attempt and released when the attempt leaves its queue (release,
+// abort, stale-attempt replacement), so steady-state traffic allocates no
+// entries at all. The lifetime is queue residency: acquireEntry → insert →
+// ... → remove → recycleEntry. The poolsafe analyzer tracks acquireEntry
+// results like pooled messages — an entry stored outside the queue tables or
+// read after recycleEntry is a lint finding, not a production bug.
+var entryPool = sync.Pool{New: func() any { return new(entry) }}
+
+// acquireEntry returns a zeroed entry from the pool.
+func acquireEntry() *entry {
+	return entryPool.Get().(*entry)
+}
+
+// recycleEntry returns e to the pool. The caller must not touch e afterwards
+// and must have removed it from every queue index first.
+func recycleEntry(e *entry) {
+	*e = entry{}
+	entryPool.Put(e)
 }
 
 func (e *entry) String() string {
@@ -101,6 +123,10 @@ type dataQueue struct {
 
 	// Cumulative grant counters (inputs to λr(j)/λw(j) estimation).
 	readGrants, writeGrants uint64
+
+	// promo is promotable's reused scratch: dispatch calls it after every
+	// handled message, and the common empty result must not allocate.
+	promo []*entry
 }
 
 func newDataQueue(c model.CopyID, semiLocks bool) *dataQueue {
@@ -393,8 +419,9 @@ func (q *dataQueue) grant(hd *entry, d grantDecision) {
 
 // promotable returns granted pre-scheduled entries whose conflicting earlier
 // grants have all been released (§4.2 rule 2 case 5): they become normal.
+// The returned slice is q's scratch, valid until the next promotable call.
 func (q *dataQueue) promotable() []*entry {
-	var out []*entry
+	out := q.promo[:0]
 	for _, e := range q.granted {
 		if e.normalSent {
 			continue
@@ -413,6 +440,7 @@ func (q *dataQueue) promotable() []*entry {
 			out = append(out, e)
 		}
 	}
+	q.promo = out
 	return out
 }
 

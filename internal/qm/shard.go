@@ -52,26 +52,41 @@ func (sh *shard) onMessage(ctx engine.Context, from engine.Addr, msg model.Messa
 		if _, timer := msg.(model.FlushMsg); !timer {
 			sh.counters.Deferred++
 		}
-		sh.deferred = append(sh.deferred, pendingMsg{from: from, msg: msg})
+		// The deferred list outlives this delivery, but the delivery layer
+		// recycles pooled messages when OnMessage returns — hold a value copy.
+		sh.deferred = append(sh.deferred, pendingMsg{from: from, msg: model.UnpoolMessage(msg)})
 		return
 	}
 	sh.handle(ctx, from, msg)
 	sh.maybeFlush(ctx)
 }
 
-// handle dispatches one message. Callers hold sh.mu.
+// handle dispatches one message. Callers hold sh.mu. Pooled pointer forms
+// deref to the value handlers — the pointer stays owned by the delivery
+// layer, which recycles it after OnMessage returns, so handlers only ever
+// see a stack copy.
 func (sh *shard) handle(ctx engine.Context, from engine.Addr, msg model.Message) {
 	switch v := msg.(type) {
 	case model.RequestMsg:
 		sh.onRequest(ctx, v)
+	case *model.RequestMsg:
+		sh.onRequest(ctx, *v)
 	case model.FinalTSMsg:
 		sh.onFinalTS(ctx, v)
+	case *model.FinalTSMsg:
+		sh.onFinalTS(ctx, *v)
 	case model.ReleaseMsg:
 		sh.onRelease(ctx, v)
+	case *model.ReleaseMsg:
+		sh.onRelease(ctx, *v)
 	case model.AbortMsg:
 		sh.onAbort(ctx, v)
+	case *model.AbortMsg:
+		sh.onAbort(ctx, *v)
 	case model.SnapReadMsg:
 		sh.onSnapRead(ctx, v)
+	case *model.SnapReadMsg:
+		sh.onSnapRead(ctx, *v)
 	case model.FlushMsg:
 		sh.onFlushTimer()
 	default:
@@ -140,7 +155,7 @@ func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
 		// flight from the old owner. Busy is the right refusal — the routing
 		// was correct, the issuer just needs to retry under backoff.
 		sh.counters.Busy++
-		ctx.Send(engine.RIAddr(v.Site), model.BusyMsg{Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy})
+		ctx.Send(engine.RIAddr(v.Site), model.PooledBusy(model.BusyMsg{Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy}))
 		return
 	}
 	q := sh.queue(v.Copy.Item)
@@ -150,9 +165,9 @@ func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
 		// aborts the attempt and restarts it under backoff — shedding load
 		// at the source instead of diverging here.
 		sh.counters.Busy++
-		ctx.Send(engine.RIAddr(v.Site), model.BusyMsg{
+		ctx.Send(engine.RIAddr(v.Site), model.PooledBusy(model.BusyMsg{
 			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy,
-		})
+		}))
 		return
 	}
 	if old := q.find(v.Txn); old != nil {
@@ -165,17 +180,17 @@ func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
 			sh.m.recorder.Discard(q.copyID, old.txn)
 		}
 		q.remove(old)
+		recycleEntry(old)
 	}
-	e := &entry{
-		txn:      v.Txn,
-		attempt:  v.Attempt,
-		protocol: v.Protocol,
-		kind:     v.Kind,
-		prec: model.Precedence{
-			Site:  v.Site,
-			Txn:   v.Txn,
-			Is2PL: v.Protocol == model.TwoPL,
-		},
+	e := acquireEntry()
+	e.txn = v.Txn
+	e.attempt = v.Attempt
+	e.protocol = v.Protocol
+	e.kind = v.Kind
+	e.prec = model.Precedence{
+		Site:  v.Site,
+		Txn:   v.Txn,
+		Is2PL: v.Protocol == model.TwoPL,
 	}
 	out := q.admit(e, v.TS, v.Interval)
 	if d := len(q.entries); d > sh.depthHigh {
@@ -184,15 +199,17 @@ func (sh *shard) onRequest(ctx engine.Context, v model.RequestMsg) {
 	issuer := engine.RIAddr(v.Site)
 	switch {
 	case out.rejected:
+		// Rejected requests are never inserted: the entry goes straight back.
+		recycleEntry(e)
 		sh.counters.Rejects++
-		ctx.Send(issuer, model.RejectMsg{
+		ctx.Send(issuer, model.PooledReject(model.RejectMsg{
 			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy, Threshold: out.threshold,
-		})
+		}))
 	case out.backedOff:
 		sh.counters.Backoffs++
-		ctx.Send(issuer, model.BackoffMsg{
+		ctx.Send(issuer, model.PooledBackoff(model.BackoffMsg{
 			Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy, NewTS: out.newTS,
-		})
+		}))
 	}
 	sh.dispatch(ctx, q)
 }
@@ -249,6 +266,7 @@ func (sh *shard) onRelease(ctx engine.Context, v model.ReleaseMsg) {
 		sh.implement(e, v)
 	}
 	q.remove(e)
+	recycleEntry(e)
 	sh.counters.Releases++
 	sh.maybeFlush(ctx) // before dispatch exposes the write (see above)
 	sh.dispatch(ctx, q)
@@ -270,7 +288,7 @@ func (sh *shard) onSnapRead(ctx engine.Context, v model.SnapReadMsg) {
 		// initial copy, not the moved history — refuse rather than serve a
 		// stale snapshot.
 		sh.counters.Busy++
-		ctx.Send(engine.RIAddr(v.Site), model.BusyMsg{Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy})
+		ctx.Send(engine.RIAddr(v.Site), model.PooledBusy(model.BusyMsg{Txn: v.Txn, Attempt: v.Attempt, Copy: v.Copy}))
 		return
 	}
 	sh.counters.SnapReads++
@@ -281,7 +299,7 @@ func (sh *shard) onSnapRead(ctx engine.Context, v model.SnapReadMsg) {
 	if sh.m.recorder != nil {
 		sh.m.recorder.ImplementedReadAt(model.CopyID{Item: v.Copy.Item, Site: sh.m.site}, v.Txn, ver.Version)
 	}
-	ctx.Send(engine.RIAddr(v.Site), model.SnapReadReplyMsg{
+	ctx.Send(engine.RIAddr(v.Site), model.PooledSnapReadReply(model.SnapReadReplyMsg{
 		Txn:          v.Txn,
 		Attempt:      v.Attempt,
 		Copy:         v.Copy,
@@ -289,7 +307,7 @@ func (sh *shard) onSnapRead(ctx engine.Context, v model.SnapReadMsg) {
 		Version:      ver.Version,
 		CommitMicros: ver.CommitMicros,
 		Exact:        exact,
-	})
+	}))
 }
 
 // implement applies the operation to the store and the history log.
@@ -324,6 +342,7 @@ func (sh *shard) onAbort(ctx engine.Context, v model.AbortMsg) {
 		sh.m.recorder.Discard(q.copyID, e.txn)
 	}
 	q.remove(e)
+	recycleEntry(e)
 	sh.counters.Aborts++
 	sh.dispatch(ctx, q)
 	sh.maybeRetire(v.Copy.Item, q)
@@ -356,7 +375,7 @@ func (sh *shard) dispatch(ctx engine.Context, q *dataQueue) {
 			hd.readRecorded = true
 		}
 		ver := sh.m.store.Latest(q.copyID.Item)
-		ctx.Send(engine.RIAddr(hd.prec.Site), model.GrantMsg{
+		ctx.Send(engine.RIAddr(hd.prec.Site), model.PooledGrant(model.GrantMsg{
 			Txn:          hd.txn,
 			Attempt:      hd.attempt,
 			Copy:         q.copyID,
@@ -366,13 +385,13 @@ func (sh *shard) dispatch(ctx engine.Context, q *dataQueue) {
 			Value:        ver.Value,
 			Version:      ver.Version,
 			CommitMicros: ver.CommitMicros,
-		})
+		}))
 	}
 	for _, e := range q.promotable() {
 		e.normalSent = true
 		sh.counters.Promotions++
-		ctx.Send(engine.RIAddr(e.prec.Site), model.NormalGrantMsg{
+		ctx.Send(engine.RIAddr(e.prec.Site), model.PooledNormalGrant(model.NormalGrantMsg{
 			Txn: e.txn, Attempt: e.attempt, Copy: q.copyID,
-		})
+		}))
 	}
 }

@@ -118,6 +118,26 @@ type copyReq struct {
 	excluded bool
 }
 
+// copyReqPool recycles per-copy attempt state: every attempt acquires one
+// copyReq per physical request at launch and releases the set when the
+// attempt's bookkeeping is torn down (re-launch, commit, or drop), so
+// steady-state traffic allocates none. The lifetime is attempt residency —
+// s.reqs/s.order hold the only references — and the poolsafe analyzer tracks
+// acquireCopyReq results like pooled messages.
+var copyReqPool = sync.Pool{New: func() any { return new(copyReq) }}
+
+// acquireCopyReq returns a zeroed copyReq from the pool.
+func acquireCopyReq() *copyReq {
+	return copyReqPool.Get().(*copyReq)
+}
+
+// recycleCopyReq returns r to the pool. The caller must not touch r
+// afterwards and must have dropped it from s.reqs/s.order first.
+func recycleCopyReq(r *copyReq) {
+	*r = copyReq{}
+	copyReqPool.Put(r)
+}
+
 // txnState is the issuer-side state of one in-flight transaction.
 type txnState struct {
 	txn     *model.Txn
@@ -165,8 +185,7 @@ func (ri *Issuer) gate(s *txnState, pred func(*copyReq) bool) bool {
 		}
 		return true
 	}
-	needs := map[model.ItemID]int{}
-	got := map[model.ItemID]int{}
+	needs, got := ri.gateScratch()
 	for _, r := range s.reqs {
 		needs[r.copyID.Item] = ri.quorumNeed(r.kind)
 		if !r.excluded && pred(r) {
@@ -181,6 +200,19 @@ func (ri *Issuer) gate(s *txnState, pred func(*copyReq) bool) bool {
 	return true
 }
 
+// gateScratch returns the cleared reusable need/got maps for one quorum-gate
+// evaluation. Gates run under ri.mu and never nest, so two maps suffice for
+// the whole issuer — quorum mode stops allocating a pair per grant event.
+func (ri *Issuer) gateScratch() (needs, got map[model.ItemID]int) {
+	if ri.gateNeeds == nil {
+		ri.gateNeeds = map[model.ItemID]int{}
+		ri.gateGot = map[model.ItemID]int{}
+	}
+	clear(ri.gateNeeds)
+	clear(ri.gateGot)
+	return ri.gateNeeds, ri.gateGot
+}
+
 // quorumNeed returns the per-item grant quorum for a request kind.
 func (ri *Issuer) quorumNeed(kind model.OpKind) int {
 	if kind == model.OpWrite {
@@ -193,8 +225,7 @@ func (ri *Issuer) quorumNeed(kind model.OpKind) int {
 // quorum among the copies not yet excluded. False means the attempt is
 // blocked below quorum and must restart as overload.
 func (ri *Issuer) quorumSatisfiable(s *txnState) bool {
-	needs := map[model.ItemID]int{}
-	left := map[model.ItemID]int{}
+	needs, left := ri.gateScratch()
 	for _, r := range s.reqs {
 		needs[r.copyID.Item] = ri.quorumNeed(r.kind)
 		if !r.excluded {
@@ -248,6 +279,11 @@ type Issuer struct {
 
 	// adm is the admission controller (nil when Options.Admission is off).
 	adm *admission
+
+	// gateNeeds/gateGot are gateScratch's reusable maps (quorum mode only);
+	// guarded by mu like the rest of the issuer state.
+	gateNeeds map[model.ItemID]int
+	gateGot   map[model.ItemID]int
 
 	// Stats (monotone counters).
 	submitted   uint64
@@ -439,18 +475,32 @@ func (ri *Issuer) OnMessage(ctx engine.Context, from engine.Addr, msg model.Mess
 		ri.onSubmit(ctx, v.Txn)
 	case model.GrantMsg:
 		ri.onGrant(ctx, v)
+	case *model.GrantMsg:
+		// Pooled pointer forms deref to stack copies: the pointer stays owned
+		// by the delivery layer, which recycles it after OnMessage returns.
+		ri.onGrant(ctx, *v)
 	case model.SnapReadReplyMsg:
 		ri.onSnapReply(ctx, v)
+	case *model.SnapReadReplyMsg:
+		ri.onSnapReply(ctx, *v)
 	case model.NormalGrantMsg:
 		ri.onNormalGrant(ctx, v)
+	case *model.NormalGrantMsg:
+		ri.onNormalGrant(ctx, *v)
 	case model.RejectMsg:
 		ri.onReject(ctx, v)
+	case *model.RejectMsg:
+		ri.onReject(ctx, *v)
 	case model.BackoffMsg:
 		ri.onBackoff(ctx, v)
+	case *model.BackoffMsg:
+		ri.onBackoff(ctx, *v)
 	case model.VictimMsg:
 		ri.onVictim(ctx, v)
 	case model.BusyMsg:
 		ri.onBusy(ctx, v)
+	case *model.BusyMsg:
+		ri.onBusy(ctx, *v)
 	case model.WrongEpochMsg:
 		ri.onWrongEpoch(ctx, v)
 	case model.MapUpdateMsg:
@@ -551,13 +601,13 @@ func (ri *Issuer) launchRO(ctx engine.Context, t *model.Txn) {
 		c := model.CopyID{Item: item, Site: ri.pmap.Primary(item)}
 		s.pending[c] = true
 		s.messages++
-		ctx.Send(ri.qmAddr(c), model.SnapReadMsg{
+		ctx.Send(ri.qmAddr(c), model.PooledSnapRead(model.SnapReadMsg{
 			Txn:        t.ID,
 			Copy:       c,
 			SnapMicros: snap,
 			Site:       ri.site,
 			Epoch:      ri.pmap.Epoch,
-		})
+		}))
 	}
 	if len(s.pending) == 0 {
 		// Unreachable via onSubmit (zero-op transactions return before the
@@ -626,7 +676,7 @@ func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
 	s.attempts++
 	s.arrival = ctx.NowMicros()
 	s.phase = phaseNegotiating
-	s.reqs = map[model.CopyID]*copyReq{}
+	ri.releaseAttempt(s)
 	s.firstGrant = 0
 	s.backoffMax = 0
 	s.anyBackoff = false
@@ -645,11 +695,16 @@ func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
 
 	add := func(item model.ItemID, site model.SiteID, kind model.OpKind) {
 		c := model.CopyID{Item: item, Site: site}
-		r := &copyReq{copyID: c, kind: kind}
+		r := acquireCopyReq()
+		r.copyID = c
+		r.kind = kind
+		// The attempt's bookkeeping is the pool lifetime: these two stores are
+		// the only references, both torn down through releaseAttempt.
+		//ucclint:allow poolsafe -- attempt-scoped retention; releaseAttempt recycles every copyReq it stores before the next acquire
 		s.reqs[c] = r
+		//ucclint:allow poolsafe -- same attempt-scoped retention as the map store above
 		s.order = append(s.order, r)
 	}
-	s.order = s.order[:0]
 	for _, item := range t.ReadSet {
 		if ri.opts.Quorum != nil {
 			// Quorum reads go to every copy and proceed on any R grants: the
@@ -675,7 +730,7 @@ func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
 		return a.Site < b.Site
 	})
 	for _, r := range s.order {
-		ri.send(ctx, s, ri.qmAddr(r.copyID), model.RequestMsg{
+		ri.send(ctx, s, ri.qmAddr(r.copyID), model.PooledRequest(model.RequestMsg{
 			Txn:      t.ID,
 			Attempt:  s.attempt,
 			Protocol: t.Protocol,
@@ -685,13 +740,31 @@ func (ri *Issuer) launch(ctx engine.Context, s *txnState) {
 			Interval: ri.opts.PAIntervalMicros,
 			Site:     ri.site,
 			Epoch:    ri.pmap.Epoch,
-		})
+		}))
 	}
 }
 
 func (ri *Issuer) send(ctx engine.Context, s *txnState, to engine.Addr, msg model.Message) {
 	s.messages++
 	ctx.Send(to, msg)
+}
+
+// releaseAttempt recycles every copyReq the attempt's bookkeeping holds and
+// resets s.reqs/s.order for reuse. Called at re-launch (the new attempt
+// builds a fresh set), at commit, and at the MaxAttempts drop — the three
+// points after which no stale grant/NAK can resolve to a recycled copyReq
+// (stateFor filters by attempt, and the terminal paths delete ri.active
+// before returning to the delivery loop).
+func (ri *Issuer) releaseAttempt(s *txnState) {
+	for _, r := range s.order {
+		recycleCopyReq(r)
+	}
+	s.order = s.order[:0]
+	if s.reqs == nil {
+		s.reqs = map[model.CopyID]*copyReq{}
+	} else {
+		clear(s.reqs)
+	}
 }
 
 // stateFor returns the live state matching (txn, attempt), or nil for stale
@@ -786,9 +859,9 @@ func (ri *Issuer) finalizePA(ctx engine.Context, s *txnState) {
 		r.granted = false
 		r.normal = false
 		r.preSched = false
-		ri.send(ctx, s, ri.qmAddr(r.copyID), model.FinalTSMsg{
+		ri.send(ctx, s, ri.qmAddr(r.copyID), model.PooledFinalTS(model.FinalTSMsg{
 			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID, TS: final,
-		})
+		}))
 	}
 	s.phase = phaseAwaitGrants
 }
@@ -1030,9 +1103,9 @@ func (ri *Issuer) onMapUpdate(v model.MapUpdateMsg) {
 func (ri *Issuer) excludeCopy(ctx engine.Context, s *txnState, r *copyReq) {
 	r.excluded = true
 	ri.quorumExcluded++
-	ri.send(ctx, s, ri.qmAddr(r.copyID), model.AbortMsg{
+	ri.send(ctx, s, ri.qmAddr(r.copyID), model.PooledAbort(model.AbortMsg{
 		Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID,
-	})
+	}))
 }
 
 // withdrawNone is abortAttempt's skip sentinel meaning "withdraw every
@@ -1046,9 +1119,9 @@ func (ri *Issuer) abortAttempt(ctx engine.Context, s *txnState, skip model.CopyI
 		if r.copyID == skip {
 			continue
 		}
-		ri.send(ctx, s, ri.qmAddr(r.copyID), model.AbortMsg{
+		ri.send(ctx, s, ri.qmAddr(r.copyID), model.PooledAbort(model.AbortMsg{
 			Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID,
-		})
+		}))
 	}
 }
 
@@ -1085,6 +1158,7 @@ func (ri *Issuer) scheduleRestart(ctx engine.Context, s *txnState) {
 	if ri.opts.MaxAttempts > 0 && s.attempts >= ri.opts.MaxAttempts {
 		ri.dropped++
 		delete(ri.active, s.txn.ID)
+		ri.releaseAttempt(s)
 		ri.finished(ctx, s.txn.ID)
 		return
 	}
@@ -1207,9 +1281,9 @@ func (ri *Issuer) releaseAll(ctx engine.Context, s *txnState, toSemi bool) {
 				// pending request instead of releasing a grant that never
 				// came. The copy converges through log shipping, never
 				// through a write it did not accept.
-				ri.send(ctx, s, ri.qmAddr(r.copyID), model.AbortMsg{
+				ri.send(ctx, s, ri.qmAddr(r.copyID), model.PooledAbort(model.AbortMsg{
 					Txn: s.txn.ID, Attempt: s.attempt, Copy: r.copyID,
-				})
+				}))
 				continue
 			}
 		}
@@ -1221,7 +1295,7 @@ func (ri *Issuer) releaseAll(ctx engine.Context, s *txnState, toSemi bool) {
 			msg.HasWrite = true
 			msg.Value = ri.writeValue(s, r.copyID.Item)
 		}
-		ri.send(ctx, s, ri.qmAddr(r.copyID), msg)
+		ri.send(ctx, s, ri.qmAddr(r.copyID), model.PooledRelease(msg))
 	}
 }
 
@@ -1258,6 +1332,7 @@ func (ri *Issuer) finish(ctx engine.Context, s *txnState) {
 		ri.reportAttempt(ctx, s, model.OutcomeCommitted, model.OpRead)
 	}
 	delete(ri.active, s.txn.ID)
+	ri.releaseAttempt(s)
 	ri.finished(ctx, s.txn.ID)
 }
 

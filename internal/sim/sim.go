@@ -45,6 +45,10 @@ type Engine struct {
 	actors   map[engine.Addr]engine.Actor
 	ctxs     map[engine.Addr]*simContext
 	lastSend map[pair]int64
+	// free is the event freelist: the engine is single-threaded, so delivered
+	// events recycle through a plain slice instead of a sync.Pool — one event
+	// allocation per in-flight high-water mark rather than one per send.
+	free []*event
 	// Delivered counts delivered envelopes (a cheap progress/cost metric).
 	Delivered uint64
 }
@@ -112,7 +116,16 @@ func (e *Engine) PostAfter(delayMicros int64, to engine.Addr, msg model.Message)
 
 func (e *Engine) schedule(at int64, env engine.Envelope) {
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, env: env})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	*ev = event{at: at, seq: e.seq, env: env}
+	heap.Push(&e.events, ev)
 }
 
 // Step delivers the next event. It reports false when the event heap is
@@ -126,11 +139,19 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 	}
 	a := e.actors[ev.env.To]
+	msg := ev.env.Msg
+	from, to := ev.env.From, ev.env.To
+	*ev = event{}
+	e.free = append(e.free, ev)
 	if a == nil {
-		return true // dropped: unknown destination
+		model.RecycleMessage(msg) // dropped: unknown destination
+		return true
 	}
 	e.Delivered++
-	a.OnMessage(e.ctxs[ev.env.To], ev.env.From, ev.env.Msg)
+	a.OnMessage(e.ctxs[to], from, msg)
+	// Ownership transferred at Send: pooled messages recycle once the
+	// receiving actor returns (retainers copy via model.UnpoolMessage).
+	model.RecycleMessage(msg)
 	return true
 }
 

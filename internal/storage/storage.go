@@ -242,7 +242,12 @@ func (s *Store) prune(c *copyState, nowMicros int64) {
 	}
 	if base > 0 {
 		s.pruned.Add(uint64(base))
-		c.versions = append(c.versions[:0:0], c.versions[base:]...)
+		// Shift in place rather than reallocating: nothing retains the raw
+		// slice (Chain/Copies hand out copies), and keeping the backing array
+		// lets the next Write append into spare capacity instead of growing a
+		// fresh one — the steady-state write path allocates nothing here.
+		n := copy(c.versions, c.versions[base:])
+		c.versions = c.versions[:n]
 	}
 }
 

@@ -14,6 +14,22 @@ type Result struct {
 	inner cluster.Result
 	cl    *cluster.Cluster
 	dyn   *selector.Dynamic
+	// allocs is the process-wide heap-allocation count (MemStats.Mallocs
+	// delta) across Run, captured by the facade for AllocsPerCommittedTxn.
+	allocs uint64
+}
+
+// AllocsPerCommittedTxn returns the heap allocations per committed
+// transaction across the whole Run — every protocol message, queue entry, and
+// bookkeeping object the run heap-allocated, divided by commits. The pooled
+// hot path keeps this flat as load grows; a rising value is the first sign a
+// pooled object started escaping. Returns 0 when nothing committed.
+func (r Result) AllocsPerCommittedTxn() float64 {
+	c := r.Committed()
+	if c == 0 {
+		return 0
+	}
+	return float64(r.allocs) / float64(c)
 }
 
 // Serializable reports whether the recorded execution passed the conflict

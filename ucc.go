@@ -26,6 +26,7 @@ package ucc
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"ucc/internal/cluster"
@@ -490,8 +491,15 @@ func (c *Cluster) Run() Result {
 	if c.wl != nil {
 		horizon = c.wl.Duration.Microseconds()
 	}
+	// Mallocs delta across the run feeds Result.AllocsPerCommittedTxn. The
+	// counter is process-wide, so concurrent non-cluster work inflates it —
+	// acceptable for a facade-level observability number (benchmarks run one
+	// cluster at a time).
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	res := c.inner.Run(horizon, 2_000_000)
-	return Result{inner: res, cl: c.inner, dyn: c.dyn}
+	runtime.ReadMemStats(&after)
+	return Result{inner: res, cl: c.inner, dyn: c.dyn, allocs: after.Mallocs - before.Mallocs}
 }
 
 // Value returns the current value of an item's primary copy (after Run),
